@@ -1,0 +1,66 @@
+// Ablation: the number of overlays k. The paper argues (Sections IV, V)
+// that larger k costs bandwidth but buys lower average latency variance and
+// higher dissemination fairness. This bench sweeps k and reports latency,
+// bandwidth, fairness of the overlay set, and front-running success.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "overlay/encoding.hpp"
+#include "overlay/roles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  using bench::RunSpec;
+  const auto opt = bench::Options::parse(argc, argv, /*default_nodes=*/120);
+
+  std::printf("Ablation — number of overlays k (N=%zu, %zu reps)\n", opt.nodes,
+              opt.reps);
+  std::printf("%4s %10s %10s %12s %14s %14s %12s\n", "k", "lat ms", "lat sd",
+              "KB/min/node", "view-chg KiB", "depth-sd (fair)", "frontrun %");
+
+  for (std::size_t k : {1u, 2u, 5u, 10u, 20u}) {
+    RunningStats latency, latency_sd, kb, frontrun;
+    double fairness = 0.0;
+    double encoding_kib = 0.0;
+    for (std::size_t rep = 0; rep < opt.reps; ++rep) {
+      {
+        RunSpec spec;
+        spec.nodes = opt.nodes;
+        spec.txs = opt.txs;
+        spec.seed = opt.seed + rep;
+        hermes_proto::HermesProtocol protocol(bench::bench_hermes_config(1, k));
+        const auto r = bench::run_experiment(protocol, spec);
+        latency.add(mean_of(r.latencies));
+        latency_sd.add(stddev_of(r.latencies));
+        const double minutes = r.sim_duration_ms / 60'000.0;
+        kb.add(static_cast<double>(r.total_bytes_sent) / 1024.0 / minutes /
+               static_cast<double>(opt.nodes));
+        if (rep == 0) {
+          fairness = overlay::fairness_metrics(protocol.shared()->overlays)
+                         .mean_depth_stddev;
+          std::size_t bytes = 0;
+          for (const auto& cert : protocol.shared()->certificates) {
+            bytes += cert.encoded.size() + cert.signature.size();
+          }
+          encoding_kib = static_cast<double>(bytes) / 1024.0;
+        }
+      }
+      {
+        RunSpec spec;
+        spec.nodes = opt.nodes;
+        spec.txs = std::max<std::size_t>(opt.txs, 6);
+        spec.seed = opt.seed + 100 + rep;
+        spec.byzantine_fraction = 0.30;
+        spec.byzantine_behavior = protocols::Behavior::kFrontRunner;
+        spec.attack = true;
+        spec.drain_ms = 6000.0;
+        hermes_proto::HermesProtocol protocol(bench::bench_hermes_config(1, k));
+        frontrun.add(bench::run_experiment(protocol, spec).attack_success_rate);
+      }
+    }
+    std::printf("%4zu %10.2f %10.2f %12.1f %14.1f %14.3f %11.1f%%\n", k,
+                latency.mean(), latency_sd.mean(), kb.mean(), encoding_kib,
+                fairness, frontrun.mean() * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 3a: average transaction dissemination latency and its 5th-95th
+// percentile band for HERMES, LØ, Narwhal, Mercury.
+//
+// Paper (N = 10,000): Mercury 77.10 ms < HERMES 83.22 ms < Narwhal
+// 106.61 ms < LØ 172.02 ms, with HERMES showing the narrowest band after
+// Mercury. Expected shape here: same ordering; absolute numbers depend on
+// N and the synthetic latency model (use --nodes 10000 for paper scale).
+#include <cstdio>
+#include <functional>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  using bench::RunSpec;
+  const auto opt = bench::Options::parse(argc, argv, /*default_nodes=*/300);
+
+  std::printf("Figure 3a — transaction latency (N=%zu, %zu reps x %zu txs)\n",
+              opt.nodes, opt.reps, opt.txs);
+  std::printf("%-10s %10s %8s %8s %8s\n", "protocol", "avg ms", "p5", "p50",
+              "p95");
+
+  struct Entry {
+    const char* name;
+    std::function<std::unique_ptr<protocols::Protocol>()> make;
+  };
+  const Entry entries[] = {
+      {"mercury", [] { return std::make_unique<protocols::MercuryProtocol>(); }},
+      {"hermes",
+       [] {
+         return std::make_unique<hermes_proto::HermesProtocol>(
+             bench::bench_hermes_config());
+       }},
+      {"narwhal", [] { return std::make_unique<protocols::NarwhalProtocol>(); }},
+      {"l0", [] { return std::make_unique<protocols::L0Protocol>(); }},
+  };
+
+  for (const Entry& entry : entries) {
+    std::vector<double> all;
+    RunningStats trs;
+    for (std::size_t rep = 0; rep < opt.reps; ++rep) {
+      RunSpec spec;
+      spec.nodes = opt.nodes;
+      spec.txs = opt.txs;
+      spec.seed = opt.seed + rep;
+      spec.drain_ms = 6000.0;
+      auto protocol = entry.make();
+      const auto result = bench::run_experiment(*protocol, spec);
+      all.insert(all.end(), result.latencies.begin(), result.latencies.end());
+      if (result.trs_wait_mean_ms > 0.0) trs.add(result.trs_wait_mean_ms);
+    }
+    const Summary s = summarize(std::move(all));
+    std::printf("%-10s %10.2f %8.2f %8.2f %8.2f", entry.name, s.mean, s.p5,
+                s.p50, s.p95);
+    if (trs.count() > 0) {
+      std::printf("   (TRS seed round: +%.1f ms before dissemination)",
+                  trs.mean());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

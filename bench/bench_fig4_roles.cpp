@@ -1,0 +1,75 @@
+// Figure 4: distribution of roles (ranks/depths) for each node across the
+// k = 10 generated overlay structures at N = 200, f = 1.
+//
+// Expected shape (paper): 10 x (f+1) = 20 entry-point slots spread over
+// distinct nodes, ranks widely distributed, no node consistently favored.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "overlay/builder.hpp"
+#include "overlay/roles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  const auto opt = bench::Options::parse(argc, argv, /*default_nodes=*/200);
+  const std::size_t k = 10, f = 1;
+
+  const net::Topology topo = bench::make_bench_topology(opt.nodes, opt.seed);
+  overlay::BuilderParams params;
+  params.f = f;
+  params.k = k;
+  params.annealing = bench::bench_hermes_config().builder.annealing;
+  Rng rng(opt.seed);
+  const overlay::OverlaySet set = overlay::build_overlay_set(topo.graph, params, rng);
+
+  const overlay::RoleDistribution dist = overlay::role_distribution(set.overlays);
+  const overlay::FairnessMetrics fair = overlay::fairness_metrics(set.overlays);
+
+  std::printf("Figure 4 — role distribution (N=%zu, k=%zu, f=%zu)\n", opt.nodes,
+              k, f);
+
+  // Per-depth occupancy histogram: how many (node, overlay) placements sit
+  // at each rank.
+  std::vector<std::size_t> occupancy(dist.max_depth + 1, 0);
+  for (const auto& per_node : dist.counts) {
+    for (std::size_t d = 1; d < per_node.size(); ++d) {
+      occupancy[d] += per_node[d];
+    }
+  }
+  std::printf("\nrank  placements (out of %zu)\n", opt.nodes * k);
+  for (std::size_t d = 1; d <= dist.max_depth; ++d) {
+    std::printf("%4zu  %6zu  ", d, occupancy[d]);
+    for (std::size_t bar = 0; bar < occupancy[d] * 60 / (opt.nodes * k) + 1; ++bar) {
+      std::putchar('#');
+    }
+    std::putchar('\n');
+  }
+
+  // Entry-point rotation: list every node that served as an entry point.
+  std::printf("\nentry-point slots: %zu total, held by nodes:", k * (f + 1));
+  std::size_t entry_nodes = 0;
+  for (net::NodeId v = 0; v < opt.nodes; ++v) {
+    if (dist.entry_appearances(v) > 0) {
+      std::printf(" %u(x%zu)", v, dist.entry_appearances(v));
+      ++entry_nodes;
+    }
+  }
+  std::printf("\ndistinct entry nodes: %zu, max times any node was entry: %zu\n",
+              entry_nodes, fair.max_entry_appearances);
+
+  // Sample rows in the style of the figure's per-node bars.
+  std::printf("\nper-node rank counts (sample):\n");
+  for (net::NodeId v = 0; v < opt.nodes; v += opt.nodes / 10) {
+    std::printf("node %3u: ", v);
+    for (std::size_t d = 1; d <= dist.max_depth; ++d) {
+      if (dist.counts[v][d] > 0) {
+        std::printf("rank%zu x%zu  ", d, dist.counts[v][d]);
+      }
+    }
+    std::printf("(mean depth %.2f)\n", dist.mean_depth(v));
+  }
+
+  std::printf("\nfairness: mean-depth stddev %.3f, load stddev %.2f\n",
+              fair.mean_depth_stddev, fair.load_stddev);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 5a: front-running success rate as a function of the fraction of
+// malicious nodes (10%..33%), for HERMES, LØ, Narwhal, Mercury.
+//
+// Paper: HERMES 2% -> 5.9%, LØ 5% -> 19%, Narwhal 10% -> 51%, Mercury
+// 25% -> 70%. Expected shape here: same ordering at every fraction, with
+// HERMES flattest.
+#include <cstdio>
+#include <functional>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  using bench::RunSpec;
+  auto opt = bench::Options::parse(argc, argv, /*default_nodes=*/150);
+  // Success rates need more victims than the latency benches need txs.
+  const std::size_t victims_per_rep = std::max<std::size_t>(opt.txs, 8);
+
+  std::printf(
+      "Figure 5a — front-running success rate (N=%zu, %zu reps x %zu victims)\n",
+      opt.nodes, opt.reps, victims_per_rep);
+  std::printf("%-10s", "malicious");
+  const double fractions[] = {0.10, 0.15, 0.20, 0.25, 0.30, 0.33};
+  for (double fr : fractions) std::printf(" %7.0f%%", fr * 100.0);
+  std::printf("\n");
+
+  struct Entry {
+    const char* name;
+    std::function<std::unique_ptr<protocols::Protocol>()> make;
+  };
+  const Entry entries[] = {
+      {"hermes",
+       [] {
+         return std::make_unique<hermes_proto::HermesProtocol>(
+             bench::bench_hermes_config());
+       }},
+      {"l0", [] { return std::make_unique<protocols::L0Protocol>(); }},
+      {"narwhal", [] { return std::make_unique<protocols::NarwhalProtocol>(); }},
+      {"mercury", [] { return std::make_unique<protocols::MercuryProtocol>(); }},
+  };
+
+  for (const Entry& entry : entries) {
+    std::printf("%-10s", entry.name);
+    for (double fraction : fractions) {
+      RunningStats success;
+      for (std::size_t rep = 0; rep < opt.reps; ++rep) {
+        RunSpec spec;
+        spec.nodes = opt.nodes;
+        spec.txs = victims_per_rep;
+        spec.seed = opt.seed + rep * 1000 +
+                    static_cast<std::uint64_t>(fraction * 100);
+        spec.byzantine_fraction = fraction;
+        spec.byzantine_behavior = protocols::Behavior::kFrontRunner;
+        spec.attack = true;
+        spec.inter_tx_gap_ms = 400.0;
+        spec.drain_ms = 6000.0;
+        auto protocol = entry.make();
+        const auto result = bench::run_experiment(*protocol, spec);
+        success.add(result.attack_success_rate);
+      }
+      std::printf(" %7.1f%%", success.mean() * 100.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

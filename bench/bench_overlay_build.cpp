@@ -1,0 +1,145 @@
+// Section VIII-A micro-benchmarks (google-benchmark): overlay construction
+// cost (the paper reports < 15 s for k = 10 overlays at N = 10,000) and the
+// cryptographic primitives on HERMES's critical path.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "crypto/sim_signer.hpp"
+#include "crypto/threshold_rsa.hpp"
+#include "overlay/builder.hpp"
+#include "overlay/encoding.hpp"
+
+namespace {
+
+using namespace hermes;
+
+void BM_RobustTreeBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const net::Topology topo = bench::make_bench_topology(n, 42);
+  for (auto _ : state) {
+    overlay::RobustTreeParams params;
+    params.f = 1;
+    overlay::RankTable ranks(n, 0.0);
+    benchmark::DoNotOptimize(
+        overlay::build_robust_tree(topo.graph, params, ranks));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RobustTreeBuild)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_OverlaySetBuildK10(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const net::Topology topo = bench::make_bench_topology(n, 42);
+  overlay::BuilderParams params;
+  params.f = 1;
+  params.k = 10;
+  params.annealing = bench::bench_hermes_config().builder.annealing;
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(overlay::build_overlay_set(topo.graph, params, rng));
+  }
+}
+BENCHMARK(BM_OverlaySetBuildK10)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedAnnealingPass(benchmark::State& state) {
+  const std::size_t n = 200;
+  const net::Topology topo = bench::make_bench_topology(n, 42);
+  overlay::RobustTreeParams tree_params;
+  tree_params.f = 1;
+  overlay::RankTable ranks(n, 0.0);
+  const overlay::Overlay tree =
+      overlay::build_robust_tree(topo.graph, tree_params, ranks);
+  const overlay::AnnealingParams params =
+      bench::bench_hermes_config().builder.annealing;
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(
+        overlay::anneal(tree, topo.graph, ranks, params, rng));
+  }
+}
+BENCHMARK(BM_SimulatedAnnealingPass)->Unit(benchmark::kMillisecond);
+
+void BM_OverlayEncode(benchmark::State& state) {
+  const std::size_t n = 200;
+  const net::Topology topo = bench::make_bench_topology(n, 42);
+  overlay::RobustTreeParams params;
+  params.f = 1;
+  overlay::RankTable ranks(n, 0.0);
+  const overlay::Overlay tree =
+      overlay::build_robust_tree(topo.graph, params, ranks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay::encode_overlay(tree));
+  }
+}
+BENCHMARK(BM_OverlayEncode);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_SimThresholdRoundTrip(benchmark::State& state) {
+  const crypto::SimThresholdScheme scheme(to_bytes("grp"), 4, 3);
+  const Bytes msg = to_bytes("seed material");
+  for (auto _ : state) {
+    std::vector<crypto::PartialSignature> partials;
+    for (std::size_t i = 1; i <= 3; ++i) {
+      partials.push_back(scheme.partial_sign(i, msg));
+    }
+    benchmark::DoNotOptimize(scheme.combine(msg, partials));
+  }
+}
+BENCHMARK(BM_SimThresholdRoundTrip);
+
+void BM_ThresholdRsaPartialSign(benchmark::State& state) {
+  Rng rng(31337);
+  static const crypto::ThresholdRsaKey key =
+      crypto::threshold_rsa_generate(rng, 256, 4, 3);
+  const Bytes msg = to_bytes("seed material");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::threshold_partial_sign(key.pub, key.shares[0], msg));
+  }
+}
+BENCHMARK(BM_ThresholdRsaPartialSign)->Unit(benchmark::kMillisecond);
+
+void BM_ThresholdRsaCombine(benchmark::State& state) {
+  Rng rng(31337);
+  static const crypto::ThresholdRsaKey key =
+      crypto::threshold_rsa_generate(rng, 256, 4, 3);
+  const Bytes msg = to_bytes("seed material");
+  std::vector<crypto::ThresholdPartial> partials;
+  for (std::size_t i = 0; i < 3; ++i) {
+    partials.push_back(
+        crypto::threshold_partial_sign(key.pub, key.shares[i], msg));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::threshold_combine(key.pub, msg, partials));
+  }
+}
+BENCHMARK(BM_ThresholdRsaCombine)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Custom main: tolerate the shared sweep flags (--reps/--nodes/...) that
+// the other bench binaries accept, passing only --benchmark_* through.
+int main(int argc, char** argv) {
+  std::vector<char*> filtered{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      filtered.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Shared experiment driver for the figure/table benches.
+//
+// Every bench binary accepts:
+//   --nodes N    network size (defaults are CI-friendly; the paper used
+//                N = 10,000 for latency/robustness and 200 elsewhere)
+//   --reps R     repetitions averaged per data point (paper: 10)
+//   --txs T      transactions injected per repetition
+//   --seed S     base RNG seed
+// and prints a plain-text table matching the corresponding figure.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "hermes/hermes_node.hpp"
+#include "protocols/base.hpp"
+#include "protocols/gossip.hpp"
+#include "protocols/l0.hpp"
+#include "protocols/mercury.hpp"
+#include "protocols/narwhal.hpp"
+#include "protocols/simple_tree.hpp"
+#include "support/stats.hpp"
+
+namespace hermes::bench {
+
+struct Options {
+  std::size_t nodes = 200;
+  std::size_t reps = 3;
+  std::size_t txs = 5;
+  std::uint64_t seed = 20250705;
+
+  static Options parse(int argc, char** argv, std::size_t default_nodes = 200) {
+    Options opt;
+    opt.nodes = default_nodes;
+    for (int i = 1; i < argc; ++i) {
+      auto grab = [&](const char* flag) -> const char* {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+        return nullptr;
+      };
+      if (const char* v = grab("--nodes")) opt.nodes = std::stoul(v);
+      else if (const char* v2 = grab("--reps")) opt.reps = std::stoul(v2);
+      else if (const char* v3 = grab("--txs")) opt.txs = std::stoul(v3);
+      else if (const char* v4 = grab("--seed")) opt.seed = std::stoull(v4);
+    }
+    return opt;
+  }
+};
+
+inline net::Topology make_bench_topology(std::size_t nodes, std::uint64_t seed) {
+  net::TopologyParams tp;
+  tp.node_count = nodes;
+  tp.min_degree = 6;
+  tp.connectivity = 2;
+  Rng rng(seed);
+  return net::make_topology(tp, rng);
+}
+
+// HERMES configured for bench scale: smaller annealing schedule than the
+// library default so runs stay CI-friendly. Use --nodes/--reps to scale up.
+inline hermes_proto::HermesConfig bench_hermes_config(std::size_t f = 1,
+                                                      std::size_t k = 10) {
+  hermes_proto::HermesConfig config;
+  config.f = f;
+  config.k = k;
+  config.builder.annealing.initial_temperature = 10.0;
+  config.builder.annealing.min_temperature = 1.0;
+  config.builder.annealing.cooling_rate = 0.85;
+  config.builder.annealing.moves_per_temperature = 6;
+  return config;
+}
+
+// One experiment run: a fresh world per (protocol, rep), `txs` transactions
+// injected from random honest senders, run until quiescence horizon.
+struct RunResult {
+  std::vector<double> latencies;       // all (tx, node) first-delivery lats
+  double mean_coverage = 0.0;          // honest coverage averaged over txs
+  double attack_success_rate = 0.0;    // over attacked victims
+  std::uint64_t total_bytes_sent = 0;
+  std::uint64_t total_messages = 0;
+  double sim_duration_ms = 0.0;
+  std::vector<double> per_node_sent_msgs;
+  // HERMES only: mean TRS round-trip before dissemination starts (the
+  // latency columns measure propagation of m, per the paper; this reports
+  // the seed-generation cost separately).
+  double trs_wait_mean_ms = 0.0;
+};
+
+struct RunSpec {
+  std::size_t nodes = 200;
+  std::size_t txs = 5;
+  std::uint64_t seed = 1;
+  double byzantine_fraction = 0.0;
+  protocols::Behavior byzantine_behavior = protocols::Behavior::kDropper;
+  bool attack = false;
+  double inter_tx_gap_ms = 200.0;
+  double drain_ms = 4000.0;
+  sim::NetworkParams net_params = {};
+};
+
+inline RunResult run_experiment(protocols::Protocol& protocol,
+                                const RunSpec& spec) {
+  using namespace protocols;
+  ExperimentContext ctx(make_bench_topology(spec.nodes, spec.seed),
+                        spec.net_params, spec.seed ^ 0x5eedULL);
+  if (spec.byzantine_fraction > 0.0) {
+    ctx.assign_behaviors(spec.byzantine_fraction, spec.byzantine_behavior);
+  }
+  ctx.attack_enabled = spec.attack;
+  populate(ctx, protocol);
+
+  Rng workload(spec.seed ^ 0x770a1cULL);
+  std::vector<Transaction> txs;
+  for (std::size_t i = 0; i < spec.txs; ++i) {
+    txs.push_back(inject_tx(ctx, ctx.random_honest(workload)));
+    ctx.engine.run_until(ctx.engine.now() + spec.inter_tx_gap_ms);
+  }
+  ctx.engine.run_until(ctx.engine.now() + spec.drain_ms);
+
+  RunResult result;
+  result.sim_duration_ms = ctx.engine.now();
+  std::size_t attacked = 0, succeeded = 0;
+  Rng judge(spec.seed ^ 0x1d93eULL);
+  for (const auto& tx : txs) {
+    for (double l : ctx.tracker.latencies(tx.id)) result.latencies.push_back(l);
+    result.mean_coverage += honest_coverage(ctx, tx);
+    const AttackOutcome outcome = front_run_outcome(ctx, tx, judge);
+    if (outcome != AttackOutcome::kNoAttack) {
+      ++attacked;
+      if (outcome == AttackOutcome::kSucceeded) ++succeeded;
+    }
+  }
+  result.mean_coverage /= static_cast<double>(txs.size());
+  result.attack_success_rate =
+      attacked == 0 ? 0.0
+                    : static_cast<double>(succeeded) / static_cast<double>(attacked);
+  result.total_bytes_sent = ctx.network.total().bytes_sent;
+  result.total_messages = ctx.network.total().messages_sent;
+  for (net::NodeId v = 0; v < ctx.node_count(); ++v) {
+    result.per_node_sent_msgs.push_back(
+        static_cast<double>(ctx.network.counters(v).messages_sent));
+  }
+  RunningStats trs;
+  for (net::NodeId v = 0; v < ctx.node_count(); ++v) {
+    if (const auto* node =
+            dynamic_cast<const hermes_proto::HermesNode*>(&ctx.node(v))) {
+      if (node->trs_wait_ms().count() > 0) trs.add(node->trs_wait_ms().mean());
+    }
+  }
+  result.trs_wait_mean_ms = trs.mean();
+  return result;
+}
+
+}  // namespace hermes::bench

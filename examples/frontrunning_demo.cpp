@@ -1,0 +1,113 @@
+// Front-running attack demonstration — the paper's motivating scenario.
+//
+// A victim submits a transaction (think: a DEX order). A fraction of nodes
+// run front-running bots: the first bot to observe the victim transaction
+// immediately fires its own and races it to the block proposers. We run
+// the identical scenario under Mercury (fast but manipulable) and HERMES,
+// and show where the adversarial transaction landed, plus the audit trail
+// HERMES produces when the bot tries to shortcut the protocol.
+//
+//   ./build/examples/frontrunning_demo [nodes] [runs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "hermes/hermes_node.hpp"
+#include "protocols/mercury.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::protocols;
+
+struct ScenarioResult {
+  std::size_t attacked = 0;
+  std::size_t succeeded = 0;
+  std::size_t violations_logged = 0;
+  std::size_t nodes_excluding_offenders = 0;
+};
+
+template <typename MakeProtocol>
+ScenarioResult run_scenario(MakeProtocol make_protocol, std::size_t n,
+                            int runs) {
+  ScenarioResult total;
+  for (int run = 0; run < runs; ++run) {
+    const std::uint64_t seed = 9000 + run;
+    net::TopologyParams tp;
+    tp.node_count = n;
+    tp.min_degree = 5;
+    Rng trng(seed);
+    ExperimentContext ctx(net::make_topology(tp, trng), sim::NetworkParams{},
+                          seed);
+    ctx.assign_behaviors(0.30, Behavior::kFrontRunner);
+    ctx.attack_enabled = true;
+    auto protocol = make_protocol();
+    populate(ctx, *protocol);
+
+    const net::NodeId victim_sender = ctx.random_honest(ctx.rng);
+    const Transaction victim = inject_tx(ctx, victim_sender);
+    ctx.engine.run_until(ctx.engine.now() + 8000.0);
+
+    Rng judge(seed);
+    switch (front_run_outcome(ctx, victim, judge)) {
+      case AttackOutcome::kNoAttack:
+        break;
+      case AttackOutcome::kSucceeded:
+        ++total.attacked;
+        ++total.succeeded;
+        break;
+      case AttackOutcome::kFailed:
+        ++total.attacked;
+        break;
+    }
+    for (net::NodeId v = 0; v < n; ++v) {
+      if (const auto* node =
+              dynamic_cast<const hermes_proto::HermesNode*>(&ctx.node(v))) {
+        total.violations_logged += node->audit().violations().size();
+        if (node->audit().excluded_count() > 0) {
+          ++total.nodes_excluding_offenders;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+  const int runs = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  std::printf("Front-running scenario: %zu nodes, 30%% bot-controlled, %d "
+              "victim transactions\n\n",
+              n, runs);
+
+  const ScenarioResult mercury = run_scenario(
+      [] { return std::make_unique<MercuryProtocol>(); }, n, runs);
+  std::printf("Mercury:  %zu/%zu attacks succeeded — the bot observes the "
+              "victim at a cluster head and outbursts ahead of it\n",
+              mercury.succeeded, mercury.attacked);
+
+  const ScenarioResult hermes_r = run_scenario(
+      [] {
+        hermes_proto::HermesConfig config;
+        config.f = 1;
+        config.k = 6;
+        config.adversary_blind_blast = true;  // a naive bot: also blasts
+        config.builder.annealing.initial_temperature = 8.0;
+        config.builder.annealing.min_temperature = 1.0;
+        config.builder.annealing.cooling_rate = 0.85;
+        return std::make_unique<hermes_proto::HermesProtocol>(config);
+      },
+      n, runs);
+  std::printf("HERMES:   %zu/%zu attacks succeeded — the bot cannot pick its "
+              "route (TRS-selected overlay) and cannot skip the committee\n",
+              hermes_r.succeeded, hermes_r.attacked);
+  std::printf("          audit: %zu protocol violations logged by honest "
+              "nodes; %zu nodes excluded the offender\n",
+              hermes_r.violations_logged, hermes_r.nodes_excluding_offenders);
+  std::printf("\n(The bot's direct blast without a TRS certificate is "
+              "rejected on receipt and lands in the audit log — that is "
+              "Section VI-C's accountability in action.)\n");
+  return 0;
+}

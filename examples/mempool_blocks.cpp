@@ -1,0 +1,77 @@
+// Block building across protocols: the same transaction stream, three
+// different ordering disciplines. Shows concretely what the front-running
+// verdict inspects — the proposer's block — and how LØ's commitment log
+// and Narwhal's certificate order differ from raw arrival order.
+//
+//   ./build/examples/mempool_blocks [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "hermes/hermes_node.hpp"
+#include "protocols/l0.hpp"
+#include "protocols/narwhal.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::protocols;
+
+template <typename MakeProtocol>
+void run_one(const char* name, MakeProtocol make_protocol, std::size_t n) {
+  net::TopologyParams tp;
+  tp.node_count = n;
+  tp.min_degree = 5;
+  Rng trng(515);
+  ExperimentContext ctx(net::make_topology(tp, trng), sim::NetworkParams{},
+                        515);
+  auto protocol = make_protocol();
+  populate(ctx, *protocol);
+
+  // Three senders, staggered; the middle one races the first.
+  std::vector<Transaction> txs;
+  Rng workload(99);
+  for (int i = 0; i < 3; ++i) {
+    txs.push_back(inject_tx(ctx, static_cast<net::NodeId>(3 + i * 7)));
+    ctx.engine.run_until(ctx.engine.now() + 250.0);
+  }
+  ctx.engine.run_until(ctx.engine.now() + 6000.0);
+
+  // Two proposers at opposite ends of the id space build blocks.
+  std::printf("%-9s", name);
+  for (net::NodeId proposer : {net::NodeId{1}, static_cast<net::NodeId>(n - 2)}) {
+    const mempool::Block block = ctx.node(proposer).propose_block(1, 10);
+    std::printf("  proposer %3u: [", proposer);
+    for (std::size_t i = 0; i < block.tx_ids.size(); ++i) {
+      // Print sender id of each tx for readability.
+      std::printf("%s%llu", i ? " " : "",
+                  static_cast<unsigned long long>(block.tx_ids[i] >> 32));
+    }
+    std::printf("]");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 60;
+  std::printf("Three transactions from senders 3, 10, 17 — block contents "
+              "(sender ids, block order) under each protocol's ordering "
+              "discipline:\n\n");
+  run_one("gossip", [] { return std::make_unique<GossipProtocol>(); }, n);
+  run_one("l0", [] { return std::make_unique<L0Protocol>(); }, n);
+  run_one("narwhal", [] { return std::make_unique<NarwhalProtocol>(); }, n);
+  run_one("hermes", [] {
+    hermes_proto::HermesConfig config;
+    config.f = 1;
+    config.k = 4;
+    config.builder.annealing.initial_temperature = 5.0;
+    config.builder.annealing.min_temperature = 1.0;
+    config.builder.annealing.cooling_rate = 0.8;
+    return std::make_unique<hermes_proto::HermesProtocol>(config);
+  }, n);
+  std::printf("\n(gossip/hermes order by arrival; l0 by commitment arrival; "
+              "narwhal by certificate availability — the disciplines the "
+              "Figure 5a verdict holds each protocol to)\n");
+  return 0;
+}

@@ -1,0 +1,591 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hermes::crypto {
+
+namespace {
+constexpr std::uint64_t kLimbBase = 1ULL << 32;
+}
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v == 0) return;
+  limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+  BigUint out;
+  for (char c : hex) {
+    int nib;
+    if (c >= '0' && c <= '9') nib = c - '0';
+    else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') nib = c - 'A' + 10;
+    else { HERMES_REQUIRE(false && "invalid hex"); return out; }
+    out = (out << 4) + BigUint(static_cast<std::uint64_t>(nib));
+  }
+  return out;
+}
+
+BigUint BigUint::from_bytes_be(BytesView bytes) {
+  BigUint out;
+  for (std::uint8_t b : bytes) {
+    out = (out << 8) + BigUint(b);
+  }
+  return out;
+}
+
+BigUint BigUint::random_bits(Rng& rng, std::size_t bits) {
+  HERMES_REQUIRE(bits > 0);
+  BigUint out;
+  const std::size_t nlimbs = (bits + 31) / 32;
+  out.limbs_.resize(nlimbs);
+  for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng.next_u64());
+  // Mask excess bits, then set the top bit so the width is exact.
+  const std::size_t top_bits = bits % 32 == 0 ? 32 : bits % 32;
+  if (top_bits < 32) {
+    out.limbs_.back() &= (1u << top_bits) - 1;
+  }
+  out.limbs_.back() |= 1u << (top_bits - 1);
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::random_below(Rng& rng, const BigUint& bound) {
+  HERMES_REQUIRE(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nlimbs = (bits + 31) / 32;
+  const std::size_t top_bits = bits % 32 == 0 ? 32 : bits % 32;
+  for (;;) {
+    BigUint out;
+    out.limbs_.resize(nlimbs);
+    for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng.next_u64());
+    if (top_bits < 32) out.limbs_.back() &= (1u << top_bits) - 1;
+    out.trim();
+    if (out < bound) return out;
+  }
+}
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t BigUint::to_u64() const {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::string BigUint::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(digits[(limbs_[i] >> shift) & 0xf]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+Bytes BigUint::to_bytes_be() const {
+  if (limbs_.empty()) return {0};
+  Bytes out;
+  out.reserve(limbs_.size() * 4);
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 24));
+    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 16));
+    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 8));
+    out.push_back(static_cast<std::uint8_t>(limbs_[i]));
+  }
+  const auto first = std::find_if(out.begin(), out.end(),
+                                  [](std::uint8_t b) { return b != 0; });
+  if (first == out.end()) return {0};
+  return Bytes(first, out.end());
+}
+
+Bytes BigUint::to_bytes_be_padded(std::size_t width) const {
+  Bytes raw = to_bytes_be();
+  if (raw.size() == 1 && raw[0] == 0) raw.clear();
+  HERMES_REQUIRE(raw.size() <= width);
+  Bytes out(width - raw.size(), 0);
+  append(out, raw);
+  return out;
+}
+
+int BigUint::compare(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::operator+(const BigUint& o) const {
+  BigUint out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.resize(n);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigUint BigUint::operator-(const BigUint& o) const {
+  HERMES_REQUIRE(*this >= o);
+  BigUint out;
+  out.limbs_.resize(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= static_cast<std::int64_t>(o.limbs_[i]);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  HERMES_REQUIRE(borrow == 0);
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::operator*(const BigUint& o) const {
+  if (is_zero() || o.is_zero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + a * o.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+BigUintDivMod BigUint::divmod(const BigUint& a, const BigUint& b) {
+  HERMES_REQUIRE(!b.is_zero());
+  BigUintDivMod result;
+  if (a < b) {
+    result.remainder = a;
+    return result;
+  }
+  if (b.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const std::uint64_t d = b.limbs_[0];
+    BigUint q;
+    q.limbs_.resize(a.limbs_.size());
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    result.quotient = std::move(q);
+    result.remainder = BigUint(rem);
+    return result;
+  }
+
+  // Binary long division: shift divisor up, subtract greedily. O(n^2) in
+  // limbs which is fine at our modulus sizes.
+  const std::size_t shift = a.bit_length() - b.bit_length();
+  BigUint divisor = b << shift;
+  BigUint rem = a;
+  BigUint quotient;
+  quotient.limbs_.assign((shift / 32) + 1, 0);
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (rem >= divisor) {
+      rem = rem - divisor;
+      quotient.limbs_[i / 32] |= 1u << (i % 32);
+    }
+    divisor = divisor >> 1;
+  }
+  quotient.trim();
+  result.quotient = std::move(quotient);
+  result.remainder = std::move(rem);
+  return result;
+}
+
+BigUint BigUint::mulmod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return (a * b) % m;
+}
+
+namespace {
+
+// Montgomery (CIOS) context for an odd modulus. Residues are held in
+// Montgomery form (x * R mod n, R = 2^(32*k)); one CIOS pass computes
+// a*b*R^{-1} mod n without any division.
+class MontgomeryCtx {
+ public:
+  explicit MontgomeryCtx(const BigUint& n) : n_(n), k_(n.limbs().size()) {
+    HERMES_REQUIRE(n.is_odd());
+    // n' = -n^{-1} mod 2^32 via Newton iteration on the lowest limb.
+    const std::uint32_t n0 = n.limbs()[0];
+    std::uint32_t inv = 1;
+    for (int i = 0; i < 5; ++i) inv *= 2 - n0 * inv;  // inv = n0^{-1} mod 2^32
+    n_prime_ = ~inv + 1;                              // -n0^{-1} mod 2^32
+    // R^2 mod n, for conversion into Montgomery form.
+    r2_ = (BigUint(1) << (64 * k_)) % n;
+  }
+
+  // CIOS: returns a * b * R^{-1} mod n. Inputs/outputs are k_-limb vectors.
+  std::vector<std::uint32_t> mul(const std::vector<std::uint32_t>& a,
+                                 const std::vector<std::uint32_t>& b) const {
+    const auto& nl = n_.limbs();
+    std::vector<std::uint32_t> t(k_ + 2, 0);
+    for (std::size_t i = 0; i < k_; ++i) {
+      // t += a[i] * b
+      std::uint64_t carry = 0;
+      const std::uint64_t ai = a[i];
+      for (std::size_t j = 0; j < k_; ++j) {
+        const std::uint64_t cur = t[j] + ai * b[j] + carry;
+        t[j] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = t[k_] + carry;
+      t[k_] = static_cast<std::uint32_t>(cur);
+      t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+      // m = t[0] * n' mod 2^32; t += m * n; t >>= 32
+      const std::uint64_t mfac = static_cast<std::uint32_t>(t[0] * n_prime_);
+      carry = 0;
+      {
+        const std::uint64_t c0 = t[0] + mfac * nl[0];
+        carry = c0 >> 32;  // low 32 bits are zero by construction
+      }
+      for (std::size_t j = 1; j < k_; ++j) {
+        const std::uint64_t cj = t[j] + mfac * nl[j] + carry;
+        t[j - 1] = static_cast<std::uint32_t>(cj);
+        carry = cj >> 32;
+      }
+      cur = t[k_] + carry;
+      t[k_ - 1] = static_cast<std::uint32_t>(cur);
+      t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+      t[k_ + 1] = 0;
+    }
+    // Conditional subtraction: t may be in [0, 2n).
+    std::vector<std::uint32_t> out(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+    bool ge = t[k_] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t j = k_; j-- > 0;) {
+        if (out[j] != nl[j]) {
+          ge = out[j] > nl[j];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t j = 0; j < k_; ++j) {
+        std::int64_t diff = static_cast<std::int64_t>(out[j]) -
+                            static_cast<std::int64_t>(nl[j]) - borrow;
+        if (diff < 0) {
+          diff += 1LL << 32;
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        out[j] = static_cast<std::uint32_t>(diff);
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::uint32_t> to_mont(const BigUint& x) const {
+    return mul(pad(x), pad(r2_));
+  }
+
+  BigUint from_mont(const std::vector<std::uint32_t>& x) const {
+    std::vector<std::uint32_t> one(k_, 0);
+    one[0] = 1;
+    const auto reduced = mul(x, one);
+    return BigUint::from_bytes_be(limbs_to_be(reduced));
+  }
+
+  std::vector<std::uint32_t> pad(const BigUint& x) const {
+    std::vector<std::uint32_t> out(k_, 0);
+    const auto& limbs = x.limbs();
+    HERMES_REQUIRE(limbs.size() <= k_);
+    std::copy(limbs.begin(), limbs.end(), out.begin());
+    return out;
+  }
+
+ private:
+  static Bytes limbs_to_be(const std::vector<std::uint32_t>& limbs) {
+    Bytes out;
+    for (std::size_t i = limbs.size(); i-- > 0;) {
+      out.push_back(static_cast<std::uint8_t>(limbs[i] >> 24));
+      out.push_back(static_cast<std::uint8_t>(limbs[i] >> 16));
+      out.push_back(static_cast<std::uint8_t>(limbs[i] >> 8));
+      out.push_back(static_cast<std::uint8_t>(limbs[i]));
+    }
+    return out;
+  }
+
+  BigUint n_;
+  BigUint r2_;
+  std::size_t k_;
+  std::uint32_t n_prime_;
+};
+
+}  // namespace
+
+BigUint BigUint::powmod(const BigUint& base, const BigUint& exp, const BigUint& m) {
+  HERMES_REQUIRE(!m.is_zero());
+  if (m == BigUint(1)) return BigUint();
+  if (exp.is_zero()) return BigUint(1) % m;
+
+  if (m.is_odd() && m.limbs().size() >= 2) {
+    const MontgomeryCtx ctx(m);
+    auto result = ctx.to_mont(BigUint(1));
+    const auto b = ctx.to_mont(base % m);
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+      result = ctx.mul(result, result);
+      if (exp.bit(i)) result = ctx.mul(result, b);
+    }
+    return ctx.from_mont(result);
+  }
+
+  BigUint result(1);
+  BigUint b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = mulmod(result, result, m);
+    if (exp.bit(i)) result = mulmod(result, b, m);
+  }
+  return result;
+}
+
+BigUint BigUint::gcd(BigUint a, BigUint b) {
+  while (!b.is_zero()) {
+    BigUint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+bool BigUint::modinv(const BigUint& a, const BigUint& m, BigUint* out) {
+  const ExtendedGcd eg = extended_gcd(a % m, m);
+  if (eg.g != BigUint(1)) return false;
+  *out = eg.x.mod_positive(m);
+  return true;
+}
+
+namespace {
+constexpr std::uint32_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+}
+
+bool BigUint::is_probable_prime(const BigUint& n, Rng& rng, int rounds) {
+  if (n < BigUint(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^r.
+  const BigUint n_minus_1 = n - BigUint(1);
+  BigUint d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  const BigUint two(2);
+  const BigUint n_minus_3 = n - BigUint(3);
+  for (int round = 0; round < rounds; ++round) {
+    const BigUint a = random_below(rng, n_minus_3) + two;  // in [2, n-2]
+    BigUint x = powmod(a, d, n);
+    if (x == BigUint(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUint BigUint::random_prime(Rng& rng, std::size_t bits, int mr_rounds) {
+  HERMES_REQUIRE(bits >= 8);
+  for (;;) {
+    BigUint candidate = random_bits(rng, bits);
+    if (!candidate.is_odd()) candidate = candidate + BigUint(1);
+    if (is_probable_prime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BigInt
+
+BigInt::BigInt(std::int64_t v) {
+  if (v < 0) {
+    neg_ = true;
+    mag_ = BigUint(static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    mag_ = BigUint(static_cast<std::uint64_t>(v));
+  }
+}
+
+BigInt::BigInt(BigUint mag, bool negative) : mag_(std::move(mag)), neg_(negative) {
+  normalize();
+}
+
+void BigInt::normalize() {
+  if (mag_.is_zero()) neg_ = false;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.mag_.is_zero()) out.neg_ = !out.neg_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  if (neg_ == o.neg_) return BigInt(mag_ + o.mag_, neg_);
+  // Opposite signs: subtract smaller magnitude from larger.
+  const int cmp = BigUint::compare(mag_, o.mag_);
+  if (cmp == 0) return BigInt();
+  if (cmp > 0) return BigInt(mag_ - o.mag_, neg_);
+  return BigInt(o.mag_ - mag_, o.neg_);
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  return BigInt(mag_ * o.mag_, neg_ != o.neg_);
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  const auto dm = BigUint::divmod(mag_, o.mag_);
+  return BigInt(dm.quotient, neg_ != o.neg_);
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  const auto dm = BigUint::divmod(mag_, o.mag_);
+  return BigInt(dm.remainder, neg_);
+}
+
+bool BigInt::operator==(const BigInt& o) const {
+  return neg_ == o.neg_ && mag_ == o.mag_;
+}
+
+std::string BigInt::to_string_hex() const {
+  return (neg_ ? "-" : "") + mag_.to_hex();
+}
+
+BigUint BigInt::mod_positive(const BigUint& m) const {
+  BigUint r = mag_ % m;
+  if (neg_ && !r.is_zero()) r = m - r;
+  return r;
+}
+
+ExtendedGcd extended_gcd(const BigUint& a, const BigUint& b) {
+  // Iterative extended Euclid on signed integers.
+  BigInt old_r = BigInt::from_biguint(a), r = BigInt::from_biguint(b);
+  BigInt old_s = 1, s = 0;
+  BigInt old_t = 0, t = 1;
+  while (!r.is_zero()) {
+    const BigInt q = old_r / r;
+    BigInt tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+    tmp = old_t - q * t;
+    old_t = t;
+    t = tmp;
+  }
+  ExtendedGcd out;
+  out.g = old_r.magnitude();
+  out.x = old_s;
+  out.y = old_t;
+  return out;
+}
+
+}  // namespace hermes::crypto

@@ -1,0 +1,144 @@
+// Arbitrary-precision arithmetic, implemented from scratch for the
+// threshold-signature substrate (no external bignum dependency).
+//
+// BigUint is an unsigned magnitude over 32-bit limbs (little-endian limb
+// order, 64-bit intermediates). BigInt adds a sign for the extended
+// Euclid / Lagrange-over-the-integers computations used by Shoup threshold
+// RSA, where coefficients can be negative.
+//
+// The implementation favours clarity over speed: schoolbook multiplication
+// and binary long division are plenty for the 512-1024 bit moduli the test
+// suite and benchmarks use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::crypto {
+
+struct BigUintDivMod;
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t v);
+
+  static BigUint from_hex(std::string_view hex);
+  static BigUint from_bytes_be(BytesView bytes);
+  // Uniform in [0, bound). bound must be > 0.
+  static BigUint random_below(Rng& rng, const BigUint& bound);
+  // Random integer with exactly `bits` bits (top bit set).
+  static BigUint random_bits(Rng& rng, std::size_t bits);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+  std::uint64_t to_u64() const;  // truncating
+  std::string to_hex() const;
+  Bytes to_bytes_be() const;
+  // Fixed-width big-endian encoding, zero-padded to `width` bytes.
+  Bytes to_bytes_be_padded(std::size_t width) const;
+
+  // Comparison: -1, 0, +1.
+  static int compare(const BigUint& a, const BigUint& b);
+  bool operator==(const BigUint& o) const { return compare(*this, o) == 0; }
+  bool operator!=(const BigUint& o) const { return compare(*this, o) != 0; }
+  bool operator<(const BigUint& o) const { return compare(*this, o) < 0; }
+  bool operator<=(const BigUint& o) const { return compare(*this, o) <= 0; }
+  bool operator>(const BigUint& o) const { return compare(*this, o) > 0; }
+  bool operator>=(const BigUint& o) const { return compare(*this, o) >= 0; }
+
+  BigUint operator+(const BigUint& o) const;
+  // Requires *this >= o.
+  BigUint operator-(const BigUint& o) const;
+  BigUint operator*(const BigUint& o) const;
+  BigUint operator<<(std::size_t bits) const;
+  BigUint operator>>(std::size_t bits) const;
+
+  // Quotient and remainder; divisor must be non-zero.
+  static BigUintDivMod divmod(const BigUint& a, const BigUint& b);
+  BigUint operator/(const BigUint& o) const;
+  BigUint operator%(const BigUint& o) const;
+
+  static BigUint mulmod(const BigUint& a, const BigUint& b, const BigUint& m);
+  // Modular exponentiation. Odd moduli (every RSA modulus) use Montgomery
+  // multiplication (CIOS); even moduli fall back to divmod reduction.
+  static BigUint powmod(const BigUint& base, const BigUint& exp, const BigUint& m);
+  static BigUint gcd(BigUint a, BigUint b);
+  // Multiplicative inverse of a mod m; returns false if gcd(a, m) != 1.
+  static bool modinv(const BigUint& a, const BigUint& m, BigUint* out);
+
+  // Miller-Rabin probabilistic primality test with `rounds` random bases
+  // (plus fixed small-prime trial division).
+  static bool is_probable_prime(const BigUint& n, Rng& rng, int rounds = 24);
+  // Random prime with exactly `bits` bits.
+  static BigUint random_prime(Rng& rng, std::size_t bits, int mr_rounds = 24);
+
+  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void trim();
+  // Little-endian 32-bit limbs; empty vector represents zero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct BigUintDivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+inline BigUint BigUint::operator/(const BigUint& o) const {
+  return divmod(*this, o).quotient;
+}
+inline BigUint BigUint::operator%(const BigUint& o) const {
+  return divmod(*this, o).remainder;
+}
+
+// Signed integer built on BigUint magnitude.
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+  explicit BigInt(BigUint mag, bool negative = false);
+
+  static BigInt from_biguint(const BigUint& u) { return BigInt(u, false); }
+
+  bool is_zero() const { return mag_.is_zero(); }
+  bool negative() const { return neg_; }
+  const BigUint& magnitude() const { return mag_; }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  // Truncated division (C semantics).
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+
+  bool operator==(const BigInt& o) const;
+  std::string to_string_hex() const;
+
+  // Canonical representative of *this mod m, in [0, m).
+  BigUint mod_positive(const BigUint& m) const;
+
+ private:
+  void normalize();
+  BigUint mag_;
+  bool neg_ = false;
+};
+
+// Extended Euclid: returns g = gcd(a, b) and x, y with a*x + b*y = g.
+struct ExtendedGcd {
+  BigUint g;
+  BigInt x;
+  BigInt y;
+};
+ExtendedGcd extended_gcd(const BigUint& a, const BigUint& b);
+
+}  // namespace hermes::crypto

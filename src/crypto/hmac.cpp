@@ -1,0 +1,40 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace hermes::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t key_block[kBlock] = {0};
+  if (key.size() > kBlock) {
+    const Digest kd = sha256(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlock], opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad, kBlock));
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad, kBlock));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Digest hmac_sha256(BytesView key, std::string_view message) {
+  return hmac_sha256(
+      key, BytesView(reinterpret_cast<const std::uint8_t*>(message.data()),
+                     message.size()));
+}
+
+}  // namespace hermes::crypto

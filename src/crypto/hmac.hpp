@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104), built on the local SHA-256.
+//
+// Used as PRF/MAC by the simulation signer (large-N benchmark runs) and for
+// key derivation of per-node authenticators.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace hermes::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message);
+Digest hmac_sha256(BytesView key, std::string_view message);
+
+}  // namespace hermes::crypto

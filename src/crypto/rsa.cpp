@@ -1,0 +1,83 @@
+#include "crypto/rsa.hpp"
+
+#include "support/assert.hpp"
+
+namespace hermes::crypto {
+
+Bytes mgf1_sha256(BytesView seed, std::size_t len) {
+  Bytes out;
+  out.reserve(len + kSha256DigestSize);
+  std::uint32_t counter = 0;
+  while (out.size() < len) {
+    Sha256 h;
+    h.update(seed);
+    Bytes ctr;
+    put_u32_be(ctr, counter++);
+    h.update(ctr);
+    const Digest d = h.finish();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  out.resize(len);
+  return out;
+}
+
+BigUint fdh_encode(BytesView message, const BigUint& n) {
+  const Digest seed = sha256(message);
+  const Bytes expanded =
+      mgf1_sha256(BytesView(seed.data(), seed.size()), (n.bit_length() + 7) / 8);
+  return BigUint::from_bytes_be(expanded) % n;
+}
+
+BigUint random_safe_prime(Rng& rng, std::size_t bits) {
+  HERMES_REQUIRE(bits >= 16);
+  for (;;) {
+    // Search for p' prime with 2p'+1 also prime. Few cheap MR rounds on the
+    // candidate first; full confidence testing only when both sides pass.
+    const BigUint p_prime = BigUint::random_prime(rng, bits - 1, 8);
+    const BigUint p = (p_prime << 1) + BigUint(1);
+    if (!BigUint::is_probable_prime(p, rng, 8)) continue;
+    if (BigUint::is_probable_prime(p_prime, rng, 24) &&
+        BigUint::is_probable_prime(p, rng, 24)) {
+      return p;
+    }
+  }
+}
+
+RsaKeyPair rsa_generate(Rng& rng, std::size_t bits, bool safe_primes) {
+  HERMES_REQUIRE(bits >= 128);
+  const std::size_t half = bits / 2;
+  const BigUint e(65537);
+  for (;;) {
+    const BigUint p = safe_primes ? random_safe_prime(rng, half)
+                                  : BigUint::random_prime(rng, half);
+    const BigUint q = safe_primes ? random_safe_prime(rng, bits - half)
+                                  : BigUint::random_prime(rng, bits - half);
+    if (p == q) continue;
+    const BigUint n = p * q;
+    const BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+    BigUint d;
+    if (!BigUint::modinv(e, phi, &d)) continue;
+    RsaKeyPair key;
+    key.pub = RsaPublicKey{n, e};
+    key.d = d;
+    key.p = p;
+    key.q = q;
+    return key;
+  }
+}
+
+Bytes rsa_sign(const RsaKeyPair& key, BytesView message) {
+  const BigUint h = fdh_encode(message, key.pub.n);
+  const BigUint s = BigUint::powmod(h, key.d, key.pub.n);
+  return s.to_bytes_be_padded(key.pub.modulus_bytes());
+}
+
+bool rsa_verify(const RsaPublicKey& pub, BytesView message, BytesView signature) {
+  if (signature.size() != pub.modulus_bytes()) return false;
+  const BigUint s = BigUint::from_bytes_be(signature);
+  if (s >= pub.n) return false;
+  const BigUint recovered = BigUint::powmod(s, pub.e, pub.n);
+  return recovered == fdh_encode(message, pub.n);
+}
+
+}  // namespace hermes::crypto

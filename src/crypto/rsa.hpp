@@ -1,0 +1,52 @@
+// Plain RSA with full-domain hashing (FDH), built on the local bignum.
+//
+// Per-node signing in the protocols uses the `Signer` interface
+// (crypto/signer.hpp); this RSA implementation is the "real" backend, while
+// SimSigner (HMAC) is the fast backend for large simulated networks.
+//
+// Key generation can produce *safe* primes (p = 2p' + 1 with p' prime),
+// which the Shoup threshold scheme requires so that the share modulus
+// m = p'q' is odd and coprime to the Lagrange factorials.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bignum.hpp"
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::crypto {
+
+struct RsaPublicKey {
+  BigUint n;
+  BigUint e;
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  BigUint d;
+  BigUint p;
+  BigUint q;
+};
+
+// MGF1-SHA256 expansion of `seed` to `len` output bytes (PKCS#1).
+Bytes mgf1_sha256(BytesView seed, std::size_t len);
+
+// Full-domain hash of the message into [0, n): MGF1 expanded to the modulus
+// width, reduced mod n.
+BigUint fdh_encode(BytesView message, const BigUint& n);
+
+// Generates an RSA key with modulus of `bits` bits. When `safe_primes` is
+// set, p and q are safe primes (slower; needed for threshold sharing).
+RsaKeyPair rsa_generate(Rng& rng, std::size_t bits, bool safe_primes = false);
+
+// Signature s = FDH(m)^d mod n, fixed-width big-endian encoding.
+Bytes rsa_sign(const RsaKeyPair& key, BytesView message);
+bool rsa_verify(const RsaPublicKey& pub, BytesView message, BytesView signature);
+
+// Safe-prime search helper (exposed for tests).
+BigUint random_safe_prime(Rng& rng, std::size_t bits);
+
+}  // namespace hermes::crypto

@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the hash H(.) used throughout HERMES: transaction hashes,
+// mempool commitments, the (i, H(m)) tuples bound into the Threshold
+// Random Seed, and the full-domain hash inside RSA signing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "support/bytes.hpp"
+
+namespace hermes::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  void update(std::string_view data);
+  // Finalizes and returns the digest. The object must not be reused after.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finished_ = false;
+};
+
+Digest sha256(BytesView data);
+Digest sha256(std::string_view data);
+Bytes digest_to_bytes(const Digest& d);
+// First 8 bytes of the digest as a big-endian integer; handy for seeding.
+std::uint64_t digest_prefix_u64(const Digest& d);
+
+}  // namespace hermes::crypto

@@ -1,0 +1,57 @@
+// Abstract signing interfaces the protocol layer is written against.
+//
+// Two backends exist for each interface:
+//   - real asymmetric crypto (RSA-FDH / Shoup threshold RSA), used by the
+//     unit tests and available to benches via --real-crypto;
+//   - deterministic HMAC-based simulation crypto (SimSigner /
+//     SimThresholdScheme), used for large-N simulation runs where the
+//     protocol-visible properties (determinism, uniqueness, threshold
+//     counting, verifiability by key holders) matter but public-key cost
+//     would distort simulated-time measurements. The paper's own evaluation
+//     is a simulation with the same character.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "support/bytes.hpp"
+
+namespace hermes::crypto {
+
+class Signer {
+ public:
+  virtual ~Signer() = default;
+  virtual Bytes sign(BytesView message) const = 0;
+  virtual bool verify(BytesView message, BytesView signature) const = 0;
+  // Stable identifier for the key (e.g. hash of the public key).
+  virtual Bytes key_id() const = 0;
+};
+
+struct PartialSignature {
+  std::size_t signer_index = 0;  // 1-based
+  Bytes bytes;
+};
+
+// (threshold)-of-(players) signature scheme. Indices are 1-based.
+class ThresholdScheme {
+ public:
+  virtual ~ThresholdScheme() = default;
+  virtual std::size_t players() const = 0;
+  virtual std::size_t threshold() const = 0;
+  virtual PartialSignature partial_sign(std::size_t signer_index,
+                                        BytesView message) const = 0;
+  virtual bool verify_partial(BytesView message,
+                              const PartialSignature& partial) const = 0;
+  virtual std::optional<Bytes> combine(
+      BytesView message, std::span<const PartialSignature> partials) const = 0;
+  virtual bool verify_combined(BytesView message, BytesView signature) const = 0;
+};
+
+// Derives the 64-bit dissemination seed from a combined signature: the
+// big-endian prefix of SHA-256(signature). Uniform because the signature is
+// unique per (i, H(m)) and the hash is modeled as a random oracle.
+std::uint64_t seed_from_signature(BytesView signature);
+
+}  // namespace hermes::crypto

@@ -1,0 +1,141 @@
+#include "crypto/sim_signer.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+#include "support/assert.hpp"
+
+namespace hermes::crypto {
+
+std::uint64_t seed_from_signature(BytesView signature) {
+  return digest_prefix_u64(sha256(signature));
+}
+
+// ---------------------------------------------------------------------------
+// SimSigner
+
+SimSigner::SimSigner(Bytes key) : key_(std::move(key)) {
+  HERMES_REQUIRE(!key_.empty());
+}
+
+SimSigner SimSigner::derive(BytesView master, std::uint64_t node_id) {
+  Bytes label = to_bytes("hermes.sim_signer.");
+  put_u64_be(label, node_id);
+  const Digest d = hmac_sha256(master, label);
+  return SimSigner(digest_to_bytes(d));
+}
+
+Bytes SimSigner::sign(BytesView message) const {
+  return digest_to_bytes(hmac_sha256(key_, message));
+}
+
+bool SimSigner::verify(BytesView message, BytesView signature) const {
+  const Bytes expected = sign(message);
+  return expected.size() == signature.size() &&
+         std::equal(expected.begin(), expected.end(), signature.begin());
+}
+
+Bytes SimSigner::key_id() const {
+  return digest_to_bytes(sha256(key_));
+}
+
+// ---------------------------------------------------------------------------
+// SimThresholdScheme
+
+SimThresholdScheme::SimThresholdScheme(Bytes group_key, std::size_t players,
+                                       std::size_t threshold)
+    : group_key_(std::move(group_key)), players_(players), threshold_(threshold) {
+  HERMES_REQUIRE(!group_key_.empty());
+  HERMES_REQUIRE(threshold_ >= 1 && threshold_ <= players_);
+}
+
+PartialSignature SimThresholdScheme::partial_sign(std::size_t signer_index,
+                                                  BytesView message) const {
+  HERMES_REQUIRE(signer_index >= 1 && signer_index <= players_);
+  Bytes material(message.begin(), message.end());
+  put_varint(material, signer_index);
+  return PartialSignature{signer_index,
+                          digest_to_bytes(hmac_sha256(group_key_, material))};
+}
+
+bool SimThresholdScheme::verify_partial(BytesView message,
+                                        const PartialSignature& partial) const {
+  if (partial.signer_index < 1 || partial.signer_index > players_) return false;
+  const PartialSignature expected = partial_sign(partial.signer_index, message);
+  return expected.bytes == partial.bytes;
+}
+
+std::optional<Bytes> SimThresholdScheme::combine(
+    BytesView message, std::span<const PartialSignature> partials) const {
+  std::vector<std::size_t> seen;
+  for (const auto& p : partials) {
+    if (!verify_partial(message, p)) continue;
+    if (std::find(seen.begin(), seen.end(), p.signer_index) == seen.end()) {
+      seen.push_back(p.signer_index);
+    }
+  }
+  if (seen.size() < threshold_) return std::nullopt;
+  return digest_to_bytes(hmac_sha256(group_key_, message));
+}
+
+bool SimThresholdScheme::verify_combined(BytesView message,
+                                         BytesView signature) const {
+  const Bytes expected = digest_to_bytes(hmac_sha256(group_key_, message));
+  return expected.size() == signature.size() &&
+         std::equal(expected.begin(), expected.end(), signature.begin());
+}
+
+// ---------------------------------------------------------------------------
+// RsaSigner
+
+RsaSigner::RsaSigner(RsaKeyPair key) : key_(std::move(key)) {}
+
+Bytes RsaSigner::sign(BytesView message) const { return rsa_sign(key_, message); }
+
+bool RsaSigner::verify(BytesView message, BytesView signature) const {
+  return rsa_verify(key_.pub, message, signature);
+}
+
+Bytes RsaSigner::key_id() const {
+  return digest_to_bytes(sha256(key_.pub.n.to_bytes_be()));
+}
+
+// ---------------------------------------------------------------------------
+// RsaThresholdScheme
+
+RsaThresholdScheme::RsaThresholdScheme(ThresholdRsaKey key) : key_(std::move(key)) {}
+
+PartialSignature RsaThresholdScheme::partial_sign(std::size_t signer_index,
+                                                  BytesView message) const {
+  HERMES_REQUIRE(signer_index >= 1 && signer_index <= key_.pub.players);
+  const ThresholdPartial partial =
+      threshold_partial_sign(key_.pub, key_.shares[signer_index - 1], message);
+  return PartialSignature{signer_index, partial.encode()};
+}
+
+bool RsaThresholdScheme::verify_partial(BytesView message,
+                                        const PartialSignature& partial) const {
+  const auto decoded = ThresholdPartial::decode(partial.bytes);
+  if (!decoded || decoded->signer_index != partial.signer_index) return false;
+  return threshold_verify_partial(key_.pub, message, *decoded);
+}
+
+std::optional<Bytes> RsaThresholdScheme::combine(
+    BytesView message, std::span<const PartialSignature> partials) const {
+  std::vector<ThresholdPartial> decoded;
+  decoded.reserve(partials.size());
+  for (const auto& p : partials) {
+    auto d = ThresholdPartial::decode(p.bytes);
+    if (!d || d->signer_index != p.signer_index) continue;
+    if (!threshold_verify_partial(key_.pub, message, *d)) continue;
+    decoded.push_back(std::move(*d));
+  }
+  return threshold_combine(key_.pub, message, decoded);
+}
+
+bool RsaThresholdScheme::verify_combined(BytesView message,
+                                         BytesView signature) const {
+  return threshold_verify(key_.pub, message, signature);
+}
+
+}  // namespace hermes::crypto

@@ -1,0 +1,256 @@
+#include "crypto/threshold_rsa.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "support/assert.hpp"
+
+namespace hermes::crypto {
+
+namespace {
+
+void put_biguint(Bytes& out, const BigUint& v) {
+  const Bytes raw = v.to_bytes_be();
+  put_varint(out, raw.size());
+  append(out, raw);
+}
+
+bool get_biguint(BytesView in, std::size_t* offset, BigUint* v) {
+  std::uint64_t len = 0;
+  if (!get_varint(in, offset, &len)) return false;
+  if (*offset + len > in.size()) return false;
+  *v = BigUint::from_bytes_be(in.subspan(*offset, len));
+  *offset += len;
+  return true;
+}
+
+// Hash arbitrary group elements into a 256-bit challenge integer.
+BigUint challenge_hash(std::initializer_list<const BigUint*> elems) {
+  Sha256 h;
+  for (const BigUint* e : elems) {
+    const Bytes b = e->to_bytes_be();
+    Bytes framed;
+    put_varint(framed, b.size());
+    append(framed, b);
+    h.update(framed);
+  }
+  const Digest d = h.finish();
+  return BigUint::from_bytes_be(BytesView(d.data(), d.size()));
+}
+
+// x^exp mod n where exp may be negative (uses inverse; requires gcd(x,n)=1).
+std::optional<BigUint> powmod_signed(const BigUint& x, const BigInt& exp,
+                                     const BigUint& n) {
+  if (!exp.negative()) return BigUint::powmod(x, exp.magnitude(), n);
+  BigUint inv;
+  if (!BigUint::modinv(x, n, &inv)) return std::nullopt;
+  return BigUint::powmod(inv, exp.magnitude(), n);
+}
+
+}  // namespace
+
+BigUint factorial_big(std::size_t l) {
+  BigUint out(1);
+  for (std::size_t i = 2; i <= l; ++i) out = out * BigUint(i);
+  return out;
+}
+
+Bytes ThresholdPartial::encode() const {
+  Bytes out;
+  put_varint(out, signer_index);
+  put_biguint(out, value);
+  put_biguint(out, proof_c);
+  put_biguint(out, proof_z);
+  return out;
+}
+
+std::optional<ThresholdPartial> ThresholdPartial::decode(BytesView bytes) {
+  ThresholdPartial p;
+  std::size_t offset = 0;
+  std::uint64_t idx = 0;
+  if (!get_varint(bytes, &offset, &idx)) return std::nullopt;
+  p.signer_index = static_cast<std::size_t>(idx);
+  if (!get_biguint(bytes, &offset, &p.value)) return std::nullopt;
+  if (!get_biguint(bytes, &offset, &p.proof_c)) return std::nullopt;
+  if (!get_biguint(bytes, &offset, &p.proof_z)) return std::nullopt;
+  if (offset != bytes.size()) return std::nullopt;
+  return p;
+}
+
+ThresholdRsaKey threshold_rsa_generate(Rng& rng, std::size_t bits,
+                                       std::size_t players,
+                                       std::size_t threshold) {
+  HERMES_REQUIRE(players >= threshold && threshold >= 1);
+  const RsaKeyPair rsa = rsa_generate(rng, bits, /*safe_primes=*/true);
+  const BigUint p_prime = (rsa.p - BigUint(1)) >> 1;
+  const BigUint q_prime = (rsa.q - BigUint(1)) >> 1;
+  const BigUint m = p_prime * q_prime;
+
+  BigUint d;
+  const bool inv_ok = BigUint::modinv(rsa.pub.e, m, &d);
+  HERMES_REQUIRE(inv_ok);  // e = 65537 is prime and far below p', q'
+
+  // Random polynomial f over Z_m with f(0) = d.
+  std::vector<BigUint> coeffs;
+  coeffs.reserve(threshold);
+  coeffs.push_back(d);
+  for (std::size_t i = 1; i < threshold; ++i) {
+    coeffs.push_back(BigUint::random_below(rng, m));
+  }
+
+  ThresholdRsaKey key;
+  key.pub.rsa = rsa.pub;
+  key.pub.players = players;
+  key.pub.threshold = threshold;
+
+  // v must generate the squares subgroup; a random square does w.h.p.
+  const BigUint r = BigUint::random_below(rng, rsa.pub.n);
+  key.pub.v = BigUint::mulmod(r, r, rsa.pub.n);
+
+  key.shares.reserve(players);
+  key.pub.verification_keys.reserve(players);
+  for (std::size_t i = 1; i <= players; ++i) {
+    // Horner evaluation of f(i) mod m.
+    BigUint s;
+    const BigUint xi(i);
+    for (std::size_t c = coeffs.size(); c-- > 0;) {
+      s = (BigUint::mulmod(s, xi, m) + coeffs[c]) % m;
+    }
+    key.shares.push_back(ThresholdRsaShare{i, s});
+    key.pub.verification_keys.push_back(
+        BigUint::powmod(key.pub.v, s, rsa.pub.n));
+  }
+  return key;
+}
+
+ThresholdPartial threshold_partial_sign(const ThresholdRsaPublic& pub,
+                                        const ThresholdRsaShare& share,
+                                        BytesView message) {
+  const BigUint& n = pub.rsa.n;
+  const BigUint x = fdh_encode(message, n);
+  const BigUint delta = factorial_big(pub.players);
+  const BigUint exponent = (delta << 1) * share.s;  // 2 * Delta * s_i
+  ThresholdPartial partial;
+  partial.signer_index = share.index;
+  partial.value = BigUint::powmod(x, exponent, n);
+
+  // Fiat-Shamir proof of log_v(v_i) == log_{x~}(x_i^2), x~ = x^{4*Delta}.
+  const BigUint x_tilde = BigUint::powmod(x, delta << 2, n);
+  const BigUint x_i_sq = BigUint::mulmod(partial.value, partial.value, n);
+  const BigUint& v_i = pub.verification_keys[share.index - 1];
+
+  // Deterministic nonce: PRF(share, message) stretched past |n| + 512 bits,
+  // so repeated signing never leaks the share through nonce reuse.
+  Bytes prf_key = share.s.to_bytes_be();
+  put_varint(prf_key, share.index);
+  Bytes nonce_material;
+  std::uint32_t ctr = 0;
+  const std::size_t nonce_bytes = (n.bit_length() + 512 + 7) / 8;
+  while (nonce_material.size() < nonce_bytes) {
+    Bytes block(message.begin(), message.end());
+    put_u32_be(block, ctr++);
+    const Digest dg = hmac_sha256(prf_key, block);
+    nonce_material.insert(nonce_material.end(), dg.begin(), dg.end());
+  }
+  nonce_material.resize(nonce_bytes);
+  const BigUint r = BigUint::from_bytes_be(nonce_material);
+
+  const BigUint v_r = BigUint::powmod(pub.v, r, n);
+  const BigUint x_r = BigUint::powmod(x_tilde, r, n);
+  partial.proof_c =
+      challenge_hash({&pub.v, &x_tilde, &v_i, &x_i_sq, &v_r, &x_r});
+  partial.proof_z = share.s * partial.proof_c + r;
+  return partial;
+}
+
+bool threshold_verify_partial(const ThresholdRsaPublic& pub, BytesView message,
+                              const ThresholdPartial& partial) {
+  if (partial.signer_index < 1 || partial.signer_index > pub.players) {
+    return false;
+  }
+  const BigUint& n = pub.rsa.n;
+  if (partial.value.is_zero() || partial.value >= n) return false;
+  const BigUint x = fdh_encode(message, n);
+  const BigUint delta = factorial_big(pub.players);
+  const BigUint x_tilde = BigUint::powmod(x, delta << 2, n);
+  const BigUint x_i_sq = BigUint::mulmod(partial.value, partial.value, n);
+  const BigUint& v_i = pub.verification_keys[partial.signer_index - 1];
+
+  // Recover the commitments: v' = v^z * v_i^{-c}, x' = x~^z * (x_i^2)^{-c}.
+  BigUint v_i_inv, x_sq_inv;
+  if (!BigUint::modinv(v_i, n, &v_i_inv)) return false;
+  if (!BigUint::modinv(x_i_sq, n, &x_sq_inv)) return false;
+  const BigUint v_prime =
+      BigUint::mulmod(BigUint::powmod(pub.v, partial.proof_z, n),
+                      BigUint::powmod(v_i_inv, partial.proof_c, n), n);
+  const BigUint x_prime =
+      BigUint::mulmod(BigUint::powmod(x_tilde, partial.proof_z, n),
+                      BigUint::powmod(x_sq_inv, partial.proof_c, n), n);
+  const BigUint expected =
+      challenge_hash({&pub.v, &x_tilde, &v_i, &x_i_sq, &v_prime, &x_prime});
+  return expected == partial.proof_c;
+}
+
+std::optional<Bytes> threshold_combine(const ThresholdRsaPublic& pub,
+                                       BytesView message,
+                                       std::span<const ThresholdPartial> partials) {
+  if (partials.size() < pub.threshold) return std::nullopt;
+  // Use the first `threshold` distinct indices.
+  std::vector<const ThresholdPartial*> subset;
+  for (const auto& p : partials) {
+    if (p.signer_index < 1 || p.signer_index > pub.players) continue;
+    const bool dup = std::any_of(subset.begin(), subset.end(), [&](auto* q) {
+      return q->signer_index == p.signer_index;
+    });
+    if (!dup) subset.push_back(&p);
+    if (subset.size() == pub.threshold) break;
+  }
+  if (subset.size() < pub.threshold) return std::nullopt;
+
+  const BigUint& n = pub.rsa.n;
+  const BigUint x = fdh_encode(message, n);
+  const BigInt delta = BigInt::from_biguint(factorial_big(pub.players));
+
+  // w = prod x_i^{2 * lambda'_i}, lambda'_i = Delta * prod_{j!=i} (0-j)/(i-j).
+  BigUint w(1);
+  for (const ThresholdPartial* pi : subset) {
+    BigInt num = 1;
+    BigInt den = 1;
+    const BigInt i(static_cast<std::int64_t>(pi->signer_index));
+    for (const ThresholdPartial* pj : subset) {
+      if (pj == pi) continue;
+      const BigInt j(static_cast<std::int64_t>(pj->signer_index));
+      num = num * (-j);
+      den = den * (i - j);
+    }
+    // Delta * num / den is an integer (den divides Delta * num).
+    const BigInt lambda = (delta * num) / den;
+    HERMES_DCHECK((delta * num) % den == BigInt(0));
+    const BigInt exp2 = lambda + lambda;  // 2 * lambda'
+    const auto term = powmod_signed(pi->value, exp2, n);
+    if (!term) return std::nullopt;
+    w = BigUint::mulmod(w, *term, n);
+  }
+
+  // e' = 4 * Delta^2; find a, b with a*e' + b*e = 1, y = w^a * x^b.
+  const BigUint delta_u = factorial_big(pub.players);
+  const BigUint e_prime = (delta_u * delta_u) << 2;
+  const ExtendedGcd eg = extended_gcd(e_prime, pub.rsa.e);
+  if (eg.g != BigUint(1)) return std::nullopt;
+  const auto wa = powmod_signed(w, eg.x, n);
+  const auto xb = powmod_signed(x, eg.y, n);
+  if (!wa || !xb) return std::nullopt;
+  const BigUint y = BigUint::mulmod(*wa, *xb, n);
+
+  Bytes sig = y.to_bytes_be_padded(pub.rsa.modulus_bytes());
+  if (!threshold_verify(pub, message, sig)) return std::nullopt;
+  return sig;
+}
+
+bool threshold_verify(const ThresholdRsaPublic& pub, BytesView message,
+                      BytesView signature) {
+  return rsa_verify(pub.rsa, message, signature);
+}
+
+}  // namespace hermes::crypto

@@ -1,0 +1,101 @@
+// Shoup-style (2f+1)-of-(3f+1) threshold RSA signatures.
+//
+// This is the threshold scheme backing HERMES's Threshold Random Seed
+// (TRS): committee members produce partial signatures over (i, H(m)); any
+// 2f+1 valid partials combine into a unique, publicly verifiable RSA-FDH
+// signature phi(i, H(m)) whose hash is the dissemination seed.
+//
+// Construction (Shoup, EUROCRYPT 2000, "Practical Threshold Signatures"):
+//   - RSA modulus n = pq with safe primes p = 2p'+1, q = 2q'+1; m = p'q'.
+//   - d = e^{-1} mod m, shared with a degree-(k-1) polynomial f over Z_m,
+//     share s_i = f(i).
+//   - Partial signature on x = FDH(msg): x_i = x^{2*Delta*s_i} mod n,
+//     Delta = l! (l = number of players).
+//   - Each partial carries a Fiat-Shamir proof of discrete-log equality
+//     log_v(v_i) = log_{x^{4*Delta}}(x_i^2), making bad partials detectable
+//     without interaction.
+//   - Combination over any k partials uses integer Lagrange coefficients
+//     lambda'_i = Delta * prod_{j != i} (0-j)/(i-j):
+//       w = prod x_i^{2*lambda'_i},  w^e = x^{e'} with e' = 4*Delta^2.
+//     With a*e' + b*e = 1 (Bezout), y = w^a * x^b is the standard RSA
+//     signature: y^e = x. Verification is plain RSA-FDH verify.
+//
+// The dealer is trusted at setup time (the paper assumes a permissioned
+// committee bootstrapped out-of-band); distributed key generation is out of
+// scope and noted in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "crypto/rsa.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::crypto {
+
+struct ThresholdPartial {
+  std::size_t signer_index = 0;  // 1-based player index
+  BigUint value;                 // x_i = x^{2*Delta*s_i} mod n
+  // Fiat-Shamir proof of correctness (c, z).
+  BigUint proof_c;
+  BigUint proof_z;
+
+  Bytes encode() const;
+  static std::optional<ThresholdPartial> decode(BytesView bytes);
+};
+
+// Public parameters every verifier holds.
+struct ThresholdRsaPublic {
+  RsaPublicKey rsa;
+  std::size_t players = 0;    // l = 3f+1
+  std::size_t threshold = 0;  // k = 2f+1
+  BigUint v;                  // verification base, a generator of squares
+  std::vector<BigUint> verification_keys;  // v_i = v^{s_i}, 1-based order
+};
+
+// One player's secret share.
+struct ThresholdRsaShare {
+  std::size_t index = 0;  // 1-based
+  BigUint s;              // f(index) mod m
+};
+
+struct ThresholdRsaKey {
+  ThresholdRsaPublic pub;
+  std::vector<ThresholdRsaShare> shares;
+};
+
+// Trusted-dealer key generation. `bits` is the modulus size; safe primes
+// make this noticeably slower than plain RSA keygen.
+ThresholdRsaKey threshold_rsa_generate(Rng& rng, std::size_t bits,
+                                       std::size_t players,
+                                       std::size_t threshold);
+
+// Produces player `share.index`'s partial signature with its proof. The
+// proof nonce is derived deterministically from (share, message) so the
+// whole system stays reproducible.
+ThresholdPartial threshold_partial_sign(const ThresholdRsaPublic& pub,
+                                        const ThresholdRsaShare& share,
+                                        BytesView message);
+
+// Checks the Fiat-Shamir discrete-log-equality proof of a partial.
+bool threshold_verify_partial(const ThresholdRsaPublic& pub, BytesView message,
+                              const ThresholdPartial& partial);
+
+// Combines >= threshold verified partials into the final RSA signature.
+// Returns nullopt if indices repeat, fewer than threshold partials are
+// given, or a non-invertible element is met (negligible probability).
+std::optional<Bytes> threshold_combine(const ThresholdRsaPublic& pub,
+                                       BytesView message,
+                                       std::span<const ThresholdPartial> partials);
+
+// Final signatures verify as ordinary RSA-FDH signatures.
+bool threshold_verify(const ThresholdRsaPublic& pub, BytesView message,
+                      BytesView signature);
+
+// Delta = l! as a BigUint (exposed for tests).
+BigUint factorial_big(std::size_t l);
+
+}  // namespace hermes::crypto

@@ -1,0 +1,32 @@
+#include "hermes/audit.hpp"
+
+namespace hermes::hermes_proto {
+
+const char* violation_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kBadCertificate: return "bad-certificate";
+    case ViolationKind::kWrongOverlay: return "wrong-overlay";
+    case ViolationKind::kIllegitimatePredecessor: return "illegitimate-predecessor";
+    case ViolationKind::kNotAnEntryPoint: return "not-an-entry-point";
+    case ViolationKind::kSequenceGap: return "sequence-gap";
+  }
+  return "unknown";
+}
+
+void AuditLog::record(sim::SimTime at, ViolationKind kind, net::NodeId offender,
+                      std::uint64_t tx_id) {
+  violations_.push_back(Violation{at, kind, offender, tx_id});
+  if (++strikes_[offender] >= exclusion_threshold_) {
+    excluded_.insert(offender);
+  }
+}
+
+std::size_t AuditLog::count_of(ViolationKind kind) const {
+  std::size_t count = 0;
+  for (const auto& v : violations_) {
+    if (v.kind == kind) ++count;
+  }
+  return count;
+}
+
+}  // namespace hermes::hermes_proto

@@ -1,0 +1,54 @@
+// Accountability bookkeeping (Section VI-C): every protocol violation a
+// node observes is recorded with tamper-evident context, and offenders are
+// excluded from further participation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "sim/engine.hpp"
+
+namespace hermes::hermes_proto {
+
+enum class ViolationKind : std::uint8_t {
+  kBadCertificate,          // threshold signature does not verify
+  kWrongOverlay,            // claimed overlay != seed mod k
+  kIllegitimatePredecessor, // sender is not a predecessor in the overlay
+  kNotAnEntryPoint,         // route injection at a non-entry node
+  kSequenceGap,             // origin skipped a sequence number
+};
+
+const char* violation_name(ViolationKind kind);
+
+struct Violation {
+  sim::SimTime at = 0.0;
+  ViolationKind kind{};
+  net::NodeId offender = 0;
+  std::uint64_t tx_id = 0;
+};
+
+class AuditLog {
+ public:
+  // Records the violation; the offender is excluded once its violation
+  // count reaches `exclusion_threshold` (default: first strike).
+  void record(sim::SimTime at, ViolationKind kind, net::NodeId offender,
+              std::uint64_t tx_id);
+
+  bool is_excluded(net::NodeId node) const { return excluded_.count(node) > 0; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::size_t count_of(ViolationKind kind) const;
+  std::size_t excluded_count() const { return excluded_.size(); }
+
+  void set_exclusion_threshold(std::size_t t) { exclusion_threshold_ = t; }
+
+ private:
+  std::size_t exclusion_threshold_ = 1;
+  std::vector<Violation> violations_;
+  std::unordered_set<net::NodeId> excluded_;
+  std::unordered_map<net::NodeId, std::size_t> strikes_;
+};
+
+}  // namespace hermes::hermes_proto

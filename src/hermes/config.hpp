@@ -1,0 +1,80 @@
+// HERMES protocol configuration (Sections IV and VI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "overlay/builder.hpp"
+
+namespace hermes::hermes_proto {
+
+struct HermesConfig {
+  std::size_t f = 1;  // local fault tolerance; f+1 entry points per overlay
+  std::size_t k = 10; // number of overlays
+
+  // Committee running TRS generation: 3f+1 members, 2f+1 threshold. The
+  // member ids are fixed at setup (the paper's permissioned bootstrap);
+  // benches cap the number of Byzantine committee members at f, matching
+  // the system model's assumption that no quorum of the committee is
+  // faulty.
+  std::vector<net::NodeId> committee;
+
+  // Gossip fallback (Section VII-A): delay T before background gossip
+  // repairs holes, and its per-node push fanout.
+  double fallback_delay_ms = 400.0;
+  std::size_t fallback_fanout = 2;
+  bool enable_fallback = true;
+
+  // Threshold-crypto backend. The default HMAC simulation scheme keeps
+  // large runs fast; enabling this generates a real Shoup threshold-RSA
+  // key (safe primes) and runs the TRS with genuine partial signatures and
+  // Fiat-Shamir proofs end to end. Key generation takes seconds.
+  bool use_real_threshold_crypto = false;
+  std::size_t real_threshold_rsa_bits = 256;
+
+  // Acknowledgment of delivery (Section IV step 3, optional): receivers
+  // acknowledge back through the overlay they received on — each node
+  // aggregates its subtree's count for ack_aggregate_ms, then reports to
+  // its lowest-latency predecessor; entry points report to the origin.
+  bool enable_acks = false;
+  double ack_aggregate_ms = 50.0;
+
+  // When set, front-running adversaries additionally blast their
+  // transaction directly to random nodes without a certificate — the naive
+  // attack HERMES's verification rejects and audits (Section VI-C). A
+  // rational adversary does not do this (the blast is rejected AND gets it
+  // excluded), so the default models the rational attacker: its only lane
+  // is the protocol itself.
+  bool adversary_blind_blast = false;
+
+  // Accountability reports (Section VI-C): a node that detects a protocol
+  // violation gossips a signed report; nodes exclude an offender globally
+  // once f+1 distinct reporters accuse it (f+1 accusations cannot all come
+  // from the faulty minority).
+  bool enable_violation_reports = true;
+  std::size_t report_fanout = 3;
+
+  // Erasure-coded batch dissemination (Section VIII-D, extension): a batch
+  // of transactions is split into `batch_data_chunks + f` Reed-Solomon
+  // shards; shard c travels over overlay (seed + c) mod k, so each overlay
+  // carries only 1/batch_data_chunks of the batch and any batch_data_chunks
+  // surviving shards reconstruct it. Used via submit_batch().
+  std::size_t batch_data_chunks = 3;
+
+  // Entry-point injection. The paper sends m "through f+1 disjoint paths,
+  // unless of course the sender is connected directly to the overlay's
+  // entry points" (Section IV). In a P2P deployment any node can dial any
+  // other, so the default injects directly (one hop per entry point); set
+  // false to relay hop-by-hop over f+1 vertex-disjoint physical paths,
+  // which tolerates Byzantine relays at a latency cost.
+  bool direct_entry_injection = true;
+
+  // Overlay construction knobs (offline phase).
+  overlay::BuilderParams builder;
+
+  std::size_t committee_size() const { return 3 * f + 1; }
+  std::size_t trs_threshold() const { return 2 * f + 1; }
+};
+
+}  // namespace hermes::hermes_proto

@@ -1,0 +1,897 @@
+#include "hermes/hermes_node.hpp"
+
+#include <algorithm>
+
+#include "net/connectivity.hpp"
+#include "support/assert.hpp"
+
+namespace hermes::hermes_proto {
+
+namespace {
+constexpr std::size_t kTrsTupleWire = 44 + crypto::kSha256DigestSize;
+}
+
+bool HermesShared::is_committee_member(net::NodeId v) const {
+  return committee_index(v) != 0;
+}
+
+std::size_t HermesShared::committee_index(net::NodeId v) const {
+  for (std::size_t i = 0; i < committee.size(); ++i) {
+    if (committee[i] == v) return i + 1;
+  }
+  return 0;
+}
+
+std::vector<net::NodeId> pick_committee(const ExperimentContext& ctx,
+                                        std::size_t f, Rng& rng) {
+  const std::size_t size = 3 * f + 1;
+  std::vector<net::NodeId> honest, other;
+  for (net::NodeId v = 0; v < ctx.node_count(); ++v) {
+    (ctx.is_honest(v) ? honest : other).push_back(v);
+  }
+  rng.shuffle(honest);
+  rng.shuffle(other);
+  HERMES_REQUIRE(honest.size() >= 2 * f + 1 &&
+                 "committee needs an honest quorum");
+  std::vector<net::NodeId> committee;
+  // Up to f compromised members (the model's bound), the rest honest.
+  for (std::size_t i = 0; i < other.size() && committee.size() < f; ++i) {
+    committee.push_back(other[i]);
+  }
+  for (std::size_t i = 0; i < honest.size() && committee.size() < size; ++i) {
+    committee.push_back(honest[i]);
+  }
+  HERMES_REQUIRE(committee.size() == size);
+  rng.shuffle(committee);
+  return committee;
+}
+
+// ---------------------------------------------------------------------------
+// HermesNode
+
+HermesNode::HermesNode(ExperimentContext& ctx, net::NodeId id,
+                       std::shared_ptr<const HermesShared> shared)
+    : ProtocolNode(ctx, id),
+      shared_(std::move(shared)),
+      rng_(ctx.rng.fork(0x8e77ULL * (id + 1))),
+      collector_(*shared_->scheme) {
+  const std::size_t idx = shared_->committee_index(id);
+  if (idx != 0) {
+    committee_state_ =
+        std::make_unique<TrsCommitteeMember>(shared_->config.f, idx);
+  }
+}
+
+void HermesNode::submit(const Transaction& tx) {
+  deliver_tx(tx);
+  request_trs(tx);
+}
+
+void HermesNode::fast_submit(const Transaction& tx) {
+  // No privileged lane exists: go through the committee like everyone else.
+  request_trs(tx);
+  if (!shared_->config.adversary_blind_blast) return;
+  // Naive-adversary mode: blast without a certificate — honest receivers
+  // reject it, log the violation, and gossip signed reports that exclude
+  // the attacker network-wide (killing even its legitimate traffic).
+  const std::size_t blast = std::min<std::size_t>(8, ctx_.node_count() - 1);
+  for (std::size_t i = 0; i < blast; ++i) {
+    const net::NodeId dst =
+        static_cast<net::NodeId>(rng_.uniform_u64(ctx_.node_count()));
+    if (dst == id()) continue;
+    auto body = std::make_shared<DataBody>();
+    body->tx = tx;
+    body->trs = TrsId{id(), tx.sender_seq, tx.hash()};
+    body->overlay_index = 0;  // no certificate, no verifiable choice
+    body->epoch = shared_->epoch;
+    send_to(dst, kMsgData, tx.payload_bytes + 48, std::move(body));
+  }
+}
+
+void HermesNode::request_trs(const Transaction& tx) {
+  TrsId trs{id(), tx.sender_seq, tx.hash()};
+  pending_.emplace(trs.key(), tx);
+  send_trs_request(trs, /*attempt=*/0);
+}
+
+void HermesNode::send_trs_request(const TrsId& trs, int attempt) {
+  if (pending_.count(trs.key()) == 0 &&
+      pending_batches_.count(trs.key()) == 0) {
+    return;  // certificate already formed
+  }
+  constexpr int kMaxAttempts = 12;
+  if (attempt >= kMaxAttempts) return;
+  for (net::NodeId member : shared_->committee) {
+    if (member == id()) continue;
+    auto body = std::make_shared<TrsRequestBody>();
+    body->trs = trs;
+    send_to(member, kMsgTrsRequest, kTrsTupleWire, std::move(body));
+    ++trs_requests_;
+  }
+  // A sender that is itself a committee member processes its own request.
+  if (committee_state_ && attempt == 0) {
+    sim::Message self;
+    self.src = id();
+    self.dst = id();
+    self.type = kMsgTrsRequest;
+    auto body = std::make_shared<TrsRequestBody>();
+    body->trs = trs;
+    self.body = body;
+    on_trs_request(self);
+  }
+  // Message loss is not retried by the network; the sender re-requests
+  // until the certificate forms. Committee members answer duplicates of
+  // already-delivered tuples with a fresh partial, so one surviving
+  // retransmission completes the round.
+  ctx_.engine.schedule(400.0, [this, trs, attempt] {
+    send_trs_request(trs, attempt + 1);
+  });
+}
+
+void HermesNode::submit_batch(std::vector<Transaction> txs) {
+  HERMES_REQUIRE(!txs.empty());
+  for (const Transaction& tx : txs) deliver_tx(tx);
+  const std::uint64_t seq = allocate_seq();
+  TrsId trs{id(), seq, mempool::batch_hash(txs)};
+  pending_batches_.emplace(trs.key(), std::move(txs));
+  send_trs_request(trs, /*attempt=*/0);
+}
+
+void HermesNode::disseminate_batch(const std::vector<Transaction>& txs,
+                                   const TrsId& trs, const Bytes& certificate,
+                                   std::size_t base_overlay) {
+  // Same latency accounting as single transactions: propagation of the
+  // batch payload starts now; the TRS round carried only its hash.
+  for (const Transaction& tx : txs) {
+    trs_wait_ms_.add(now() - tx.created_at);
+    ctx_.tracker.restamp_created(tx.id, now());
+  }
+  const std::size_t k = shared_->config.k;
+  const std::size_t data_shards = shared_->config.batch_data_chunks;
+  const std::size_t parity_shards = shared_->config.f;
+  const crypto::ErasureCode code(data_shards, parity_shards);
+  const Bytes payload = mempool::serialize_batch(txs);
+  const auto shards = code.encode(payload);
+
+  // Charge the wire for the real batch bytes spread over the shards: the
+  // serialized metadata stands in for payloads, so scale shard sizes to
+  // the declared batch wire size.
+  const std::size_t batch_bytes = mempool::batch_wire_size(txs);
+  const std::size_t shard_wire = batch_bytes / data_shards + 64;
+
+  for (const auto& shard : shards) {
+    const std::size_t overlay_index = (base_overlay + shard.index) % k;
+    BatchChunkBody chunk;
+    chunk.trs = trs;
+    chunk.certificate = certificate;
+    chunk.base_overlay = static_cast<std::uint32_t>(base_overlay);
+    chunk.data_shards = static_cast<std::uint32_t>(data_shards);
+    chunk.total_shards = static_cast<std::uint32_t>(shards.size());
+    chunk.shard_wire_bytes = static_cast<std::uint32_t>(shard_wire);
+    chunk.epoch = shared_->epoch;
+    chunk.shard = shard;
+    absorb_chunk(chunk);  // the sender holds every shard
+    const overlay::Overlay& ov = shared_->overlays[overlay_index];
+    for (net::NodeId entry : ov.entry_points()) {
+      if (entry == id()) {
+        forward_chunk(chunk);
+        continue;
+      }
+      auto body = std::make_shared<BatchChunkBody>(chunk);
+      send_to(entry, kMsgBatchChunk, shard_wire + certificate.size(),
+              std::move(body));
+    }
+  }
+}
+
+void HermesNode::forward_chunk(const BatchChunkBody& chunk) {
+  const std::string key =
+      chunk.trs.key() + ":" + std::to_string(chunk.shard.index);
+  if (!chunk_forwarded_.insert(key).second) return;
+  const HermesShared* shared = shared_for_epoch(chunk.epoch);
+  if (shared == nullptr) return;  // stale generation
+  const std::size_t overlay_index =
+      (chunk.base_overlay + chunk.shard.index) % shared->config.k;
+  const overlay::Overlay& ov = shared->overlays[overlay_index];
+  for (net::NodeId succ : ov.successors(id())) {
+    auto body = std::make_shared<BatchChunkBody>(chunk);
+    send_to(succ, kMsgBatchChunk,
+            chunk.shard_wire_bytes + chunk.certificate.size(), std::move(body));
+  }
+}
+
+void HermesNode::absorb_chunk(const BatchChunkBody& chunk) {
+  BatchAssembly& assembly = batches_[chunk.trs.key()];
+  if (assembly.decoded) return;
+  assembly.data_shards = chunk.data_shards;
+  for (const auto& existing : assembly.shards) {
+    if (existing.index == chunk.shard.index) return;
+  }
+  assembly.shards.push_back(chunk.shard);
+  if (assembly.shards.size() < assembly.data_shards) return;
+
+  const crypto::ErasureCode code(chunk.data_shards,
+                                 chunk.total_shards - chunk.data_shards);
+  const auto payload = code.decode(assembly.shards);
+  if (!payload) return;
+  const auto txs = mempool::deserialize_batch(*payload);
+  if (!txs) return;
+  assembly.decoded = true;
+  assembly.shards.clear();
+  ++batches_decoded_;
+  for (const Transaction& tx : *txs) deliver_tx(tx);
+}
+
+void HermesNode::on_batch_chunk(const sim::Message& msg) {
+  const auto& chunk = msg.as<BatchChunkBody>();
+  if (excluded(msg.src)) return;
+  const HermesShared* shared = shared_for_epoch(chunk.epoch);
+  if (shared == nullptr) return;  // stale generation
+  const std::size_t k = shared->config.k;
+  if (chunk.data_shards == 0 || chunk.total_shards < chunk.data_shards ||
+      chunk.base_overlay >= k) {
+    record_violation(ViolationKind::kWrongOverlay, msg.src, 0);
+    return;
+  }
+  const Bytes message = chunk.trs.signed_message();
+  if (!shared->scheme->verify_combined(message, chunk.certificate)) {
+    record_violation(ViolationKind::kBadCertificate, msg.src, 0);
+    return;
+  }
+  if (select_overlay(chunk.certificate, k) != chunk.base_overlay) {
+    record_violation(ViolationKind::kWrongOverlay, msg.src, 0);
+    return;
+  }
+  const std::size_t overlay_index = (chunk.base_overlay + chunk.shard.index) % k;
+  const overlay::Overlay& ov = shared->overlays[overlay_index];
+  if (!ov.is_entry(id()) && !ov.has_link(msg.src, id())) {
+    record_violation(ViolationKind::kIllegitimatePredecessor, msg.src, 0);
+    return;
+  }
+  absorb_chunk(chunk);
+  if (!relays()) return;
+  forward_chunk(chunk);
+}
+
+void HermesNode::committee_broadcast(std::uint32_t type, const TrsId& trs) {
+  for (net::NodeId member : shared_->committee) {
+    if (member == id()) continue;
+    auto body = std::make_shared<TrsVoteBody>();
+    body->trs = trs;
+    send_to(member, type, kTrsTupleWire, std::move(body));
+  }
+}
+
+void HermesNode::on_trs_request(const sim::Message& msg) {
+  if (!committee_state_ || !relays()) return;
+  const TrsId& trs = msg.as<TrsRequestBody>().trs;
+  if (msg.src != trs.origin) return;  // only the origin may open its stream
+
+  switch (committee_state_->check_sequence(trs.origin, trs.seq)) {
+    case TrsCommitteeMember::SeqCheck::kDuplicate: {
+      // Retransmission of a delivered tuple: resend the partial so a
+      // sender whose earlier partials were lost can still combine, and
+      // re-broadcast our votes so peers whose Echo/Ready copies were lost
+      // can still reach delivery (they owe the sender a partial too).
+      BrachaState* state = committee_state_->find_state(trs);
+      if (state && state->delivered()) {
+        committee_broadcast(kMsgTrsEcho, trs);
+        committee_broadcast(kMsgTrsReady, trs);
+        const crypto::PartialSignature partial = shared_->scheme->partial_sign(
+            committee_state_->member_index(), trs.signed_message());
+        auto body = std::make_shared<TrsPartialBody>();
+        body->trs = trs;
+        body->partial = partial;
+        const std::size_t wire = kTrsTupleWire + body->partial.bytes.size();
+        send_to(trs.origin, kMsgTrsPartial, wire, std::move(body));
+      }
+      return;
+    }
+    case TrsCommitteeMember::SeqCheck::kFuture:
+      // Sequence enforcement (Section VI-C): park until the gap closes; a
+      // sender that skipped a number never completes this TRS.
+      parked_[trs.origin].emplace(trs.seq, trs);
+      return;
+    case TrsCommitteeMember::SeqCheck::kInOrder:
+      break;
+  }
+  known_tuples_.emplace(trs.key(), trs);
+  BrachaState& state = committee_state_->state_for(trs, shared_->config.f);
+  if (state.on_request()) {
+    committee_broadcast(kMsgTrsEcho, trs);
+    // Count the local echo — and, if it tips the threshold, the local
+    // Ready as well (peers count our broadcast; we must count ourselves).
+    if (state.on_echo(id())) {
+      committee_broadcast(kMsgTrsReady, trs);
+      state.on_ready(id());
+    }
+  } else if (!state.delivered()) {
+    // Retransmitted request while the Bracha instance is stalled (lost
+    // Echo/Ready messages): re-broadcast our votes so peers can catch up.
+    committee_broadcast(kMsgTrsEcho, trs);
+    if (state.readied()) committee_broadcast(kMsgTrsReady, trs);
+  }
+  maybe_progress(trs);
+}
+
+void HermesNode::on_trs_vote(const sim::Message& msg, bool is_ready) {
+  if (!committee_state_ || !relays()) return;
+  if (!shared_->is_committee_member(msg.src)) return;
+  const TrsId& trs = msg.as<TrsVoteBody>().trs;
+  known_tuples_.emplace(trs.key(), trs);
+  BrachaState& state = committee_state_->state_for(trs, shared_->config.f);
+  const bool send_ready =
+      is_ready ? state.on_ready(msg.src) : state.on_echo(msg.src);
+  if (send_ready) {
+    committee_broadcast(kMsgTrsReady, trs);
+    state.on_ready(id());
+  }
+  maybe_progress(trs);
+}
+
+void HermesNode::maybe_progress(const TrsId& trs) {
+  BrachaState* state = committee_state_->find_state(trs);
+  if (!state || !state->try_deliver()) return;
+  committee_state_->mark_delivered(trs.origin, trs.seq);
+  const crypto::PartialSignature partial = shared_->scheme->partial_sign(
+      committee_state_->member_index(), trs.signed_message());
+  if (trs.origin == id()) {
+    // Local short-circuit for committee members sending their own txs.
+    if (auto combined = collector_.add_partial(trs, partial)) {
+      const auto it = pending_.find(trs.key());
+      if (it != pending_.end()) {
+        disseminate(it->second, trs, *combined,
+                    select_overlay(*combined, shared_->config.k));
+        pending_.erase(it);
+      }
+      const auto batch_it = pending_batches_.find(trs.key());
+      if (batch_it != pending_batches_.end()) {
+        const std::vector<Transaction> txs = batch_it->second;
+        pending_batches_.erase(batch_it);
+        disseminate_batch(txs, trs, *combined,
+                          select_overlay(*combined, shared_->config.k));
+      }
+    }
+  } else {
+    auto body = std::make_shared<TrsPartialBody>();
+    body->trs = trs;
+    body->partial = partial;
+    const std::size_t wire = kTrsTupleWire + body->partial.bytes.size();
+    send_to(trs.origin, kMsgTrsPartial, wire, std::move(body));
+  }
+  replay_parked(trs.origin);
+}
+
+void HermesNode::replay_parked(net::NodeId origin) {
+  const auto it = parked_.find(origin);
+  if (it == parked_.end()) return;
+  auto& queue = it->second;
+  while (!queue.empty()) {
+    const auto first = queue.begin();
+    if (committee_state_->check_sequence(origin, first->first) !=
+        TrsCommitteeMember::SeqCheck::kInOrder) {
+      break;
+    }
+    const TrsId trs = first->second;
+    queue.erase(first);
+    known_tuples_.emplace(trs.key(), trs);
+    BrachaState& state = committee_state_->state_for(trs, shared_->config.f);
+    if (state.on_request()) {
+      committee_broadcast(kMsgTrsEcho, trs);
+      if (state.on_echo(id())) {
+        committee_broadcast(kMsgTrsReady, trs);
+        state.on_ready(id());
+      }
+    }
+    maybe_progress(trs);
+  }
+  if (queue.empty()) parked_.erase(it);
+}
+
+void HermesNode::on_trs_partial(const sim::Message& msg) {
+  const auto& body = msg.as<TrsPartialBody>();
+  if (!shared_->is_committee_member(msg.src)) return;
+  const auto it = pending_.find(body.trs.key());
+  const auto batch_it = pending_batches_.find(body.trs.key());
+  if (it == pending_.end() && batch_it == pending_batches_.end()) return;
+  if (auto combined = collector_.add_partial(body.trs, body.partial)) {
+    if (it != pending_.end()) {
+      const Transaction tx = it->second;
+      pending_.erase(it);
+      disseminate(tx, body.trs, *combined,
+                  select_overlay(*combined, shared_->config.k));
+    } else {
+      const std::vector<Transaction> txs = batch_it->second;
+      pending_batches_.erase(batch_it);
+      disseminate_batch(txs, body.trs, *combined,
+                        select_overlay(*combined, shared_->config.k));
+    }
+  }
+}
+
+const std::vector<std::vector<net::NodeId>>& HermesNode::entry_routes(
+    std::size_t idx) {
+  const auto cached = route_cache_.find(idx);
+  if (cached != route_cache_.end()) return cached->second;
+
+  // Vertex-disjoint paths from this node to the overlay's f+1 entry points
+  // (Section IV step 1): super-sink construction over the physical graph.
+  const overlay::Overlay& ov = shared_->overlays[idx];
+  net::Graph aug = ctx_.topology.graph;
+  const net::NodeId sink = aug.add_node();
+  for (net::NodeId e : ov.entry_points()) {
+    aug.add_edge(e, sink, 0.0);
+  }
+  auto paths = net::vertex_disjoint_paths(aug, id(), sink,
+                                          shared_->config.f + 1);
+  for (auto& path : paths) {
+    HERMES_REQUIRE(path.back() == sink);
+    path.pop_back();
+  }
+  // If the graph cannot supply f+1 disjoint routes (the fault-density
+  // assumption is violated locally), fall back to direct logical links so
+  // every entry point is still addressed.
+  if (paths.size() < shared_->config.f + 1) {
+    std::unordered_set<net::NodeId> covered;
+    for (const auto& p : paths) covered.insert(p.back());
+    for (net::NodeId e : ov.entry_points()) {
+      if (!covered.count(e)) paths.push_back({id(), e});
+    }
+  }
+  return route_cache_.emplace(idx, std::move(paths)).first->second;
+}
+
+void HermesNode::disseminate(const Transaction& tx, const TrsId& trs,
+                             const Bytes& certificate,
+                             std::size_t overlay_index) {
+  // Propagation of m starts now; the TRS round before it carried only
+  // H(m). Latency figures measure the propagation of m (Section VIII-C),
+  // so the tracker's origin timestamp moves here, and the TRS wait is
+  // accounted separately.
+  trs_wait_ms_.add(now() - tx.created_at);
+  ctx_.tracker.restamp_created(tx.id, now());
+  remember_cert(*shared_, tx, trs, certificate, overlay_index);
+  if (shared_->config.direct_entry_injection) {
+    const overlay::Overlay& ov = shared_->overlays[overlay_index];
+    for (net::NodeId entry : ov.entry_points()) {
+      if (entry == id()) {
+        accept_and_forward(*shared_, tx, trs, certificate, overlay_index);
+        continue;
+      }
+      auto body = std::make_shared<DataBody>();
+      body->tx = tx;
+      body->trs = trs;
+      body->certificate = certificate;
+      body->overlay_index = static_cast<std::uint32_t>(overlay_index);
+      body->epoch = shared_->epoch;
+      send_to(entry, kMsgData, tx.payload_bytes + certificate.size() + 48,
+              std::move(body));
+    }
+    return;
+  }
+  for (const auto& path : entry_routes(overlay_index)) {
+    HERMES_REQUIRE(!path.empty() && path.front() == id());
+    if (path.size() == 1) {
+      // This node is itself an entry point of the selected overlay.
+      accept_and_forward(*shared_, tx, trs, certificate, overlay_index);
+      continue;
+    }
+    auto body = std::make_shared<DataBody>();
+    body->tx = tx;
+    body->trs = trs;
+    body->certificate = certificate;
+    body->overlay_index = static_cast<std::uint32_t>(overlay_index);
+    body->epoch = shared_->epoch;
+    body->route.assign(path.begin() + 2, path.end());
+    send_to(path[1], kMsgData, tx.payload_bytes + certificate.size() + 48,
+            std::move(body));
+  }
+}
+
+void HermesNode::on_data(const sim::Message& msg) {
+  const auto& d = msg.as<DataBody>();
+  if (excluded(msg.src)) return;
+  const HermesShared* shared = shared_for_epoch(d.epoch);
+  if (shared == nullptr) return;  // stale generation: drop, not malice
+
+  if (!d.route.empty()) {
+    // Relay duty on a disjoint injection path.
+    if (!relays()) return;
+    auto body = std::make_shared<DataBody>(d);
+    const net::NodeId next = body->route.front();
+    body->route.erase(body->route.begin());
+    send_to(next, kMsgData, d.tx.payload_bytes + d.certificate.size() + 48,
+            std::move(body));
+    return;
+  }
+
+  const std::size_t k = shared->config.k;
+  if (d.overlay_index >= k) {
+    record_violation(ViolationKind::kWrongOverlay, msg.src, d.tx.id);
+    return;
+  }
+  const Bytes message = d.trs.signed_message();
+  if (!shared->scheme->verify_combined(message, d.certificate)) {
+    record_violation(ViolationKind::kBadCertificate, msg.src, d.tx.id);
+    return;
+  }
+  if (select_overlay(d.certificate, k) != d.overlay_index) {
+    record_violation(ViolationKind::kWrongOverlay, msg.src, d.tx.id);
+    return;
+  }
+  const overlay::Overlay& ov = shared->overlays[d.overlay_index];
+  const bool via_entry = ov.is_entry(id());
+  const bool via_pred = ov.has_link(msg.src, id());
+  if (!via_entry && !via_pred) {
+    record_violation(ViolationKind::kIllegitimatePredecessor, msg.src,
+                     d.tx.id);
+    return;
+  }
+  accept_and_forward(*shared, d.tx, d.trs, d.certificate, d.overlay_index);
+}
+
+void HermesNode::remember_cert(const HermesShared& shared,
+                               const Transaction& tx, const TrsId& trs,
+                               const Bytes& certificate,
+                               std::size_t overlay_index) {
+  const bool inserted =
+      cert_store_
+          .emplace(tx.id,
+                   StoredCert{trs, certificate,
+                              static_cast<std::uint32_t>(overlay_index),
+                              shared.epoch})
+          .second;
+  if (inserted && shared.config.enable_fallback) {
+    schedule_fallback(tx.id);
+  }
+}
+
+void HermesNode::accept_and_forward(const HermesShared& shared,
+                                    const Transaction& tx, const TrsId& trs,
+                                    const Bytes& certificate,
+                                    std::size_t overlay_index) {
+  deliver_tx(tx);
+  // Forward exactly once per transaction. Delivery and forwarding are
+  // deduplicated separately: a sender that is itself an entry point has
+  // already delivered its own transaction but must still forward it.
+  if (!forwarded_.insert(tx.id).second) return;
+  remember_cert(shared, tx, trs, certificate, overlay_index);
+  // Sequence-continuity bookkeeping per origin (reordering across overlays
+  // is legitimate; persistent holes are repaired by the fallback).
+  auto& contiguous = delivered_seq_.try_emplace(trs.origin, 0).first->second;
+  if (trs.seq == contiguous + 1) ++contiguous;
+
+  if (shared.config.enable_acks) {
+    start_ack_aggregation(tx.id, overlay_index);
+  }
+  if (!relays_tx(tx)) return;  // droppers / front-run censorship end here
+  const overlay::Overlay& ov = shared.overlays[overlay_index];
+  for (net::NodeId succ : ov.successors(id())) {
+    auto body = std::make_shared<DataBody>();
+    body->tx = tx;
+    body->trs = trs;
+    body->certificate = certificate;
+    body->overlay_index = static_cast<std::uint32_t>(overlay_index);
+    body->epoch = shared.epoch;
+    send_to(succ, kMsgData, tx.payload_bytes + certificate.size() + 48,
+            std::move(body));
+  }
+}
+
+void HermesNode::schedule_fallback(std::uint64_t tx_id, int round) {
+  // After delay T (Section VII-A): offer the tx id to a few random
+  // physical neighbors; nodes with a hole pull the full payload. A few
+  // rounds with fresh neighbor samples make the repair epidemic robust to
+  // lost offers and Byzantine neighbors; offers are tiny (id only).
+  constexpr int kOfferRounds = 3;
+  if (round >= kOfferRounds) return;
+  ctx_.engine.schedule(shared_->config.fallback_delay_ms, [this, tx_id, round] {
+    if (!relays()) return;
+    const auto& nbrs = ctx_.topology.graph.neighbors(id());
+    if (nbrs.empty()) return;
+    const std::size_t fanout =
+        std::min(shared_->config.fallback_fanout, nbrs.size());
+    for (std::size_t i : rng_.sample_indices(nbrs.size(), fanout)) {
+      auto body = std::make_shared<FallbackOfferBody>();
+      body->tx_id = tx_id;
+      send_to(nbrs[i].to, kMsgFallbackOffer, 16, std::move(body));
+      ++fallback_pushes_;
+    }
+    schedule_fallback(tx_id, round + 1);
+  });
+}
+
+void HermesNode::on_fallback_offer(const sim::Message& msg) {
+  const std::uint64_t tx_id = msg.as<FallbackOfferBody>().tx_id;
+  if (pool_.contains(tx_id)) return;
+  auto body = std::make_shared<FallbackRequestBody>();
+  body->tx_id = tx_id;
+  send_to(msg.src, kMsgFallbackRequest, 16, std::move(body));
+}
+
+void HermesNode::on_fallback_request(const sim::Message& msg) {
+  if (!relays()) return;
+  const std::uint64_t tx_id = msg.as<FallbackRequestBody>().tx_id;
+  const auto cert_it = cert_store_.find(tx_id);
+  const auto tx = pool_.get(tx_id);
+  if (cert_it == cert_store_.end() || !tx) return;
+  auto body = std::make_shared<FallbackBody>();
+  body->tx = *tx;
+  body->trs = cert_it->second.trs;
+  body->certificate = cert_it->second.certificate;
+  body->overlay_index = cert_it->second.overlay_index;
+  body->epoch = cert_it->second.epoch;
+  const std::size_t wire =
+      tx->payload_bytes + cert_it->second.certificate.size() + 48;
+  send_to(msg.src, kMsgFallback, wire, std::move(body));
+}
+
+void HermesNode::on_fallback(const sim::Message& msg) {
+  const auto& d = msg.as<FallbackBody>();
+  if (excluded(msg.src)) return;
+  const HermesShared* shared = shared_for_epoch(d.epoch);
+  if (shared == nullptr) return;  // stale generation
+  const Bytes message = d.trs.signed_message();
+  if (!shared->scheme->verify_combined(message, d.certificate)) {
+    record_violation(ViolationKind::kBadCertificate, msg.src, d.tx.id);
+    return;
+  }
+  // Fallback rides gossip: no predecessor requirement, but the certificate
+  // requirement keeps unauthorized transactions out.
+  accept_and_forward(*shared, d.tx, d.trs, d.certificate, d.overlay_index);
+}
+
+const HermesShared* HermesNode::shared_for_epoch(std::uint64_t epoch) const {
+  if (epoch == shared_->epoch) return shared_.get();
+  if (prev_shared_ && epoch == prev_shared_->epoch) return prev_shared_.get();
+  return nullptr;
+}
+
+void HermesNode::install_shared(std::shared_ptr<const HermesShared> next) {
+  HERMES_REQUIRE(next && next->epoch > shared_->epoch);
+  prev_shared_ = shared_;
+  shared_ = std::move(next);
+  route_cache_.clear();  // entry points moved; recompute on demand
+}
+
+bool HermesNode::excluded(net::NodeId node) const {
+  return audit_.is_excluded(node) || global_excluded_.count(node) > 0;
+}
+
+Bytes HermesNode::report_material(const Violation& v, net::NodeId reporter) {
+  Bytes out = to_bytes("hermes.report.v1");
+  out.push_back(static_cast<std::uint8_t>(v.kind));
+  put_u32_be(out, v.offender);
+  put_u64_be(out, v.tx_id);
+  put_u32_be(out, reporter);
+  put_u64_be(out, static_cast<std::uint64_t>(v.at * 1000.0));
+  return out;
+}
+
+void HermesNode::record_violation(ViolationKind kind, net::NodeId offender,
+                                  std::uint64_t tx_id) {
+  audit_.record(now(), kind, offender, tx_id);
+  if (!shared_->config.enable_violation_reports) return;
+  ViolationReportBody report;
+  report.violation = Violation{now(), kind, offender, tx_id};
+  report.reporter = id();
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, id());
+  report.signature = signer.sign(report_material(report.violation, id()));
+  seen_reports_.insert(
+      hex_encode(report_material(report.violation, report.reporter)));
+  accusers_[offender].insert(id());
+  gossip_report(report);
+}
+
+void HermesNode::gossip_report(const ViolationReportBody& report) {
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  const std::size_t fanout =
+      std::min(shared_->config.report_fanout, nbrs.size());
+  for (std::size_t i : rng_.sample_indices(nbrs.size(), fanout)) {
+    auto body = std::make_shared<ViolationReportBody>(report);
+    send_to(nbrs[i].to, kMsgViolationReport, 80, std::move(body));
+  }
+}
+
+void HermesNode::on_violation_report(const sim::Message& msg) {
+  if (!shared_->config.enable_violation_reports) return;
+  const auto& report = msg.as<ViolationReportBody>();
+  // Reports only ever travel between correct nodes if valid: check the
+  // reporter's signature, dedup, then count the accusation.
+  const Bytes material = report_material(report.violation, report.reporter);
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, report.reporter);
+  if (!signer.verify(material, report.signature)) return;
+  if (!seen_reports_.insert(hex_encode(material)).second) return;
+  auto& accusers = accusers_[report.violation.offender];
+  accusers.insert(report.reporter);
+  // f+1 distinct accusers cannot all be faulty: exclude network-wide.
+  if (accusers.size() >= shared_->config.f + 1) {
+    global_excluded_.insert(report.violation.offender);
+  }
+  if (relays()) gossip_report(report);
+}
+
+std::size_t HermesNode::acks_received(std::uint64_t tx_id) const {
+  const auto it = acks_of_.find(tx_id);
+  return it == acks_of_.end() ? 0 : it->second;
+}
+
+void HermesNode::start_ack_aggregation(std::uint64_t tx_id,
+                                       std::size_t overlay_index) {
+  AckState& state = ack_state_[tx_id];
+  state.pending += 1;  // this node's own delivery
+  ctx_.engine.schedule(shared_->config.ack_aggregate_ms,
+                       [this, tx_id, overlay_index] {
+                         flush_ack(tx_id, overlay_index);
+                       });
+}
+
+void HermesNode::flush_ack(std::uint64_t tx_id, std::size_t overlay_index) {
+  AckState& state = ack_state_[tx_id];
+  if (state.pending == 0) return;
+  const std::uint32_t count = state.pending;
+  state.pending = 0;
+  state.flushed = true;
+
+  const auto cert_it = cert_store_.find(tx_id);
+  const net::NodeId origin =
+      cert_it != cert_store_.end() ? cert_it->second.trs.origin : id();
+  if (origin == id()) {
+    acks_of_[tx_id] += count;
+    return;
+  }
+  const HermesShared* shared =
+      cert_it != cert_store_.end() ? shared_for_epoch(cert_it->second.epoch)
+                                   : shared_.get();
+  if (shared == nullptr || overlay_index >= shared->overlays.size()) return;
+  const overlay::Overlay& ov = shared->overlays[overlay_index];
+  auto body = std::make_shared<AckUpBody>();
+  body->tx_id = tx_id;
+  body->overlay_index = static_cast<std::uint32_t>(overlay_index);
+  body->count = count;
+  if (ov.is_entry(id()) || ov.predecessors(id()).empty()) {
+    // Top of the overlay: report to the origin directly.
+    send_to(origin, kMsgAckUp, 24, std::move(body));
+    return;
+  }
+  // Report to the lowest-latency predecessor (the reverse of the cheapest
+  // downstream link).
+  net::NodeId best = ov.predecessors(id())[0];
+  double best_lat = ov.link_latency(best, id());
+  for (net::NodeId p : ov.predecessors(id())) {
+    const double lat = ov.link_latency(p, id());
+    if (lat < best_lat) {
+      best_lat = lat;
+      best = p;
+    }
+  }
+  send_to(best, kMsgAckUp, 24, std::move(body));
+}
+
+void HermesNode::on_ack_up(const sim::Message& msg) {
+  if (!shared_->config.enable_acks) return;
+  const auto& ack = msg.as<AckUpBody>();
+  if (ack.overlay_index >= shared_->config.k) return;
+  AckState& state = ack_state_[ack.tx_id];
+  state.pending += ack.count;
+  if (state.flushed && relays()) {
+    // Aggregation window already closed: pass increments along promptly.
+    flush_ack(ack.tx_id, ack.overlay_index);
+  }
+}
+
+void HermesNode::on_message(const sim::Message& msg) {
+  switch (msg.type) {
+    case kMsgTrsRequest: on_trs_request(msg); return;
+    case kMsgTrsEcho: on_trs_vote(msg, /*is_ready=*/false); return;
+    case kMsgTrsReady: on_trs_vote(msg, /*is_ready=*/true); return;
+    case kMsgTrsPartial: on_trs_partial(msg); return;
+    case kMsgData: on_data(msg); return;
+    case kMsgFallback: on_fallback(msg); return;
+    case kMsgFallbackOffer: on_fallback_offer(msg); return;
+    case kMsgFallbackRequest: on_fallback_request(msg); return;
+    case kMsgBatchChunk: on_batch_chunk(msg); return;
+    case kMsgAckUp: on_ack_up(msg); return;
+    case kMsgViolationReport: on_violation_report(msg); return;
+    default: return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HermesProtocol
+
+std::unique_ptr<ProtocolNode> HermesProtocol::make_node(ExperimentContext& ctx,
+                                                        net::NodeId id) {
+  if (!shared_) {
+    auto shared = std::make_shared<HermesShared>();
+    shared->config = config_;
+    shared->config.builder.f = config_.f;
+    shared->config.builder.k = config_.k;
+
+    Rng build_rng = ctx.rng.fork(0x0e11a5);
+    auto set =
+        overlay::build_overlay_set(ctx.topology.graph, shared->config.builder,
+                                   build_rng);
+    shared->overlays = std::move(set.overlays);
+
+    if (config_.use_real_threshold_crypto) {
+      Rng key_rng = ctx.rng.fork(0x45a);
+      shared->scheme = std::make_shared<crypto::RsaThresholdScheme>(
+          crypto::threshold_rsa_generate(key_rng,
+                                         config_.real_threshold_rsa_bits,
+                                         config_.committee_size(),
+                                         config_.trs_threshold()));
+    } else {
+      Bytes group_key(32, 0);
+      for (auto& b : group_key) {
+        b = static_cast<std::uint8_t>(build_rng.next_u64());
+      }
+      shared->scheme = std::make_shared<crypto::SimThresholdScheme>(
+          group_key, config_.committee_size(), config_.trs_threshold());
+    }
+    shared->report_master_key.assign(32, 0);
+    for (auto& b : shared->report_master_key) {
+      b = static_cast<std::uint8_t>(build_rng.next_u64());
+    }
+
+    // Algorithm 5: the committee certifies each overlay encoding; nodes
+    // verify before installing (decode path exercised here).
+    for (auto& ov : shared->overlays) {
+      auto cert = overlay::certify_overlay(ov, *shared->scheme);
+      HERMES_REQUIRE(cert.has_value());
+      overlay::Overlay decoded;
+      HERMES_REQUIRE(
+          overlay::verify_certified_overlay(*cert, *shared->scheme, &decoded));
+      shared->certificates.push_back(std::move(*cert));
+      ov = std::move(decoded);  // install exactly what the wire carried
+    }
+
+    if (config_.committee.empty()) {
+      Rng pick_rng = ctx.rng.fork(0xc0111);
+      shared->committee = pick_committee(ctx, config_.f, pick_rng);
+    } else {
+      shared->committee = config_.committee;
+    }
+    shared_ = std::move(shared);
+  }
+  return std::make_unique<HermesNode>(ctx, id, shared_);
+}
+
+void HermesProtocol::advance_epoch(ExperimentContext& ctx,
+                                   std::uint64_t epoch_seed) {
+  HERMES_REQUIRE(shared_ != nullptr && "populate() must run first");
+  auto next = std::make_shared<HermesShared>();
+  next->config = shared_->config;
+  next->epoch = shared_->epoch + 1;
+  next->scheme = shared_->scheme;
+  next->committee = shared_->committee;
+  next->report_master_key = shared_->report_master_key;
+
+  // Deterministic per-epoch construction seed (Section VII-B: the committee
+  // publishes it so every node can verify the pseudo-random optimization).
+  Rng build_rng(epoch_seed ^ (next->epoch * 0x9e3779b97f4a7c15ULL));
+  auto set = overlay::build_overlay_set(ctx.topology.graph,
+                                        next->config.builder, build_rng);
+  next->overlays = std::move(set.overlays);
+  for (auto& ov : next->overlays) {
+    auto cert = overlay::certify_overlay(ov, *next->scheme);
+    HERMES_REQUIRE(cert.has_value());
+    overlay::Overlay decoded;
+    HERMES_REQUIRE(
+        overlay::verify_certified_overlay(*cert, *next->scheme, &decoded));
+    next->certificates.push_back(std::move(*cert));
+    ov = std::move(decoded);
+  }
+
+  shared_ = next;
+  for (auto& node : ctx.nodes) {
+    if (auto* hermes_node = dynamic_cast<HermesNode*>(node.get())) {
+      hermes_node->install_shared(next);
+    }
+  }
+}
+
+}  // namespace hermes::hermes_proto

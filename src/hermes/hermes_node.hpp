@@ -1,0 +1,310 @@
+// The HERMES protocol node (Sections IV and VI), tying together:
+//   - TRS generation with the 3f+1 committee (Algorithm 4),
+//   - randomized, verifiable overlay selection (seed mod k),
+//   - injection at the f+1 entry points via vertex-disjoint physical paths,
+//   - accountable dissemination along the selected robust-tree overlay
+//     (certificate check, predecessor-legitimacy check, sequence
+//     continuity, violation logging and exclusion),
+//   - the delayed gossip fallback of Section VII-A.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/erasure.hpp"
+#include "crypto/sim_signer.hpp"
+#include "hermes/audit.hpp"
+#include "hermes/config.hpp"
+#include "hermes/trs.hpp"
+#include "overlay/encoding.hpp"
+#include "protocols/base.hpp"
+#include "support/stats.hpp"
+
+namespace hermes::hermes_proto {
+
+using protocols::ExperimentContext;
+using protocols::Protocol;
+using protocols::ProtocolNode;
+using protocols::Transaction;
+
+// Message bodies -------------------------------------------------------------
+
+struct TrsRequestBody final : sim::MessageBody {
+  TrsId trs;
+};
+struct TrsVoteBody final : sim::MessageBody {  // Echo and Ready
+  TrsId trs;
+};
+struct TrsPartialBody final : sim::MessageBody {
+  TrsId trs;
+  crypto::PartialSignature partial;
+};
+struct DataBody final : sim::MessageBody {
+  Transaction tx;
+  TrsId trs;
+  Bytes certificate;
+  std::uint32_t overlay_index = 0;
+  // Overlay generation this message was routed with (Section VII view
+  // changes); receivers validate against the matching generation and drop
+  // anything older than the previous one as stale.
+  std::uint64_t epoch = 0;
+  // Remaining relay hops toward an entry point; empty once it arrives.
+  std::vector<net::NodeId> route;
+};
+struct FallbackBody final : sim::MessageBody {
+  Transaction tx;
+  TrsId trs;
+  Bytes certificate;
+  std::uint32_t overlay_index = 0;
+  std::uint64_t epoch = 0;
+};
+// Gossip fallback is offer/pull: after delay T a holder advertises the tx
+// id to random neighbors; only nodes with a hole pull the payload. This
+// keeps the fallback's steady-state cost near zero (Figure 3b).
+struct FallbackOfferBody final : sim::MessageBody {
+  std::uint64_t tx_id = 0;
+};
+struct FallbackRequestBody final : sim::MessageBody {
+  std::uint64_t tx_id = 0;
+};
+// Signed violation report gossiped for global accountability
+// (Section VI-C).
+struct ViolationReportBody final : sim::MessageBody {
+  Violation violation;
+  net::NodeId reporter = 0;
+  Bytes signature;
+};
+// Aggregated delivery acknowledgment flowing back up the overlay
+// (Section IV step 3, optional).
+struct AckUpBody final : sim::MessageBody {
+  std::uint64_t tx_id = 0;
+  std::uint32_t overlay_index = 0;
+  std::uint32_t count = 0;  // deliveries in the reporting subtree
+};
+// One Reed-Solomon shard of an erasure-coded batch (Section VIII-D).
+struct BatchChunkBody final : sim::MessageBody {
+  TrsId trs;  // origin, batch sequence number, batch hash
+  Bytes certificate;
+  std::uint32_t base_overlay = 0;  // seed mod k; shard c rides (base+c) mod k
+  std::uint32_t data_shards = 0;
+  std::uint32_t total_shards = 0;
+  // Wire size one shard occupies (the serialized metadata stands in for
+  // payload bytes, so the charge is carried explicitly).
+  std::uint32_t shard_wire_bytes = 0;
+  std::uint64_t epoch = 0;
+  crypto::Shard shard;
+};
+
+// Shared, immutable per-experiment state: the certified overlays (as every
+// node would decode them from the committee's signed encoding) and the
+// threshold scheme's public side.
+struct HermesShared {
+  HermesConfig config;
+  // Overlay generation; bumped by HermesProtocol::advance_epoch.
+  std::uint64_t epoch = 0;
+  std::vector<overlay::Overlay> overlays;
+  std::vector<overlay::CertifiedOverlay> certificates;
+  std::shared_ptr<const crypto::ThresholdScheme> scheme;
+  // Master key from which per-node report signers derive (simulation
+  // stand-in for per-node public keys known network-wide).
+  Bytes report_master_key;
+  // committee[i] serves threshold index i+1.
+  std::vector<net::NodeId> committee;
+
+  bool is_committee_member(net::NodeId v) const;
+  // 1-based threshold index; 0 if not a member.
+  std::size_t committee_index(net::NodeId v) const;
+};
+
+class HermesNode final : public ProtocolNode {
+ public:
+  HermesNode(ExperimentContext& ctx, net::NodeId id,
+             std::shared_ptr<const HermesShared> shared);
+
+  void submit(const Transaction& tx) override;
+  // Section VIII-D extension: disseminate a batch of transactions as
+  // config.batch_data_chunks + f erasure-coded shards, shard c riding
+  // overlay (seed + c) mod k. Any batch_data_chunks shards reconstruct the
+  // batch, so up to f shard streams may fail entirely while each overlay
+  // carries only a fraction of the batch's bytes. Consumes one sequence
+  // number of this sender.
+  void submit_batch(std::vector<Transaction> txs);
+  // The adversary has no faster lane: the committee pins the sequence and
+  // the seed pins the overlay. A direct blast is attempted anyway — honest
+  // receivers reject and log it, which is the accountability story.
+  void fast_submit(const Transaction& tx) override;
+  void on_message(const sim::Message& msg) override;
+
+  const AuditLog& audit() const { return audit_; }
+  std::size_t trs_requests_sent() const { return trs_requests_; }
+  std::size_t fallback_pushes() const { return fallback_pushes_; }
+  std::size_t batches_decoded() const { return batches_decoded_; }
+  // Offender excluded either by local observation or by f+1 distinct
+  // signed accusations from the network.
+  bool excluded(net::NodeId node) const;
+
+  // View change (Section VII): adopt a new certified overlay generation.
+  // The previous generation stays valid for in-flight messages; anything
+  // older is dropped as stale (never audited — staleness is not malice).
+  void install_shared(std::shared_ptr<const HermesShared> next);
+  std::uint64_t current_epoch() const { return shared_->epoch; }
+  std::size_t globally_excluded_count() const { return global_excluded_.size(); }
+  // Origin-side: delivery acknowledgments collected for an own tx
+  // (includes the origin itself). 0 when acks are disabled.
+  std::size_t acks_received(std::uint64_t tx_id) const;
+  // TRS round-trip cost observed by this node's own submissions.
+  const RunningStats& trs_wait_ms() const { return trs_wait_ms_; }
+
+  static constexpr std::uint32_t kMsgTrsRequest = 10;
+  static constexpr std::uint32_t kMsgTrsEcho = 11;
+  static constexpr std::uint32_t kMsgTrsReady = 12;
+  static constexpr std::uint32_t kMsgTrsPartial = 13;
+  static constexpr std::uint32_t kMsgData = 14;
+  static constexpr std::uint32_t kMsgFallback = 15;
+  static constexpr std::uint32_t kMsgFallbackOffer = 16;
+  static constexpr std::uint32_t kMsgFallbackRequest = 17;
+  static constexpr std::uint32_t kMsgBatchChunk = 18;
+  static constexpr std::uint32_t kMsgAckUp = 19;
+  static constexpr std::uint32_t kMsgViolationReport = 20;
+
+ private:
+  // --- sender side
+  void request_trs(const Transaction& tx);
+  void send_trs_request(const TrsId& trs, int attempt);
+  void on_trs_partial(const sim::Message& msg);
+  void disseminate(const Transaction& tx, const TrsId& trs,
+                   const Bytes& certificate, std::size_t overlay_index);
+
+  // --- committee side
+  void on_trs_request(const sim::Message& msg);
+  void on_trs_vote(const sim::Message& msg, bool is_ready);
+  void committee_broadcast(std::uint32_t type, const TrsId& trs);
+  void maybe_progress(const TrsId& trs);
+  void replay_parked(net::NodeId origin);
+
+  // --- dissemination side
+  void on_data(const sim::Message& msg);
+  void on_batch_chunk(const sim::Message& msg);
+  void on_ack_up(const sim::Message& msg);
+  // Records locally and gossips a signed report (Section VI-C).
+  void record_violation(ViolationKind kind, net::NodeId offender,
+                        std::uint64_t tx_id);
+  void on_violation_report(const sim::Message& msg);
+  void gossip_report(const ViolationReportBody& report);
+  static Bytes report_material(const Violation& v, net::NodeId reporter);
+  void start_ack_aggregation(std::uint64_t tx_id, std::size_t overlay_index);
+  void flush_ack(std::uint64_t tx_id, std::size_t overlay_index);
+  void disseminate_batch(const std::vector<Transaction>& txs, const TrsId& trs,
+                         const Bytes& certificate, std::size_t base_overlay);
+  void forward_chunk(const BatchChunkBody& chunk);
+  void absorb_chunk(const BatchChunkBody& chunk);
+  void on_fallback(const sim::Message& msg);
+  void on_fallback_offer(const sim::Message& msg);
+  void on_fallback_request(const sim::Message& msg);
+  void accept_and_forward(const HermesShared& shared, const Transaction& tx,
+                          const TrsId& trs, const Bytes& certificate,
+                          std::size_t overlay_index);
+  void remember_cert(const HermesShared& shared, const Transaction& tx,
+                     const TrsId& trs, const Bytes& certificate,
+                     std::size_t overlay_index);
+  // Resolves the overlay generation a message claims; nullptr when stale.
+  const HermesShared* shared_for_epoch(std::uint64_t epoch) const;
+  void schedule_fallback(std::uint64_t tx_id, int round = 0);
+
+  // Vertex-disjoint physical routes from this node to the entry points of
+  // overlay `idx` (computed lazily, cached).
+  const std::vector<std::vector<net::NodeId>>& entry_routes(std::size_t idx);
+
+  std::shared_ptr<const HermesShared> shared_;
+  std::shared_ptr<const HermesShared> prev_shared_;
+  Rng rng_;
+  AuditLog audit_;
+
+  // Sender-side state.
+  TrsCollector collector_;
+  std::unordered_map<std::string, Transaction> pending_;
+  // Batches awaiting their TRS, keyed like pending_.
+  std::unordered_map<std::string, std::vector<Transaction>> pending_batches_;
+  std::size_t trs_requests_ = 0;
+
+  // Committee-side state.
+  std::unique_ptr<TrsCommitteeMember> committee_state_;
+  std::unordered_map<std::string, TrsId> known_tuples_;
+  // Requests parked for sequence continuity: origin -> seq -> tuple.
+  std::unordered_map<net::NodeId, std::map<std::uint64_t, TrsId>> parked_;
+
+  // Dissemination state.
+  std::unordered_map<std::size_t, std::vector<std::vector<net::NodeId>>>
+      route_cache_;
+  // Per-origin highest contiguous sequence delivered (gap detection).
+  std::unordered_map<net::NodeId, std::uint64_t> delivered_seq_;
+  // Certificates kept for serving fallback pulls: tx id -> full record.
+  struct StoredCert {
+    TrsId trs;
+    Bytes certificate;
+    std::uint32_t overlay_index = 0;
+    std::uint64_t epoch = 0;
+  };
+  std::unordered_map<std::uint64_t, StoredCert> cert_store_;
+  // Transactions this node has already forwarded into the overlay.
+  std::unordered_set<std::uint64_t> forwarded_;
+  std::size_t fallback_pushes_ = 0;
+  RunningStats trs_wait_ms_;
+
+  // Batch reassembly: trs key -> collected shards (+ decode bookkeeping).
+  struct BatchAssembly {
+    std::vector<crypto::Shard> shards;
+    std::uint32_t data_shards = 0;
+    bool decoded = false;
+  };
+  // Ack aggregation: per tx, counts gathered from the subtree; flushed
+  // upward once after ack_aggregate_ms, late arrivals forwarded directly.
+  struct AckState {
+    std::uint32_t pending = 0;
+    bool flushed = false;
+  };
+  std::unordered_map<std::uint64_t, AckState> ack_state_;
+  std::unordered_map<std::uint64_t, std::size_t> acks_of_;  // origin side
+  // Accountability gossip state.
+  std::unordered_set<std::string> seen_reports_;
+  std::unordered_map<net::NodeId, std::unordered_set<net::NodeId>> accusers_;
+  std::unordered_set<net::NodeId> global_excluded_;
+  std::unordered_map<std::string, BatchAssembly> batches_;
+  // (trs key, shard index) pairs already forwarded.
+  std::unordered_set<std::string> chunk_forwarded_;
+  std::size_t batches_decoded_ = 0;
+};
+
+// Builds the overlays (offline phase of Figure 1), certifies them with the
+// committee, and creates HermesNode instances.
+class HermesProtocol final : public Protocol {
+ public:
+  explicit HermesProtocol(HermesConfig config) : config_(std::move(config)) {}
+  std::string_view name() const override { return "hermes"; }
+  std::unique_ptr<ProtocolNode> make_node(ExperimentContext& ctx,
+                                          net::NodeId id) override;
+
+  // Exposes the shared state (overlays, committee) once built.
+  std::shared_ptr<const HermesShared> shared() const { return shared_; }
+
+  // Section VII view change: rebuilds and re-certifies the k overlays
+  // (deterministically from `epoch_seed`), keeps committee and keys, and
+  // installs the new generation on every node. In a deployment the
+  // certified encodings travel the network (their size is what Figure 3b's
+  // per-view-change row charges); the simulator installs them directly.
+  void advance_epoch(ExperimentContext& ctx, std::uint64_t epoch_seed);
+
+ private:
+  HermesConfig config_;
+  std::shared_ptr<const HermesShared> shared_;
+};
+
+// Picks the committee for the experiment: 3f+1 members with at most f
+// non-honest ones, matching the system model's assumption that the
+// committee is not quorum-compromised (Section III). Call after
+// assign_behaviors and before populate.
+std::vector<net::NodeId> pick_committee(const ExperimentContext& ctx,
+                                        std::size_t f, Rng& rng);
+
+}  // namespace hermes::hermes_proto

@@ -1,0 +1,189 @@
+#include "hermes/membership.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hermes::hermes_proto {
+
+// ---------------------------------------------------------------------------
+// PeerSampler
+
+PeerSampler::PeerSampler(net::NodeId self, std::size_t view_size,
+                         std::size_t shuffle_size, Rng rng)
+    : self_(self), view_size_(view_size), shuffle_size_(shuffle_size), rng_(rng) {
+  HERMES_REQUIRE(view_size_ >= 1 && shuffle_size_ >= 1);
+  HERMES_REQUIRE(shuffle_size_ <= view_size_);
+}
+
+bool PeerSampler::contains(net::NodeId id) const {
+  return std::any_of(view_.begin(), view_.end(),
+                     [id](const Descriptor& d) { return d.id == id; });
+}
+
+void PeerSampler::initialize(std::span<const net::NodeId> seeds) {
+  view_.clear();
+  for (net::NodeId s : seeds) {
+    if (s != self_ && !contains(s) && view_.size() < view_size_) {
+      view_.push_back(Descriptor{s, 0});
+    }
+  }
+}
+
+std::optional<PeerSampler::Exchange> PeerSampler::begin_exchange() {
+  if (view_.empty()) return std::nullopt;
+  for (auto& d : view_) ++d.age;
+
+  // Oldest peer becomes the partner and is removed from the view (Cyclon's
+  // age rule bounds how long a dead or malicious descriptor can linger).
+  std::size_t oldest = 0;
+  for (std::size_t i = 1; i < view_.size(); ++i) {
+    if (view_[i].age > view_[oldest].age) oldest = i;
+  }
+  Exchange ex;
+  ex.partner = view_[oldest].id;
+  view_.erase(view_.begin() + static_cast<std::ptrdiff_t>(oldest));
+
+  // Select shuffle_size - 1 random others plus ourselves with age 0.
+  std::vector<std::size_t> order(view_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.shuffle(order);
+  ex.sent.push_back(Descriptor{self_, 0});
+  for (std::size_t i = 0; i < order.size() && ex.sent.size() < shuffle_size_; ++i) {
+    ex.sent.push_back(view_[order[i]]);
+  }
+  return ex;
+}
+
+std::vector<PeerSampler::Descriptor> PeerSampler::answer_exchange(
+    net::NodeId from, std::span<const Descriptor> received) {
+  std::vector<std::size_t> order(view_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.shuffle(order);
+  std::vector<Descriptor> answer;
+  std::vector<Descriptor> given;
+  for (std::size_t i = 0; i < order.size() && answer.size() < shuffle_size_; ++i) {
+    if (view_[order[i]].id == from) continue;
+    answer.push_back(view_[order[i]]);
+    given.push_back(view_[order[i]]);
+  }
+  merge(received, given);
+  return answer;
+}
+
+void PeerSampler::complete_exchange(const Exchange& exchange,
+                                    std::span<const Descriptor> answer) {
+  merge(answer, exchange.sent);
+}
+
+void PeerSampler::merge(std::span<const Descriptor> incoming,
+                        const std::vector<Descriptor>& sent_away) {
+  for (const Descriptor& d : incoming) {
+    if (d.id == self_) continue;
+    bool updated = false;
+    for (auto& existing : view_) {
+      if (existing.id == d.id) {
+        existing.age = std::min(existing.age, d.age);
+        updated = true;
+        break;
+      }
+    }
+    if (updated) continue;
+    if (view_.size() < view_size_) {
+      view_.push_back(d);
+      continue;
+    }
+    // View full: evict a descriptor we just shipped away, else the oldest.
+    auto evict = view_.end();
+    for (auto it = view_.begin(); it != view_.end(); ++it) {
+      const bool shipped = std::any_of(
+          sent_away.begin(), sent_away.end(),
+          [&](const Descriptor& s) { return s.id == it->id; });
+      if (shipped) {
+        evict = it;
+        break;
+      }
+    }
+    if (evict == view_.end()) {
+      evict = view_.begin();
+      for (auto it = view_.begin(); it != view_.end(); ++it) {
+        if (it->age > evict->age) evict = it;
+      }
+    }
+    *evict = d;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epochs
+
+net::Graph induced_subgraph(const net::Graph& g, const std::vector<bool>& active,
+                            std::vector<net::NodeId>* global_of) {
+  HERMES_REQUIRE(active.size() == g.node_count());
+  global_of->clear();
+  std::vector<std::size_t> compact(g.node_count(), SIZE_MAX);
+  for (net::NodeId v = 0; v < g.node_count(); ++v) {
+    if (active[v]) {
+      compact[v] = global_of->size();
+      global_of->push_back(v);
+    }
+  }
+  net::Graph sub(global_of->size());
+  for (net::NodeId v = 0; v < g.node_count(); ++v) {
+    if (!active[v]) continue;
+    for (const net::Edge& e : g.neighbors(v)) {
+      if (e.to > v && active[e.to]) {
+        sub.add_edge(static_cast<net::NodeId>(compact[v]),
+                     static_cast<net::NodeId>(compact[e.to]), e.latency_ms);
+      }
+    }
+  }
+  return sub;
+}
+
+std::optional<std::size_t> EpochOverlays::compact_of(net::NodeId global) const {
+  for (std::size_t i = 0; i < global_of.size(); ++i) {
+    if (global_of[i] == global) return i;
+  }
+  return std::nullopt;
+}
+
+EpochManager::EpochManager(const net::Graph& physical,
+                           overlay::BuilderParams params, std::uint64_t seed)
+    : physical_(physical),
+      params_(params),
+      seed_(seed),
+      active_(physical.node_count(), true) {
+  rebuild();
+}
+
+std::size_t EpochManager::active_count() const {
+  return static_cast<std::size_t>(
+      std::count(active_.begin(), active_.end(), true));
+}
+
+void EpochManager::advance_epoch(std::span<const net::NodeId> joins,
+                                 std::span<const net::NodeId> leaves) {
+  for (net::NodeId v : joins) {
+    HERMES_REQUIRE(v < active_.size());
+    active_[v] = true;
+  }
+  for (net::NodeId v : leaves) {
+    HERMES_REQUIRE(v < active_.size());
+    active_[v] = false;
+  }
+  HERMES_REQUIRE(active_count() >= params_.f + 2);
+  ++current_.epoch;
+  rebuild();
+}
+
+void EpochManager::rebuild() {
+  current_.global_of.clear();
+  const net::Graph sub = induced_subgraph(physical_, active_, &current_.global_of);
+  // Deterministic per-epoch seed: every node can reproduce and verify the
+  // committee's pseudo-random construction (Section VII-B).
+  Rng rng(seed_ ^ (current_.epoch * 0x9e3779b97f4a7c15ULL));
+  current_.set = overlay::build_overlay_set(sub, params_, rng);
+}
+
+}  // namespace hermes::hermes_proto

@@ -1,0 +1,116 @@
+// Dynamic membership support (Section VII): epoch-based overlay
+// reconstruction for permissionless deployments, plus a SecureCyclon-style
+// gossip peer sampler that keeps every node's partial view fresh under
+// churn.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "overlay/builder.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::hermes_proto {
+
+// --- Peer sampling ----------------------------------------------------------
+
+// Cyclon-style shuffling view (Antonov & Voulgaris's SecureCyclon hardens
+// this against over-representation; we keep the age-based core and the
+// bounded per-exchange churn that makes over-representation detectable).
+class PeerSampler {
+ public:
+  struct Descriptor {
+    net::NodeId id = 0;
+    std::uint32_t age = 0;
+  };
+
+  PeerSampler(net::NodeId self, std::size_t view_size, std::size_t shuffle_size,
+              Rng rng);
+
+  net::NodeId self() const { return self_; }
+  const std::vector<Descriptor>& view() const { return view_; }
+  bool contains(net::NodeId id) const;
+
+  // Seeds the initial view (bootstrap list).
+  void initialize(std::span<const net::NodeId> seeds);
+
+  // Starts one shuffle: ages the view, picks the oldest peer as exchange
+  // partner, and selects `shuffle_size` descriptors to send (self with age
+  // 0 always included; the partner's own entry is removed). Returns nullopt
+  // when the view is empty.
+  struct Exchange {
+    net::NodeId partner;
+    std::vector<Descriptor> sent;
+  };
+  std::optional<Exchange> begin_exchange();
+
+  // Passive side: peer `from` sent us `received`; we answer with up to
+  // `shuffle_size` random descriptors (not including `from`).
+  std::vector<Descriptor> answer_exchange(net::NodeId from,
+                                          std::span<const Descriptor> received);
+
+  // Active side completion: merge the partner's answer, preferring fresh
+  // entries, dropping descriptors we sent away when the view overflows.
+  void complete_exchange(const Exchange& exchange,
+                         std::span<const Descriptor> answer);
+
+ private:
+  void merge(std::span<const Descriptor> incoming,
+             const std::vector<Descriptor>& sent_away);
+
+  net::NodeId self_;
+  std::size_t view_size_;
+  std::size_t shuffle_size_;
+  Rng rng_;
+  std::vector<Descriptor> view_;
+};
+
+// --- Epoch-based overlay reconstruction -------------------------------------
+
+// Induced subgraph over the active nodes; `global_of[i]` maps compact id i
+// back to the physical node id.
+net::Graph induced_subgraph(const net::Graph& g, const std::vector<bool>& active,
+                            std::vector<net::NodeId>* global_of);
+
+// Overlays for the active subset, expressed in compact ids with the mapping
+// kept alongside.
+struct EpochOverlays {
+  std::uint64_t epoch = 0;
+  std::vector<net::NodeId> global_of;
+  overlay::OverlaySet set;
+
+  std::optional<std::size_t> compact_of(net::NodeId global) const;
+};
+
+// Recomputes the k overlays for the current active set, deterministically
+// from (epoch, seed) — the committee publishes the seed so every node can
+// verify the pseudo-random construction (Section VII-B).
+class EpochManager {
+ public:
+  EpochManager(const net::Graph& physical, overlay::BuilderParams params,
+               std::uint64_t seed);
+
+  std::uint64_t epoch() const { return current_.epoch; }
+  const EpochOverlays& overlays() const { return current_; }
+  const std::vector<bool>& active() const { return active_; }
+  std::size_t active_count() const;
+
+  // Marks joins/leaves and rebuilds the overlays for the next epoch.
+  // Leaving nodes are removed even if listed in joins. Requires at least
+  // f+2 active nodes afterwards.
+  void advance_epoch(std::span<const net::NodeId> joins,
+                     std::span<const net::NodeId> leaves);
+
+ private:
+  void rebuild();
+
+  const net::Graph& physical_;
+  overlay::BuilderParams params_;
+  std::uint64_t seed_;
+  std::vector<bool> active_;
+  EpochOverlays current_;
+};
+
+}  // namespace hermes::hermes_proto

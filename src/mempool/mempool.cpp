@@ -1,0 +1,138 @@
+#include "mempool/mempool.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hermes::mempool {
+
+crypto::Digest Transaction::hash() const {
+  Bytes material;
+  put_u64_be(material, id);
+  put_u32_be(material, sender);
+  put_u64_be(material, sender_seq);
+  put_u64_be(material, static_cast<std::uint64_t>(payload_bytes));
+  return crypto::sha256(material);
+}
+
+Bytes serialize_batch(std::span<const Transaction> txs) {
+  Bytes out;
+  put_varint(out, txs.size());
+  for (const Transaction& tx : txs) {
+    put_u64_be(out, tx.id);
+    put_u32_be(out, tx.sender);
+    put_u64_be(out, tx.sender_seq);
+    put_varint(out, static_cast<std::uint64_t>(tx.payload_bytes));
+    out.push_back(tx.adversarial ? 1 : 0);
+    put_u64_be(out, tx.victim_id);
+    // The synthetic body: deterministic filler standing in for the real
+    // payload so the batch hash covers payload-sized content.
+    const crypto::Digest filler = tx.hash();
+    append(out, BytesView(filler.data(), filler.size()));
+  }
+  return out;
+}
+
+std::optional<std::vector<Transaction>> deserialize_batch(BytesView bytes) {
+  std::size_t off = 0;
+  std::uint64_t count = 0;
+  if (!get_varint(bytes, &off, &count)) return std::nullopt;
+  std::vector<Transaction> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (off + 20 > bytes.size()) return std::nullopt;
+    Transaction tx;
+    tx.id = get_u64_be(bytes, off);
+    off += 8;
+    tx.sender = get_u32_be(bytes, off);
+    off += 4;
+    tx.sender_seq = get_u64_be(bytes, off);
+    off += 8;
+    std::uint64_t payload = 0;
+    if (!get_varint(bytes, &off, &payload)) return std::nullopt;
+    tx.payload_bytes = static_cast<std::size_t>(payload);
+    if (off + 1 + 8 + crypto::kSha256DigestSize > bytes.size()) {
+      return std::nullopt;
+    }
+    tx.adversarial = bytes[off++] != 0;
+    tx.victim_id = get_u64_be(bytes, off);
+    off += 8;
+    off += crypto::kSha256DigestSize;  // skip filler
+    out.push_back(tx);
+  }
+  if (off != bytes.size()) return std::nullopt;
+  return out;
+}
+
+std::size_t batch_wire_size(std::span<const Transaction> txs) {
+  std::size_t total = 8;
+  for (const Transaction& tx : txs) total += tx.payload_bytes + 29;
+  return total;
+}
+
+crypto::Digest batch_hash(std::span<const Transaction> txs) {
+  return crypto::sha256(serialize_batch(txs));
+}
+
+bool Mempool::insert(const Transaction& tx, sim::SimTime now) {
+  const auto [it, inserted] =
+      entries_.try_emplace(tx.id, Entry{tx, now, arrival_order_.size()});
+  if (inserted) arrival_order_.push_back(tx.id);
+  return inserted;
+}
+
+bool Mempool::contains(std::uint64_t tx_id) const {
+  return entries_.count(tx_id) > 0;
+}
+
+std::optional<Transaction> Mempool::get(std::uint64_t tx_id) const {
+  const auto it = entries_.find(tx_id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.tx;
+}
+
+sim::SimTime Mempool::arrival_time(std::uint64_t tx_id) const {
+  const auto it = entries_.find(tx_id);
+  return it == entries_.end() ? -1.0 : it->second.arrived;
+}
+
+std::size_t Mempool::arrival_position(std::uint64_t tx_id) const {
+  const auto it = entries_.find(tx_id);
+  return it == entries_.end() ? SIZE_MAX : it->second.position;
+}
+
+void Mempool::add_commitment(const Commitment& c) {
+  std::string key = hex_encode(BytesView(c.tx_hash.data(), c.tx_hash.size()));
+  const auto [it, inserted] =
+      commitments_.try_emplace(std::move(key), commitment_order_.size());
+  if (inserted) commitment_order_.push_back(it->first);
+}
+
+bool Mempool::has_commitment(const crypto::Digest& tx_hash) const {
+  return commitments_.count(
+             hex_encode(BytesView(tx_hash.data(), tx_hash.size()))) > 0;
+}
+
+std::size_t Mempool::commitment_position(const crypto::Digest& tx_hash) const {
+  const auto it =
+      commitments_.find(hex_encode(BytesView(tx_hash.data(), tx_hash.size())));
+  return it == commitments_.end() ? SIZE_MAX : it->second;
+}
+
+std::vector<std::uint64_t> Mempool::digest() const {
+  std::vector<std::uint64_t> ids = arrival_order_;
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::uint64_t> Mempool::missing_from(
+    const std::vector<std::uint64_t>& peer_digest) const {
+  HERMES_DCHECK(std::is_sorted(peer_digest.begin(), peer_digest.end()));
+  std::vector<std::uint64_t> mine = digest();
+  std::vector<std::uint64_t> out;
+  std::set_difference(mine.begin(), mine.end(), peer_digest.begin(),
+                      peer_digest.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace hermes::mempool

@@ -1,0 +1,65 @@
+// Per-node mempool with LØ-style commitments and reconciliation digests.
+//
+// The mempool records the order in which transactions became known to the
+// node (the arrival log), which is what the front-running experiments
+// examine: an attack succeeds when the adversarial transaction precedes the
+// victim transaction in the block-inclusion order, which miners derive from
+// their arrival logs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mempool/transaction.hpp"
+
+namespace hermes::mempool {
+
+class Mempool {
+ public:
+  // Returns true when the transaction was new.
+  bool insert(const Transaction& tx, sim::SimTime now);
+  bool contains(std::uint64_t tx_id) const;
+  std::optional<Transaction> get(std::uint64_t tx_id) const;
+  std::size_t size() const { return arrival_order_.size(); }
+
+  // Arrival order (first insertion). Front-running analysis reads this.
+  const std::vector<std::uint64_t>& arrival_order() const {
+    return arrival_order_;
+  }
+  sim::SimTime arrival_time(std::uint64_t tx_id) const;
+  // Position of tx in the arrival log; SIZE_MAX when absent.
+  std::size_t arrival_position(std::uint64_t tx_id) const;
+
+  // LØ commitments: register before the body is known. First registration
+  // fixes the commitment's position in the commitment arrival log, which
+  // is the order LØ's witnesses hold miners to.
+  void add_commitment(const Commitment& c);
+  bool has_commitment(const crypto::Digest& tx_hash) const;
+  std::size_t commitment_count() const { return commitment_order_.size(); }
+  // Position of the commitment in arrival order; SIZE_MAX when absent.
+  std::size_t commitment_position(const crypto::Digest& tx_hash) const;
+
+  // Reconciliation digest: sorted tx ids (compact form of LØ's set
+  // reconciliation). `missing_from` returns ids present here and absent in
+  // the peer's digest.
+  std::vector<std::uint64_t> digest() const;
+  std::vector<std::uint64_t> missing_from(
+      const std::vector<std::uint64_t>& peer_digest) const;
+
+ private:
+  struct Entry {
+    Transaction tx;
+    sim::SimTime arrived;
+    std::size_t position;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::vector<std::uint64_t> arrival_order_;
+  // hex of tx hash -> position in commitment arrival order.
+  std::unordered_map<std::string, std::size_t> commitments_;
+  std::vector<std::string> commitment_order_;
+};
+
+}  // namespace hermes::mempool

@@ -1,0 +1,177 @@
+#include "net/connectivity.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hermes::net {
+
+namespace {
+
+// Unit-capacity flow network over the vertex-split graph.
+// Vertex v becomes in-node 2v and out-node 2v+1.
+struct FlowNetwork {
+  struct Arc {
+    std::uint32_t to;
+    std::int32_t cap;
+    std::uint32_t rev;  // index of the reverse arc in adj[to]
+  };
+
+  explicit FlowNetwork(std::size_t vertex_count) : adj(vertex_count * 2) {}
+
+  void add_arc(std::uint32_t from, std::uint32_t to, std::int32_t cap) {
+    adj[from].push_back(Arc{to, cap, static_cast<std::uint32_t>(adj[to].size())});
+    adj[to].push_back(Arc{from, 0, static_cast<std::uint32_t>(adj[from].size() - 1)});
+  }
+
+  // One BFS augmentation of value 1; returns false when no augmenting path.
+  bool augment(std::uint32_t s, std::uint32_t t) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parent(
+        adj.size(), {UINT32_MAX, UINT32_MAX});  // (node, arc index)
+    std::queue<std::uint32_t> q;
+    q.push(s);
+    parent[s] = {s, UINT32_MAX};
+    while (!q.empty() && parent[t].first == UINT32_MAX) {
+      const std::uint32_t v = q.front();
+      q.pop();
+      for (std::uint32_t i = 0; i < adj[v].size(); ++i) {
+        const Arc& a = adj[v][i];
+        if (a.cap > 0 && parent[a.to].first == UINT32_MAX) {
+          parent[a.to] = {v, i};
+          q.push(a.to);
+        }
+      }
+    }
+    if (parent[t].first == UINT32_MAX) return false;
+    // Walk back and push one unit.
+    std::uint32_t cur = t;
+    while (cur != s) {
+      const auto [prev, arc_idx] = parent[cur];
+      Arc& a = adj[prev][arc_idx];
+      a.cap -= 1;
+      adj[a.to][a.rev].cap += 1;
+      cur = prev;
+    }
+    return true;
+  }
+
+  std::vector<std::vector<Arc>> adj;
+};
+
+constexpr std::int32_t kBigCap = 1 << 28;
+
+std::uint32_t in_node(NodeId v) { return 2 * v; }
+std::uint32_t out_node(NodeId v) { return 2 * v + 1; }
+
+FlowNetwork build_split_network(const Graph& g, NodeId s, NodeId t) {
+  FlowNetwork net(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::int32_t cap = (v == s || v == t) ? kBigCap : 1;
+    net.add_arc(in_node(v), out_node(v), cap);
+    for (const Edge& e : g.neighbors(v)) {
+      net.add_arc(out_node(v), in_node(e.to), 1);
+    }
+  }
+  return net;
+}
+
+// Max flow from s to t on the split network, stopping early once `cap`
+// augmenting paths are found (cap == SIZE_MAX for exact flow).
+std::size_t bounded_disjoint_paths(const Graph& g, NodeId s, NodeId t,
+                                   std::size_t cap, FlowNetwork* keep = nullptr) {
+  FlowNetwork net = build_split_network(g, s, t);
+  std::size_t flow = 0;
+  while (flow < cap && net.augment(out_node(s), in_node(t))) ++flow;
+  if (keep) *keep = std::move(net);
+  return flow;
+}
+
+}  // namespace
+
+std::size_t max_vertex_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
+  HERMES_REQUIRE(s != t);
+  return bounded_disjoint_paths(g, s, t, SIZE_MAX);
+}
+
+std::vector<std::vector<NodeId>> vertex_disjoint_paths(const Graph& g, NodeId s,
+                                                       NodeId t,
+                                                       std::size_t want) {
+  HERMES_REQUIRE(s != t);
+  FlowNetwork net(0);
+  const std::size_t flow = bounded_disjoint_paths(g, s, t, want, &net);
+
+  // Flow decomposition. An out(u) -> in(v) arc with u != v is a forward
+  // edge arc (original capacity 1); it carried one flow unit iff its
+  // residual capacity is now 0. Unit vertex capacities mean every
+  // intermediate vertex has at most one flow successor, so following
+  // successors from s yields vertex-disjoint paths directly.
+  std::vector<std::vector<NodeId>> successors(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const auto& a : net.adj[out_node(u)]) {
+      const bool is_edge_arc = (a.to % 2 == 0) && (a.to / 2 != u);
+      if (is_edge_arc && a.cap == 0) {
+        successors[u].push_back(static_cast<NodeId>(a.to / 2));
+      }
+    }
+  }
+
+  std::vector<std::vector<NodeId>> paths;
+  for (std::size_t p = 0; p < flow; ++p) {
+    std::vector<NodeId> path{s};
+    NodeId cur = s;
+    while (cur != t) {
+      HERMES_REQUIRE(!successors[cur].empty());
+      const NodeId next = successors[cur].back();
+      successors[cur].pop_back();
+      path.push_back(next);
+      cur = next;
+      // Bounded by construction; guard against malformed flow anyway.
+      HERMES_REQUIRE(path.size() <= g.node_count() + 1);
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::size_t vertex_connectivity(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n < 2) return 0;
+  if (!g.is_connected()) return 0;
+
+  // Complete graph: kappa = n - 1 (no non-adjacent pair exists).
+  std::size_t min_degree = SIZE_MAX;
+  NodeId v0 = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) < min_degree) {
+      min_degree = g.degree(v);
+      v0 = v;
+    }
+  }
+  if (min_degree == n - 1) return n - 1;
+
+  // kappa <= deg(v0), so the minimum cut misses at least one vertex of
+  // {v0} union N(v0); flows from every member of that set to every
+  // non-neighbor cover all cuts.
+  std::size_t best = min_degree;
+  std::vector<NodeId> sources{v0};
+  for (const Edge& e : g.neighbors(v0)) sources.push_back(e.to);
+  for (NodeId s : sources) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == s || g.has_edge(s, u)) continue;
+      best = std::min(best, bounded_disjoint_paths(g, s, u, best + 1));
+      if (best == 0) return 0;
+    }
+  }
+  return best;
+}
+
+bool is_k_vertex_connected(const Graph& g, std::size_t k) {
+  if (k == 0) return true;
+  const std::size_t n = g.node_count();
+  if (n < k + 1) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) < k) return false;
+  }
+  return vertex_connectivity(g) >= k;
+}
+
+}  // namespace hermes::net

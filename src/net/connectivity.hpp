@@ -1,0 +1,34 @@
+// Vertex connectivity and vertex-disjoint path extraction (Menger).
+//
+// HERMES relies on two connectivity facts: the physical network reaches
+// every node through at least t disjoint paths (Section III), and senders
+// inject messages into an overlay's f+1 entry points through f+1
+// vertex-disjoint paths (Section IV). Both reduce to unit-capacity max-flow
+// on the vertex-split graph.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace hermes::net {
+
+// Maximum number of internally-vertex-disjoint s-t paths (s != t). For
+// adjacent s, t the direct edge counts as one path.
+std::size_t max_vertex_disjoint_paths(const Graph& g, NodeId s, NodeId t);
+
+// Extracts up to `want` internally-vertex-disjoint s-t paths (each path
+// includes both endpoints). Fewer are returned if the graph cannot supply
+// them.
+std::vector<std::vector<NodeId>> vertex_disjoint_paths(const Graph& g, NodeId s,
+                                                       NodeId t, std::size_t want);
+
+// Exact global vertex connectivity kappa(G) using Even's pair-selection
+// rule (flows from a fixed vertex plus flows among its neighborhood).
+// Returns n-1 for complete graphs, 0 for disconnected graphs.
+std::size_t vertex_connectivity(const Graph& g);
+
+// True iff kappa(G) >= k.
+bool is_k_vertex_connected(const Graph& g, std::size_t k);
+
+}  // namespace hermes::net

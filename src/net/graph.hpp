@@ -1,0 +1,58 @@
+// Labeled undirected graph G = (V, E) with per-edge latencies — the
+// physical network model from Section III of the paper.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace hermes::net {
+
+using NodeId = std::uint32_t;
+inline constexpr double kInfLatency = std::numeric_limits<double>::infinity();
+
+struct Edge {
+  NodeId to = 0;
+  double latency_ms = 0.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const;  // undirected edges
+
+  NodeId add_node();
+  // Adds an undirected edge; no-op (keeping the first latency) if present.
+  void add_edge(NodeId a, NodeId b, double latency_ms);
+  void remove_edge(NodeId a, NodeId b);
+  bool has_edge(NodeId a, NodeId b) const;
+  // Latency of edge (a, b); nullopt if absent.
+  std::optional<double> edge_latency(NodeId a, NodeId b) const;
+
+  const std::vector<Edge>& neighbors(NodeId v) const {
+    HERMES_DCHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  // Single-source shortest path latencies (Dijkstra). Unreachable nodes get
+  // kInfLatency.
+  std::vector<double> shortest_latencies(NodeId source) const;
+  // Hop distances (BFS). Unreachable nodes get SIZE_MAX.
+  std::vector<std::size_t> hop_distances(NodeId source) const;
+
+  bool is_connected() const;
+  // Sum over all ordered pairs of shortest-path latency / (n * (n-1)).
+  double average_pairwise_latency() const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace hermes::net

@@ -1,0 +1,70 @@
+// Physical network synthesis following the paper's experimental setup
+// (Section VIII-A): nodes spread over nine geographic regions, intra-region
+// latency drawn from an inverse-gamma distribution (alpha = 2.5, beta = 14)
+// and inter-region latency from a normal distribution (mu = 90 ms,
+// sigma^2 = 20), truncated at a small positive floor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::net {
+
+enum class Region : std::uint8_t {
+  kNewYork,
+  kSingapore,
+  kFrankfurt,
+  kSydney,
+  kTokyo,
+  kIreland,
+  kOhio,
+  kCalifornia,
+  kLondon,
+};
+inline constexpr std::size_t kRegionCount = 9;
+std::string_view region_name(Region r);
+
+struct LatencyModelParams {
+  double intra_alpha = 2.5;   // inverse-gamma shape
+  double intra_beta = 14.0;   // inverse-gamma scale
+  double inter_mean = 90.0;   // ms
+  double inter_variance = 20.0;
+  double floor_ms = 0.1;  // physical lower bound on any link
+};
+
+// Samples link latencies given the endpoint regions.
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelParams params = {});
+  double sample(Region a, Region b, Rng& rng) const;
+
+ private:
+  LatencyModelParams params_;
+};
+
+struct TopologyParams {
+  std::size_t node_count = 200;
+  // Each node is wired to at least this many random peers; the generator
+  // then repairs until the graph is `connectivity`-vertex-connected
+  // (Section III assumes t disjoint paths to every node).
+  std::size_t min_degree = 6;
+  std::size_t connectivity = 2;  // t
+  // Probability that a random peer is drawn from the same region.
+  double locality_bias = 0.5;
+  LatencyModelParams latency = {};
+};
+
+struct Topology {
+  Graph graph;
+  std::vector<Region> regions;  // node -> region
+};
+
+// Deterministic synthesis given the rng seed.
+Topology make_topology(const TopologyParams& params, Rng& rng);
+
+}  // namespace hermes::net

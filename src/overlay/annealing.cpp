@@ -1,0 +1,282 @@
+#include "overlay/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace hermes::overlay {
+
+namespace {
+
+// Lazily caches single-source shortest-path latencies of the physical
+// graph, so logical-link costs stay cheap inside the annealing loop.
+class LinkCostCache {
+ public:
+  explicit LinkCostCache(const net::Graph& g) : g_(g) {}
+
+  double cost(NodeId a, NodeId b) {
+    if (const auto lat = g_.edge_latency(a, b)) return *lat;
+    auto it = cache_.find(a);
+    if (it == cache_.end()) {
+      it = cache_.emplace(a, g_.shortest_latencies(a)).first;
+    }
+    return it->second[b];
+  }
+
+  bool physical(NodeId a, NodeId b) const { return g_.has_edge(a, b); }
+
+ private:
+  const net::Graph& g_;
+  std::unordered_map<NodeId, std::vector<double>> cache_;
+};
+
+// Repairs the overlay after a random move: every non-last-layer node gets
+// back to >= f+1 successors, every non-entry node to >= f+1 predecessors
+// (Algorithm 3 step 2, extended to predecessors which the delivery
+// guarantee needs).
+void repair_connectivity(Overlay& o, const AnnealingParams& params,
+                         LinkCostCache& costs) {
+  const std::size_t f = o.f();
+  const auto layer_list = o.layers();
+  const std::size_t deepest = layer_list.size() - 1;
+
+  for (std::size_t d = 1; d < deepest; ++d) {
+    for (NodeId v : layer_list[d]) {
+      while (o.successors(v).size() < f + 1) {
+        // Cheapest next-layer node not already a successor.
+        NodeId best = net::NodeId(-1);
+        double best_cost = net::kInfLatency;
+        for (NodeId c : layer_list[d + 1]) {
+          if (o.has_link(v, c)) continue;
+          if (params.physical_links_only && !costs.physical(v, c)) continue;
+          const double w = costs.cost(v, c);
+          if (w < best_cost) {
+            best_cost = w;
+            best = c;
+          }
+        }
+        if (best == net::NodeId(-1) && params.physical_links_only) {
+          // No physical candidate left; fall back to a logical link.
+          for (NodeId c : layer_list[d + 1]) {
+            if (o.has_link(v, c)) continue;
+            const double w = costs.cost(v, c);
+            if (w < best_cost) {
+              best_cost = w;
+              best = c;
+            }
+          }
+        }
+        if (best == net::NodeId(-1)) break;  // layer exhausted
+        o.add_link(v, best, best_cost);
+      }
+    }
+  }
+
+  for (std::size_t d = 2; d <= deepest; ++d) {
+    for (NodeId v : layer_list[d]) {
+      while (o.predecessors(v).size() < f + 1) {
+        NodeId best = net::NodeId(-1);
+        double best_cost = net::kInfLatency;
+        for (std::size_t pd = 1; pd < d; ++pd) {
+          for (NodeId p : layer_list[pd]) {
+            if (o.has_link(p, v)) continue;
+            if (params.physical_links_only && !costs.physical(p, v)) continue;
+            const double w = costs.cost(p, v);
+            if (w < best_cost) {
+              best_cost = w;
+              best = p;
+            }
+          }
+        }
+        if (best == net::NodeId(-1)) {
+          for (std::size_t pd = 1; pd < d; ++pd) {
+            for (NodeId p : layer_list[pd]) {
+              if (o.has_link(p, v)) continue;
+              const double w = costs.cost(p, v);
+              if (w < best_cost) {
+                best_cost = w;
+                best = p;
+              }
+            }
+          }
+        }
+        if (best == net::NodeId(-1)) break;
+        o.add_link(best, v, best_cost);
+      }
+    }
+  }
+}
+
+Overlay neighbor_move(const Overlay& current, const net::Graph& /*g*/,
+                      const RankTable& ranks, const AnnealingParams& params,
+                      LinkCostCache& costs, Rng& rng) {
+  Overlay o = current;
+  const auto layer_list = o.layers();
+  const std::size_t deepest = layer_list.size() - 1;
+  const std::size_t f = o.f();
+
+  // --- Step 1: randomly add or remove an edge between consecutive layers.
+  if (rng.uniform01() < 0.5 && o.edge_count() > 0) {
+    // Remove a random edge (uniform over parents weighted by out-degree).
+    std::vector<NodeId> parents;
+    for (NodeId v = 0; v < o.node_count(); ++v) {
+      if (!o.successors(v).empty()) parents.push_back(v);
+    }
+    if (!parents.empty()) {
+      const NodeId p = parents[rng.uniform_u64(parents.size())];
+      const auto& succ = o.successors(p);
+      const NodeId c = succ[rng.uniform_u64(succ.size())];
+      o.remove_link(p, c);
+    }
+  } else if (deepest >= 2) {
+    // Add an edge between consecutive layers.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::size_t d = 1 + rng.uniform_u64(deepest - 1);  // parent layer
+      if (layer_list[d].empty() || layer_list[d + 1].empty()) continue;
+      const NodeId p = layer_list[d][rng.uniform_u64(layer_list[d].size())];
+      const NodeId c = layer_list[d + 1][rng.uniform_u64(layer_list[d + 1].size())];
+      if (o.has_link(p, c)) continue;
+      if (params.physical_links_only && !costs.physical(p, c)) continue;
+      o.add_link(p, c, costs.cost(p, c));
+      break;
+    }
+  }
+
+  // --- Step 2: restore f+1 connectivity.
+  repair_connectivity(o, params, costs);
+
+  // --- Step 3: rank-penalty adjustment — nodes sitting near the root with
+  // excess edges shed load; children with spare predecessors lose the link
+  // from the low-rank node (the repair pass above would re-add elsewhere on
+  // later iterations if needed).
+  double mean_rank = 0.0;
+  for (double r : ranks) mean_rank += r;
+  mean_rank /= static_cast<double>(ranks.size() == 0 ? 1 : ranks.size());
+  for (std::size_t d = 1; d <= 2 && d < layer_list.size(); ++d) {
+    for (NodeId v : layer_list[d]) {
+      if (ranks[v] <= mean_rank) continue;       // not over-favored
+      if (o.successors(v).size() <= f + 1) continue;  // no extra edges
+      // Drop the link to the child with the most redundancy.
+      NodeId victim = net::NodeId(-1);
+      std::size_t most_preds = f + 1;
+      for (NodeId c : o.successors(v)) {
+        if (o.predecessors(c).size() > most_preds) {
+          most_preds = o.predecessors(c).size();
+          victim = c;
+        }
+      }
+      if (victim != net::NodeId(-1)) o.remove_link(v, victim);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+double objective_value(const Overlay& o, const RankTable& ranks,
+                       const ObjectiveWeights& w) {
+  const std::size_t n = o.node_count();
+  const std::size_t f = o.f();
+
+  const double num_edges = static_cast<double>(o.edge_count());
+
+  const auto dist = o.dissemination_latencies();
+  double latency_sum = 0.0;
+  std::size_t unreachable = 0;
+  for (double d : dist) {
+    if (d == net::kInfLatency) {
+      ++unreachable;
+    } else {
+      latency_sum += d;
+    }
+  }
+  const double avg_latency =
+      latency_sum / static_cast<double>(n - std::min(unreachable, n - 1));
+
+  const auto layer_list = o.layers();
+  const std::size_t deepest = layer_list.size() - 1;
+  double connectivity_penalty = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t d = o.depth(v);
+    if (d >= 1 && d < deepest && o.successors(v).size() < f + 1) {
+      connectivity_penalty +=
+          static_cast<double>(f + 1 - o.successors(v).size());
+    }
+    if (d > 1 && o.predecessors(v).size() < f + 1) {
+      connectivity_penalty +=
+          static_cast<double>(f + 1 - o.predecessors(v).size());
+    }
+  }
+
+  const double path_penalty = static_cast<double>(unreachable);
+
+  // Rank penalty. Ranks accumulate *root proximity* (see robust_tree.cpp):
+  // a node with above-average rank has already been favored with near-root
+  // positions, so placing it shallow again is penalized, weighted by
+  // 1/depth so the pressure is strongest at the root.
+  double mean_rank = 0.0;
+  for (double r : ranks) mean_rank += r;
+  mean_rank /= static_cast<double>(n);
+  double rank_penalty = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const double excess = ranks[v] - mean_rank;
+    if (excess > 0.0 && o.depth(v) >= 1) {
+      rank_penalty += excess / static_cast<double>(o.depth(v));
+    }
+  }
+
+  return w.edges * num_edges + w.latency * avg_latency +
+         w.connectivity * connectivity_penalty + w.path * path_penalty +
+         w.rank * rank_penalty;
+}
+
+Overlay generate_neighbor(const Overlay& current, const net::Graph& g,
+                          const RankTable& ranks, const AnnealingParams& params,
+                          Rng& rng) {
+  LinkCostCache costs(g);
+  Overlay candidate = neighbor_move(current, g, ranks, params, costs, rng);
+  if (params.greedy_neighbor_filter &&
+      objective_value(candidate, ranks, params.weights) >=
+          objective_value(current, ranks, params.weights)) {
+    return current;  // Algorithm 3 step 4: discard if no improvement
+  }
+  return candidate;
+}
+
+Overlay anneal(const Overlay& initial, const net::Graph& g,
+               const RankTable& ranks, const AnnealingParams& params, Rng& rng) {
+  LinkCostCache costs(g);
+  Overlay current = initial;
+  Overlay best = initial;
+  double current_value = objective_value(current, ranks, params.weights);
+  double best_value = current_value;
+
+  double t = params.initial_temperature;
+  while (t > params.min_temperature) {
+    for (std::size_t move = 0; move < params.moves_per_temperature; ++move) {
+      Overlay candidate = neighbor_move(current, g, ranks, params, costs, rng);
+      const double candidate_value =
+          objective_value(candidate, ranks, params.weights);
+      if (params.greedy_neighbor_filter && candidate_value >= current_value) {
+        continue;
+      }
+      const bool accept =
+          candidate_value < current_value ||
+          std::exp(-(candidate_value - current_value) / t) > rng.uniform01();
+      if (accept) {
+        current = std::move(candidate);
+        current_value = candidate_value;
+        if (current_value < best_value) {
+          best = current;
+          best_value = current_value;
+        }
+      }
+    }
+    t *= params.cooling_rate;
+  }
+  return best;
+}
+
+}  // namespace hermes::overlay

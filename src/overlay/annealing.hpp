@@ -1,0 +1,69 @@
+// Overlay latency minimization and role balancing via simulated annealing
+// (Section V-B, Algorithms 2 and 3).
+//
+// The objective is Equation (1):
+//
+//   objective = num_edges + avg_latency + connectivity_penalty
+//             + path_penalty + rank_penalty
+//
+// where each term carries a configurable weight (the paper leaves the
+// scaling implicit; defaults below were tuned so that no single term
+// dominates at N in the low hundreds):
+//   - num_edges: |E| of the overlay — pruning pressure;
+//   - avg_latency: mean earliest-arrival latency from the entry set;
+//   - connectivity_penalty: per non-leaf node missing successors below
+//     f+1, and per non-entry node missing predecessors below f+1;
+//   - path_penalty: per node unreachable from the entry set;
+//   - rank_penalty: pressure to keep nodes with low accumulated rank
+//     (already favored in earlier overlays) away from the root.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+#include "overlay/overlay.hpp"
+#include "overlay/robust_tree.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::overlay {
+
+struct ObjectiveWeights {
+  double edges = 0.05;
+  double latency = 1.0;
+  double connectivity = 50.0;  // strong: these are hard requirements
+  double path = 100.0;
+  double rank = 2.0;
+};
+
+struct AnnealingParams {
+  double initial_temperature = 50.0;
+  double min_temperature = 0.05;
+  double cooling_rate = 0.97;  // alpha in Algorithm 2
+  // Neighbor moves explored at each temperature step.
+  std::size_t moves_per_temperature = 8;
+  // Restrict edge additions to physical links of G; logical fallbacks use
+  // shortest-path latencies (same rule as robust-tree integration).
+  bool physical_links_only = true;
+  // When true, GenerateNeighbor discards non-improving candidates before
+  // the SA accept rule, as literally written in Algorithm 3 step 4. The
+  // default keeps the standard SA accept rule of Algorithm 2.
+  bool greedy_neighbor_filter = false;
+  ObjectiveWeights weights;
+};
+
+// Equation (1). Lower is better.
+double objective_value(const Overlay& o, const RankTable& ranks,
+                       const ObjectiveWeights& weights);
+
+// One random neighbor move (Algorithm 3): add or remove an edge between
+// consecutive layers, then repair f+1-connectivity, then push low-rank
+// nodes' excess links toward higher-rank, deeper nodes.
+Overlay generate_neighbor(const Overlay& current, const net::Graph& g,
+                          const RankTable& ranks, const AnnealingParams& params,
+                          Rng& rng);
+
+// Algorithm 2: returns the best overlay found.
+Overlay anneal(const Overlay& initial, const net::Graph& g,
+               const RankTable& ranks, const AnnealingParams& params, Rng& rng);
+
+}  // namespace hermes::overlay

@@ -1,0 +1,43 @@
+#include "overlay/builder.hpp"
+
+#include <algorithm>
+
+namespace hermes::overlay {
+
+OverlaySet build_overlay_set(const net::Graph& g, const BuilderParams& params,
+                             Rng& rng) {
+  OverlaySet set;
+  set.final_ranks.assign(g.node_count(), 0.0);
+  set.overlays.reserve(params.k);
+
+  RobustTreeParams tree_params = params.tree;
+  tree_params.f = params.f;
+
+  for (std::size_t l = 0; l < params.k; ++l) {
+    // Rank snapshot before this tree: the builder updates ranks itself;
+    // annealing should judge rank penalties against the pre-update table so
+    // the current tree is not penalized for its own placements.
+    RankTable before = set.final_ranks;
+    if (!params.rotate_roles) {
+      // Ablation mode: every tree sees zero ranks (no rotation pressure).
+      std::fill(set.final_ranks.begin(), set.final_ranks.end(), 0.0);
+      before = set.final_ranks;
+    }
+    Overlay tree = build_robust_tree(g, tree_params, set.final_ranks);
+    if (params.optimize) {
+      Rng anneal_rng = rng.fork(0x5eedl + l);
+      tree = anneal(tree, g, before, params.annealing, anneal_rng);
+      // Re-derive the rank contribution (root proximity, see
+      // robust_tree.cpp) from the optimized depths.
+      const double max_depth = static_cast<double>(tree.max_depth());
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        set.final_ranks[v] =
+            before[v] + max_depth - static_cast<double>(tree.depth(v)) + 1.0;
+      }
+    }
+    set.overlays.push_back(std::move(tree));
+  }
+  return set;
+}
+
+}  // namespace hermes::overlay

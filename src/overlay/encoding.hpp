@@ -1,0 +1,41 @@
+// Compact overlay wire encoding and committee certification — Algorithm 5
+// (Robust Tree Encoding).
+//
+// Before dissemination starts (and after each re-optimization in a
+// permissionless epoch), every node receives the k overlay descriptions
+// signed by a 2f+1 threshold of the 3f+1 committee. Nodes verify the
+// signature before adopting the structure, which is what lets them later
+// audit predecessor legitimacy claims (Section VI-C).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/signer.hpp"
+#include "overlay/overlay.hpp"
+
+namespace hermes::overlay {
+
+// Varint-based encoding: header (node count, f, entry points), then each
+// node's depth and delta-compressed successor list.
+hermes::Bytes encode_overlay(const Overlay& o);
+std::optional<Overlay> decode_overlay(hermes::BytesView bytes);
+
+struct CertifiedOverlay {
+  hermes::Bytes encoded;
+  hermes::Bytes signature;  // combined threshold signature over `encoded`
+};
+
+// Committee members partially sign the encoding; any 2f+1 partials combine
+// (Algorithm 5 steps 1-2). Returns nullopt if combination fails.
+std::optional<CertifiedOverlay> certify_overlay(
+    const Overlay& o, const crypto::ThresholdScheme& scheme);
+
+// Full verification a node performs before installing an overlay: the
+// threshold signature checks out and the decoded structure passes the
+// structural invariants.
+bool verify_certified_overlay(const CertifiedOverlay& cert,
+                              const crypto::ThresholdScheme& scheme,
+                              Overlay* decoded_out = nullptr);
+
+}  // namespace hermes::overlay

@@ -1,0 +1,152 @@
+#include "overlay/overlay.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace hermes::overlay {
+
+Overlay::Overlay(std::size_t node_count, std::size_t f)
+    : f_(f),
+      depth_(node_count, 0),
+      succ_(node_count),
+      pred_(node_count),
+      succ_latency_(node_count) {}
+
+std::size_t Overlay::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& s : succ_) total += s.size();
+  return total;
+}
+
+std::size_t Overlay::max_depth() const {
+  std::size_t m = 0;
+  for (std::size_t d : depth_) m = std::max(m, d);
+  return m;
+}
+
+bool Overlay::is_entry(NodeId v) const {
+  return std::find(entry_points_.begin(), entry_points_.end(), v) !=
+         entry_points_.end();
+}
+
+void Overlay::add_entry_point(NodeId v) {
+  HERMES_REQUIRE(v < depth_.size());
+  HERMES_REQUIRE(!is_entry(v));
+  entry_points_.push_back(v);
+  depth_[v] = 1;
+}
+
+void Overlay::remove_entry_point(NodeId v) {
+  entry_points_.erase(std::remove(entry_points_.begin(), entry_points_.end(), v),
+                      entry_points_.end());
+}
+
+void Overlay::add_link(NodeId parent, NodeId child, double latency_ms) {
+  HERMES_REQUIRE(parent < depth_.size() && child < depth_.size());
+  HERMES_REQUIRE(depth_[parent] >= 1 && depth_[child] >= 1);
+  HERMES_REQUIRE(depth_[parent] < depth_[child]);
+  if (has_link(parent, child)) return;
+  succ_[parent].push_back(child);
+  succ_latency_[parent].push_back(latency_ms);
+  pred_[child].push_back(parent);
+}
+
+void Overlay::remove_link(NodeId parent, NodeId child) {
+  auto& s = succ_[parent];
+  auto& sl = succ_latency_[parent];
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == child) {
+      s.erase(s.begin() + static_cast<std::ptrdiff_t>(i));
+      sl.erase(sl.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  auto& p = pred_[child];
+  p.erase(std::remove(p.begin(), p.end(), parent), p.end());
+}
+
+bool Overlay::has_link(NodeId parent, NodeId child) const {
+  const auto& s = succ_[parent];
+  return std::find(s.begin(), s.end(), child) != s.end();
+}
+
+double Overlay::link_latency(NodeId parent, NodeId child) const {
+  const auto& s = succ_[parent];
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == child) return succ_latency_[parent][i];
+  }
+  return net::kInfLatency;
+}
+
+std::vector<double> Overlay::dissemination_latencies() const {
+  std::vector<double> dist(depth_.size(), net::kInfLatency);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (NodeId e : entry_points_) {
+    dist[e] = 0.0;
+    pq.emplace(0.0, e);
+  }
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (std::size_t i = 0; i < succ_[v].size(); ++i) {
+      const NodeId u = succ_[v][i];
+      const double nd = d + succ_latency_[v][i];
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::string> Overlay::validate() const {
+  std::vector<std::string> errors;
+  if (entry_points_.size() != f_ + 1) {
+    errors.push_back("expected " + std::to_string(f_ + 1) + " entry points, got " +
+                     std::to_string(entry_points_.size()));
+  }
+  for (NodeId e : entry_points_) {
+    if (depth_[e] != 1) {
+      errors.push_back("entry point " + std::to_string(e) + " not at depth 1");
+    }
+  }
+  for (NodeId v = 0; v < depth_.size(); ++v) {
+    if (depth_[v] == 0) {
+      errors.push_back("node " + std::to_string(v) + " not placed");
+      continue;
+    }
+    if (!is_entry(v) && pred_[v].size() < f_ + 1) {
+      errors.push_back("node " + std::to_string(v) + " has only " +
+                       std::to_string(pred_[v].size()) + " predecessors (< f+1)");
+    }
+    for (NodeId u : succ_[v]) {
+      if (depth_[u] <= depth_[v]) {
+        errors.push_back("edge " + std::to_string(v) + "->" + std::to_string(u) +
+                         " does not increase depth");
+      }
+    }
+  }
+  const auto dist = dissemination_latencies();
+  for (NodeId v = 0; v < depth_.size(); ++v) {
+    if (dist[v] == net::kInfLatency) {
+      errors.push_back("node " + std::to_string(v) +
+                       " unreachable from entry points");
+    }
+  }
+  return errors;
+}
+
+std::vector<std::vector<NodeId>> Overlay::layers() const {
+  std::vector<std::vector<NodeId>> out(max_depth() + 1);
+  for (NodeId v = 0; v < depth_.size(); ++v) {
+    if (depth_[v] > 0) out[depth_[v]].push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hermes::overlay

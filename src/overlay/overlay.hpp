@@ -1,0 +1,83 @@
+// Directed, layered dissemination overlay (Section V).
+//
+// An Overlay is a DAG over the physical network's nodes: f+1 entry points
+// at depth 1, and every edge goes from a shallower node to a deeper one.
+// The delivery guarantee the paper builds on is structural: every non-entry
+// node keeps at least f+1 predecessors, so no local set of f faulty nodes
+// can cut it off from the flow of messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace hermes::overlay {
+
+using net::NodeId;
+
+class Overlay {
+ public:
+  Overlay() = default;
+  Overlay(std::size_t node_count, std::size_t f);
+
+  std::size_t node_count() const { return depth_.size(); }
+  std::size_t f() const { return f_; }
+  std::size_t edge_count() const;
+  std::size_t max_depth() const;
+
+  const std::vector<NodeId>& entry_points() const { return entry_points_; }
+  bool is_entry(NodeId v) const;
+  // Depth is 1-based: entry points sit at depth 1 (the paper's "rank 1").
+  // 0 means "not placed yet".
+  std::size_t depth(NodeId v) const { return depth_[v]; }
+  void set_depth(NodeId v, std::size_t d) { depth_[v] = d; }
+  void add_entry_point(NodeId v);
+  // Removes v from the entry set (churn repair); depth is left to the
+  // caller to fix up.
+  void remove_entry_point(NodeId v);
+
+  const std::vector<NodeId>& successors(NodeId v) const { return succ_[v]; }
+  const std::vector<NodeId>& predecessors(NodeId v) const { return pred_[v]; }
+
+  // Adds a directed link parent -> child. Requires depth(parent) <
+  // depth(child) and both placed. Idempotent.
+  void add_link(NodeId parent, NodeId child, double latency_ms);
+  void remove_link(NodeId parent, NodeId child);
+  bool has_link(NodeId parent, NodeId child) const;
+  double link_latency(NodeId parent, NodeId child) const;
+
+  // Earliest-arrival latency from the entry set to every node, assuming
+  // simultaneous injection at all entry points (directed Dijkstra).
+  // Unreachable nodes get net::kInfLatency.
+  std::vector<double> dissemination_latencies() const;
+
+  // Structural invariants (Section V-B): returns human-readable violations,
+  // empty when the overlay is well-formed:
+  //   - exactly f+1 entry points, all at depth 1
+  //   - every node placed (depth >= 1)
+  //   - every non-entry node has >= f+1 predecessors
+  //   - every edge goes from shallower to strictly deeper
+  //   - every node reachable from the entry set
+  std::vector<std::string> validate() const;
+  bool is_valid() const { return validate().empty(); }
+
+  // Nodes grouped by depth (index 0 unused).
+  std::vector<std::vector<NodeId>> layers() const;
+
+ private:
+  struct Link {
+    NodeId to;
+    double latency_ms;
+  };
+  std::size_t f_ = 0;
+  std::vector<NodeId> entry_points_;
+  std::vector<std::size_t> depth_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  // Latencies stored on the parent side, aligned with succ_.
+  std::vector<std::vector<double>> succ_latency_;
+};
+
+}  // namespace hermes::overlay

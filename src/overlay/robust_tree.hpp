@@ -1,0 +1,42 @@
+// Robust-tree overlay construction — Algorithm 1 (CreateRobustTree).
+//
+// Starting from f+1 entry points chosen among the nodes with the lowest
+// accumulated rank (and lowest latency to their neighbors), the builder
+// grows layers where each new node is physically connected to ALL nodes of
+// the previous layer, doubling the layer budget (2^d * (f+1)) until no node
+// fits the pattern. Remaining nodes are then integrated with f+1 links each.
+// Accumulated ranks are updated with each node's depth so that subsequent
+// trees rotate the near-root roles (Section V-B, role balancing).
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+#include "overlay/overlay.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::overlay {
+
+struct RobustTreeParams {
+  std::size_t f = 1;
+  // When a remaining node lacks f+1 physical edges into the overlay, allow
+  // "logical" links that ride multi-hop physical paths; their latency is
+  // the physical shortest-path latency. The paper assumes the network is
+  // connected enough that this is rare.
+  bool allow_logical_links = true;
+};
+
+// Accumulated rank per node across previously built overlays (rank(v) in
+// the paper, initially 0; incremented by the node's depth in each tree).
+using RankTable = std::vector<double>;
+
+// Builds one robust tree over `g`, updating `ranks` in place.
+Overlay build_robust_tree(const net::Graph& g, const RobustTreeParams& params,
+                          RankTable& ranks);
+
+// Convenience: build k robust trees (no annealing), sharing one rank table.
+std::vector<Overlay> build_robust_trees(const net::Graph& g,
+                                        const RobustTreeParams& params,
+                                        std::size_t k);
+
+}  // namespace hermes::overlay

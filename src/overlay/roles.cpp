@@ -1,0 +1,59 @@
+#include "overlay/roles.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace hermes::overlay {
+
+double RoleDistribution::mean_depth(NodeId v) const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t d = 1; d < counts[v].size(); ++d) {
+    total += static_cast<double>(d) * static_cast<double>(counts[v][d]);
+    count += counts[v][d];
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+RoleDistribution role_distribution(const std::vector<Overlay>& overlays) {
+  HERMES_REQUIRE(!overlays.empty());
+  const std::size_t n = overlays.front().node_count();
+  RoleDistribution dist;
+  for (const Overlay& o : overlays) {
+    HERMES_REQUIRE(o.node_count() == n);
+    dist.max_depth = std::max(dist.max_depth, o.max_depth());
+  }
+  dist.counts.assign(n, std::vector<std::size_t>(dist.max_depth + 1, 0));
+  for (const Overlay& o : overlays) {
+    for (NodeId v = 0; v < n; ++v) {
+      dist.counts[v][o.depth(v)] += 1;
+    }
+  }
+  return dist;
+}
+
+FairnessMetrics fairness_metrics(const std::vector<Overlay>& overlays) {
+  const RoleDistribution dist = role_distribution(overlays);
+  const std::size_t n = dist.counts.size();
+
+  FairnessMetrics out;
+  std::vector<double> mean_depths(n);
+  std::vector<double> loads(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    mean_depths[v] = dist.mean_depth(v);
+    out.max_entry_appearances =
+        std::max(out.max_entry_appearances, dist.entry_appearances(v));
+  }
+  for (const Overlay& o : overlays) {
+    for (NodeId v = 0; v < n; ++v) {
+      loads[v] += static_cast<double>(o.successors(v).size());
+    }
+  }
+  out.mean_depth_stddev = hermes::stddev_of(mean_depths);
+  out.load_stddev = hermes::stddev_of(loads);
+  return out;
+}
+
+}  // namespace hermes::overlay

@@ -1,0 +1,35 @@
+// Role-distribution analysis across a set of overlays (Figure 4 and the
+// dissemination-fairness argument of Section V-B).
+#pragma once
+
+#include <vector>
+
+#include "overlay/overlay.hpp"
+
+namespace hermes::overlay {
+
+struct RoleDistribution {
+  // counts[v][d] = number of overlays in which node v sits at depth d
+  // (d is 1-based; index 0 unused).
+  std::vector<std::vector<std::size_t>> counts;
+  std::size_t max_depth = 0;
+
+  std::size_t entry_appearances(NodeId v) const { return counts[v][1]; }
+  double mean_depth(NodeId v) const;
+};
+
+RoleDistribution role_distribution(const std::vector<Overlay>& overlays);
+
+struct FairnessMetrics {
+  // Stddev across nodes of their mean depth over the overlay set: low means
+  // every node spends comparable time near the root vs. the leaves.
+  double mean_depth_stddev = 0.0;
+  // Max number of overlays any single node is an entry point of.
+  std::size_t max_entry_appearances = 0;
+  // Stddev across nodes of total out-degree over all overlays (load proxy).
+  double load_stddev = 0.0;
+};
+
+FairnessMetrics fairness_metrics(const std::vector<Overlay>& overlays);
+
+}  // namespace hermes::overlay

@@ -1,0 +1,177 @@
+#include "protocols/base.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hermes::protocols {
+
+ExperimentContext::ExperimentContext(net::Topology topo,
+                                     sim::NetworkParams net_params,
+                                     std::uint64_t seed)
+    : topology(std::move(topo)),
+      network(engine, topology, net_params, Rng(seed).fork(1)),
+      tracker(topology.graph.node_count()),
+      rng(Rng(seed).fork(2)),
+      behaviors(topology.graph.node_count(), Behavior::kHonest) {}
+
+std::vector<net::NodeId> ExperimentContext::honest_nodes() const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId v = 0; v < behaviors.size(); ++v) {
+    if (behaviors[v] == Behavior::kHonest) out.push_back(v);
+  }
+  return out;
+}
+
+net::NodeId ExperimentContext::random_honest(Rng& r) const {
+  const auto honest = honest_nodes();
+  HERMES_REQUIRE(!honest.empty());
+  return honest[r.uniform_u64(honest.size())];
+}
+
+void ExperimentContext::assign_behaviors(double fraction, Behavior behavior) {
+  std::fill(behaviors.begin(), behaviors.end(), Behavior::kHonest);
+  const std::size_t count = static_cast<std::size_t>(
+      fraction * static_cast<double>(behaviors.size()) + 0.5);
+  for (std::size_t idx : rng.sample_indices(behaviors.size(), count)) {
+    behaviors[idx] = behavior;
+  }
+}
+
+ProtocolNode::ProtocolNode(ExperimentContext& ctx, net::NodeId id)
+    : sim::Node(ctx.network, id), ctx_(ctx) {}
+
+mempool::Block ProtocolNode::propose_block(std::uint64_t height,
+                                           std::size_t max_txs) const {
+  std::vector<mempool::OrderedCandidate> candidates;
+  candidates.reserve(pool_.size());
+  for (std::uint64_t tx_id : pool_.arrival_order()) {
+    const auto tx = pool_.get(tx_id);
+    HERMES_DCHECK(tx.has_value());
+    candidates.push_back(
+        mempool::OrderedCandidate{tx_id, ordering_position(*tx)});
+  }
+  return mempool::build_block(id(), height, now(), std::move(candidates),
+                              max_txs);
+}
+
+bool ProtocolNode::deliver_tx(const Transaction& tx) {
+  if (!pool_.insert(tx, now())) return false;
+  ctx_.tracker.on_delivered(tx.id, id(), now());
+  if (tx.sender != id()) maybe_front_run(tx);
+  return true;
+}
+
+void ProtocolNode::maybe_front_run(const Transaction& victim) {
+  if (!ctx_.attack_enabled) return;
+  if (behavior() != Behavior::kFrontRunner) return;
+  if (victim.adversarial) return;
+  // Only the first malicious observer attacks (Section VIII-F).
+  if (ctx_.adversarial_of.count(victim.id) > 0) return;
+
+  Transaction attack;
+  attack.sender = id();
+  attack.sender_seq = allocate_seq();
+  attack.id = Transaction::make_id(id(), attack.sender_seq);
+  attack.created_at = now();
+  attack.payload_bytes = victim.payload_bytes;
+  attack.adversarial = true;
+  attack.victim_id = victim.id;
+  ctx_.adversarial_of.emplace(victim.id, attack);
+  ctx_.tracker.on_created(attack.id, now());
+  deliver_tx(attack);  // it is in the attacker's own mempool instantly
+  fast_submit(attack);
+}
+
+void populate(ExperimentContext& ctx, Protocol& protocol) {
+  HERMES_REQUIRE(ctx.nodes.empty());
+  ctx.nodes.reserve(ctx.node_count());
+  for (net::NodeId v = 0; v < ctx.node_count(); ++v) {
+    ctx.nodes.push_back(protocol.make_node(ctx, v));
+  }
+  for (auto& node : ctx.nodes) node->on_start();
+}
+
+void enable_transit_faults(ExperimentContext& ctx) {
+  // Per-source BFS parent trees, computed lazily and shared by the filter.
+  struct PathCache {
+    std::unordered_map<net::NodeId, std::vector<net::NodeId>> parents;
+  };
+  auto cache = std::make_shared<PathCache>();
+  ctx.network.set_send_tap(nullptr);  // taps are orthogonal; keep as-is
+  ctx.network.set_relay_filter([&ctx, cache](const sim::Message& msg) {
+    if (ctx.topology.graph.has_edge(msg.src, msg.dst)) return true;
+    auto it = cache->parents.find(msg.src);
+    if (it == cache->parents.end()) {
+      // BFS parent array from src over the physical graph.
+      std::vector<net::NodeId> parent(ctx.node_count(), msg.src);
+      std::vector<bool> seen(ctx.node_count(), false);
+      std::vector<net::NodeId> queue{msg.src};
+      seen[msg.src] = true;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const net::NodeId v = queue[head];
+        for (const net::Edge& e : ctx.topology.graph.neighbors(v)) {
+          if (!seen[e.to]) {
+            seen[e.to] = true;
+            parent[e.to] = v;
+            queue.push_back(e.to);
+          }
+        }
+      }
+      it = cache->parents.emplace(msg.src, std::move(parent)).first;
+    }
+    // Walk dst -> src; every intermediate must be non-dropping.
+    const auto& parent = it->second;
+    net::NodeId hop = parent[msg.dst];
+    while (hop != msg.src) {
+      if (ctx.behaviors[hop] == Behavior::kDropper) return false;
+      hop = parent[hop];
+    }
+    return true;
+  });
+}
+
+Transaction inject_tx(ExperimentContext& ctx, net::NodeId sender,
+                      std::size_t payload_bytes) {
+  Transaction tx;
+  tx.sender = sender;
+  const std::uint64_t seq = ctx.node(sender).allocate_seq();
+  tx.sender_seq = seq;
+  tx.id = Transaction::make_id(sender, seq);
+  tx.created_at = ctx.engine.now();
+  tx.payload_bytes = payload_bytes;
+  ctx.tracker.on_created(tx.id, tx.created_at);
+  ctx.node(sender).submit(tx);
+  return tx;
+}
+
+double honest_coverage(const ExperimentContext& ctx, const Transaction& tx) {
+  std::size_t honest_total = 0;
+  std::size_t reached = 0;
+  for (net::NodeId v = 0; v < ctx.node_count(); ++v) {
+    if (!ctx.is_honest(v) || v == tx.sender) continue;
+    ++honest_total;
+    if (ctx.tracker.delivered(tx.id, v)) ++reached;
+  }
+  return honest_total == 0
+             ? 0.0
+             : static_cast<double>(reached) / static_cast<double>(honest_total);
+}
+
+AttackOutcome front_run_outcome(ExperimentContext& ctx,
+                                const Transaction& victim, Rng& judge_rng) {
+  const auto it = ctx.adversarial_of.find(victim.id);
+  if (it == ctx.adversarial_of.end()) return AttackOutcome::kNoAttack;
+  const Transaction& attack = it->second;
+
+  const net::NodeId proposer = ctx.random_honest(judge_rng);
+  const ProtocolNode& node = ctx.node(proposer);
+  const std::size_t victim_pos = node.ordering_position(victim);
+  const std::size_t attack_pos = node.ordering_position(attack);
+  if (attack_pos == SIZE_MAX) return AttackOutcome::kFailed;
+  if (victim_pos == SIZE_MAX) return AttackOutcome::kSucceeded;
+  return attack_pos < victim_pos ? AttackOutcome::kSucceeded
+                                 : AttackOutcome::kFailed;
+}
+
+}  // namespace hermes::protocols

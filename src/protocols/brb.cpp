@@ -1,0 +1,108 @@
+#include "protocols/brb.hpp"
+
+namespace hermes::protocols {
+
+BrbNode::BrbNode(ExperimentContext& ctx, net::NodeId id, BrbParams params)
+    : ProtocolNode(ctx, id), params_(params), rng_(ctx.rng.fork(0xb4bULL + id)) {}
+
+std::size_t BrbNode::f_max() const {
+  if (params_.use_override) return params_.f_override;
+  return (ctx_.node_count() - 1) / 3;
+}
+
+void BrbNode::broadcast_vote(std::uint32_t type, std::uint64_t tx_id) {
+  for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+    if (v == id()) continue;
+    auto body = std::make_shared<BrbVoteBody>();
+    body->tx_id = tx_id;
+    send_to(v, type, 16, std::move(body));
+  }
+}
+
+void BrbNode::submit(const Transaction& tx) {
+  deliver_tx(tx);
+  Instance& inst = instances_[tx.id];
+  inst.have_payload = true;
+  inst.echoed = true;
+  inst.echoes.insert(id());
+  for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+    if (v == id()) continue;
+    auto body = std::make_shared<TxBody>();
+    body->tx = tx;
+    send_to(v, kMsgSend, tx.payload_bytes, std::move(body));
+  }
+  broadcast_vote(kMsgEcho, tx.id);
+  maybe_progress(tx.id, inst);
+}
+
+void BrbNode::maybe_progress(std::uint64_t tx_id, Instance& inst) {
+  const std::size_t f = f_max();
+  if (!inst.readied &&
+      (inst.echoes.size() >= 2 * f + 1 || inst.readies.size() >= f + 1)) {
+    inst.readied = true;
+    inst.readies.insert(id());
+    if (relays()) broadcast_vote(kMsgReady, tx_id);
+  }
+  if (!inst.delivered && inst.readies.size() >= 2 * f + 1) {
+    inst.delivered = true;
+    delivered_.insert(tx_id);
+    if (!inst.have_payload) {
+      // Deliverable but payload missing: pull from nodes that echoed
+      // (at least 2f+1 echoed, so f+1 of them are honest and hold it).
+      std::size_t asked = 0;
+      for (net::NodeId v : inst.echoes) {
+        if (v == id()) continue;
+        auto body = std::make_shared<BrbVoteBody>();
+        body->tx_id = tx_id;
+        send_to(v, kMsgFetch, 16, std::move(body));
+        if (++asked > f) break;  // f+1 requests reach an honest holder
+      }
+    }
+  }
+}
+
+void BrbNode::on_message(const sim::Message& msg) {
+  switch (msg.type) {
+    case kMsgSend: {
+      const Transaction& tx = msg.as<TxBody>().tx;
+      const bool fresh = deliver_tx(tx);
+      Instance& inst = instances_[tx.id];
+      inst.have_payload = true;
+      if (fresh && !inst.echoed && relays_tx(tx)) {
+        inst.echoed = true;
+        inst.echoes.insert(id());
+        broadcast_vote(kMsgEcho, tx.id);
+      }
+      maybe_progress(tx.id, inst);
+      return;
+    }
+    case kMsgEcho: {
+      const std::uint64_t tx_id = msg.as<BrbVoteBody>().tx_id;
+      Instance& inst = instances_[tx_id];
+      inst.echoes.insert(msg.src);
+      if (relays()) maybe_progress(tx_id, inst);
+      return;
+    }
+    case kMsgReady: {
+      const std::uint64_t tx_id = msg.as<BrbVoteBody>().tx_id;
+      Instance& inst = instances_[tx_id];
+      inst.readies.insert(msg.src);
+      if (relays()) maybe_progress(tx_id, inst);
+      return;
+    }
+    case kMsgFetch: {
+      if (!relays()) return;
+      const std::uint64_t tx_id = msg.as<BrbVoteBody>().tx_id;
+      if (const auto tx = pool_.get(tx_id)) {
+        auto body = std::make_shared<TxBody>();
+        body->tx = *tx;
+        send_to(msg.src, kMsgSend, tx->payload_bytes, std::move(body));
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace hermes::protocols

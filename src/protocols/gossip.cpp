@@ -1,0 +1,90 @@
+#include "protocols/gossip.hpp"
+
+namespace hermes::protocols {
+
+GossipNode::GossipNode(ExperimentContext& ctx, net::NodeId id,
+                       GossipParams params)
+    : ProtocolNode(ctx, id),
+      params_(params),
+      rng_(ctx.rng.fork(0x90551b000ULL + id)) {}
+
+void GossipNode::send_tx(net::NodeId dst, const Transaction& tx) {
+  auto body = std::make_shared<TxBody>();
+  body->tx = tx;
+  send_to(dst, kMsgTx, tx.payload_bytes, std::move(body));
+}
+
+void GossipNode::forward_to_neighbors(const Transaction& tx, std::size_t count,
+                                      net::NodeId except) {
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  if (count >= nbrs.size()) {
+    for (const auto& e : nbrs) {
+      if (e.to != except) send_tx(e.to, tx);
+    }
+    return;
+  }
+  const auto eager = rng_.sample_indices(nbrs.size(), count);
+  for (std::size_t i : eager) {
+    if (nbrs[i].to != except) send_tx(nbrs[i].to, tx);
+  }
+  if (params_.lazy_announce) {
+    // Announce to everyone not served eagerly.
+    std::vector<bool> served(nbrs.size(), false);
+    for (std::size_t i : eager) served[i] = true;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (served[i] || nbrs[i].to == except) continue;
+      auto body = std::make_shared<TxIdBody>();
+      body->tx_id = tx.id;
+      send_to(nbrs[i].to, kMsgIHave, 16, std::move(body));
+    }
+  }
+}
+
+void GossipNode::submit(const Transaction& tx) {
+  deliver_tx(tx);
+  forward_to_neighbors(tx, params_.fanout, id());
+}
+
+void GossipNode::fast_submit(const Transaction& tx) {
+  // Adversarial fast path: flood every neighbor and a batch of random far
+  // nodes over ad-hoc links.
+  forward_to_neighbors(tx, ctx_.topology.graph.degree(id()), id());
+  for (std::size_t i = 0; i < params_.adversary_extra_links; ++i) {
+    const net::NodeId dst =
+        static_cast<net::NodeId>(rng_.uniform_u64(ctx_.node_count()));
+    if (dst != id()) send_tx(dst, tx);
+  }
+}
+
+void GossipNode::on_message(const sim::Message& msg) {
+  switch (msg.type) {
+    case kMsgTx: {
+      const Transaction& tx = msg.as<TxBody>().tx;
+      if (!deliver_tx(tx)) return;       // duplicate
+      if (!relays_tx(tx)) return;        // droppers / front-run censorship
+      forward_to_neighbors(tx, params_.fanout, msg.src);
+      return;
+    }
+    case kMsgIHave: {
+      const std::uint64_t tx_id = msg.as<TxIdBody>().tx_id;
+      if (pool_.contains(tx_id)) return;
+      auto body = std::make_shared<TxIdBody>();
+      body->tx_id = tx_id;
+      send_to(msg.src, kMsgIWant, 16, std::move(body));
+      return;
+    }
+    case kMsgIWant: {
+      if (!relays()) return;
+      const std::uint64_t tx_id = msg.as<TxIdBody>().tx_id;
+      if (const auto tx = pool_.get(tx_id)) {
+        if (relays_tx(*tx)) send_tx(msg.src, *tx);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace hermes::protocols

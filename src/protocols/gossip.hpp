@@ -1,0 +1,67 @@
+// Plain push gossip — the "traditional broadcast" baseline of Table I and
+// the dissemination substrate LØ builds on. Nodes forward the first copy of
+// a transaction to a random subset of their physical neighbors.
+#pragma once
+
+#include "protocols/base.hpp"
+
+namespace hermes::protocols {
+
+struct GossipParams {
+  std::size_t fanout = 8;
+  // Lazy announcements (Ethereum's eth-protocol style: push the payload to
+  // sqrt-ish many peers, announce the hash to the rest; holes pull). When
+  // enabled, `fanout` peers get the payload eagerly and every remaining
+  // neighbor gets a 40-byte IHAVE.
+  bool lazy_announce = false;
+  // Extra random far peers an adversary blasts to in fast_submit (gossip
+  // lets nodes open links beyond the overlay, which is exactly the degree
+  // of freedom front-runners exploit — Section I).
+  std::size_t adversary_extra_links = 32;
+};
+
+struct TxBody final : sim::MessageBody {
+  Transaction tx;
+};
+// Lazy-gossip announcement / request (tx id only).
+struct TxIdBody final : sim::MessageBody {
+  std::uint64_t tx_id = 0;
+};
+
+class GossipNode : public ProtocolNode {
+ public:
+  GossipNode(ExperimentContext& ctx, net::NodeId id, GossipParams params);
+
+  void submit(const Transaction& tx) override;
+  void fast_submit(const Transaction& tx) override;
+  void on_message(const sim::Message& msg) override;
+
+  static constexpr std::uint32_t kMsgTx = 1;
+  static constexpr std::uint32_t kMsgIHave = 2;
+  static constexpr std::uint32_t kMsgIWant = 3;
+
+ protected:
+  // Sends tx to up to `count` random neighbors, excluding `except`; with
+  // lazy_announce the remaining neighbors get IHAVE announcements.
+  void forward_to_neighbors(const Transaction& tx, std::size_t count,
+                            net::NodeId except);
+  void send_tx(net::NodeId dst, const Transaction& tx);
+
+  GossipParams params_;
+  Rng rng_;
+};
+
+class GossipProtocol final : public Protocol {
+ public:
+  explicit GossipProtocol(GossipParams params = {}) : params_(params) {}
+  std::string_view name() const override { return "gossip"; }
+  std::unique_ptr<ProtocolNode> make_node(ExperimentContext& ctx,
+                                          net::NodeId id) override {
+    return std::make_unique<GossipNode>(ctx, id, params_);
+  }
+
+ private:
+  GossipParams params_;
+};
+
+}  // namespace hermes::protocols

@@ -1,0 +1,162 @@
+#include "protocols/l0.hpp"
+
+namespace hermes::protocols {
+
+namespace {
+// Compact digest cost on the wire: LØ uses set sketches; we charge a small
+// constant plus a few bytes per entry.
+std::size_t digest_wire_bytes(std::size_t entries) { return 16 + entries * 4; }
+}  // namespace
+
+L0Node::L0Node(ExperimentContext& ctx, net::NodeId id, L0Params params)
+    : ProtocolNode(ctx, id), params_(params), rng_(ctx.rng.fork(0x10ULL + id)) {}
+
+void L0Node::on_start() { schedule_reconciliation(); }
+
+void L0Node::schedule_reconciliation() {
+  // Desynchronize nodes with a random phase.
+  const double phase = rng_.uniform_real(0.0, params_.recon_interval_ms);
+  ctx_.engine.schedule(phase, [this] {
+    const auto tick = [this](auto&& self) -> void {
+      // Lazy reconciliation: reconcile eagerly while the pool is changing,
+      // but only every `idle_backoff` rounds when it is not — an idle
+      // mempool costs (almost) nothing, which is how LØ stays at the
+      // bottom of Figure 3b, while the slow keepalive still repairs nodes
+      // whose neighbors went quiescent before they were fully caught up.
+      constexpr std::size_t kIdleBackoff = 8;
+      const bool changed = pool_.size() != last_recon_size_;
+      const bool keepalive = (++idle_skips_ % kIdleBackoff) == 0;
+      if (relays() && pool_.size() > 0 && (changed || keepalive)) {
+        last_recon_size_ = pool_.size();
+        ++recon_rounds_;
+        const auto& nbrs = ctx_.topology.graph.neighbors(id());
+        if (!nbrs.empty()) {
+          const net::NodeId peer =
+              nbrs[rng_.uniform_u64(nbrs.size())].to;
+          auto body = std::make_shared<DigestBody>();
+          body->tx_ids = pool_.digest();
+          const std::size_t wire = digest_wire_bytes(body->tx_ids.size());
+          send_to(peer, kMsgDigest, wire, std::move(body));
+        }
+      }
+      ctx_.engine.schedule(params_.recon_interval_ms,
+                           [this, self] { self(self); });
+    };
+    tick(tick);
+  });
+}
+
+void L0Node::send_tx(net::NodeId dst, const Transaction& tx) {
+  auto body = std::make_shared<TxBody>();
+  body->tx = tx;
+  send_to(dst, kMsgTx, tx.payload_bytes, std::move(body));
+}
+
+void L0Node::gossip_tx(const Transaction& tx, std::size_t fanout,
+                       net::NodeId except) {
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  if (fanout >= nbrs.size()) {
+    for (const auto& e : nbrs) {
+      if (e.to != except) send_tx(e.to, tx);
+    }
+    return;
+  }
+  for (std::size_t i : rng_.sample_indices(nbrs.size(), fanout)) {
+    if (nbrs[i].to != except) send_tx(nbrs[i].to, tx);
+  }
+}
+
+void L0Node::gossip_commitment(const mempool::Commitment& c, std::size_t fanout,
+                               net::NodeId except) {
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  const std::size_t count = std::min(fanout, nbrs.size());
+  for (std::size_t i : rng_.sample_indices(nbrs.size(), count)) {
+    if (nbrs[i].to == except) continue;
+    auto body = std::make_shared<CommitBody>();
+    body->commitment = c;
+    send_to(nbrs[i].to, kMsgCommit, sizeof(crypto::Digest) + 8, std::move(body));
+  }
+}
+
+void L0Node::submit(const Transaction& tx) {
+  deliver_tx(tx);
+  // Commit-before-reveal: the commitment precedes the body so witnesses can
+  // later audit ordering claims.
+  mempool::Commitment c{tx.hash(), id(), now()};
+  pool_.add_commitment(c);
+  gossip_commitment(c, params_.commit_fanout, id());
+  gossip_tx(tx, params_.tx_fanout, id());
+}
+
+void L0Node::fast_submit(const Transaction& tx) {
+  // The adversary still has to commit (witnesses would catch an uncommitted
+  // transaction), then blasts the body over ad-hoc links.
+  mempool::Commitment c{tx.hash(), id(), now()};
+  pool_.add_commitment(c);
+  gossip_commitment(c, params_.commit_fanout, id());
+  gossip_tx(tx, ctx_.topology.graph.degree(id()), id());
+  for (std::size_t i = 0; i < params_.adversary_extra_links; ++i) {
+    const net::NodeId dst =
+        static_cast<net::NodeId>(rng_.uniform_u64(ctx_.node_count()));
+    if (dst != id()) send_tx(dst, tx);
+  }
+}
+
+void L0Node::on_message(const sim::Message& msg) {
+  switch (msg.type) {
+    case kMsgTx: {
+      const Transaction& tx = msg.as<TxBody>().tx;
+      if (!deliver_tx(tx)) return;
+      if (!relays_tx(tx)) return;
+      gossip_tx(tx, params_.tx_fanout, msg.src);
+      return;
+    }
+    case kMsgCommit: {
+      const auto& c = msg.as<CommitBody>().commitment;
+      if (pool_.has_commitment(c.tx_hash)) return;
+      pool_.add_commitment(c);
+      if (!relays()) return;
+      gossip_commitment(c, params_.commit_fanout, msg.src);
+      return;
+    }
+    case kMsgDigest: {
+      if (!relays()) return;  // droppers do not serve reconciliation
+      const auto& peer_ids = msg.as<DigestBody>().tx_ids;
+      // Push what the peer is missing.
+      const auto missing = pool_.missing_from(peer_ids);
+      std::size_t pushed = 0;
+      for (std::uint64_t id_missing : missing) {
+        if (const auto tx = pool_.get(id_missing)) {
+          send_tx(msg.src, *tx);
+          if (++pushed >= 32) break;  // bound per-round repair burst
+        }
+      }
+      // Pull what we are missing.
+      std::vector<std::uint64_t> wanted;
+      for (std::uint64_t peer_id : peer_ids) {
+        if (!pool_.contains(peer_id)) wanted.push_back(peer_id);
+        if (wanted.size() >= 32) break;
+      }
+      if (!wanted.empty()) {
+        auto req = std::make_shared<TxRequestBody>();
+        req->tx_ids = std::move(wanted);
+        const std::size_t wire = digest_wire_bytes(req->tx_ids.size());
+        send_to(msg.src, kMsgTxRequest, wire, std::move(req));
+      }
+      return;
+    }
+    case kMsgTxRequest: {
+      if (!relays()) return;
+      for (std::uint64_t id_wanted : msg.as<TxRequestBody>().tx_ids) {
+        if (const auto tx = pool_.get(id_wanted)) send_tx(msg.src, *tx);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace hermes::protocols

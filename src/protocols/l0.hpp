@@ -1,0 +1,94 @@
+// LØ (Nasrulin et al., Middleware 2023) — accountable mempool baseline.
+//
+// LØ trades latency for bandwidth and accountability: transactions travel
+// over low-fanout gossip, every node first learns a cryptographic
+// commitment H(tx) that pins down what its peers knew and when, and a
+// periodic mempool *reconciliation* round repairs holes by exchanging
+// compact digests with a random neighbor. The commitments are what makes
+// reordering detectable; the reconciliation is what keeps bandwidth at the
+// bottom of Figure 3b and latency at the top of Figure 3a.
+#pragma once
+
+#include <unordered_map>
+
+#include "protocols/gossip.hpp"
+
+namespace hermes::protocols {
+
+struct L0Params {
+  std::size_t tx_fanout = 2;       // low-fanout body gossip
+  std::size_t commit_fanout = 4;   // commitment gossip (tiny, spread wide)
+  double recon_interval_ms = 400;  // reconciliation period
+  // Adversarial blast width for fast_submit (LØ does not constrain
+  // dissemination paths — Section I of the paper).
+  std::size_t adversary_extra_links = 24;
+};
+
+struct CommitBody final : sim::MessageBody {
+  mempool::Commitment commitment;
+};
+
+struct DigestBody final : sim::MessageBody {
+  std::vector<std::uint64_t> tx_ids;  // sorted
+};
+
+struct TxRequestBody final : sim::MessageBody {
+  std::vector<std::uint64_t> tx_ids;
+};
+
+class L0Node final : public ProtocolNode {
+ public:
+  L0Node(ExperimentContext& ctx, net::NodeId id, L0Params params);
+
+  void submit(const Transaction& tx) override;
+  void fast_submit(const Transaction& tx) override;
+  void on_message(const sim::Message& msg) override;
+  void on_start() override;
+
+  // LØ's witnesses hold block proposers to the *commitment* arrival order
+  // — this is the mechanism behind its front-running resistance (the
+  // adversary commits only after observing the victim, whose commitment
+  // already has a head start). Uncommitted transactions sort after all
+  // committed ones.
+  std::size_t ordering_position(const Transaction& tx) const override {
+    const std::size_t cpos = pool().commitment_position(tx.hash());
+    if (cpos != SIZE_MAX) return cpos;
+    const std::size_t apos = pool().arrival_position(tx.id);
+    return apos == SIZE_MAX ? SIZE_MAX : apos + (std::size_t{1} << 20);
+  }
+
+  static constexpr std::uint32_t kMsgTx = 1;
+  static constexpr std::uint32_t kMsgCommit = 2;
+  static constexpr std::uint32_t kMsgDigest = 3;
+  static constexpr std::uint32_t kMsgTxRequest = 4;
+
+  std::size_t reconciliations_started() const { return recon_rounds_; }
+
+ private:
+  void gossip_tx(const Transaction& tx, std::size_t fanout, net::NodeId except);
+  void gossip_commitment(const mempool::Commitment& c, std::size_t fanout,
+                         net::NodeId except);
+  void schedule_reconciliation();
+  void send_tx(net::NodeId dst, const Transaction& tx);
+
+  L0Params params_;
+  Rng rng_;
+  std::size_t recon_rounds_ = 0;
+  std::size_t last_recon_size_ = 0;
+  std::size_t idle_skips_ = 0;
+};
+
+class L0Protocol final : public Protocol {
+ public:
+  explicit L0Protocol(L0Params params = {}) : params_(params) {}
+  std::string_view name() const override { return "l0"; }
+  std::unique_ptr<ProtocolNode> make_node(ExperimentContext& ctx,
+                                          net::NodeId id) override {
+    return std::make_unique<L0Node>(ctx, id, params_);
+  }
+
+ private:
+  L0Params params_;
+};
+
+}  // namespace hermes::protocols

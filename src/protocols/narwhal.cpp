@@ -1,0 +1,205 @@
+#include "protocols/narwhal.hpp"
+
+#include <algorithm>
+
+namespace hermes::protocols {
+
+NarwhalNode::NarwhalNode(ExperimentContext& ctx, net::NodeId id,
+                         NarwhalParams params)
+    : ProtocolNode(ctx, id), params_(params), rng_(ctx.rng.fork(0x4a0ULL + id)) {}
+
+std::size_t NarwhalNode::ordering_position(const Transaction& tx) const {
+  const auto it = cert_position_.find(tx.id);
+  if (it != cert_position_.end()) return it->second;
+  const std::size_t apos = pool_.arrival_position(tx.id);
+  return apos == SIZE_MAX ? SIZE_MAX : apos + (std::size_t{1} << 20);
+}
+
+void NarwhalNode::record_certificate(std::uint64_t tx_id) {
+  cert_position_.try_emplace(tx_id, cert_position_.size());
+}
+
+void NarwhalNode::broadcast_tx(const Transaction& tx) {
+  // Broadcast over the connected topology (the paper's setup): the batch
+  // floods the physical graph, every node forwarding its first copy to all
+  // neighbors. Byzantine relays simply sit on it, which is what produces
+  // Narwhal's robustness curve in Figure 5b.
+  flood_neighbors_tx(tx, id());
+}
+
+void NarwhalNode::flood_neighbors_tx(const Transaction& tx,
+                                     net::NodeId except) {
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  const std::size_t count = std::min(params_.flood_fanout, nbrs.size());
+  for (std::size_t i : rng_.sample_indices(nbrs.size(), count)) {
+    if (nbrs[i].to == except) continue;
+    auto body = std::make_shared<TxBody>();
+    body->tx = tx;
+    send_to(nbrs[i].to, kMsgTx, tx.payload_bytes, std::move(body));
+  }
+}
+
+void NarwhalNode::flood_neighbors_cert(const CertBody& cert,
+                                       net::NodeId except) {
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  const std::size_t cert_wire = 48 + quorum() * 36;
+  const std::size_t count = std::min(params_.flood_fanout, nbrs.size());
+  for (std::size_t i : rng_.sample_indices(nbrs.size(), count)) {
+    if (nbrs[i].to == except) continue;
+    auto body = std::make_shared<CertBody>(cert);
+    send_to(nbrs[i].to, kMsgCert, cert_wire, std::move(body));
+  }
+}
+
+void NarwhalNode::submit(const Transaction& tx) {
+  deliver_tx(tx);
+  acks_.try_emplace(tx.id);
+  if (params_.batch_delay_ms > 0.0) {
+    // The worker waits for the batch to fill (or the delay to expire)
+    // before broadcasting — part of Narwhal's dissemination latency.
+    ctx_.engine.schedule(params_.batch_delay_ms, [this, tx] {
+      broadcast_tx(tx);
+      retransmit_unacked(tx, 0);
+    });
+  } else {
+    broadcast_tx(tx);
+    retransmit_unacked(tx, 0);
+  }
+}
+
+void NarwhalNode::retransmit_unacked(const Transaction& tx, int round) {
+  constexpr int kMaxRounds = 3;
+  if (round >= kMaxRounds) return;
+  ctx_.engine.schedule(params_.repair_timeout_ms, [this, tx, round] {
+    if (cert_broadcast_.count(tx.id)) return;  // quorum reached
+    const auto it = acks_.find(tx.id);
+    if (it == acks_.end()) return;
+    // Quorum-targeted: resend only to enough random non-ackers to close
+    // the ack gap (with 2x slack for further loss). The sender's goal is
+    // the certificate, not full coverage -- coverage repair is the
+    // certificate-driven pull path, which Byzantine signers can degrade.
+    const std::size_t have = it->second.size() + 1;
+    if (have >= quorum()) return;
+    const std::size_t needed = 2 * (quorum() - have);
+    std::vector<net::NodeId> non_ackers;
+    for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+      if (v == id()) continue;
+      if (std::find(it->second.begin(), it->second.end(), v) ==
+          it->second.end()) {
+        non_ackers.push_back(v);
+      }
+    }
+    rng_.shuffle(non_ackers);
+    if (non_ackers.size() > needed) non_ackers.resize(needed);
+    for (net::NodeId v : non_ackers) {
+      auto body = std::make_shared<TxBody>();
+      body->tx = tx;
+      send_to(v, kMsgTx, tx.payload_bytes, std::move(body));
+    }
+    retransmit_unacked(tx, round + 1);
+  });
+}
+
+void NarwhalNode::fast_submit(const Transaction& tx) {
+  // Narwhal already permits any validator to broadcast at once — the
+  // adversary's fastest move is the protocol itself.
+  acks_.try_emplace(tx.id);
+  broadcast_tx(tx);
+}
+
+void NarwhalNode::request_repair(std::uint64_t tx_id,
+                                 std::vector<net::NodeId> signers, int round) {
+  constexpr int kMaxRounds = 3;
+  if (round >= kMaxRounds || pool_.contains(tx_id)) return;
+  rng_.shuffle(signers);
+  std::size_t asked = 0;
+  for (net::NodeId s : signers) {
+    if (s == id()) continue;
+    auto fetch = std::make_shared<FetchBody>();
+    fetch->tx_id = tx_id;
+    send_to(s, kMsgFetch, 48, std::move(fetch));
+    if (++asked >= params_.repair_requests) break;
+  }
+  ctx_.engine.schedule(params_.repair_timeout_ms, [this, tx_id, signers,
+                                                   round] {
+    request_repair(tx_id, signers, round + 1);
+  });
+}
+
+void NarwhalNode::on_message(const sim::Message& msg) {
+  switch (msg.type) {
+    case kMsgTx: {
+      const Transaction& tx = msg.as<TxBody>().tx;
+      const bool fresh = deliver_tx(tx);
+      // Relay duty first: flooding over the topology. Only droppers and
+      // the attacker itself sit on the victim's batch — block order is
+      // decided by certificates here, so co-conspirators gain nothing from
+      // detectable relay censorship.
+      if (fresh && relays() && !is_my_victim(tx)) flood_neighbors_tx(tx, msg.src);
+      // Ack to the batch creator. Byzantine droppers DO ack: acking is
+      // cheap and gets them listed as certificate signers, whose fetches
+      // they then refuse to serve. The front-running attacker withholds
+      // its ack on the victim batch it races.
+      if (!fresh || is_my_victim(tx)) return;
+      auto ack = std::make_shared<AckBody>();
+      ack->tx_id = tx.id;
+      send_to(tx.sender, kMsgAck, 40, std::move(ack));
+      return;
+    }
+    case kMsgAck: {
+      const std::uint64_t tx_id = msg.as<AckBody>().tx_id;
+      auto it = acks_.find(tx_id);
+      if (it == acks_.end()) return;  // not ours
+      auto& signers = it->second;
+      if (std::find(signers.begin(), signers.end(), msg.src) != signers.end()) {
+        return;
+      }
+      signers.push_back(msg.src);
+      if (signers.size() + 1 >= quorum() && !cert_broadcast_.count(tx_id)) {
+        cert_broadcast_.insert(tx_id);
+        ++certs_formed_;
+        record_certificate(tx_id);
+        // Broadcast the availability certificate with a signer sample large
+        // enough for repair.
+        std::vector<net::NodeId> sample = signers;
+        if (sample.size() > 16) sample.resize(16);
+        // A real availability certificate carries 2f+1 signatures; that
+        // quorum-sized payload (not the repair sample) is what dominates
+        // Narwhal's wire cost as n grows (Figure 3b). Certificates flood
+        // the topology like the batches do.
+        CertBody cert;
+        cert.tx_id = tx_id;
+        cert.signers = sample;
+        flood_neighbors_cert(cert, id());
+      }
+      return;
+    }
+    case kMsgCert: {
+      const auto& cert = msg.as<CertBody>();
+      const bool fresh = cert_position_.count(cert.tx_id) == 0;
+      record_certificate(cert.tx_id);
+      if (fresh && relays()) flood_neighbors_cert(cert, msg.src);
+      if (pool_.contains(cert.tx_id)) return;
+      // Hole: the flood missed us but the certificate proves availability.
+      // Pull from signers, re-trying fresh ones until the payload lands.
+      request_repair(cert.tx_id, cert.signers, /*round=*/0);
+      return;
+    }
+    case kMsgFetch: {
+      if (!relays()) return;  // byzantine: refuse to serve
+      const std::uint64_t tx_id = msg.as<FetchBody>().tx_id;
+      if (const auto tx = pool_.get(tx_id)) {
+        auto body = std::make_shared<TxBody>();
+        body->tx = *tx;
+        send_to(msg.src, kMsgTx, tx->payload_bytes, std::move(body));
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace hermes::protocols

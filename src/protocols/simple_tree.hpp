@@ -1,0 +1,42 @@
+// Fixed single-tree dissemination — the "Simple Tree" column of Table I.
+//
+// One robust tree is built offline; every sender injects at its entry
+// points and nodes forward along successor links. No randomization, no
+// TRS, no accountability, no fallback: the strawman HERMES improves on.
+#pragma once
+
+#include "overlay/robust_tree.hpp"
+#include "protocols/gossip.hpp"
+
+namespace hermes::protocols {
+
+class SimpleTreeProtocol;
+
+class SimpleTreeNode final : public ProtocolNode {
+ public:
+  SimpleTreeNode(ExperimentContext& ctx, net::NodeId id,
+                 std::shared_ptr<const overlay::Overlay> tree);
+
+  void submit(const Transaction& tx) override;
+  void on_message(const sim::Message& msg) override;
+
+  static constexpr std::uint32_t kMsgTx = 1;
+
+ private:
+  void forward(const Transaction& tx);
+  std::shared_ptr<const overlay::Overlay> tree_;
+};
+
+class SimpleTreeProtocol final : public Protocol {
+ public:
+  explicit SimpleTreeProtocol(std::size_t f = 1) : f_(f) {}
+  std::string_view name() const override { return "simple-tree"; }
+  std::unique_ptr<ProtocolNode> make_node(ExperimentContext& ctx,
+                                          net::NodeId id) override;
+
+ private:
+  std::size_t f_;
+  std::shared_ptr<const overlay::Overlay> tree_;
+};
+
+}  // namespace hermes::protocols

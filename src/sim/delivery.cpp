@@ -1,0 +1,77 @@
+#include "sim/delivery.hpp"
+
+namespace hermes::sim {
+
+void DeliveryTracker::on_created(std::uint64_t item, SimTime when) {
+  auto [it, inserted] = created_.try_emplace(item);
+  if (inserted) it->second.created = when;
+}
+
+void DeliveryTracker::restamp_created(std::uint64_t item, SimTime when) {
+  const auto it = created_.find(item);
+  if (it == created_.end() || when <= it->second.created) return;
+  it->second.created = when;
+  for (auto& [node, time] : it->second.deliveries) {
+    if (time < when) time = when;
+  }
+}
+
+void DeliveryTracker::on_delivered(std::uint64_t item, net::NodeId node,
+                                   SimTime when) {
+  auto it = created_.find(item);
+  if (it == created_.end()) return;  // deliveries of unknown items ignored
+  it->second.deliveries.try_emplace(node, when);
+}
+
+bool DeliveryTracker::delivered(std::uint64_t item, net::NodeId node) const {
+  const auto it = created_.find(item);
+  return it != created_.end() && it->second.deliveries.count(node) > 0;
+}
+
+SimTime DeliveryTracker::delivery_time(std::uint64_t item,
+                                       net::NodeId node) const {
+  const auto it = created_.find(item);
+  if (it == created_.end()) return -1.0;
+  const auto dit = it->second.deliveries.find(node);
+  return dit == it->second.deliveries.end() ? -1.0 : dit->second;
+}
+
+std::vector<double> DeliveryTracker::latencies(std::uint64_t item) const {
+  std::vector<double> out;
+  const auto it = created_.find(item);
+  if (it == created_.end()) return out;
+  out.reserve(it->second.deliveries.size());
+  for (const auto& [node, when] : it->second.deliveries) {
+    out.push_back(when - it->second.created);
+  }
+  return out;
+}
+
+std::vector<double> DeliveryTracker::all_latencies() const {
+  std::vector<double> out;
+  for (const auto& [item, rec] : created_) {
+    for (const auto& [node, when] : rec.deliveries) {
+      out.push_back(when - rec.created);
+    }
+  }
+  return out;
+}
+
+double DeliveryTracker::coverage(std::uint64_t item, std::size_t universe) const {
+  if (universe == 0) return 0.0;
+  const auto it = created_.find(item);
+  if (it == created_.end()) return 0.0;
+  return static_cast<double>(it->second.deliveries.size()) /
+         static_cast<double>(universe);
+}
+
+double DeliveryTracker::mean_coverage(std::size_t universe) const {
+  if (created_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [item, rec] : created_) {
+    total += coverage(item, universe);
+  }
+  return total / static_cast<double>(created_.size());
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,54 @@
+// Delivery tracking: first-delivery timestamps per (message, node), the
+// raw material for every latency / robustness figure in the paper.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "sim/engine.hpp"
+#include "support/stats.hpp"
+
+namespace hermes::sim {
+
+class DeliveryTracker {
+ public:
+  explicit DeliveryTracker(std::size_t node_count) : node_count_(node_count) {}
+
+  // Records that `item` (a transaction/message id) originated at `when`.
+  void on_created(std::uint64_t item, SimTime when);
+  // Moves the creation timestamp forward to `when` — used when a protocol
+  // starts propagating the payload later than submission (e.g. HERMES
+  // forwards m only after the TRS round; latency figures measure the
+  // propagation of m, matching the paper). Existing earlier deliveries
+  // (the origin's own) are raised to `when` so latencies stay nonnegative.
+  void restamp_created(std::uint64_t item, SimTime when);
+  // Records a delivery; only the first per (item, node) is kept.
+  void on_delivered(std::uint64_t item, net::NodeId node, SimTime when);
+
+  bool delivered(std::uint64_t item, net::NodeId node) const;
+  // First delivery time or a negative value when never delivered.
+  SimTime delivery_time(std::uint64_t item, net::NodeId node) const;
+
+  // Latencies (delivery - creation) of `item` across nodes that received it.
+  std::vector<double> latencies(std::uint64_t item) const;
+  // All (item, node) latencies pooled, excluding the item's origin node.
+  std::vector<double> all_latencies() const;
+
+  // Fraction of `universe` nodes that received the item.
+  double coverage(std::uint64_t item, std::size_t universe) const;
+  double mean_coverage(std::size_t universe) const;
+
+  std::size_t item_count() const { return created_.size(); }
+
+ private:
+  struct ItemRecord {
+    SimTime created = 0.0;
+    std::unordered_map<net::NodeId, SimTime> deliveries;
+  };
+  std::size_t node_count_;
+  std::unordered_map<std::uint64_t, ItemRecord> created_;
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,49 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace hermes::sim {
+
+void Engine::schedule(SimTime delay, Callback fn) {
+  HERMES_REQUIRE(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::schedule_at(SimTime when, Callback fn) {
+  HERMES_REQUIRE(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    // priority_queue::top returns const&; the callback must be moved out
+    // before pop, so copy the metadata and move the closure via const_cast
+    // of the container idiom. Simpler and safe: copy the event.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Engine::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+void Engine::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace hermes::sim

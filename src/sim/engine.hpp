@@ -1,0 +1,59 @@
+// Deterministic discrete-event simulation engine.
+//
+// All protocol evaluation in this repository runs on this engine: time is
+// virtual (milliseconds as double), events execute in (time, insertion
+// sequence) order, and every random choice comes from seeded Rng streams,
+// so a run is a pure function of its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace hermes::sim {
+
+using SimTime = double;  // milliseconds
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` ms from now (delay >= 0).
+  void schedule(SimTime delay, Callback fn);
+  void schedule_at(SimTime when, Callback fn);
+
+  // Runs events until the queue drains or `max_events` fire.
+  // Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+  // Runs events with timestamp <= deadline.
+  std::size_t run_until(SimTime deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  // Drops all pending events (used between benchmark repetitions).
+  void clear();
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,38 @@
+// Message model for the simulated network.
+//
+// Protocols subclass MessageBody for their typed payloads; `wire_bytes`
+// is what the bandwidth accounting charges (headers + payload), decoupled
+// from the in-memory representation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/graph.hpp"
+
+namespace hermes::sim {
+
+struct MessageBody {
+  virtual ~MessageBody() = default;
+};
+
+struct Message {
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  std::uint32_t type = 0;      // protocol-defined discriminator
+  std::size_t wire_bytes = 0;  // size charged to bandwidth accounting
+  std::shared_ptr<const MessageBody> body;
+
+  template <typename T>
+  const T& as() const {
+    const T* typed = dynamic_cast<const T*>(body.get());
+    HERMES_REQUIRE(typed != nullptr);
+    return *typed;
+  }
+};
+
+// Fixed per-message envelope overhead charged on top of payloads
+// (addresses, type, sequence, MAC) — roughly a UDP+auth header.
+inline constexpr std::size_t kEnvelopeBytes = 40;
+
+}  // namespace hermes::sim

@@ -1,0 +1,115 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hermes::sim {
+
+Network::Network(Engine& engine, const net::Topology& topology,
+                 NetworkParams params, Rng rng)
+    : engine_(engine),
+      topology_(topology),
+      params_(params),
+      rng_(rng),
+      model_(net::LatencyModelParams{}),
+      nodes_(topology.graph.node_count(), nullptr),
+      counters_(topology.graph.node_count()),
+      crashed_(topology.graph.node_count(), false),
+      uplink_free_at_(topology.graph.node_count(), 0.0) {}
+
+void Network::attach(net::NodeId id, Node* node) {
+  HERMES_REQUIRE(id < nodes_.size());
+  HERMES_REQUIRE(nodes_[id] == nullptr);
+  nodes_[id] = node;
+}
+
+double Network::pair_latency(net::NodeId a, net::NodeId b) {
+  if (const auto lat = topology_.graph.edge_latency(a, b)) return *lat;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  const auto it = pair_cache_.find(key);
+  if (it != pair_cache_.end()) return it->second;
+  const double lat =
+      model_.sample(topology_.regions[a], topology_.regions[b], rng_);
+  pair_cache_.emplace(key, lat);
+  return lat;
+}
+
+SimTime Network::send(const Message& msg) {
+  HERMES_REQUIRE(msg.src < nodes_.size() && msg.dst < nodes_.size());
+  HERMES_REQUIRE(msg.src != msg.dst);
+
+  counters_[msg.src].messages_sent += 1;
+  counters_[msg.src].bytes_sent += msg.wire_bytes;
+  total_.messages_sent += 1;
+  total_.bytes_sent += msg.wire_bytes;
+  if (send_tap_) send_tap_(msg, engine_.now());
+
+  if (crashed_[msg.src] || crashed_[msg.dst]) {
+    ++dropped_;
+    return -1.0;
+  }
+  if (!partition_of_.empty() &&
+      partition_of_[msg.src] != partition_of_[msg.dst]) {
+    ++dropped_;
+    return -1.0;
+  }
+  if (relay_filter_ && !relay_filter_(msg)) {
+    ++dropped_;
+    return -1.0;
+  }
+  if (params_.drop_probability > 0.0 && rng_.bernoulli(params_.drop_probability)) {
+    ++dropped_;
+    return -1.0;
+  }
+
+  double latency = pair_latency(msg.src, msg.dst);
+  if (params_.jitter_stddev_ms > 0.0) {
+    latency += std::abs(rng_.normal(0.0, params_.jitter_stddev_ms));
+  }
+  latency += params_.processing_delay_ms;
+
+  if (params_.link_bandwidth_mbps > 0.0) {
+    // Queue on the sender's uplink: the wire time of this message starts
+    // when the previous one finished serializing.
+    const double wire_ms = static_cast<double>(msg.wire_bytes) * 8.0 /
+                           (params_.link_bandwidth_mbps * 1000.0);
+    SimTime& free_at = uplink_free_at_[msg.src];
+    const SimTime start = std::max(engine_.now(), free_at);
+    free_at = start + wire_ms;
+    latency += (free_at - engine_.now());
+  }
+
+  const SimTime deliver_at = engine_.now() + latency;
+  engine_.schedule(latency, [this, msg]() {
+    if (crashed_[msg.dst]) return;
+    Node* receiver = nodes_[msg.dst];
+    HERMES_REQUIRE(receiver != nullptr);
+    counters_[msg.dst].messages_received += 1;
+    counters_[msg.dst].bytes_received += msg.wire_bytes;
+    total_.messages_received += 1;
+    total_.bytes_received += msg.wire_bytes;
+    receiver->on_message(msg);
+  });
+  return deliver_at;
+}
+
+void Network::reset_counters() {
+  for (auto& c : counters_) c = BandwidthCounters{};
+  total_ = BandwidthCounters{};
+  dropped_ = 0;
+}
+
+void Network::set_partition(const std::vector<int>& partition_of) {
+  HERMES_REQUIRE(partition_of.size() == crashed_.size());
+  partition_of_ = partition_of;
+}
+
+void Network::heal_partition() { partition_of_.clear(); }
+
+void Network::set_crashed(net::NodeId id, bool crashed) {
+  HERMES_REQUIRE(id < crashed_.size());
+  crashed_[id] = crashed;
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,144 @@
+// Simulated point-to-point network with per-pair stable latency, optional
+// per-message jitter, stochastic message loss, and per-node bandwidth
+// accounting. Latency between overlay neighbors follows the physical graph
+// edge label; latency between non-adjacent pairs (protocols that assume a
+// connected topology, e.g. Narwhal) is sampled once from the region model
+// and cached so a pair behaves like a stable path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::sim {
+
+class Node;
+
+struct NetworkParams {
+  double drop_probability = 0.0;   // independent per message
+  double jitter_stddev_ms = 0.0;   // gaussian per-message jitter, >= 0
+  double processing_delay_ms = 0.05;  // receiver-side handling cost
+  // Sender-side link serialization: outgoing messages queue on the node's
+  // uplink at this rate. This is what makes O(n) fan-outs (Narwhal's
+  // all-to-all) pay for their breadth as n grows. 0 disables the model.
+  double link_bandwidth_mbps = 200.0;
+};
+
+struct BandwidthCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Network {
+ public:
+  Network(Engine& engine, const net::Topology& topology, NetworkParams params,
+          Rng rng);
+
+  Engine& engine() { return engine_; }
+  const net::Topology& topology() const { return topology_; }
+  std::size_t node_count() const { return topology_.graph.node_count(); }
+
+  // Nodes register themselves at construction (see sim::Node).
+  void attach(net::NodeId id, Node* node);
+
+  // Sends `msg` from msg.src to msg.dst. Returns the scheduled delivery
+  // time, or a negative value if the message was dropped.
+  SimTime send(const Message& msg);
+
+  // Stable latency for the (a, b) pair (graph edge label or cached sample).
+  double pair_latency(net::NodeId a, net::NodeId b);
+
+  const BandwidthCounters& counters(net::NodeId id) const {
+    return counters_[id];
+  }
+  const BandwidthCounters& total() const { return total_; }
+  std::uint64_t dropped_messages() const { return dropped_; }
+  void reset_counters();
+
+  // Marks a node as crashed: all deliveries to/from it are suppressed.
+  void set_crashed(net::NodeId id, bool crashed);
+  bool is_crashed(net::NodeId id) const { return crashed_[id]; }
+
+  // Observation tap: invoked for every send() after accounting (even for
+  // messages that are then dropped), before delivery is scheduled. Used by
+  // sim::TraceCollector; nullptr disables.
+  using SendTap = std::function<void(const Message&, SimTime now)>;
+  void set_send_tap(SendTap tap) { send_tap_ = std::move(tap); }
+
+  // Transit filter: return false to drop the message in transit (e.g. a
+  // Byzantine intermediary on the underlay path). Checked after crash and
+  // partition suppression; charged as a drop.
+  using RelayFilter = std::function<bool(const Message&)>;
+  void set_relay_filter(RelayFilter filter) { relay_filter_ = std::move(filter); }
+
+  // Network partition: assigns every node a partition id; messages only
+  // cross between nodes in the same partition. heal_partition() restores
+  // full connectivity. Messages in flight when the partition forms are
+  // delivered (they already left the wire).
+  void set_partition(const std::vector<int>& partition_of);
+  void heal_partition();
+  bool is_partitioned() const { return !partition_of_.empty(); }
+
+ private:
+  Engine& engine_;
+  const net::Topology& topology_;
+  NetworkParams params_;
+  Rng rng_;
+  net::LatencyModel model_;
+  std::vector<Node*> nodes_;
+  std::vector<BandwidthCounters> counters_;
+  std::vector<bool> crashed_;
+  std::vector<int> partition_of_;  // empty = no partition
+  SendTap send_tap_;
+  RelayFilter relay_filter_;
+  BandwidthCounters total_;
+  std::uint64_t dropped_ = 0;
+  std::unordered_map<std::uint64_t, double> pair_cache_;
+  // Per-node uplink availability time (serialization model).
+  std::vector<SimTime> uplink_free_at_;
+};
+
+// Base class for simulated nodes. Subclasses implement on_message and may
+// schedule timers through net().engine().
+class Node {
+ public:
+  Node(Network& network, net::NodeId id) : network_(network), id_(id) {
+    network.attach(id, this);
+  }
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  net::NodeId id() const { return id_; }
+  Network& net() { return network_; }
+  const Network& net() const { return network_; }
+  SimTime now() const { return network_.engine().now(); }
+
+  virtual void on_message(const Message& msg) = 0;
+
+ protected:
+  void send_to(net::NodeId dst, std::uint32_t type, std::size_t wire_bytes,
+               std::shared_ptr<const MessageBody> body) {
+    Message m;
+    m.src = id_;
+    m.dst = dst;
+    m.type = type;
+    m.wire_bytes = wire_bytes + kEnvelopeBytes;
+    m.body = std::move(body);
+    network_.send(m);
+  }
+
+ private:
+  Network& network_;
+  net::NodeId id_;
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,71 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hermes::sim {
+
+void TraceCollector::record(SimTime at, net::NodeId src, net::NodeId dst,
+                            std::uint32_t type, std::size_t wire_bytes) {
+  ++total_;
+  buckets_[type][bucket_of(at)] += 1;
+  bytes_[type] += wire_bytes;
+  auto& log = node_logs_[src];
+  log.push_back(Entry{at, src, dst, type, wire_bytes});
+  if (log.size() > per_node_limit_) log.pop_front();
+}
+
+std::size_t TraceCollector::count_in_bucket(std::uint32_t type,
+                                            SimTime at) const {
+  const auto tit = buckets_.find(type);
+  if (tit == buckets_.end()) return 0;
+  const auto bit = tit->second.find(bucket_of(at));
+  return bit == tit->second.end() ? 0 : bit->second;
+}
+
+std::map<std::uint32_t, std::size_t> TraceCollector::totals_by_type() const {
+  std::map<std::uint32_t, std::size_t> out;
+  for (const auto& [type, buckets] : buckets_) {
+    std::size_t total = 0;
+    for (const auto& [bucket, count] : buckets) total += count;
+    out[type] = total;
+  }
+  return out;
+}
+
+std::map<std::uint32_t, std::size_t> TraceCollector::bytes_by_type() const {
+  return bytes_;
+}
+
+std::vector<std::size_t> TraceCollector::series(std::uint32_t type) const {
+  const auto tit = buckets_.find(type);
+  if (tit == buckets_.end() || tit->second.empty()) return {};
+  const std::size_t last = tit->second.rbegin()->first;
+  std::vector<std::size_t> out(last + 1, 0);
+  for (const auto& [bucket, count] : tit->second) out[bucket] = count;
+  return out;
+}
+
+const std::deque<TraceCollector::Entry>& TraceCollector::node_log(
+    net::NodeId node) const {
+  static const std::deque<Entry> kEmpty;
+  const auto it = node_logs_.find(node);
+  return it == node_logs_.end() ? kEmpty : it->second;
+}
+
+std::string TraceCollector::sparkline(std::uint32_t type) const {
+  static const char* kLevels = " .:-=+*#%@";
+  const auto s = series(type);
+  if (s.empty()) return "";
+  const std::size_t peak = *std::max_element(s.begin(), s.end());
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t v : s) {
+    const std::size_t level = peak == 0 ? 0 : v * 9 / peak;
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,28 @@
+// Lightweight invariant checking used across the library.
+//
+// HERMES_REQUIRE is always on (simulation correctness depends on it);
+// HERMES_DCHECK compiles out in release builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hermes {
+
+[[noreturn]] inline void panic(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "HERMES invariant violated: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace hermes
+
+#define HERMES_REQUIRE(cond) \
+  do {                       \
+    if (!(cond)) ::hermes::panic(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define HERMES_DCHECK(cond) ((void)0)
+#else
+#define HERMES_DCHECK(cond) HERMES_REQUIRE(cond)
+#endif

@@ -1,0 +1,42 @@
+// Descriptive statistics used by the benchmark harness (latency
+// distributions, load stddev, percentile bands reported in Figures 2-5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hermes {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population stddev
+  double min = 0.0;
+  double max = 0.0;
+  double p5 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+// Linear-interpolated percentile, q in [0, 100]. xs need not be sorted.
+double percentile_of(std::vector<double> xs, double q);
+Summary summarize(std::vector<double> xs);
+
+// Incremental accumulator (Welford) for streaming metrics.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace hermes

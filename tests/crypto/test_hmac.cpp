@@ -1,0 +1,49 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) {
+  return hex_encode(BytesView(d.data(), d.size()));
+}
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_of(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = to_bytes("Jefe");
+  EXPECT_EQ(hex_of(hmac_sha256(key, "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_of(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex_of(hmac_sha256(key, "Test Using Larger Than Block-Size Key - "
+                                    "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  EXPECT_NE(hmac_sha256(to_bytes("k1"), "msg"), hmac_sha256(to_bytes("k2"), "msg"));
+}
+
+TEST(Hmac, DifferentMessagesDifferentMacs) {
+  const Bytes key = to_bytes("key");
+  EXPECT_NE(hmac_sha256(key, "m1"), hmac_sha256(key, "m2"));
+}
+
+}  // namespace
+}  // namespace hermes::crypto

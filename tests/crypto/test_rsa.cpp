@@ -1,0 +1,95 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes::crypto {
+namespace {
+
+// Key generation is the slow part; share one key across tests.
+const RsaKeyPair& test_key() {
+  static const RsaKeyPair key = [] {
+    Rng rng(2024);
+    return rsa_generate(rng, 512);
+  }();
+  return key;
+}
+
+TEST(Mgf1, LengthAndDeterminism) {
+  const Bytes seed = to_bytes("seed");
+  const Bytes a = mgf1_sha256(seed, 100);
+  const Bytes b = mgf1_sha256(seed, 100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, mgf1_sha256(to_bytes("seed2"), 100));
+}
+
+TEST(Mgf1, PrefixConsistency) {
+  const Bytes seed = to_bytes("seed");
+  const Bytes longer = mgf1_sha256(seed, 64);
+  const Bytes shorter = mgf1_sha256(seed, 32);
+  EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), longer.begin()));
+}
+
+TEST(Rsa, KeyHasExpectedShape) {
+  const auto& key = test_key();
+  // Product of two 256-bit primes is 511 or 512 bits.
+  EXPECT_GE(key.pub.n.bit_length(), 511u);
+  EXPECT_LE(key.pub.n.bit_length(), 512u);
+  EXPECT_EQ(key.pub.e, BigUint(65537));
+  EXPECT_EQ(key.p * key.q, key.pub.n);
+  // e*d = 1 mod phi.
+  const BigUint phi = (key.p - BigUint(1)) * (key.q - BigUint(1));
+  EXPECT_EQ(BigUint::mulmod(key.pub.e, key.d, phi), BigUint(1));
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("transfer 5 coins to bob");
+  const Bytes sig = rsa_sign(key, msg);
+  EXPECT_EQ(sig.size(), key.pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(key.pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongMessage) {
+  const auto& key = test_key();
+  const Bytes sig = rsa_sign(key, to_bytes("msg-a"));
+  EXPECT_FALSE(rsa_verify(key.pub, to_bytes("msg-b"), sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedSignature) {
+  const auto& key = test_key();
+  Bytes sig = rsa_sign(key, to_bytes("msg"));
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(key.pub, to_bytes("msg"), sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongLength) {
+  const auto& key = test_key();
+  Bytes sig = rsa_sign(key, to_bytes("msg"));
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify(key.pub, to_bytes("msg"), sig));
+}
+
+TEST(Rsa, SignatureIsDeterministic) {
+  const auto& key = test_key();
+  EXPECT_EQ(rsa_sign(key, to_bytes("m")), rsa_sign(key, to_bytes("m")));
+}
+
+TEST(Rsa, SafePrimeIsSafe) {
+  Rng rng(77);
+  const BigUint p = random_safe_prime(rng, 80);
+  EXPECT_TRUE(BigUint::is_probable_prime(p, rng));
+  EXPECT_TRUE(BigUint::is_probable_prime((p - BigUint(1)) >> 1, rng));
+  EXPECT_EQ(p.bit_length(), 80u);
+}
+
+TEST(Rsa, FdhEncodeBelowModulus) {
+  const auto& key = test_key();
+  for (int i = 0; i < 10; ++i) {
+    Bytes msg = to_bytes("m" + std::to_string(i));
+    EXPECT_LT(fdh_encode(msg, key.pub.n), key.pub.n);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::crypto

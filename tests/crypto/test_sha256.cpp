@@ -1,0 +1,71 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) {
+  return hex_encode(BytesView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_of(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.finish(), sha256(msg));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  const std::string msg(64, 'x');
+  const std::string msg2(63, 'x');
+  const std::string msg3(65, 'x');
+  EXPECT_NE(sha256(msg), sha256(msg2));
+  EXPECT_NE(sha256(msg), sha256(msg3));
+  // Stability across chunkings at the boundary.
+  Sha256 h;
+  h.update(std::string_view(msg).substr(0, 32));
+  h.update(std::string_view(msg).substr(32));
+  EXPECT_EQ(h.finish(), sha256(msg));
+}
+
+TEST(Sha256, DigestPrefixU64BigEndian) {
+  const Digest d = sha256("abc");
+  const std::uint64_t prefix = digest_prefix_u64(d);
+  EXPECT_EQ(prefix >> 56, d[0]);
+  EXPECT_EQ(prefix & 0xff, d[7]);
+}
+
+TEST(Sha256, BytesOverloadMatchesString) {
+  const std::string msg = "payload";
+  EXPECT_EQ(sha256(msg), sha256(BytesView(
+                             reinterpret_cast<const std::uint8_t*>(msg.data()),
+                             msg.size())));
+}
+
+}  // namespace
+}  // namespace hermes::crypto

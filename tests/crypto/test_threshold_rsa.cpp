@@ -1,0 +1,169 @@
+#include "crypto/threshold_rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes::crypto {
+namespace {
+
+// f = 1 committee: 4 players, threshold 3. Safe-prime keygen is expensive;
+// share one key across the suite (determinism makes this stable).
+const ThresholdRsaKey& test_key() {
+  static const ThresholdRsaKey key = [] {
+    Rng rng(31337);
+    return threshold_rsa_generate(rng, 256, /*players=*/4, /*threshold=*/3);
+  }();
+  return key;
+}
+
+TEST(FactorialBig, SmallValues) {
+  EXPECT_EQ(factorial_big(0), BigUint(1));
+  EXPECT_EQ(factorial_big(1), BigUint(1));
+  EXPECT_EQ(factorial_big(5), BigUint(120));
+  EXPECT_EQ(factorial_big(20), BigUint(2432902008176640000ULL));
+}
+
+TEST(ThresholdRsa, KeyShape) {
+  const auto& key = test_key();
+  EXPECT_EQ(key.shares.size(), 4u);
+  EXPECT_EQ(key.pub.verification_keys.size(), 4u);
+  EXPECT_EQ(key.pub.players, 4u);
+  EXPECT_EQ(key.pub.threshold, 3u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(key.shares[i].index, i + 1);
+  }
+}
+
+TEST(ThresholdRsa, PartialSignaturesVerify) {
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("round 7 tx hash");
+  for (const auto& share : key.shares) {
+    const ThresholdPartial p = threshold_partial_sign(key.pub, share, msg);
+    EXPECT_TRUE(threshold_verify_partial(key.pub, msg, p));
+  }
+}
+
+TEST(ThresholdRsa, TamperedPartialRejected) {
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("msg");
+  ThresholdPartial p = threshold_partial_sign(key.pub, key.shares[0], msg);
+  p.value = p.value + BigUint(1);
+  EXPECT_FALSE(threshold_verify_partial(key.pub, msg, p));
+}
+
+TEST(ThresholdRsa, PartialForWrongMessageRejected) {
+  const auto& key = test_key();
+  const ThresholdPartial p =
+      threshold_partial_sign(key.pub, key.shares[0], to_bytes("m1"));
+  EXPECT_FALSE(threshold_verify_partial(key.pub, to_bytes("m2"), p));
+}
+
+TEST(ThresholdRsa, PartialOutOfRangeIndexRejected) {
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("msg");
+  ThresholdPartial p = threshold_partial_sign(key.pub, key.shares[0], msg);
+  p.signer_index = 9;
+  EXPECT_FALSE(threshold_verify_partial(key.pub, msg, p));
+}
+
+TEST(ThresholdRsa, CombineAnyThresholdSubset) {
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("the seed message");
+  std::vector<ThresholdPartial> all;
+  for (const auto& share : key.shares) {
+    all.push_back(threshold_partial_sign(key.pub, share, msg));
+  }
+  // Every 3-subset of the 4 partials combines into a verifying signature.
+  std::optional<Bytes> reference;
+  for (std::size_t skip = 0; skip < all.size(); ++skip) {
+    std::vector<ThresholdPartial> subset;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (i != skip) subset.push_back(all[i]);
+    }
+    const auto sig = threshold_combine(key.pub, msg, subset);
+    ASSERT_TRUE(sig.has_value()) << "subset skipping " << skip;
+    EXPECT_TRUE(threshold_verify(key.pub, msg, *sig));
+    if (!reference) {
+      reference = sig;
+    } else {
+      // Uniqueness: every subset yields the same signature (the RSA-FDH
+      // signature is unique), which HERMES needs for the seed.
+      EXPECT_EQ(*reference, *sig);
+    }
+  }
+}
+
+TEST(ThresholdRsa, CombineFailsBelowThreshold) {
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("msg");
+  std::vector<ThresholdPartial> two{
+      threshold_partial_sign(key.pub, key.shares[0], msg),
+      threshold_partial_sign(key.pub, key.shares[1], msg)};
+  EXPECT_FALSE(threshold_combine(key.pub, msg, two).has_value());
+}
+
+TEST(ThresholdRsa, CombineIgnoresDuplicateIndices) {
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("msg");
+  const auto p0 = threshold_partial_sign(key.pub, key.shares[0], msg);
+  std::vector<ThresholdPartial> dup{p0, p0, p0};
+  EXPECT_FALSE(threshold_combine(key.pub, msg, dup).has_value());
+}
+
+TEST(ThresholdRsa, CombinedSignatureMatchesPlainRsa) {
+  // y^e == FDH(m) mod n: verify against the RSA verify path explicitly.
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("cross-check");
+  std::vector<ThresholdPartial> subset{
+      threshold_partial_sign(key.pub, key.shares[0], msg),
+      threshold_partial_sign(key.pub, key.shares[2], msg),
+      threshold_partial_sign(key.pub, key.shares[3], msg)};
+  const auto sig = threshold_combine(key.pub, msg, subset);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(rsa_verify(key.pub.rsa, msg, *sig));
+}
+
+TEST(ThresholdRsa, PartialEncodeDecodeRoundTrip) {
+  const auto& key = test_key();
+  const Bytes msg = to_bytes("wire");
+  const ThresholdPartial p = threshold_partial_sign(key.pub, key.shares[1], msg);
+  const auto decoded = ThresholdPartial::decode(p.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->signer_index, p.signer_index);
+  EXPECT_EQ(decoded->value, p.value);
+  EXPECT_EQ(decoded->proof_c, p.proof_c);
+  EXPECT_EQ(decoded->proof_z, p.proof_z);
+  EXPECT_TRUE(threshold_verify_partial(key.pub, msg, *decoded));
+}
+
+TEST(ThresholdRsa, DecodeRejectsTruncation) {
+  const auto& key = test_key();
+  Bytes enc = threshold_partial_sign(key.pub, key.shares[0], to_bytes("x")).encode();
+  enc.pop_back();
+  EXPECT_FALSE(ThresholdPartial::decode(enc).has_value());
+}
+
+TEST(ThresholdRsa, DecodeRejectsTrailingGarbage) {
+  const auto& key = test_key();
+  Bytes enc = threshold_partial_sign(key.pub, key.shares[0], to_bytes("x")).encode();
+  enc.push_back(0x00);
+  EXPECT_FALSE(ThresholdPartial::decode(enc).has_value());
+}
+
+TEST(ThresholdRsa, LargerCommittee) {
+  // f = 2: 7 players, threshold 5 — exercises Lagrange over a wider set.
+  Rng rng(555);
+  const ThresholdRsaKey key =
+      threshold_rsa_generate(rng, 256, /*players=*/7, /*threshold=*/5);
+  const Bytes msg = to_bytes("f2 committee");
+  std::vector<ThresholdPartial> partials;
+  for (std::size_t i : {0u, 2u, 3u, 5u, 6u}) {
+    partials.push_back(threshold_partial_sign(key.pub, key.shares[i], msg));
+    EXPECT_TRUE(threshold_verify_partial(key.pub, msg, partials.back()));
+  }
+  const auto sig = threshold_combine(key.pub, msg, partials);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(threshold_verify(key.pub, msg, *sig));
+}
+
+}  // namespace
+}  // namespace hermes::crypto

@@ -1,0 +1,209 @@
+// Accountability tests: fault-density checking (Section III) and signed
+// violation reports with network-wide exclusion (Section VI-C).
+#include <gtest/gtest.h>
+
+#include "../protocols/harness.hpp"
+#include "hermes/fault_density.hpp"
+#include "hermes/hermes_node.hpp"
+
+namespace hermes::hermes_proto {
+namespace {
+
+using protocols::Behavior;
+using protocols::inject_tx;
+using protocols::testing::World;
+
+// --- Fault density -----------------------------------------------------------
+
+net::Graph star_graph(std::size_t leaves) {
+  net::Graph g(leaves + 1);
+  for (net::NodeId v = 1; v <= leaves; ++v) g.add_edge(0, v, 1.0);
+  return g;
+}
+
+TEST(FaultDensity, HoldsWithNoFaults) {
+  const net::Graph g = star_graph(5);
+  const std::vector<bool> faulty(6, false);
+  const auto report = check_fault_density(g, faulty, 2, 1);
+  EXPECT_TRUE(report.holds);
+  EXPECT_EQ(report.max_faulty_in_ball, 0u);
+  EXPECT_TRUE(report.crowded_nodes.empty());
+}
+
+TEST(FaultDensity, DetectsCrowdedBall) {
+  const net::Graph g = star_graph(5);
+  std::vector<bool> faulty(6, false);
+  faulty[1] = faulty[2] = true;  // two faulty leaves, f = 1 violated at hub
+  const auto report = check_fault_density(g, faulty, 1, 1);
+  EXPECT_FALSE(report.holds);
+  EXPECT_EQ(report.max_faulty_in_ball, 2u);
+  EXPECT_FALSE(report.crowded_nodes.empty());
+}
+
+TEST(FaultDensity, DetectsSurroundedNode) {
+  // Leaf 1's only neighbor is the hub; a faulty hub surrounds every leaf.
+  const net::Graph g = star_graph(3);
+  std::vector<bool> faulty(4, false);
+  faulty[0] = true;
+  const auto report = check_fault_density(g, faulty, 1, 1);
+  EXPECT_FALSE(report.holds);
+  ASSERT_EQ(report.surrounded_nodes.size(), 3u);
+}
+
+TEST(FaultDensity, RadiusMatters) {
+  // Line 0-1-2-3-4 with node 4 faulty: within 1 hop of node 2 there is no
+  // fault; within 2 hops there is one.
+  net::Graph g(5);
+  for (net::NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1, 1.0);
+  std::vector<bool> faulty(5, false);
+  faulty[4] = true;
+  EXPECT_EQ(max_tolerated_density(g, faulty, 1), 1u);  // node 3 sees it
+  const auto near = check_fault_density(g, faulty, 1, 1);
+  EXPECT_TRUE(near.holds);
+  const auto far = check_fault_density(g, faulty, 4, 0);
+  EXPECT_FALSE(far.holds);
+}
+
+TEST(FaultDensity, MaxToleratedDensityMatchesCheck) {
+  net::TopologyParams tp;
+  tp.node_count = 40;
+  Rng trng(50);
+  const net::Topology topo = net::make_topology(tp, trng);
+  Rng frng(51);
+  std::vector<bool> faulty(40, false);
+  for (std::size_t i : frng.sample_indices(40, 8)) faulty[i] = true;
+  const std::size_t worst = max_tolerated_density(topo.graph, faulty, 2);
+  EXPECT_TRUE(check_fault_density(topo.graph, faulty, 2, worst).holds);
+  if (worst > 0) {
+    EXPECT_FALSE(check_fault_density(topo.graph, faulty, 2, worst - 1).holds);
+  }
+}
+
+// --- Violation reports -------------------------------------------------------
+
+HermesConfig report_config() {
+  HermesConfig config;
+  config.f = 1;
+  config.k = 4;
+  config.builder.annealing.initial_temperature = 5.0;
+  config.builder.annealing.min_temperature = 1.0;
+  config.builder.annealing.cooling_rate = 0.8;
+  config.builder.annealing.moves_per_temperature = 4;
+  return config;
+}
+
+TEST(ViolationReports, BlastingAttackerIsExcludedNetworkWide) {
+  HermesConfig config = report_config();
+  config.adversary_blind_blast = true;  // the naive attacker variant
+  HermesProtocol protocol(config);
+  World w(40, protocol);
+  w.ctx->assign_behaviors(0.2, Behavior::kFrontRunner);
+  w.ctx->attack_enabled = true;
+  w.start();
+  const net::NodeId sender = w.ctx->random_honest(w.ctx->rng);
+  const auto victim = inject_tx(*w.ctx, sender);
+  w.run_ms(10000);
+  ASSERT_EQ(w.ctx->adversarial_of.count(victim.id), 1u);
+  const net::NodeId attacker = w.ctx->adversarial_of[victim.id].sender;
+  // The attacker's certificate-less blast hit several honest nodes; their
+  // signed reports spread, so many nodes (not only direct receivers)
+  // excluded the attacker.
+  std::size_t excluding = 0;
+  for (net::NodeId v = 0; v < 40; ++v) {
+    if (!w.ctx->is_honest(v)) continue;
+    if (static_cast<const HermesNode&>(w.ctx->node(v)).excluded(attacker)) {
+      ++excluding;
+    }
+  }
+  EXPECT_GT(excluding, 5u);
+}
+
+TEST(ViolationReports, ForgedReportIsIgnored) {
+  HermesProtocol protocol(report_config());
+  World w(20, protocol);
+  w.start();
+  auto* receiver = dynamic_cast<HermesNode*>(&w.ctx->node(3));
+  auto body = std::make_shared<ViolationReportBody>();
+  body->violation = Violation{1.0, ViolationKind::kBadCertificate, 9, 77};
+  body->reporter = 5;
+  body->signature = to_bytes("forged");
+  sim::Message msg;
+  msg.src = 5;
+  msg.dst = 3;
+  msg.type = HermesNode::kMsgViolationReport;
+  msg.wire_bytes = 80;
+  msg.body = body;
+  receiver->on_message(msg);
+  EXPECT_FALSE(receiver->excluded(9));
+}
+
+TEST(ViolationReports, SingleAccuserIsNotEnough) {
+  // f = 1: one accusation must not exclude (a single faulty node could
+  // frame anyone); f+1 = 2 distinct accusers are needed.
+  HermesProtocol protocol(report_config());
+  World w(20, protocol);
+  w.start();
+  const auto shared = protocol.shared();
+  auto make_report = [&](net::NodeId reporter, net::NodeId offender) {
+    auto body = std::make_shared<ViolationReportBody>();
+    body->violation = Violation{1.0, ViolationKind::kBadCertificate, offender, 7};
+    body->reporter = reporter;
+    const crypto::SimSigner signer =
+        crypto::SimSigner::derive(shared->report_master_key, reporter);
+    // Recreate the exact signed material.
+    Bytes material = to_bytes("hermes.report.v1");
+    material.push_back(
+        static_cast<std::uint8_t>(ViolationKind::kBadCertificate));
+    put_u32_be(material, offender);
+    put_u64_be(material, 7);
+    put_u32_be(material, reporter);
+    put_u64_be(material, 1000);
+    body->signature = signer.sign(material);
+    return body;
+  };
+  auto* receiver = dynamic_cast<HermesNode*>(&w.ctx->node(3));
+  sim::Message msg;
+  msg.dst = 3;
+  msg.type = HermesNode::kMsgViolationReport;
+  msg.wire_bytes = 80;
+  msg.src = 5;
+  msg.body = make_report(5, 9);
+  receiver->on_message(msg);
+  EXPECT_FALSE(receiver->excluded(9));
+  // A duplicate from the same accuser still does not count twice.
+  msg.body = make_report(5, 9);
+  receiver->on_message(msg);
+  EXPECT_FALSE(receiver->excluded(9));
+  // A second distinct accuser tips it.
+  msg.src = 6;
+  msg.body = make_report(6, 9);
+  receiver->on_message(msg);
+  EXPECT_TRUE(receiver->excluded(9));
+}
+
+TEST(ViolationReports, DisabledMeansLocalOnly) {
+  HermesConfig config = report_config();
+  config.enable_violation_reports = false;
+  config.adversary_blind_blast = true;
+  HermesProtocol protocol(config);
+  World w(30, protocol);
+  w.ctx->assign_behaviors(0.2, Behavior::kFrontRunner);
+  w.ctx->attack_enabled = true;
+  w.start();
+  const net::NodeId sender = w.ctx->random_honest(w.ctx->rng);
+  const auto victim = inject_tx(*w.ctx, sender);
+  w.run_ms(8000);
+  if (w.ctx->adversarial_of.count(victim.id) == 0) GTEST_SKIP();
+  const net::NodeId attacker = w.ctx->adversarial_of[victim.id].sender;
+  // Only the direct blast receivers can have excluded the attacker.
+  std::size_t excluding = 0;
+  for (net::NodeId v = 0; v < 30; ++v) {
+    if (static_cast<const HermesNode&>(w.ctx->node(v)).excluded(attacker)) {
+      ++excluding;
+    }
+  }
+  EXPECT_LE(excluding, 8u);  // at most the blast width
+}
+
+}  // namespace
+}  // namespace hermes::hermes_proto

@@ -1,0 +1,127 @@
+// Adversarial-committee tests: equivocating or corrupt partial signatures
+// must never produce a wrong seed, and f Byzantine members must never stall
+// the TRS (Section VI-A's f-tolerance claim).
+#include <gtest/gtest.h>
+
+#include "../protocols/harness.hpp"
+#include "hermes/hermes_node.hpp"
+
+namespace hermes::hermes_proto {
+namespace {
+
+using protocols::Behavior;
+using protocols::honest_coverage;
+using protocols::inject_tx;
+using protocols::testing::World;
+
+HermesConfig fast_config(std::size_t f = 1, std::size_t k = 4) {
+  HermesConfig config;
+  config.f = f;
+  config.k = k;
+  config.builder.annealing.initial_temperature = 5.0;
+  config.builder.annealing.min_temperature = 1.0;
+  config.builder.annealing.cooling_rate = 0.8;
+  config.builder.annealing.moves_per_temperature = 4;
+  return config;
+}
+
+TEST(CommitteeAdversary, CorruptPartialCannotSkewTheSeed) {
+  // A malicious committee member hands the sender a corrupted partial; the
+  // collector rejects it and the seed comes from the honest 2f+1, so the
+  // combined signature is the unique one.
+  const crypto::SimThresholdScheme scheme(to_bytes("grp"), 4, 3);
+  TrsCollector collector(scheme);
+  TrsId id;
+  id.origin = 3;
+  id.seq = 1;
+  id.tx_hash = crypto::sha256("tx");
+  const Bytes msg = id.signed_message();
+
+  crypto::PartialSignature corrupt = scheme.partial_sign(1, msg);
+  corrupt.bytes[5] ^= 0xff;
+  EXPECT_FALSE(collector.add_partial(id, corrupt).has_value());
+
+  // Equivocation: the same member later sends a partial for a DIFFERENT
+  // message under this id — also rejected (verified against id's message).
+  crypto::PartialSignature equivocating = scheme.partial_sign(1, to_bytes("other"));
+  EXPECT_FALSE(collector.add_partial(id, equivocating).has_value());
+
+  EXPECT_FALSE(collector.add_partial(id, scheme.partial_sign(2, msg)));
+  EXPECT_FALSE(collector.add_partial(id, scheme.partial_sign(3, msg)));
+  const auto combined = collector.add_partial(id, scheme.partial_sign(4, msg));
+  ASSERT_TRUE(combined.has_value());
+  // Unique signature: identical to what a fully honest committee produces.
+  std::vector<crypto::PartialSignature> honest;
+  for (std::size_t i = 1; i <= 3; ++i) honest.push_back(scheme.partial_sign(i, msg));
+  const auto reference = scheme.combine(msg, honest);
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(*combined, *reference);
+}
+
+TEST(CommitteeAdversary, RealRsaEquivocationAlsoRejected) {
+  Rng rng(8181);
+  const crypto::RsaThresholdScheme scheme(
+      crypto::threshold_rsa_generate(rng, 256, 4, 3));
+  TrsCollector collector(scheme);
+  TrsId id;
+  id.origin = 9;
+  id.seq = 1;
+  id.tx_hash = crypto::sha256("tx9");
+  const Bytes msg = id.signed_message();
+  // Partial over a different message: the Fiat-Shamir proof fails against
+  // this id's message.
+  EXPECT_FALSE(
+      collector.add_partial(id, scheme.partial_sign(1, to_bytes("wrong"))));
+  EXPECT_FALSE(collector.add_partial(id, scheme.partial_sign(2, msg)));
+  EXPECT_FALSE(collector.add_partial(id, scheme.partial_sign(3, msg)));
+  EXPECT_TRUE(collector.add_partial(id, scheme.partial_sign(4, msg)).has_value());
+}
+
+TEST(CommitteeAdversary, FByzantineMembersCannotStallTrs) {
+  // Force exactly f committee members Byzantine (droppers): the TRS must
+  // still complete for every sender; seeds stay uniform-ish over overlays.
+  HermesProtocol protocol(fast_config(2, 5));  // committee of 7, f = 2
+  World w(60, protocol, 909);
+  w.start();
+  // Mark the first f committee members as droppers post-hoc.
+  const auto committee = protocol.shared()->committee;
+  w.ctx->behaviors[committee[0]] = Behavior::kDropper;
+  w.ctx->behaviors[committee[1]] = Behavior::kDropper;
+  std::vector<protocols::Transaction> txs;
+  for (int i = 0; i < 5; ++i) {
+    const net::NodeId sender = w.ctx->random_honest(w.ctx->rng);
+    txs.push_back(inject_tx(*w.ctx, sender));
+    w.run_ms(600);
+  }
+  w.run_ms(8000);
+  for (const auto& tx : txs) {
+    EXPECT_GT(honest_coverage(*w.ctx, tx), 0.95) << tx.id;
+  }
+}
+
+TEST(CommitteeAdversary, FPlusOneByzantineMembersDoStallTrs) {
+  // The bound is tight: f+1 unresponsive committee members leave only 2f
+  // honest partials — below the 2f+1 threshold, no seed, no dissemination.
+  // (The overlay fallback cannot help: without a certificate nothing is
+  // accepted. This is the safety-over-liveness choice the paper makes.)
+  HermesConfig config = fast_config(1, 3);
+  config.enable_fallback = true;
+  HermesProtocol protocol(config);
+  World w(40, protocol, 910);
+  w.start();
+  const auto committee = protocol.shared()->committee;
+  w.ctx->behaviors[committee[0]] = Behavior::kDropper;
+  w.ctx->behaviors[committee[1]] = Behavior::kDropper;  // f+1 = 2 droppers
+  // Pick an honest sender that is not a committee member.
+  net::NodeId sender = 0;
+  while (!w.ctx->is_honest(sender) ||
+         protocol.shared()->is_committee_member(sender)) {
+    ++sender;
+  }
+  const auto tx = inject_tx(*w.ctx, sender);
+  w.run_ms(10000);
+  EXPECT_LT(honest_coverage(*w.ctx, tx), 0.05);
+}
+
+}  // namespace
+}  // namespace hermes::hermes_proto

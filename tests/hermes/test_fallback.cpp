@@ -1,0 +1,146 @@
+// HERMES fallback (Section VII-A) and TRS loss-recovery tests: the paths
+// exercised when the fault-density assumption or the network misbehaves.
+#include <gtest/gtest.h>
+
+#include "../protocols/harness.hpp"
+#include "hermes/hermes_node.hpp"
+
+namespace hermes::hermes_proto {
+namespace {
+
+using protocols::Behavior;
+using protocols::honest_coverage;
+using protocols::inject_tx;
+using protocols::testing::World;
+
+HermesConfig fast_config(std::size_t f = 1, std::size_t k = 4) {
+  HermesConfig config;
+  config.f = f;
+  config.k = k;
+  config.builder.annealing.initial_temperature = 5.0;
+  config.builder.annealing.min_temperature = 1.0;
+  config.builder.annealing.cooling_rate = 0.8;
+  config.builder.annealing.moves_per_temperature = 4;
+  return config;
+}
+
+TEST(HermesTrsRecovery, SurvivesHeavyMessageLoss) {
+  sim::NetworkParams lossy;
+  lossy.drop_probability = 0.15;
+  HermesProtocol protocol(fast_config());
+  World w(40, protocol, 61, lossy);
+  w.start();
+  const auto tx = w.send_from(3);
+  w.run_ms(12000);
+  // The TRS retries and Bracha retransmissions must push this through.
+  EXPECT_GT(honest_coverage(*w.ctx, tx), 0.95);
+}
+
+TEST(HermesTrsRecovery, CompletesWithByzantineCommitteeMember) {
+  HermesProtocol protocol(fast_config());
+  World w(40, protocol, 62);
+  w.ctx->assign_behaviors(0.1, Behavior::kDropper);
+  w.start();
+  // With f = 1 the committee holds at most one non-honest member; the TRS
+  // must still complete from the 2f+1 honest partials.
+  std::size_t byz_in_committee = 0;
+  for (net::NodeId m : protocol.shared()->committee) {
+    if (!w.ctx->is_honest(m)) ++byz_in_committee;
+  }
+  EXPECT_LE(byz_in_committee, 1u);
+  const net::NodeId sender = w.ctx->random_honest(w.ctx->rng);
+  const auto tx = inject_tx(*w.ctx, sender);
+  w.run_ms(8000);
+  EXPECT_GT(honest_coverage(*w.ctx, tx), 0.95);
+}
+
+TEST(HermesFallback, RepairsEntryPointCensorship) {
+  // Force every entry point of every overlay to be a dropper: the overlay
+  // path is dead on arrival and only the fallback can spread the tx.
+  HermesProtocol protocol(fast_config(1, 2));
+  World w(40, protocol, 63);
+  w.start();  // builds overlays first so we can find the entries
+  for (const auto& ov : protocol.shared()->overlays) {
+    for (net::NodeId e : ov.entry_points()) {
+      w.ctx->behaviors[e] = Behavior::kDropper;
+    }
+  }
+  net::NodeId sender = w.ctx->random_honest(w.ctx->rng);
+  const auto tx = inject_tx(*w.ctx, sender);
+  w.run_ms(15000);
+  // Fallback offers ride physical links from the sender outward; the tx
+  // still reaches a large majority of honest nodes.
+  EXPECT_GT(honest_coverage(*w.ctx, tx), 0.9);
+}
+
+TEST(HermesFallback, OffersAreSmallAndBounded) {
+  HermesProtocol protocol(fast_config());
+  World w(40, protocol, 64);
+  w.start();
+  const auto tx = w.send_from(1);
+  w.run_ms(8000);
+  (void)tx;
+  std::size_t total_offers = 0;
+  for (net::NodeId v = 0; v < 40; ++v) {
+    total_offers += static_cast<const HermesNode&>(w.ctx->node(v))
+                        .fallback_pushes();
+  }
+  // 3 rounds x fanout 2 per holder, bounded by 6 per node per tx.
+  EXPECT_LE(total_offers, 40u * 6u);
+  EXPECT_GT(total_offers, 0u);
+}
+
+TEST(HermesFallback, PullServesCertificateAndPayload) {
+  // Nodes that learn a tx only via fallback must still end up with a
+  // serving-capable copy (certificate included), so repair is epidemic.
+  sim::NetworkParams lossy;
+  lossy.drop_probability = 0.25;
+  HermesProtocol protocol(fast_config(1, 2));
+  World w(30, protocol, 65, lossy);
+  w.start();
+  const auto tx = w.send_from(2);
+  w.run_ms(20000);
+  EXPECT_GT(honest_coverage(*w.ctx, tx), 0.9);
+}
+
+TEST(HermesFallback, DisabledMeansNoOffers) {
+  HermesConfig config = fast_config();
+  config.enable_fallback = false;
+  HermesProtocol protocol(config);
+  World w(30, protocol, 66);
+  w.start();
+  const auto tx = w.send_from(1);
+  w.run_ms(5000);
+  (void)tx;
+  for (net::NodeId v = 0; v < 30; ++v) {
+    EXPECT_EQ(
+        static_cast<const HermesNode&>(w.ctx->node(v)).fallback_pushes(), 0u);
+  }
+}
+
+TEST(HermesInjection, DisjointPathModeStillDelivers) {
+  HermesConfig config = fast_config();
+  config.direct_entry_injection = false;  // hop-by-hop disjoint paths
+  HermesProtocol protocol(config);
+  World w(40, protocol, 67);
+  w.start();
+  const auto tx = w.send_from(9);
+  w.run_ms(8000);
+  EXPECT_DOUBLE_EQ(honest_coverage(*w.ctx, tx), 1.0);
+}
+
+TEST(HermesInjection, DisjointPathsSurviveByzantineRelays) {
+  HermesConfig config = fast_config();
+  config.direct_entry_injection = false;
+  HermesProtocol protocol(config);
+  World w(60, protocol, 68);
+  w.ctx->assign_behaviors(0.2, Behavior::kDropper);
+  w.start();
+  const net::NodeId sender = w.ctx->random_honest(w.ctx->rng);
+  const auto tx = inject_tx(*w.ctx, sender);
+  w.run_ms(10000);
+  EXPECT_GT(honest_coverage(*w.ctx, tx), 0.9);
+}
+
+}  // namespace
+}  // namespace hermes::hermes_proto

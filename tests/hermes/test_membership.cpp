@@ -1,0 +1,216 @@
+#include "hermes/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.hpp"
+
+namespace hermes::hermes_proto {
+namespace {
+
+net::Topology test_topology(std::size_t n = 60) {
+  net::TopologyParams params;
+  params.node_count = n;
+  params.min_degree = 5;
+  Rng rng(88);
+  return net::make_topology(params, rng);
+}
+
+// --- PeerSampler ------------------------------------------------------------
+
+TEST(PeerSampler, InitializeRespectsViewSizeAndSelf) {
+  PeerSampler sampler(0, 4, 2, Rng(1));
+  const std::vector<net::NodeId> seeds{0, 1, 2, 3, 4, 5, 6};
+  sampler.initialize(seeds);
+  EXPECT_EQ(sampler.view().size(), 4u);
+  EXPECT_FALSE(sampler.contains(0));  // never holds itself
+}
+
+TEST(PeerSampler, ExchangePicksOldestAndIncludesSelf) {
+  PeerSampler sampler(9, 4, 3, Rng(2));
+  const std::vector<net::NodeId> seeds{1, 2, 3, 4};
+  sampler.initialize(seeds);
+  const auto ex = sampler.begin_exchange();
+  ASSERT_TRUE(ex.has_value());
+  // Partner removed from the view.
+  EXPECT_FALSE(sampler.contains(ex->partner));
+  // Own descriptor with age 0 is always shipped.
+  bool has_self = false;
+  for (const auto& d : ex->sent) {
+    if (d.id == 9) {
+      has_self = true;
+      EXPECT_EQ(d.age, 0u);
+    }
+  }
+  EXPECT_TRUE(has_self);
+  EXPECT_LE(ex->sent.size(), 3u);
+}
+
+TEST(PeerSampler, EmptyViewYieldsNoExchange) {
+  PeerSampler sampler(9, 4, 2, Rng(3));
+  EXPECT_FALSE(sampler.begin_exchange().has_value());
+}
+
+TEST(PeerSampler, AnswerNeverContainsRequester) {
+  PeerSampler sampler(9, 4, 4, Rng(4));
+  const std::vector<net::NodeId> seeds{1, 2, 3, 4};
+  sampler.initialize(seeds);
+  std::vector<PeerSampler::Descriptor> received{{7, 0}};
+  const auto answer = sampler.answer_exchange(2, received);
+  for (const auto& d : answer) EXPECT_NE(d.id, 2u);
+  EXPECT_TRUE(sampler.contains(7));  // merged the incoming descriptor
+}
+
+TEST(PeerSampler, ViewNeverExceedsCapacityAndStaysFresh) {
+  PeerSampler sampler(9, 3, 2, Rng(5));
+  const std::vector<net::NodeId> seeds{1, 2, 3};
+  sampler.initialize(seeds);
+  std::vector<PeerSampler::Descriptor> incoming{{4, 1}, {5, 2}, {6, 0}};
+  (void)sampler.answer_exchange(1, incoming);
+  EXPECT_LE(sampler.view().size(), 3u);
+}
+
+TEST(PeerSampler, GossipConvergesToConnectedViews) {
+  // 40 samplers, ring-seeded; after enough exchanges, the union of views
+  // forms a connected directed graph over all nodes and views churn away
+  // from the initial ring (random-graph behaviour Cyclon is known for).
+  const std::size_t n = 40;
+  std::vector<PeerSampler> samplers;
+  Rng rng(6);
+  for (net::NodeId v = 0; v < n; ++v) {
+    samplers.emplace_back(v, 6, 3, rng.fork(v));
+    std::vector<net::NodeId> seeds;
+    for (std::size_t i = 1; i <= 6; ++i) {
+      seeds.push_back(static_cast<net::NodeId>((v + i) % n));
+    }
+    samplers[v].initialize(seeds);
+  }
+  for (int round = 0; round < 50; ++round) {
+    for (net::NodeId v = 0; v < n; ++v) {
+      auto ex = samplers[v].begin_exchange();
+      if (!ex) continue;
+      const auto answer = samplers[ex->partner].answer_exchange(v, ex->sent);
+      samplers[v].complete_exchange(*ex, answer);
+    }
+  }
+  // Union reachability from node 0 over view edges.
+  std::set<net::NodeId> reached{0};
+  std::vector<net::NodeId> frontier{0};
+  while (!frontier.empty()) {
+    const net::NodeId v = frontier.back();
+    frontier.pop_back();
+    for (const auto& d : samplers[v].view()) {
+      if (reached.insert(d.id).second) frontier.push_back(d.id);
+    }
+  }
+  EXPECT_EQ(reached.size(), n);
+  // Views hold fresh-ish descriptors (ages bounded by shuffling).
+  for (const auto& s : samplers) {
+    EXPECT_GE(s.view().size(), 3u);
+  }
+}
+
+// --- Epochs -----------------------------------------------------------------
+
+TEST(InducedSubgraph, MapsIdsAndEdges) {
+  const net::Topology topo = test_topology(20);
+  std::vector<bool> active(20, true);
+  active[3] = active[7] = false;
+  std::vector<net::NodeId> global_of;
+  const net::Graph sub = induced_subgraph(topo.graph, active, &global_of);
+  EXPECT_EQ(sub.node_count(), 18u);
+  EXPECT_EQ(global_of.size(), 18u);
+  for (net::NodeId g : global_of) {
+    EXPECT_NE(g, 3u);
+    EXPECT_NE(g, 7u);
+  }
+  // Every subgraph edge corresponds to a physical edge with same latency.
+  for (net::NodeId a = 0; a < sub.node_count(); ++a) {
+    for (const net::Edge& e : sub.neighbors(a)) {
+      const auto lat = topo.graph.edge_latency(global_of[a], global_of[e.to]);
+      ASSERT_TRUE(lat.has_value());
+      EXPECT_DOUBLE_EQ(*lat, e.latency_ms);
+    }
+  }
+}
+
+overlay::BuilderParams fast_builder() {
+  overlay::BuilderParams params;
+  params.f = 1;
+  params.k = 3;
+  params.annealing.initial_temperature = 5.0;
+  params.annealing.min_temperature = 1.0;
+  params.annealing.cooling_rate = 0.8;
+  params.annealing.moves_per_temperature = 4;
+  return params;
+}
+
+TEST(EpochManager, InitialEpochCoversAllNodes) {
+  const net::Topology topo = test_topology();
+  EpochManager manager(topo.graph, fast_builder(), 1234);
+  EXPECT_EQ(manager.epoch(), 0u);
+  EXPECT_EQ(manager.active_count(), 60u);
+  EXPECT_EQ(manager.overlays().set.overlays.size(), 3u);
+  for (const auto& ov : manager.overlays().set.overlays) {
+    EXPECT_TRUE(ov.is_valid());
+  }
+}
+
+TEST(EpochManager, LeaveAndRejoinRebuildValidOverlays) {
+  const net::Topology topo = test_topology();
+  EpochManager manager(topo.graph, fast_builder(), 1234);
+
+  const std::vector<net::NodeId> leavers{5, 17, 33};
+  manager.advance_epoch({}, leavers);
+  EXPECT_EQ(manager.epoch(), 1u);
+  EXPECT_EQ(manager.active_count(), 57u);
+  EXPECT_EQ(manager.overlays().global_of.size(), 57u);
+  for (net::NodeId leaver : leavers) {
+    EXPECT_FALSE(manager.overlays().compact_of(leaver).has_value());
+  }
+  for (const auto& ov : manager.overlays().set.overlays) {
+    EXPECT_TRUE(ov.is_valid());
+    EXPECT_EQ(ov.node_count(), 57u);
+  }
+
+  manager.advance_epoch(leavers, {});
+  EXPECT_EQ(manager.active_count(), 60u);
+  EXPECT_TRUE(manager.overlays().compact_of(5).has_value());
+}
+
+TEST(EpochManager, DeterministicPerEpochSeed) {
+  const net::Topology topo = test_topology();
+  EpochManager a(topo.graph, fast_builder(), 42);
+  EpochManager b(topo.graph, fast_builder(), 42);
+  a.advance_epoch({}, std::vector<net::NodeId>{2});
+  b.advance_epoch({}, std::vector<net::NodeId>{2});
+  for (std::size_t l = 0; l < 3; ++l) {
+    const auto& oa = a.overlays().set.overlays[l];
+    const auto& ob = b.overlays().set.overlays[l];
+    ASSERT_EQ(oa.edge_count(), ob.edge_count());
+    for (net::NodeId v = 0; v < oa.node_count(); ++v) {
+      ASSERT_EQ(oa.successors(v), ob.successors(v));
+    }
+  }
+}
+
+TEST(EpochManager, EntryPointLeaveIsHandled) {
+  // Section VII-B's special case: an entry point leaving forces a new
+  // election — here simply the next epoch's rebuild.
+  const net::Topology topo = test_topology();
+  EpochManager manager(topo.graph, fast_builder(), 7);
+  const auto& first_overlay = manager.overlays().set.overlays[0];
+  const net::NodeId entry_global =
+      manager.overlays().global_of[first_overlay.entry_points()[0]];
+  manager.advance_epoch({}, std::vector<net::NodeId>{entry_global});
+  for (const auto& ov : manager.overlays().set.overlays) {
+    EXPECT_TRUE(ov.is_valid());
+    for (net::NodeId e : ov.entry_points()) {
+      EXPECT_NE(manager.overlays().global_of[e], entry_global);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hermes::hermes_proto

@@ -1,0 +1,127 @@
+#include "net/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::net {
+namespace {
+
+Graph cycle_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n), 1.0);
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b, 1.0);
+  }
+  return g;
+}
+
+TEST(Connectivity, CycleHasTwoDisjointPaths) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(max_vertex_disjoint_paths(g, 0, 3), 2u);
+}
+
+TEST(Connectivity, LineHasOnePath) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_EQ(max_vertex_disjoint_paths(g, 0, 3), 1u);
+}
+
+TEST(Connectivity, DisconnectedPairHasZeroPaths) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_EQ(max_vertex_disjoint_paths(g, 0, 3), 0u);
+}
+
+TEST(Connectivity, CompleteGraphPathCount) {
+  const Graph g = complete_graph(5);
+  // Direct edge + 3 two-hop paths through the other vertices.
+  EXPECT_EQ(max_vertex_disjoint_paths(g, 0, 4), 4u);
+}
+
+TEST(Connectivity, BottleneckVertexLimitsPaths) {
+  // Two triangles sharing a cut vertex 2: 0-1-2 and 2-3-4.
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(2, 4, 1.0);
+  EXPECT_EQ(max_vertex_disjoint_paths(g, 0, 4), 1u);
+}
+
+TEST(Connectivity, ExtractedPathsAreDisjointAndValid) {
+  const Graph g = cycle_graph(8);
+  const auto paths = vertex_disjoint_paths(g, 0, 4, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  std::set<NodeId> interior;
+  for (const auto& path : paths) {
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 4u);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]))
+          << path[i] << "->" << path[i + 1];
+    }
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(interior.insert(path[i]).second)
+          << "interior vertex reused: " << path[i];
+    }
+  }
+}
+
+TEST(Connectivity, ExtractRespectsWantLimit) {
+  const Graph g = complete_graph(6);
+  const auto paths = vertex_disjoint_paths(g, 0, 5, 2);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(Connectivity, VertexConnectivityKnownGraphs) {
+  EXPECT_EQ(vertex_connectivity(cycle_graph(7)), 2u);
+  EXPECT_EQ(vertex_connectivity(complete_graph(5)), 4u);
+  Graph line(3);
+  line.add_edge(0, 1, 1.0);
+  line.add_edge(1, 2, 1.0);
+  EXPECT_EQ(vertex_connectivity(line), 1u);
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1, 1.0);
+  EXPECT_EQ(vertex_connectivity(disconnected), 0u);
+}
+
+TEST(Connectivity, IsKVertexConnected) {
+  const Graph c = cycle_graph(6);
+  EXPECT_TRUE(is_k_vertex_connected(c, 0));
+  EXPECT_TRUE(is_k_vertex_connected(c, 1));
+  EXPECT_TRUE(is_k_vertex_connected(c, 2));
+  EXPECT_FALSE(is_k_vertex_connected(c, 3));
+  EXPECT_FALSE(is_k_vertex_connected(Graph(2), 1));  // too few nodes/edges
+}
+
+TEST(Connectivity, HypercubeIsFourConnected) {
+  // 4-dimensional hypercube: kappa = 4.
+  Graph g(16);
+  for (NodeId v = 0; v < 16; ++v) {
+    for (int b = 0; b < 4; ++b) {
+      const NodeId u = v ^ (1u << b);
+      if (u > v) g.add_edge(v, u, 1.0);
+    }
+  }
+  EXPECT_EQ(vertex_connectivity(g), 4u);
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -1,0 +1,98 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes::net {
+namespace {
+
+Graph line_graph(std::size_t n, double latency = 1.0) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, latency);
+  return g;
+}
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(*g.edge_latency(0, 1), 5.0);
+  EXPECT_FALSE(g.edge_latency(0, 2).has_value());
+}
+
+TEST(Graph, AddEdgeIdempotent) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 9.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(*g.edge_latency(0, 1), 5.0);  // first latency kept
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, AddNodeGrows) {
+  Graph g(1);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Graph, DijkstraShortestLatencies) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 1.0);
+  const auto dist = g.shortest_latencies(0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);  // via 1, not the direct 5.0 edge
+  EXPECT_DOUBLE_EQ(dist[3], 3.0);
+}
+
+TEST(Graph, DijkstraUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto dist = g.shortest_latencies(0);
+  EXPECT_EQ(dist[2], kInfLatency);
+}
+
+TEST(Graph, HopDistances) {
+  const Graph g = line_graph(5);
+  const auto hops = g.hop_distances(0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(hops[i], i);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2, 1.0);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  EXPECT_TRUE(Graph(0).is_connected());
+  EXPECT_TRUE(Graph(1).is_connected());
+}
+
+TEST(Graph, AveragePairwiseLatencyLine) {
+  // Line 0-1-2 with unit edges: pairs (0,1)=1 (0,2)=2 (1,2)=1; both
+  // directions -> mean = (1+2+1)*2 / 6 = 4/3.
+  const Graph g = line_graph(3);
+  EXPECT_NEAR(g.average_pairwise_latency(), 4.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hermes::net

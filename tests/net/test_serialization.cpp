@@ -1,0 +1,107 @@
+#include "net/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace hermes::net {
+namespace {
+
+Topology sample_topology(std::size_t n = 30) {
+  TopologyParams params;
+  params.node_count = n;
+  params.min_degree = 4;
+  Rng rng(404);
+  return make_topology(params, rng);
+}
+
+void expect_equal(const Topology& a, const Topology& b) {
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  ASSERT_EQ(a.regions, b.regions);
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (NodeId v = 0; v < a.graph.node_count(); ++v) {
+    for (const Edge& e : a.graph.neighbors(v)) {
+      const auto lat = b.graph.edge_latency(v, e.to);
+      ASSERT_TRUE(lat.has_value()) << v << "-" << e.to;
+      EXPECT_NEAR(*lat, e.latency_ms, 0.002);
+    }
+  }
+}
+
+TEST(TopologySerialization, BinaryRoundTrip) {
+  const Topology topo = sample_topology();
+  const auto decoded = deserialize_topology(serialize_topology(topo));
+  ASSERT_TRUE(decoded.has_value());
+  expect_equal(topo, *decoded);
+}
+
+TEST(TopologySerialization, RejectsBadMagicAndTruncation) {
+  auto bytes = serialize_topology(sample_topology());
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(deserialize_topology(bad).has_value());
+  bytes.pop_back();
+  EXPECT_FALSE(deserialize_topology(bytes).has_value());
+}
+
+TEST(TopologySerialization, FileRoundTrip) {
+  const Topology topo = sample_topology(20);
+  const std::string path = ::testing::TempDir() + "/hermes_topo.bin";
+  ASSERT_TRUE(save_topology(topo, path));
+  const auto loaded = load_topology(path);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(topo, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TopologySerialization, LoadMissingFileFails) {
+  EXPECT_FALSE(load_topology("/nonexistent/definitely/missing.bin").has_value());
+}
+
+TEST(TopologyCsv, ParsesEdgesAndRegions) {
+  const std::string csv =
+      "# comment line\n"
+      "0,1,12.5\n"
+      "1,2,90\n"
+      "region,2,4\n"
+      "\n"
+      "0,2,45.25\n";
+  const auto topo = topology_from_csv(csv);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->graph.node_count(), 3u);
+  EXPECT_EQ(topo->graph.edge_count(), 3u);
+  EXPECT_DOUBLE_EQ(*topo->graph.edge_latency(0, 1), 12.5);
+  EXPECT_DOUBLE_EQ(*topo->graph.edge_latency(0, 2), 45.25);
+  EXPECT_EQ(topo->regions[2], static_cast<Region>(4));
+  // Non-overridden nodes get round-robin regions.
+  EXPECT_EQ(topo->regions[0], static_cast<Region>(0));
+}
+
+TEST(TopologyCsv, RejectsMalformedInput) {
+  EXPECT_FALSE(topology_from_csv("").has_value());
+  EXPECT_FALSE(topology_from_csv("0,1\n").has_value());
+  EXPECT_FALSE(topology_from_csv("0,0,5\n").has_value());          // self-loop
+  EXPECT_FALSE(topology_from_csv("0,1,-3\n").has_value());         // negative
+  EXPECT_FALSE(topology_from_csv("a,b,c\n").has_value());          // non-numeric
+  EXPECT_FALSE(topology_from_csv("region,0,99\n0,1,5\n").has_value());
+}
+
+TEST(TopologyCsv, CsvRoundTrip) {
+  const Topology topo = sample_topology(15);
+  const auto parsed = topology_from_csv(topology_to_csv(topo));
+  ASSERT_TRUE(parsed.has_value());
+  expect_equal(topo, *parsed);
+}
+
+TEST(TopologyCsv, UsableBySimulator) {
+  // A CSV-loaded world must drive the simulator like a synthesized one.
+  const std::string csv =
+      "0,1,5\n0,2,5\n1,2,5\n1,3,5\n2,3,5\n3,0,5\n";
+  const auto topo = topology_from_csv(csv);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_TRUE(topo->graph.is_connected());
+  EXPECT_EQ(topo->graph.node_count(), 4u);
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -1,0 +1,122 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/connectivity.hpp"
+
+namespace hermes::net {
+namespace {
+
+TEST(LatencyModel, IntraRegionFollowsInverseGammaMean) {
+  Rng rng(1);
+  const LatencyModel model{LatencyModelParams{}};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += model.sample(Region::kFrankfurt, Region::kFrankfurt, rng);
+  }
+  // inv-gamma(2.5, 14) mean = 14/1.5 = 9.33 ms.
+  EXPECT_NEAR(sum / n, 14.0 / 1.5, 0.5);
+}
+
+TEST(LatencyModel, InterRegionFollowsNormalMean) {
+  Rng rng(2);
+  const LatencyModel model{LatencyModelParams{}};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += model.sample(Region::kFrankfurt, Region::kNewYork, rng);
+  }
+  EXPECT_NEAR(sum / n, 90.0, 0.5);
+}
+
+TEST(LatencyModel, FloorApplied) {
+  LatencyModelParams params;
+  params.inter_mean = 0.0;
+  params.inter_variance = 0.0001;
+  params.floor_ms = 0.5;
+  const LatencyModel model{params};
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(model.sample(Region::kTokyo, Region::kLondon, rng), 0.5);
+  }
+}
+
+TEST(RegionNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kRegionCount; ++i) {
+    names.insert(region_name(static_cast<Region>(i)));
+  }
+  EXPECT_EQ(names.size(), kRegionCount);
+}
+
+TEST(Topology, DeterministicGivenSeed) {
+  TopologyParams params;
+  params.node_count = 60;
+  Rng r1(7), r2(7);
+  const Topology a = make_topology(params, r1);
+  const Topology b = make_topology(params, r2);
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.regions, b.regions);
+  for (NodeId v = 0; v < 60; ++v) {
+    ASSERT_EQ(a.graph.degree(v), b.graph.degree(v));
+  }
+}
+
+TEST(Topology, MeetsRequestedConnectivity) {
+  TopologyParams params;
+  params.node_count = 80;
+  params.connectivity = 3;
+  params.min_degree = 6;
+  Rng rng(8);
+  const Topology topo = make_topology(params, rng);
+  EXPECT_TRUE(is_k_vertex_connected(topo.graph, 3));
+}
+
+TEST(Topology, RegionsBalanced) {
+  TopologyParams params;
+  params.node_count = 90;
+  Rng rng(9);
+  const Topology topo = make_topology(params, rng);
+  std::array<int, kRegionCount> counts{};
+  for (Region r : topo.regions) counts[static_cast<std::size_t>(r)] += 1;
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Topology, MinDegreeSatisfied) {
+  TopologyParams params;
+  params.node_count = 64;
+  params.min_degree = 5;
+  Rng rng(10);
+  const Topology topo = make_topology(params, rng);
+  for (NodeId v = 0; v < 64; ++v) {
+    EXPECT_GE(topo.graph.degree(v), 5u);
+  }
+}
+
+TEST(Topology, EdgeLatenciesPositive) {
+  TopologyParams params;
+  params.node_count = 50;
+  Rng rng(11);
+  const Topology topo = make_topology(params, rng);
+  for (NodeId v = 0; v < 50; ++v) {
+    for (const Edge& e : topo.graph.neighbors(v)) {
+      EXPECT_GT(e.latency_ms, 0.0);
+    }
+  }
+}
+
+TEST(Topology, LargeUnverifiedPathStillConnected) {
+  TopologyParams params;
+  params.node_count = 600;  // above the exact-verification cutoff
+  params.connectivity = 2;
+  Rng rng(12);
+  const Topology topo = make_topology(params, rng);
+  EXPECT_TRUE(topo.graph.is_connected());
+  for (NodeId v = 0; v < 600; ++v) {
+    EXPECT_GE(topo.graph.degree(v), params.connectivity);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -1,0 +1,222 @@
+#include "overlay/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "overlay/builder.hpp"
+
+namespace hermes::overlay {
+namespace {
+
+struct AnnealFixture {
+  net::Topology topo;
+  Overlay tree;
+  RankTable ranks;
+};
+
+AnnealFixture make_setup(std::size_t n = 50, std::size_t f = 1) {
+  net::TopologyParams params;
+  params.node_count = n;
+  params.min_degree = 5;
+  params.connectivity = 2;
+  Rng rng(21);
+  AnnealFixture s{net::make_topology(params, rng), Overlay{}, RankTable(n, 0.0)};
+  RobustTreeParams tree_params;
+  tree_params.f = f;
+  RankTable build_ranks(n, 0.0);
+  s.tree = build_robust_tree(s.topo.graph, tree_params, build_ranks);
+  return s;
+}
+
+AnnealingParams fast_params() {
+  AnnealingParams p;
+  p.initial_temperature = 10.0;
+  p.min_temperature = 0.5;
+  p.cooling_rate = 0.9;
+  p.moves_per_temperature = 4;
+  return p;
+}
+
+TEST(Objective, PenalizesMissingConnectivity) {
+  AnnealFixture s = make_setup();
+  const ObjectiveWeights w;
+  const double before = objective_value(s.tree, s.ranks, w);
+  // Strip a predecessor from some mid-tree node.
+  Overlay damaged = s.tree;
+  for (net::NodeId v = 0; v < damaged.node_count(); ++v) {
+    if (!damaged.is_entry(v) && damaged.predecessors(v).size() == damaged.f() + 1) {
+      damaged.remove_link(damaged.predecessors(v)[0], v);
+      break;
+    }
+  }
+  EXPECT_GT(objective_value(damaged, s.ranks, w), before - 1e9);
+  EXPECT_GT(objective_value(damaged, s.ranks, w), before);
+}
+
+TEST(Objective, FewerEdgesScoreBetterWhenNothingElseChanges) {
+  // A redundant extra edge should raise the objective via the edge term
+  // (latency can only improve or stay equal, but the weights make one edge
+  // dominate a tiny latency improvement on an already-short path).
+  AnnealFixture s = make_setup();
+  ObjectiveWeights w;
+  w.latency = 0.0;  // isolate the edge term
+  const double before = objective_value(s.tree, s.ranks, w);
+  Overlay more = s.tree;
+  // Add any missing consecutive-layer edge.
+  const auto layers = more.layers();
+  bool added = false;
+  for (std::size_t d = 1; d + 1 < layers.size() && !added; ++d) {
+    for (net::NodeId p : layers[d]) {
+      for (net::NodeId c : layers[d + 1]) {
+        if (!more.has_link(p, c)) {
+          more.add_link(p, c, 1.0);
+          added = true;
+          break;
+        }
+      }
+      if (added) break;
+    }
+  }
+  ASSERT_TRUE(added);
+  EXPECT_GT(objective_value(more, s.ranks, w), before);
+}
+
+TEST(Objective, RankPenaltyDiscouragesAlreadyFavoredNodesNearRoot) {
+  AnnealFixture s = make_setup();
+  ObjectiveWeights w;
+  w.edges = 0.0;
+  w.latency = 0.0;
+  // Ranks accumulate root proximity: entries that were already favored
+  // (high rank) should be penalized when placed at the root again.
+  RankTable ranks_favored(s.tree.node_count(), 10.0);
+  for (net::NodeId e : s.tree.entry_points()) ranks_favored[e] = 30.0;
+  RankTable ranks_fresh(s.tree.node_count(), 10.0);
+  for (net::NodeId e : s.tree.entry_points()) ranks_fresh[e] = 0.0;
+  EXPECT_GT(objective_value(s.tree, ranks_favored, w),
+            objective_value(s.tree, ranks_fresh, w));
+}
+
+TEST(GenerateNeighbor, PreservesValidity) {
+  AnnealFixture s = make_setup();
+  Rng rng(3);
+  const AnnealingParams params = fast_params();
+  Overlay current = s.tree;
+  for (int i = 0; i < 30; ++i) {
+    current = generate_neighbor(current, s.topo.graph, s.ranks, params, rng);
+    const auto errors = current.validate();
+    ASSERT_TRUE(errors.empty()) << "iteration " << i << ": " << errors[0];
+  }
+}
+
+TEST(Anneal, NeverWorseThanInitial) {
+  AnnealFixture s = make_setup();
+  Rng rng(4);
+  const AnnealingParams params = fast_params();
+  const double initial = objective_value(s.tree, s.ranks, params.weights);
+  const Overlay optimized = anneal(s.tree, s.topo.graph, s.ranks, params, rng);
+  EXPECT_LE(objective_value(optimized, s.ranks, params.weights), initial);
+}
+
+TEST(Anneal, ResultIsValid) {
+  AnnealFixture s = make_setup(60, 2);
+  Rng rng(5);
+  const Overlay optimized =
+      anneal(s.tree, s.topo.graph, s.ranks, fast_params(), rng);
+  const auto errors = optimized.validate();
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+}
+
+TEST(Anneal, PrunesEdgesFromDenseBicliqueTree) {
+  // On a complete physical graph the robust tree is built from full
+  // bicliques between layers; annealing should prune a meaningful share of
+  // those redundant links while keeping the structure valid. (On sparse
+  // graphs the repair step may legitimately *add* edges to reach f+1
+  // successors, so this property is specific to dense initial trees.)
+  net::Graph g(30);
+  for (net::NodeId a = 0; a < 30; ++a) {
+    for (net::NodeId b = a + 1; b < 30; ++b) {
+      g.add_edge(a, b, 1.0 + (a * 7 + b) % 13);
+    }
+  }
+  RobustTreeParams tree_params;
+  tree_params.f = 1;
+  RankTable build_ranks(30, 0.0);
+  const Overlay tree = build_robust_tree(g, tree_params, build_ranks);
+  Rng rng(6);
+  AnnealingParams params = fast_params();
+  params.initial_temperature = 20.0;
+  params.moves_per_temperature = 10;
+  const RankTable ranks(30, 0.0);
+  const Overlay optimized = anneal(tree, g, ranks, params, rng);
+  EXPECT_LT(optimized.edge_count(), tree.edge_count());
+  EXPECT_TRUE(optimized.is_valid());
+}
+
+TEST(Anneal, GreedyNeighborFilterMode) {
+  AnnealFixture s = make_setup();
+  Rng rng(7);
+  AnnealingParams params = fast_params();
+  params.greedy_neighbor_filter = true;
+  const double initial = objective_value(s.tree, s.ranks, params.weights);
+  const Overlay optimized = anneal(s.tree, s.topo.graph, s.ranks, params, rng);
+  EXPECT_LE(objective_value(optimized, s.ranks, params.weights), initial);
+  EXPECT_TRUE(optimized.is_valid());
+}
+
+TEST(Anneal, DeterministicGivenSeed) {
+  AnnealFixture s = make_setup();
+  Rng r1(9), r2(9);
+  const AnnealingParams params = fast_params();
+  const Overlay a = anneal(s.tree, s.topo.graph, s.ranks, params, r1);
+  const Overlay b = anneal(s.tree, s.topo.graph, s.ranks, params, r2);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (net::NodeId v = 0; v < a.node_count(); ++v) {
+    ASSERT_EQ(a.successors(v), b.successors(v));
+  }
+}
+
+TEST(Builder, BuildsKValidOptimizedOverlays) {
+  net::TopologyParams tparams;
+  tparams.node_count = 50;
+  tparams.min_degree = 5;
+  Rng trng(22);
+  const net::Topology topo = net::make_topology(tparams, trng);
+
+  BuilderParams params;
+  params.f = 1;
+  params.k = 4;
+  params.annealing = fast_params();
+  Rng rng(23);
+  const OverlaySet set = build_overlay_set(topo.graph, params, rng);
+  ASSERT_EQ(set.overlays.size(), 4u);
+  for (const Overlay& o : set.overlays) {
+    const auto errors = o.validate();
+    EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  }
+  // Final ranks equal the accumulated root-proximity across overlays.
+  for (net::NodeId v = 0; v < 50; ++v) {
+    double expected = 0.0;
+    for (const Overlay& o : set.overlays) {
+      expected += static_cast<double>(o.max_depth()) -
+                  static_cast<double>(o.depth(v)) + 1.0;
+    }
+    EXPECT_DOUBLE_EQ(set.final_ranks[v], expected);
+  }
+}
+
+TEST(Builder, UnoptimizedModeSkipsAnnealing) {
+  net::TopologyParams tparams;
+  tparams.node_count = 40;
+  Rng trng(24);
+  const net::Topology topo = net::make_topology(tparams, trng);
+  BuilderParams params;
+  params.f = 1;
+  params.k = 2;
+  params.optimize = false;
+  Rng rng(25);
+  const OverlaySet set = build_overlay_set(topo.graph, params, rng);
+  for (const Overlay& o : set.overlays) EXPECT_TRUE(o.is_valid());
+}
+
+}  // namespace
+}  // namespace hermes::overlay

@@ -1,0 +1,135 @@
+#include "overlay/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes::overlay {
+namespace {
+
+// Small hand-built overlay: f = 1, entries {0, 1}, second layer {2, 3},
+// leaf {4}; every non-entry node has 2 predecessors.
+Overlay tiny_overlay() {
+  Overlay o(5, 1);
+  o.add_entry_point(0);
+  o.add_entry_point(1);
+  o.set_depth(2, 2);
+  o.set_depth(3, 2);
+  o.set_depth(4, 3);
+  o.add_link(0, 2, 1.0);
+  o.add_link(1, 2, 2.0);
+  o.add_link(0, 3, 3.0);
+  o.add_link(1, 3, 1.0);
+  o.add_link(2, 4, 1.0);
+  o.add_link(3, 4, 1.0);
+  return o;
+}
+
+TEST(Overlay, BasicAccessors) {
+  const Overlay o = tiny_overlay();
+  EXPECT_EQ(o.node_count(), 5u);
+  EXPECT_EQ(o.f(), 1u);
+  EXPECT_EQ(o.edge_count(), 6u);
+  EXPECT_EQ(o.max_depth(), 3u);
+  EXPECT_TRUE(o.is_entry(0));
+  EXPECT_FALSE(o.is_entry(2));
+  EXPECT_EQ(o.entry_points().size(), 2u);
+}
+
+TEST(Overlay, LinkBookkeeping) {
+  Overlay o = tiny_overlay();
+  EXPECT_TRUE(o.has_link(0, 2));
+  EXPECT_FALSE(o.has_link(2, 0));
+  EXPECT_DOUBLE_EQ(o.link_latency(0, 2), 1.0);
+  EXPECT_EQ(o.successors(0).size(), 2u);
+  EXPECT_EQ(o.predecessors(4).size(), 2u);
+  o.remove_link(0, 2);
+  EXPECT_FALSE(o.has_link(0, 2));
+  EXPECT_EQ(o.successors(0).size(), 1u);
+  EXPECT_EQ(o.predecessors(2).size(), 1u);
+}
+
+TEST(Overlay, AddLinkIdempotent) {
+  Overlay o = tiny_overlay();
+  o.add_link(0, 2, 9.0);
+  EXPECT_EQ(o.edge_count(), 6u);
+  EXPECT_DOUBLE_EQ(o.link_latency(0, 2), 1.0);
+}
+
+TEST(Overlay, DisseminationLatencies) {
+  const Overlay o = tiny_overlay();
+  const auto dist = o.dissemination_latencies();
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 0.0);
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);  // via entry 0
+  EXPECT_DOUBLE_EQ(dist[3], 1.0);  // via entry 1
+  EXPECT_DOUBLE_EQ(dist[4], 2.0);
+}
+
+TEST(Overlay, ValidOverlayPassesValidation) {
+  EXPECT_TRUE(tiny_overlay().is_valid());
+}
+
+TEST(Overlay, ValidationCatchesMissingPredecessors) {
+  Overlay o = tiny_overlay();
+  o.remove_link(1, 2);
+  const auto errors = o.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("predecessors"), std::string::npos);
+}
+
+TEST(Overlay, ValidationCatchesUnplacedNode) {
+  Overlay o(3, 0);
+  o.add_entry_point(0);
+  o.set_depth(1, 2);
+  o.add_link(0, 1, 1.0);
+  const auto errors = o.validate();
+  bool found = false;
+  for (const auto& e : errors) {
+    found |= e.find("not placed") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Overlay, ValidationCatchesWrongEntryCount) {
+  Overlay o(3, 1);  // f = 1 expects 2 entries
+  o.add_entry_point(0);
+  o.set_depth(1, 2);
+  o.set_depth(2, 2);
+  o.add_link(0, 1, 1.0);
+  o.add_link(0, 2, 1.0);
+  const auto errors = o.validate();
+  bool found = false;
+  for (const auto& e : errors) {
+    found |= e.find("entry points") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Overlay, ValidationCatchesUnreachable) {
+  Overlay o(4, 0);
+  o.add_entry_point(0);
+  o.set_depth(1, 2);
+  o.set_depth(2, 2);
+  o.set_depth(3, 3);
+  o.add_link(0, 1, 1.0);
+  o.add_link(0, 2, 1.0);
+  // Node 3 placed but no incoming link.
+  const auto errors = o.validate();
+  bool unreachable = false;
+  for (const auto& e : errors) {
+    unreachable |= e.find("unreachable") != std::string::npos;
+  }
+  EXPECT_TRUE(unreachable);
+}
+
+TEST(Overlay, LayersGroupByDepth) {
+  const Overlay o = tiny_overlay();
+  const auto layers = o.layers();
+  ASSERT_EQ(layers.size(), 4u);
+  EXPECT_TRUE(layers[0].empty());
+  EXPECT_EQ(layers[1].size(), 2u);
+  EXPECT_EQ(layers[2].size(), 2u);
+  EXPECT_EQ(layers[3].size(), 1u);
+}
+
+}  // namespace
+}  // namespace hermes::overlay

@@ -1,0 +1,130 @@
+// Parameterized property sweeps over the overlay pipeline: for every
+// (n, f, k) combination, the invariants of Section V must hold end to end —
+// construction, annealing, encoding, certification.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "crypto/sim_signer.hpp"
+#include "net/topology.hpp"
+#include "overlay/builder.hpp"
+#include "overlay/encoding.hpp"
+#include "overlay/roles.hpp"
+
+namespace hermes::overlay {
+namespace {
+
+using Params = std::tuple<std::size_t /*n*/, std::size_t /*f*/, std::size_t /*k*/>;
+
+constexpr Params P(std::size_t n, std::size_t f, std::size_t k) {
+  return Params{n, f, k};
+}
+
+class OverlayPipelineProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    const auto [n, f, k] = GetParam();
+    net::TopologyParams tp;
+    tp.node_count = n;
+    tp.min_degree = std::max<std::size_t>(f + 2, 5);
+    tp.connectivity = 2;
+    Rng trng(1000 + n * 7 + f * 3 + k);
+    topo_ = net::make_topology(tp, trng);
+
+    BuilderParams params;
+    params.f = f;
+    params.k = k;
+    params.annealing.initial_temperature = 5.0;
+    params.annealing.min_temperature = 1.0;
+    params.annealing.cooling_rate = 0.8;
+    params.annealing.moves_per_temperature = 4;
+    Rng rng(2000 + n + f + k);
+    set_ = build_overlay_set(topo_.graph, params, rng);
+  }
+
+  net::Topology topo_;
+  OverlaySet set_;
+};
+
+TEST_P(OverlayPipelineProperty, AllOverlaysStructurallyValid) {
+  const auto [n, f, k] = GetParam();
+  ASSERT_EQ(set_.overlays.size(), k);
+  for (const Overlay& o : set_.overlays) {
+    const auto errors = o.validate();
+    EXPECT_TRUE(errors.empty())
+        << "n=" << n << " f=" << f << " k=" << k << ": " << errors[0];
+  }
+}
+
+TEST_P(OverlayPipelineProperty, EntryPointsAndPredecessorCounts) {
+  const auto [n, f, k] = GetParam();
+  (void)n;
+  (void)k;
+  for (const Overlay& o : set_.overlays) {
+    EXPECT_EQ(o.entry_points().size(), f + 1);
+    for (net::NodeId v = 0; v < o.node_count(); ++v) {
+      if (!o.is_entry(v)) {
+        EXPECT_GE(o.predecessors(v).size(), f + 1);
+      }
+    }
+  }
+}
+
+TEST_P(OverlayPipelineProperty, EveryNodeReachableWithFiniteLatency) {
+  for (const Overlay& o : set_.overlays) {
+    const auto dist = o.dissemination_latencies();
+    for (double d : dist) {
+      EXPECT_NE(d, net::kInfLatency);
+      EXPECT_GE(d, 0.0);
+    }
+  }
+}
+
+TEST_P(OverlayPipelineProperty, EncodingRoundTripsAndCertifies) {
+  const auto [n, f, k] = GetParam();
+  (void)n;
+  (void)k;
+  const crypto::SimThresholdScheme scheme(to_bytes("sweep-committee"),
+                                          3 * f + 1, 2 * f + 1);
+  for (const Overlay& o : set_.overlays) {
+    const auto cert = certify_overlay(o, scheme);
+    ASSERT_TRUE(cert.has_value());
+    Overlay decoded;
+    ASSERT_TRUE(verify_certified_overlay(*cert, scheme, &decoded));
+    EXPECT_EQ(decoded.edge_count(), o.edge_count());
+    EXPECT_EQ(decoded.entry_points(), o.entry_points());
+  }
+}
+
+TEST_P(OverlayPipelineProperty, RolesRotateAcrossOverlays) {
+  const auto [n, f, k] = GetParam();
+  if (k < 3) GTEST_SKIP() << "rotation needs several overlays";
+  const auto fairness = fairness_metrics(set_.overlays);
+  // No node may hold an entry slot in every overlay.
+  EXPECT_LT(fairness.max_entry_appearances, k)
+      << "n=" << n << " f=" << f << " k=" << k;
+}
+
+TEST_P(OverlayPipelineProperty, RanksArePositiveAndBounded) {
+  const auto [n, f, k] = GetParam();
+  for (net::NodeId v = 0; v < n; ++v) {
+    EXPECT_GE(set_.final_ranks[v], static_cast<double>(k));  // >= 1 per tree
+    // Upper bound: max depth contribution per tree is bounded by n.
+    EXPECT_LE(set_.final_ranks[v], static_cast<double>(k * n));
+  }
+}
+
+std::string grid_name(const ::testing::TestParamInfo<Params>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_f" +
+         std::to_string(std::get<1>(info.param)) + "_k" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, OverlayPipelineProperty,
+                         ::testing::Values(P(30, 1, 2), P(30, 2, 3),
+                                           P(50, 1, 4), P(50, 3, 3),
+                                           P(80, 2, 5), P(120, 1, 6)),
+                         grid_name);
+
+}  // namespace
+}  // namespace hermes::overlay

@@ -1,0 +1,90 @@
+#include "overlay/roles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "overlay/builder.hpp"
+
+namespace hermes::overlay {
+namespace {
+
+std::vector<Overlay> build_set(std::size_t n, std::size_t k, bool optimize) {
+  net::TopologyParams tparams;
+  tparams.node_count = n;
+  tparams.min_degree = 5;
+  Rng trng(66);
+  const net::Topology topo = net::make_topology(tparams, trng);
+  BuilderParams params;
+  params.f = 1;
+  params.k = k;
+  params.optimize = optimize;
+  params.annealing.initial_temperature = 5.0;
+  params.annealing.min_temperature = 1.0;
+  params.annealing.cooling_rate = 0.8;
+  Rng rng(67);
+  return build_overlay_set(topo.graph, params, rng).overlays;
+}
+
+TEST(Roles, CountsSumToK) {
+  const auto overlays = build_set(40, 6, false);
+  const RoleDistribution dist = role_distribution(overlays);
+  for (const auto& per_node : dist.counts) {
+    std::size_t total = 0;
+    for (std::size_t d = 1; d < per_node.size(); ++d) total += per_node[d];
+    EXPECT_EQ(total, 6u);
+  }
+}
+
+TEST(Roles, EntryAppearancesMatchFPlusOnePerOverlay) {
+  const auto overlays = build_set(40, 6, false);
+  const RoleDistribution dist = role_distribution(overlays);
+  std::size_t total_entries = 0;
+  for (net::NodeId v = 0; v < dist.counts.size(); ++v) {
+    total_entries += dist.entry_appearances(v);
+  }
+  // k overlays, each with f+1 = 2 entry points.
+  EXPECT_EQ(total_entries, 12u);
+}
+
+TEST(Roles, RanksRotateSoNoNodeAlwaysEntry) {
+  const auto overlays = build_set(40, 8, false);
+  const RoleDistribution dist = role_distribution(overlays);
+  for (net::NodeId v = 0; v < dist.counts.size(); ++v) {
+    EXPECT_LT(dist.entry_appearances(v), 8u)
+        << "node " << v << " is entry point in every overlay";
+  }
+}
+
+TEST(Roles, MeanDepthComputation) {
+  const auto overlays = build_set(30, 4, false);
+  const RoleDistribution dist = role_distribution(overlays);
+  for (net::NodeId v = 0; v < 30; ++v) {
+    double expected = 0.0;
+    for (const Overlay& o : overlays) {
+      expected += static_cast<double>(o.depth(v));
+    }
+    expected /= 4.0;
+    EXPECT_NEAR(dist.mean_depth(v), expected, 1e-12);
+  }
+}
+
+TEST(Roles, FairnessMetricsPopulated) {
+  const auto overlays = build_set(40, 6, false);
+  const FairnessMetrics m = fairness_metrics(overlays);
+  EXPECT_GT(m.load_stddev, 0.0);
+  EXPECT_GE(m.mean_depth_stddev, 0.0);
+  EXPECT_LE(m.max_entry_appearances, 6u);
+}
+
+TEST(Roles, RotationBeatsSingleOverlayRepeated) {
+  // Rank-balanced sets spread mean depth much better than using the same
+  // overlay k times.
+  const auto rotated = build_set(40, 6, false);
+  std::vector<Overlay> repeated(6, rotated[0]);
+  const FairnessMetrics fair = fairness_metrics(rotated);
+  const FairnessMetrics unfair = fairness_metrics(repeated);
+  EXPECT_LT(fair.mean_depth_stddev, unfair.mean_depth_stddev);
+}
+
+}  // namespace
+}  // namespace hermes::overlay

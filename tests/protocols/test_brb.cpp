@@ -1,0 +1,76 @@
+#include "protocols/brb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace hermes::protocols {
+namespace {
+
+using testing::World;
+
+TEST(Brb, DeliversToAllNodes) {
+  BrbProtocol protocol;
+  World w(25, protocol);
+  w.start();
+  const Transaction tx = w.send_from(4);
+  w.run_ms(3000);
+  EXPECT_DOUBLE_EQ(honest_coverage(*w.ctx, tx), 1.0);
+  for (net::NodeId v = 0; v < 25; ++v) {
+    EXPECT_TRUE(static_cast<const BrbNode&>(w.ctx->node(v)).brb_delivered(tx.id))
+        << v;
+  }
+}
+
+TEST(Brb, QuadraticMessageComplexity) {
+  BrbProtocol protocol;
+  World w(30, protocol);
+  w.start();
+  w.send_from(0);
+  w.run_ms(3000);
+  // Send n + Echo n^2 + Ready n^2 (+ a few fetches): clearly super-linear.
+  EXPECT_GT(w.ctx->network.total().messages_sent, 30u * 30u);
+}
+
+TEST(Brb, ToleratesByzantineThird) {
+  BrbProtocol protocol;
+  World w(31, protocol, 3);
+  w.ctx->assign_behaviors(0.32, Behavior::kDropper);
+  w.start();
+  const net::NodeId sender = w.ctx->random_honest(w.ctx->rng);
+  const Transaction tx = inject_tx(*w.ctx, sender);
+  w.run_ms(4000);
+  // Totality: every honest node Bracha-delivers despite f droppers.
+  for (net::NodeId v = 0; v < 31; ++v) {
+    if (!w.ctx->is_honest(v)) continue;
+    EXPECT_TRUE(static_cast<const BrbNode&>(w.ctx->node(v)).brb_delivered(tx.id))
+        << v;
+  }
+}
+
+TEST(Brb, PayloadPullRepairsLossyDirectSends) {
+  sim::NetworkParams lossy;
+  lossy.drop_probability = 0.2;
+  BrbProtocol protocol;
+  World w(25, protocol, 9, lossy);
+  w.start();
+  const Transaction tx = w.send_from(2);
+  w.run_ms(6000);
+  // Votes are quadratic and redundant; payload holes are pulled from
+  // echoing nodes, so coverage stays high despite 20% loss.
+  EXPECT_GT(honest_coverage(*w.ctx, tx), 0.9);
+}
+
+TEST(Brb, MultipleSendersConcurrent) {
+  BrbProtocol protocol;
+  World w(20, protocol);
+  w.start();
+  const Transaction a = w.send_from(1);
+  const Transaction b = w.send_from(7);
+  w.run_ms(4000);
+  EXPECT_DOUBLE_EQ(honest_coverage(*w.ctx, a), 1.0);
+  EXPECT_DOUBLE_EQ(honest_coverage(*w.ctx, b), 1.0);
+}
+
+}  // namespace
+}  // namespace hermes::protocols

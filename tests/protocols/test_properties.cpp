@@ -1,0 +1,101 @@
+// Parameterized delivery-property sweeps: every protocol must deliver to
+// all honest nodes in a clean network, for a grid of network sizes — the
+// baseline sanity behind every figure.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness.hpp"
+#include "hermes/hermes_node.hpp"
+#include "protocols/l0.hpp"
+#include "protocols/mercury.hpp"
+#include "protocols/narwhal.hpp"
+#include "protocols/simple_tree.hpp"
+
+namespace hermes::protocols {
+namespace {
+
+using testing::World;
+
+enum class Proto { kGossip, kL0, kNarwhal, kMercury, kSimpleTree, kHermes };
+
+const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::kGossip: return "gossip";
+    case Proto::kL0: return "l0";
+    case Proto::kNarwhal: return "narwhal";
+    case Proto::kMercury: return "mercury";
+    case Proto::kSimpleTree: return "simpletree";
+    case Proto::kHermes: return "hermes";
+  }
+  return "?";
+}
+
+std::unique_ptr<Protocol> make_protocol(Proto p) {
+  switch (p) {
+    case Proto::kGossip: return std::make_unique<GossipProtocol>();
+    case Proto::kL0: return std::make_unique<L0Protocol>();
+    case Proto::kNarwhal: return std::make_unique<NarwhalProtocol>();
+    case Proto::kMercury: return std::make_unique<MercuryProtocol>();
+    case Proto::kSimpleTree: return std::make_unique<SimpleTreeProtocol>();
+    case Proto::kHermes: {
+      hermes_proto::HermesConfig config;
+      config.f = 1;
+      config.k = 3;
+      config.builder.annealing.initial_temperature = 5.0;
+      config.builder.annealing.min_temperature = 1.0;
+      config.builder.annealing.cooling_rate = 0.8;
+      config.builder.annealing.moves_per_temperature = 4;
+      return std::make_unique<hermes_proto::HermesProtocol>(config);
+    }
+  }
+  return nullptr;
+}
+
+using Params = std::tuple<Proto, std::size_t /*n*/>;
+
+class DeliveryProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DeliveryProperty, CleanNetworkFullCoverage) {
+  const auto [proto, n] = GetParam();
+  auto protocol = make_protocol(proto);
+  World w(n, *protocol, 4000 + n);
+  w.start();
+  const Transaction tx = w.send_from(static_cast<net::NodeId>(n / 2));
+  w.run_ms(10000);
+  EXPECT_DOUBLE_EQ(honest_coverage(*w.ctx, tx), 1.0)
+      << proto_name(proto) << " n=" << n;
+}
+
+TEST_P(DeliveryProperty, SequentialSendersAllDeliver) {
+  const auto [proto, n] = GetParam();
+  auto protocol = make_protocol(proto);
+  World w(n, *protocol, 5000 + n);
+  w.start();
+  std::vector<Transaction> txs;
+  for (net::NodeId s : {net::NodeId{0}, static_cast<net::NodeId>(n - 1)}) {
+    txs.push_back(w.send_from(s));
+    w.run_ms(500);
+  }
+  w.run_ms(10000);
+  for (const auto& tx : txs) {
+    EXPECT_DOUBLE_EQ(honest_coverage(*w.ctx, tx), 1.0)
+        << proto_name(proto) << " n=" << n << " tx=" << tx.id;
+  }
+}
+
+std::string delivery_name(const ::testing::TestParamInfo<Params>& info) {
+  return std::string(proto_name(std::get<0>(info.param))) + "_n" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, DeliveryProperty,
+    ::testing::Combine(::testing::Values(Proto::kGossip, Proto::kL0,
+                                         Proto::kNarwhal, Proto::kMercury,
+                                         Proto::kSimpleTree, Proto::kHermes),
+                       ::testing::Values(std::size_t{25}, std::size_t{60})),
+    delivery_name);
+
+}  // namespace
+}  // namespace hermes::protocols

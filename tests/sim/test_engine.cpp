@@ -1,0 +1,90 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(5.0, [&] { order.push_back(2); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(9.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(Engine, FifoAmongSameTimestamp) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule(1.0, [&] {
+    times.push_back(e.now());
+    e.schedule(2.0, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&] { ++fired; });
+  e.schedule(5.0, [&] { ++fired; });
+  e.schedule(10.0, [&] { ++fired; });
+  const std::size_t executed = e.run_until(5.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+  Engine e;
+  e.run_until(42.0);
+  EXPECT_DOUBLE_EQ(e.now(), 42.0);
+}
+
+TEST(Engine, MaxEventsCap) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) e.schedule(static_cast<double>(i), [&] { ++fired; });
+  EXPECT_EQ(e.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, ClearDropsPending) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&] { ++fired; });
+  e.clear();
+  e.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ZeroDelayRunsAtCurrentTime) {
+  Engine e;
+  double t = -1.0;
+  e.schedule(3.0, [&] {
+    e.schedule(0.0, [&] { t = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(t, 3.0);
+}
+
+}  // namespace
+}  // namespace hermes::sim

@@ -1,0 +1,184 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/delivery.hpp"
+
+namespace hermes::sim {
+namespace {
+
+net::Topology small_topology(std::size_t n = 8) {
+  net::TopologyParams params;
+  params.node_count = n;
+  params.min_degree = 3;
+  params.connectivity = 2;
+  Rng rng(1234);
+  return net::make_topology(params, rng);
+}
+
+struct PingBody final : MessageBody {
+  int value = 0;
+};
+
+class EchoNode final : public Node {
+ public:
+  using Node::Node;
+  void on_message(const Message& msg) override {
+    received.push_back(msg);
+    received_at.push_back(now());
+  }
+  std::vector<Message> received;
+  std::vector<SimTime> received_at;
+};
+
+struct NetworkFixture {
+  NetworkFixture() : topo(small_topology()), net_(engine, topo, NetworkParams{}, Rng(5)) {
+    for (net::NodeId v = 0; v < topo.graph.node_count(); ++v) {
+      nodes.push_back(std::make_unique<EchoNode>(net_, v));
+    }
+  }
+  Engine engine;
+  net::Topology topo;
+  Network net_;
+  std::vector<std::unique_ptr<EchoNode>> nodes;
+};
+
+Message make_msg(net::NodeId src, net::NodeId dst, int value = 7) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = 1;
+  m.wire_bytes = 100;
+  auto body = std::make_shared<PingBody>();
+  body->value = value;
+  m.body = body;
+  return m;
+}
+
+TEST(Network, DeliversWithPairLatency) {
+  NetworkFixture fx;
+  const double lat = fx.net_.pair_latency(0, 1);
+  const SimTime at = fx.net_.send(make_msg(0, 1));
+  EXPECT_GT(at, 0.0);
+  fx.engine.run();
+  ASSERT_EQ(fx.nodes[1]->received.size(), 1u);
+  // Link latency + processing delay + a few microseconds of serialization.
+  EXPECT_NEAR(fx.nodes[1]->received_at[0], lat + 0.05, 0.05);
+  EXPECT_EQ(fx.nodes[1]->received[0].as<PingBody>().value, 7);
+}
+
+TEST(Network, PairLatencyStableAcrossCalls) {
+  NetworkFixture fx;
+  // Non-adjacent pairs get a cached sample; repeated queries must agree.
+  const double a = fx.net_.pair_latency(0, 7);
+  EXPECT_DOUBLE_EQ(a, fx.net_.pair_latency(0, 7));
+  EXPECT_DOUBLE_EQ(a, fx.net_.pair_latency(7, 0));
+}
+
+TEST(Network, BandwidthAccounting) {
+  NetworkFixture fx;
+  fx.net_.send(make_msg(0, 1));
+  fx.net_.send(make_msg(0, 2));
+  fx.engine.run();
+  EXPECT_EQ(fx.net_.counters(0).messages_sent, 2u);
+  EXPECT_EQ(fx.net_.counters(0).bytes_sent, 200u);
+  EXPECT_EQ(fx.net_.counters(1).messages_received, 1u);
+  EXPECT_EQ(fx.net_.total().messages_sent, 2u);
+  EXPECT_EQ(fx.net_.total().bytes_received, 200u);
+}
+
+TEST(Network, ResetCountersZeroes) {
+  NetworkFixture fx;
+  fx.net_.send(make_msg(0, 1));
+  fx.engine.run();
+  fx.net_.reset_counters();
+  EXPECT_EQ(fx.net_.total().messages_sent, 0u);
+  EXPECT_EQ(fx.net_.counters(0).bytes_sent, 0u);
+}
+
+TEST(Network, CrashedReceiverGetsNothing) {
+  NetworkFixture fx;
+  fx.net_.set_crashed(1, true);
+  fx.net_.send(make_msg(0, 1));
+  fx.engine.run();
+  EXPECT_TRUE(fx.nodes[1]->received.empty());
+  EXPECT_EQ(fx.net_.dropped_messages(), 1u);
+}
+
+TEST(Network, CrashedSenderSendsNothing) {
+  NetworkFixture fx;
+  fx.net_.set_crashed(0, true);
+  fx.net_.send(make_msg(0, 1));
+  fx.engine.run();
+  EXPECT_TRUE(fx.nodes[1]->received.empty());
+}
+
+TEST(Network, CrashMidFlightSuppressesDelivery) {
+  NetworkFixture fx;
+  fx.net_.send(make_msg(0, 1));
+  fx.net_.set_crashed(1, true);  // crash after send, before delivery
+  fx.engine.run();
+  EXPECT_TRUE(fx.nodes[1]->received.empty());
+}
+
+TEST(Network, DropProbabilityOneDropsAll) {
+  Engine engine;
+  const net::Topology topo = small_topology();
+  NetworkParams params;
+  params.drop_probability = 1.0;
+  Network network(engine, topo, params, Rng(6));
+  EchoNode a(network, 0), b(network, 1);
+  std::vector<std::unique_ptr<EchoNode>> rest;
+  for (net::NodeId v = 2; v < topo.graph.node_count(); ++v) {
+    rest.push_back(std::make_unique<EchoNode>(network, v));
+  }
+  network.send(make_msg(0, 1));
+  engine.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(network.dropped_messages(), 1u);
+  // Send is still charged to the sender (the bytes left the NIC).
+  EXPECT_EQ(network.counters(0).messages_sent, 1u);
+}
+
+TEST(Network, DropProbabilityStatistical) {
+  Engine engine;
+  const net::Topology topo = small_topology();
+  NetworkParams params;
+  params.drop_probability = 0.3;
+  Network network(engine, topo, params, Rng(7));
+  std::vector<std::unique_ptr<EchoNode>> nodes;
+  for (net::NodeId v = 0; v < topo.graph.node_count(); ++v) {
+    nodes.push_back(std::make_unique<EchoNode>(network, v));
+  }
+  const int total = 2000;
+  for (int i = 0; i < total; ++i) network.send(make_msg(0, 1));
+  engine.run();
+  const double delivered =
+      static_cast<double>(nodes[1]->received.size()) / total;
+  EXPECT_NEAR(delivered, 0.7, 0.04);
+}
+
+TEST(DeliveryTracker, CoverageAndLatencies) {
+  DeliveryTracker tracker(4);
+  tracker.on_created(1, 10.0);
+  tracker.on_delivered(1, 1, 15.0);
+  tracker.on_delivered(1, 2, 20.0);
+  tracker.on_delivered(1, 1, 17.0);  // duplicate ignored
+  EXPECT_TRUE(tracker.delivered(1, 1));
+  EXPECT_FALSE(tracker.delivered(1, 3));
+  EXPECT_DOUBLE_EQ(tracker.delivery_time(1, 1), 15.0);
+  const auto lats = tracker.latencies(1);
+  EXPECT_EQ(lats.size(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.coverage(1, 4), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.mean_coverage(4), 0.5);
+}
+
+TEST(DeliveryTracker, UnknownItemIgnored) {
+  DeliveryTracker tracker(4);
+  tracker.on_delivered(99, 1, 5.0);
+  EXPECT_FALSE(tracker.delivered(99, 1));
+  EXPECT_DOUBLE_EQ(tracker.delivery_time(99, 1), -1.0);
+}
+
+}  // namespace
+}  // namespace hermes::sim

@@ -1,0 +1,93 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../protocols/harness.hpp"
+#include "hermes/hermes_node.hpp"
+
+namespace hermes::sim {
+namespace {
+
+TEST(TraceCollector, BucketsAndTotals) {
+  TraceCollector trace(100.0);
+  trace.record(10.0, 0, 1, 7, 200);
+  trace.record(50.0, 1, 2, 7, 200);
+  trace.record(150.0, 2, 3, 7, 200);
+  trace.record(20.0, 0, 2, 9, 50);
+  EXPECT_EQ(trace.count_in_bucket(7, 0.0), 2u);
+  EXPECT_EQ(trace.count_in_bucket(7, 199.0), 1u);
+  EXPECT_EQ(trace.count_in_bucket(9, 0.0), 1u);
+  EXPECT_EQ(trace.count_in_bucket(9, 500.0), 0u);
+  EXPECT_EQ(trace.totals_by_type().at(7), 3u);
+  EXPECT_EQ(trace.bytes_by_type().at(7), 600u);
+  EXPECT_EQ(trace.total_messages(), 4u);
+}
+
+TEST(TraceCollector, SeriesCoversGaps) {
+  TraceCollector trace(100.0);
+  trace.record(10.0, 0, 1, 3, 10);
+  trace.record(350.0, 0, 1, 3, 10);
+  const auto series = trace.series(3);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0], 1u);
+  EXPECT_EQ(series[1], 0u);
+  EXPECT_EQ(series[2], 0u);
+  EXPECT_EQ(series[3], 1u);
+  EXPECT_TRUE(trace.series(99).empty());
+}
+
+TEST(TraceCollector, NodeLogBounded) {
+  TraceCollector trace(100.0, /*per_node_log_limit=*/3);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(static_cast<double>(i), 5, 6, 1, 10);
+  }
+  const auto& log = trace.node_log(5);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.front().at, 7.0);  // oldest kept
+  EXPECT_DOUBLE_EQ(log.back().at, 9.0);
+  EXPECT_TRUE(trace.node_log(99).empty());
+}
+
+TEST(TraceCollector, Sparkline) {
+  TraceCollector trace(100.0);
+  for (int i = 0; i < 9; ++i) trace.record(10.0, 0, 1, 1, 10);
+  trace.record(150.0, 0, 1, 1, 10);
+  const std::string line = trace.sparkline(1);
+  ASSERT_EQ(line.size(), 2u);
+  EXPECT_EQ(line[0], '@');  // peak bucket
+  EXPECT_NE(line[1], '@');
+  EXPECT_NE(line[1], ' ');
+}
+
+TEST(TraceCollector, TapsARealHermesRun) {
+  using namespace hermes::protocols;
+  hermes_proto::HermesConfig config;
+  config.f = 1;
+  config.k = 3;
+  config.builder.annealing.initial_temperature = 5.0;
+  config.builder.annealing.min_temperature = 1.0;
+  config.builder.annealing.cooling_rate = 0.8;
+  hermes_proto::HermesProtocol protocol(config);
+  testing::World w(30, protocol);
+  TraceCollector trace(50.0);
+  w.ctx->network.set_send_tap([&trace](const Message& m, SimTime at) {
+    trace.record(at, m.src, m.dst, m.type, m.wire_bytes);
+  });
+  w.start();
+  const Transaction tx = w.send_from(2);
+  w.run_ms(5000);
+  (void)tx;
+  const auto totals = trace.totals_by_type();
+  // The TRS exchange and the data dissemination both show up.
+  EXPECT_GT(totals.at(hermes_proto::HermesNode::kMsgTrsEcho), 0u);
+  EXPECT_GT(totals.at(hermes_proto::HermesNode::kMsgData), 25u);
+  // Data messages dominate the bytes (payload-sized).
+  const auto bytes = trace.bytes_by_type();
+  EXPECT_GT(bytes.at(hermes_proto::HermesNode::kMsgData),
+            bytes.at(hermes_proto::HermesNode::kMsgTrsEcho));
+  // The sender's recent-send log is populated.
+  EXPECT_FALSE(trace.node_log(2).empty());
+}
+
+}  // namespace
+}  // namespace hermes::sim

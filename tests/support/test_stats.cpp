@@ -1,0 +1,62 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev_of(xs), 2.0);
+}
+
+TEST(Stats, EmptyVectorSafe) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 50), 0.0);
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 25.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile_of({7.0}, 95), 7.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile_of({40, 10, 30, 20}, 50), 25.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs{3.5, -1.0, 2.25, 8.0, 0.0, 4.5};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean_of(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev_of(xs), 1e-12);
+}
+
+TEST(Stats, RunningStatsEmpty) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace hermes
