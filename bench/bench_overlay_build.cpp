@@ -3,7 +3,12 @@
 // cryptographic primitives on HERMES's critical path.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -44,7 +49,31 @@ void BM_OverlaySetBuildK10(benchmark::State& state) {
 }
 BENCHMARK(BM_OverlaySetBuildK10)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
 
+// One annealing pass as build_overlay_set runs it: the shortest-latency
+// cache is shared across calls (it is immutable w.r.t. the physical graph),
+// so only the moves themselves are measured.
 void BM_SimulatedAnnealingPass(benchmark::State& state) {
+  const std::size_t n = 200;
+  const net::Topology topo = bench::make_bench_topology(n, 42);
+  overlay::RobustTreeParams tree_params;
+  tree_params.f = 1;
+  overlay::RankTable ranks(n, 0.0);
+  const overlay::Overlay tree =
+      overlay::build_robust_tree(topo.graph, tree_params, ranks);
+  const overlay::AnnealingParams params =
+      bench::bench_hermes_config().builder.annealing;
+  overlay::LinkCostCache costs(topo.graph);
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(
+        overlay::anneal(tree, ranks, params, rng, costs, nullptr));
+  }
+}
+BENCHMARK(BM_SimulatedAnnealingPass)->Unit(benchmark::kMillisecond);
+
+// Same pass with a cache rebuilt per call (the pre-shared-cache behavior);
+// the gap to BM_SimulatedAnnealingPass is the cache amortization.
+void BM_SimulatedAnnealingColdCache(benchmark::State& state) {
   const std::size_t n = 200;
   const net::Topology topo = bench::make_bench_topology(n, 42);
   overlay::RobustTreeParams tree_params;
@@ -60,7 +89,35 @@ void BM_SimulatedAnnealingPass(benchmark::State& state) {
         overlay::anneal(tree, topo.graph, ranks, params, rng));
   }
 }
-BENCHMARK(BM_SimulatedAnnealingPass)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatedAnnealingColdCache)->Unit(benchmark::kMillisecond);
+
+// Serial vs parallel candidate evaluation at a fixed batch size; Arg is the
+// worker count. The annealed overlay is bit-identical across all Args.
+void BM_SimulatedAnnealingWorkers(benchmark::State& state) {
+  const std::size_t n = 200;
+  const net::Topology topo = bench::make_bench_topology(n, 42);
+  overlay::RobustTreeParams tree_params;
+  tree_params.f = 1;
+  overlay::RankTable ranks(n, 0.0);
+  const overlay::Overlay tree =
+      overlay::build_robust_tree(topo.graph, tree_params, ranks);
+  overlay::AnnealingParams params =
+      bench::bench_hermes_config().builder.annealing;
+  params.batch_size = 8;
+  params.workers = static_cast<std::size_t>(state.range(0));
+  overlay::LinkCostCache costs(topo.graph);
+  ThreadPool pool(params.workers > 1 ? params.workers - 1 : 0);
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(
+        overlay::anneal(tree, ranks, params, rng, costs, &pool));
+  }
+}
+BENCHMARK(BM_SimulatedAnnealingWorkers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_OverlayEncode(benchmark::State& state) {
   const std::size_t n = 200;
@@ -126,16 +183,52 @@ void BM_ThresholdRsaCombine(benchmark::State& state) {
 }
 BENCHMARK(BM_ThresholdRsaCombine)->Unit(benchmark::kMillisecond);
 
+// Paper-scale construction: registered only when --nodes is passed, so CI
+// runs stay at the friendly defaults while `--nodes 2000` / `--nodes 5000`
+// reproduce the Section VIII-A scaling point on demand.
+void BM_OverlaySetBuildK10AtNodes(benchmark::State& state, std::size_t n) {
+  const net::Topology topo = bench::make_bench_topology(n, 42);
+  overlay::BuilderParams params;
+  params.f = 1;
+  params.k = 10;
+  params.annealing = bench::bench_hermes_config().builder.annealing;
+  params.annealing.batch_size = 8;
+  params.annealing.workers = std::max(1u, std::thread::hardware_concurrency());
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(overlay::build_overlay_set(topo.graph, params, rng));
+  }
+}
+
 }  // namespace
 
-// Custom main: tolerate the shared sweep flags (--reps/--nodes/...) that
-// the other bench binaries accept, passing only --benchmark_* through.
+// Custom main: tolerate the shared sweep flags (--reps/--txs/...) that the
+// other bench binaries accept, passing only --benchmark_* through. --nodes N
+// additionally registers the paper-scale overlay-set build at that N.
 int main(int argc, char** argv) {
   std::vector<char*> filtered{argv[0]};
+  std::size_t custom_nodes = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
       filtered.push_back(argv[i]);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      custom_nodes = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || custom_nodes == 0) {
+        std::fprintf(stderr, "error: --nodes expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
     }
+  }
+  if (custom_nodes > 0) {
+    benchmark::RegisterBenchmark(
+        ("BM_OverlaySetBuildK10/" + std::to_string(custom_nodes)).c_str(),
+        [custom_nodes](benchmark::State& state) {
+          BM_OverlaySetBuildK10AtNodes(state, custom_nodes);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
   }
   int filtered_argc = static_cast<int>(filtered.size());
   benchmark::Initialize(&filtered_argc, filtered.data());

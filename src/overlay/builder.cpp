@@ -1,6 +1,9 @@
 #include "overlay/builder.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "support/thread_pool.hpp"
 
 namespace hermes::overlay {
 
@@ -12,6 +15,18 @@ OverlaySet build_overlay_set(const net::Graph& g, const BuilderParams& params,
 
   RobustTreeParams tree_params = params.tree;
   tree_params.f = params.f;
+
+  // Shared across all k trees: the physical shortest-path cache (rows are
+  // pure functions of g, so later trees reuse what earlier ones computed)
+  // and one worker pool instead of spinning threads up per anneal() call.
+  LinkCostCache costs(g);
+  std::unique_ptr<ThreadPool> pool;
+  if (params.optimize && params.annealing.workers > 1 &&
+      params.annealing.batch_size > 1) {
+    const std::size_t lanes =
+        std::min(params.annealing.workers, params.annealing.batch_size);
+    pool = std::make_unique<ThreadPool>(lanes - 1);
+  }
 
   for (std::size_t l = 0; l < params.k; ++l) {
     // Rank snapshot before this tree: the builder updates ranks itself;
@@ -26,7 +41,8 @@ OverlaySet build_overlay_set(const net::Graph& g, const BuilderParams& params,
     Overlay tree = build_robust_tree(g, tree_params, set.final_ranks);
     if (params.optimize) {
       Rng anneal_rng = rng.fork(0x5eedl + l);
-      tree = anneal(tree, g, before, params.annealing, anneal_rng);
+      tree = anneal(tree, before, params.annealing, anneal_rng, costs,
+                    pool.get());
       // Re-derive the rank contribution (root proximity, see
       // robust_tree.cpp) from the optimized depths.
       const double max_depth = static_cast<double>(tree.max_depth());

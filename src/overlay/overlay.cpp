@@ -12,7 +12,8 @@ Overlay::Overlay(std::size_t node_count, std::size_t f)
       depth_(node_count, 0),
       succ_(node_count),
       pred_(node_count),
-      succ_latency_(node_count) {}
+      succ_latency_(node_count),
+      pred_latency_(node_count) {}
 
 std::size_t Overlay::edge_count() const {
   std::size_t total = 0;
@@ -51,6 +52,25 @@ void Overlay::add_link(NodeId parent, NodeId child, double latency_ms) {
   succ_[parent].push_back(child);
   succ_latency_[parent].push_back(latency_ms);
   pred_[child].push_back(parent);
+  pred_latency_[child].push_back(latency_ms);
+}
+
+void Overlay::insert_link(NodeId parent, NodeId child, double latency_ms,
+                          std::size_t succ_pos, std::size_t pred_pos) {
+  HERMES_REQUIRE(parent < depth_.size() && child < depth_.size());
+  HERMES_REQUIRE(depth_[parent] >= 1 && depth_[child] >= 1);
+  HERMES_REQUIRE(depth_[parent] < depth_[child]);
+  HERMES_REQUIRE(!has_link(parent, child));
+  HERMES_REQUIRE(succ_pos <= succ_[parent].size());
+  HERMES_REQUIRE(pred_pos <= pred_[child].size());
+  auto& s = succ_[parent];
+  auto& sl = succ_latency_[parent];
+  s.insert(s.begin() + static_cast<std::ptrdiff_t>(succ_pos), child);
+  sl.insert(sl.begin() + static_cast<std::ptrdiff_t>(succ_pos), latency_ms);
+  auto& p = pred_[child];
+  auto& pl = pred_latency_[child];
+  p.insert(p.begin() + static_cast<std::ptrdiff_t>(pred_pos), parent);
+  pl.insert(pl.begin() + static_cast<std::ptrdiff_t>(pred_pos), latency_ms);
 }
 
 void Overlay::remove_link(NodeId parent, NodeId child) {
@@ -64,7 +84,14 @@ void Overlay::remove_link(NodeId parent, NodeId child) {
     }
   }
   auto& p = pred_[child];
-  p.erase(std::remove(p.begin(), p.end(), parent), p.end());
+  auto& pl = pred_latency_[child];
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == parent) {
+      p.erase(p.begin() + static_cast<std::ptrdiff_t>(i));
+      pl.erase(pl.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
 }
 
 bool Overlay::has_link(NodeId parent, NodeId child) const {

@@ -40,10 +40,23 @@ class Overlay {
 
   const std::vector<NodeId>& successors(NodeId v) const { return succ_[v]; }
   const std::vector<NodeId>& predecessors(NodeId v) const { return pred_[v]; }
+  // Link latencies aligned with predecessors(v): entry i is the latency of
+  // predecessors(v)[i] -> v. Lets incremental latency maintenance recompute
+  // a node in O(in-degree) instead of scanning each parent's successor list.
+  const std::vector<double>& predecessor_latencies(NodeId v) const {
+    return pred_latency_[v];
+  }
 
   // Adds a directed link parent -> child. Requires depth(parent) <
   // depth(child) and both placed. Idempotent.
   void add_link(NodeId parent, NodeId child, double latency_ms);
+  // Re-inserts a link at explicit positions in the successor list of
+  // `parent` and the predecessor list of `child`. Annealing revert uses
+  // this to restore the adjacency vectors bit-exactly: candidate
+  // generation iterates them in storage order, so set-equality alone
+  // would leak the evaluation schedule into later moves.
+  void insert_link(NodeId parent, NodeId child, double latency_ms,
+                   std::size_t succ_pos, std::size_t pred_pos);
   void remove_link(NodeId parent, NodeId child);
   bool has_link(NodeId parent, NodeId child) const;
   double link_latency(NodeId parent, NodeId child) const;
@@ -76,8 +89,9 @@ class Overlay {
   std::vector<std::size_t> depth_;
   std::vector<std::vector<NodeId>> succ_;
   std::vector<std::vector<NodeId>> pred_;
-  // Latencies stored on the parent side, aligned with succ_.
+  // Latencies stored on both sides: aligned with succ_ and with pred_.
   std::vector<std::vector<double>> succ_latency_;
+  std::vector<std::vector<double>> pred_latency_;
 };
 
 }  // namespace hermes::overlay

@@ -1,0 +1,63 @@
+#include "support/thread_pool.hpp"
+
+#include "support/assert.hpp"
+
+namespace hermes {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::drain_batch(std::unique_lock<std::mutex>& lock) {
+  while (fn_ != nullptr && next_ < total_) {
+    const std::size_t i = next_++;
+    const auto* fn = fn_;
+    lock.unlock();
+    (*fn)(i);
+    lock.lock();
+    if (++completed_ == total_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this] { return stop_ || (fn_ != nullptr && next_ < total_); });
+    if (stop_) return;
+    drain_batch(lock);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  HERMES_REQUIRE(fn_ == nullptr);  // one batch at a time
+  fn_ = &fn;
+  next_ = 0;
+  total_ = n;
+  completed_ = 0;
+  work_cv_.notify_all();
+  drain_batch(lock);  // the caller is an evaluation lane too
+  done_cv_.wait(lock, [this] { return completed_ == total_; });
+  fn_ = nullptr;
+}
+
+}  // namespace hermes

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "net/topology.hpp"
 #include "overlay/builder.hpp"
+#include "support/thread_pool.hpp"
 
 namespace hermes::overlay {
 namespace {
@@ -96,6 +100,128 @@ TEST(Objective, RankPenaltyDiscouragesAlreadyFavoredNodesNearRoot) {
             objective_value(s.tree, ranks_fresh, w));
 }
 
+TEST(Objective, EmptyOverlayScoresZero) {
+  const Overlay empty;
+  const RankTable no_ranks;
+  const ObjectiveWeights w;
+  EXPECT_EQ(objective_value(empty, no_ranks, w), 0.0);
+}
+
+TEST(Objective, AllUnreachableStaysFinite) {
+  // No entry points: every node is unreachable. The latency term must not
+  // divide by zero or go NaN; the path penalty carries the pressure.
+  Overlay o(4, 1);
+  for (net::NodeId v = 0; v < 4; ++v) o.set_depth(v, v + 1);
+  const RankTable ranks(4, 1.0);
+  const ObjectiveWeights w;
+  const double val = objective_value(o, ranks, w);
+  EXPECT_TRUE(std::isfinite(val));
+  EXPECT_GE(val, w.path * 4.0);  // all 4 nodes unreachable
+
+  // Single unplaced node: nothing reachable either.
+  Overlay one(1, 0);
+  const double lone = objective_value(one, RankTable(1, 0.0), w);
+  EXPECT_TRUE(std::isfinite(lone));
+}
+
+TEST(IncrementalObjective, MatchesScratchAfterThousandRandomMoves) {
+  AnnealFixture s = make_setup(60, 1);
+  const ObjectiveWeights w;
+  IncrementalObjective state(s.tree, s.ranks, w);
+  Rng rng(17);
+  const std::size_t n = state.overlay().node_count();
+
+  std::size_t applied = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.uniform01() < 0.5 && state.components().edges > 0) {
+      // Remove a uniformly random edge.
+      std::uint64_t target = rng.uniform_u64(
+          static_cast<std::uint64_t>(state.components().edges));
+      for (net::NodeId p = 0; p < n; ++p) {
+        const auto& succ = state.overlay().successors(p);
+        if (target < succ.size()) {
+          ASSERT_TRUE(state.remove_link(p, succ[target], nullptr));
+          ++applied;
+          break;
+        }
+        target -= succ.size();
+      }
+    } else {
+      // Random (possibly invalid) pair; add_link filters bad depth pairs.
+      const net::NodeId p = static_cast<net::NodeId>(rng.uniform_u64(n));
+      const net::NodeId c = static_cast<net::NodeId>(rng.uniform_u64(n));
+      if (state.add_link(p, c, 1.0 + rng.uniform01() * 40.0, nullptr)) {
+        ++applied;
+      }
+    }
+    if (i % 97 == 0) state.flush();  // mix mid-stream and deferred flushes
+  }
+  state.flush();
+  ASSERT_GT(applied, 100u);
+
+  // Latencies must be value-identical to a scratch Dijkstra: the dirty-node
+  // sweep recomputes exact minima, not approximations.
+  const auto scratch_dist = state.overlay().dissemination_latencies();
+  const auto& inc_dist = state.latencies();
+  ASSERT_EQ(scratch_dist.size(), inc_dist.size());
+  for (std::size_t v = 0; v < scratch_dist.size(); ++v) {
+    EXPECT_DOUBLE_EQ(scratch_dist[v], inc_dist[v]) << "node " << v;
+  }
+
+  // Counting terms are exact; the running latency sum may differ from the
+  // scratch sum by float-accumulation order only.
+  const ObjectiveComponents scratch =
+      objective_components(state.overlay(), s.ranks);
+  EXPECT_EQ(scratch.edges, state.components().edges);
+  EXPECT_EQ(scratch.unreachable, state.components().unreachable);
+  EXPECT_EQ(scratch.connectivity_deficit,
+            state.components().connectivity_deficit);
+  EXPECT_DOUBLE_EQ(scratch.rank_penalty, state.components().rank_penalty);
+  EXPECT_NEAR(scratch.latency_sum, state.components().latency_sum,
+              1e-9 * (1.0 + std::abs(scratch.latency_sum)));
+  EXPECT_NEAR(objective_value(state.overlay(), s.ranks, w), state.value(),
+              1e-9 * (1.0 + std::abs(state.value())));
+}
+
+TEST(IncrementalObjective, RevertRestoresExactState) {
+  AnnealFixture s = make_setup();
+  const ObjectiveWeights w;
+  IncrementalObjective state(s.tree, s.ranks, w);
+  const auto before_dist = state.latencies();
+  const ObjectiveComponents before = state.components();
+
+  // One recorded multi-op move: drop two edges, add one back.
+  MoveDelta delta;
+  state.begin_move();
+  net::NodeId parent = 0;
+  for (net::NodeId v = 0; v < state.overlay().node_count(); ++v) {
+    if (state.overlay().successors(v).size() >= 2) {
+      parent = v;
+      break;
+    }
+  }
+  const net::NodeId c0 = state.overlay().successors(parent)[0];
+  const net::NodeId c1 = state.overlay().successors(parent)[1];
+  const double lat = state.overlay().link_latency(parent, c0);
+  ASSERT_TRUE(state.remove_link(parent, c0, &delta));
+  ASSERT_TRUE(state.remove_link(parent, c1, &delta));
+  ASSERT_TRUE(state.add_link(parent, c0, lat, &delta));
+  const ComponentDelta d = state.take_move_delta();
+  EXPECT_EQ(d.d_edges, -1);
+
+  state.revert(delta);
+  EXPECT_EQ(before.edges, state.components().edges);
+  EXPECT_EQ(before.unreachable, state.components().unreachable);
+  EXPECT_EQ(before.connectivity_deficit,
+            state.components().connectivity_deficit);
+  const auto& after_dist = state.latencies();
+  for (std::size_t v = 0; v < before_dist.size(); ++v) {
+    EXPECT_DOUBLE_EQ(before_dist[v], after_dist[v]) << "node " << v;
+  }
+  EXPECT_TRUE(state.overlay().has_link(parent, c0));
+  EXPECT_TRUE(state.overlay().has_link(parent, c1));
+}
+
 TEST(GenerateNeighbor, PreservesValidity) {
   AnnealFixture s = make_setup();
   Rng rng(3);
@@ -105,6 +231,26 @@ TEST(GenerateNeighbor, PreservesValidity) {
     current = generate_neighbor(current, s.topo.graph, s.ranks, params, rng);
     const auto errors = current.validate();
     ASSERT_TRUE(errors.empty()) << "iteration " << i << ": " << errors[0];
+  }
+}
+
+TEST(GenerateNeighbor, SharedCacheMatchesPerCallCache) {
+  // The LinkCostCache overload must behave identically to the convenience
+  // overload that rebuilds the cache internally (cost rows are pure
+  // functions of the physical graph).
+  AnnealFixture s = make_setup();
+  const AnnealingParams params = fast_params();
+  LinkCostCache costs(s.topo.graph);
+  Rng r1(3), r2(3);
+  Overlay a = s.tree;
+  Overlay b = s.tree;
+  for (int i = 0; i < 20; ++i) {
+    a = generate_neighbor(a, s.topo.graph, s.ranks, params, r1);
+    b = generate_neighbor(b, s.ranks, params, costs, r2);
+    for (net::NodeId v = 0; v < a.node_count(); ++v) {
+      ASSERT_EQ(a.successors(v), b.successors(v)) << "iteration " << i;
+    }
+    ASSERT_TRUE(b.is_valid());
   }
 }
 
@@ -161,6 +307,52 @@ TEST(Anneal, GreedyNeighborFilterMode) {
   const Overlay optimized = anneal(s.tree, s.topo.graph, s.ranks, params, rng);
   EXPECT_LE(objective_value(optimized, s.ranks, params.weights), initial);
   EXPECT_TRUE(optimized.is_valid());
+}
+
+TEST(Anneal, BitIdenticalAcrossWorkerCounts) {
+  // Candidate Rng streams are forked per candidate index and acceptance
+  // sweeps candidates in order, so the worker count only changes how the
+  // batch is scheduled — never the result.
+  AnnealFixture s = make_setup(60, 1);
+  AnnealingParams params = fast_params();
+  params.batch_size = 4;
+
+  std::vector<Overlay> results;
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    params.workers = workers;
+    Rng rng(11);
+    results.push_back(anneal(s.tree, s.topo.graph, s.ranks, params, rng));
+  }
+  for (std::size_t w = 1; w < results.size(); ++w) {
+    ASSERT_EQ(results[0].edge_count(), results[w].edge_count());
+    ASSERT_EQ(results[0].entry_points(), results[w].entry_points());
+    for (net::NodeId v = 0; v < results[0].node_count(); ++v) {
+      ASSERT_EQ(results[0].successors(v), results[w].successors(v))
+          << "node " << v << " differs between 1 and " << (w == 1 ? 2 : 4)
+          << " workers";
+      for (net::NodeId c : results[0].successors(v)) {
+        ASSERT_EQ(results[0].link_latency(v, c), results[w].link_latency(v, c));
+      }
+    }
+  }
+}
+
+TEST(Anneal, SharedPoolAndCacheMatchOwnedOnes) {
+  // build_overlay_set hands anneal() a shared cache and pool; neither may
+  // change the result vs. the self-contained overload.
+  AnnealFixture s = make_setup();
+  AnnealingParams params = fast_params();
+  params.batch_size = 3;
+  params.workers = 2;
+  Rng r1(13), r2(13);
+  const Overlay own = anneal(s.tree, s.topo.graph, s.ranks, params, r1);
+  LinkCostCache costs(s.topo.graph);
+  ThreadPool pool(3);
+  const Overlay shared = anneal(s.tree, s.ranks, params, r2, costs, &pool);
+  ASSERT_EQ(own.edge_count(), shared.edge_count());
+  for (net::NodeId v = 0; v < own.node_count(); ++v) {
+    ASSERT_EQ(own.successors(v), shared.successors(v));
+  }
 }
 
 TEST(Anneal, DeterministicGivenSeed) {

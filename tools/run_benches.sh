@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the overlay-construction benchmarks and writes BENCH_overlay.json:
+# a google-benchmark JSON report wrapped together with the pre-rewrite
+# baseline numbers, so before/after is recorded in one artifact.
+#
+# Usage: tools/run_benches.sh [output.json] [--nodes N]
+#   BUILD_DIR=<dir>  build tree to use (default: <repo>/build)
+#   --nodes N        additionally run the paper-scale k=10 build at N
+#                    (e.g. 2000 or 5000; forwarded to bench_overlay_build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+BIN="$BUILD/bench/bench_overlay_build"
+
+OUT="$ROOT/BENCH_overlay.json"
+if [[ $# -gt 0 && $1 != --* ]]; then
+  OUT="$1"
+  shift
+fi
+
+if [[ ! -x $BIN ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j)" >&2
+  exit 1
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+"$BIN" \
+  --benchmark_filter='BM_RobustTreeBuild|BM_OverlaySetBuildK10|BM_SimulatedAnnealing' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$TMP" \
+  --benchmark_out_format=json \
+  "$@"
+
+# Baseline: seed revision (whole-overlay copies + from-scratch objective per
+# candidate, per-call link-cost cache), measured on the same machine with the
+# same bench configs before the incremental-objective rewrite.
+cat > "$OUT" <<EOF
+{
+  "baseline_before_incremental_objective": {
+    "note": "pre-rewrite seed: overlay copied and rescored from scratch per candidate move",
+    "BM_SimulatedAnnealingPass_ms": 8.27,
+    "BM_OverlaySetBuildK10/100_ms": 35.8,
+    "BM_OverlaySetBuildK10/200_ms": 101.0
+  },
+  "current": $(cat "$TMP")
+}
+EOF
+
+echo "wrote $OUT"
