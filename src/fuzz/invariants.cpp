@@ -1,0 +1,499 @@
+#include "fuzz/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hermes/trs.hpp"
+#include "overlay/overlay.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::fuzz {
+
+using hermes_proto::BatchChunkBody;
+using hermes_proto::DataBody;
+using hermes_proto::FallbackBody;
+using hermes_proto::HermesNode;
+using protocols::Behavior;
+
+namespace {
+
+// Per-checker failure cap: a broken invariant usually fires on many
+// observations; a handful of witnesses is enough to act on.
+constexpr std::size_t kMaxFailuresPerChecker = 8;
+
+// Bound on explicit f-subset enumeration per overlay (beyond it, subsets
+// are sampled deterministically).
+constexpr std::size_t kMaxRemovalSubsets = 20000;
+
+void add_failure(std::vector<Failure>& out, std::size_t before,
+                 const char* checker, std::string detail) {
+  if (out.size() - before >= kMaxFailuresPerChecker) return;
+  out.push_back(Failure{checker, std::move(detail)});
+}
+
+}  // namespace
+
+const char* mutation_name(Mutation m) {
+  switch (m) {
+    case Mutation::kNone:
+      return "none";
+    case Mutation::kDuplicateDelivery:
+      return "duplicate-delivery";
+    case Mutation::kSequenceFabrication:
+      return "sequence-fabrication";
+    case Mutation::kWrongOverlay:
+      return "wrong-overlay";
+    case Mutation::kFalseAccusation:
+      return "false-accusation";
+    case Mutation::kOverlayDeficit:
+      return "overlay-deficit";
+  }
+  return "?";
+}
+
+std::optional<Mutation> mutation_from(const std::string& name) {
+  for (Mutation m :
+       {Mutation::kNone, Mutation::kDuplicateDelivery,
+        Mutation::kSequenceFabrication, Mutation::kWrongOverlay,
+        Mutation::kFalseAccusation, Mutation::kOverlayDeficit}) {
+    if (name == mutation_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+InvariantSuite::InvariantSuite(const Scenario& scenario,
+                               protocols::ExperimentContext& ctx)
+    : scenario_(scenario), ctx_(ctx), ever_crashed_(scenario.nodes, 0) {
+  for (const ChurnEvent& ev : scenario_.churn) {
+    if (ev.recover) continue;
+    for (net::NodeId v : ev.nodes) {
+      if (v < ever_crashed_.size()) ever_crashed_[v] = 1;
+    }
+  }
+}
+
+void InvariantSuite::on_send(sim::SimTime, const sim::Message& msg) {
+  if (!scenario_.hermes()) return;
+  if (msg.src >= ctx_.behaviors.size() || !honest(msg.src)) return;
+  switch (msg.type) {
+    case HermesNode::kMsgData: {
+      const auto* d = dynamic_cast<const DataBody*>(msg.body.get());
+      if (d == nullptr) return;
+      CertifiedSend rec;
+      rec.src = msg.src;
+      rec.item_key = std::to_string(d->tx.id);
+      rec.overlay_index = d->overlay_index;
+      rec.certificate = d->certificate;
+      certified_sends_.push_back(std::move(rec));
+      break;
+    }
+    case HermesNode::kMsgBatchChunk: {
+      const auto* c = dynamic_cast<const BatchChunkBody*>(msg.body.get());
+      if (c == nullptr) return;
+      CertifiedSend rec;
+      rec.src = msg.src;
+      rec.item_key = c->trs.key();
+      rec.overlay_index = c->base_overlay;
+      rec.certificate = c->certificate;
+      certified_sends_.push_back(std::move(rec));
+      break;
+    }
+    case HermesNode::kMsgFallback: {
+      ++honest_fallback_pushes_;
+      const auto* fb = dynamic_cast<const FallbackBody*>(msg.body.get());
+      if (fb == nullptr) return;
+      CertifiedSend rec;
+      rec.src = msg.src;
+      rec.item_key = std::to_string(fb->tx.id);
+      rec.overlay_index = fb->overlay_index;
+      rec.certificate = fb->certificate;
+      certified_sends_.push_back(std::move(rec));
+      break;
+    }
+    case HermesNode::kMsgFallbackOffer:
+      ++honest_fallback_offers_;
+      break;
+    case HermesNode::kMsgFallbackRequest:
+      ++honest_fallback_requests_;
+      break;
+    default:
+      break;
+  }
+}
+
+void InvariantSuite::on_delivery(std::uint64_t item, net::NodeId node,
+                                 sim::SimTime when, bool duplicate) {
+  if (node >= ctx_.behaviors.size() || !honest(node)) return;
+  honest_delivered_.insert(item);
+  const DeliveryObs obs{item, node, when};
+  if (!first_honest_delivery_) first_honest_delivery_ = obs;
+  if (duplicate) honest_duplicates_.push_back(obs);
+}
+
+void InvariantSuite::note_injected(std::uint64_t tx_id, bool batch_member) {
+  injected_[tx_id] = batch_member;
+}
+
+void InvariantSuite::add_generation(
+    const std::shared_ptr<const hermes_proto::HermesShared>& shared) {
+  if (shared) generations_.push_back(shared->overlays);
+}
+
+void InvariantSuite::apply_mutation(Mutation m) {
+  const auto first_honest = [this](std::size_t skip) -> net::NodeId {
+    for (net::NodeId v = 0; v < ctx_.behaviors.size(); ++v) {
+      if (honest(v)) {
+        if (skip == 0) return v;
+        --skip;
+      }
+    }
+    return 0;
+  };
+  switch (m) {
+    case Mutation::kNone:
+      break;
+    case Mutation::kDuplicateDelivery: {
+      if (first_honest_delivery_) {
+        honest_duplicates_.push_back(*first_honest_delivery_);
+      } else {
+        honest_duplicates_.push_back(DeliveryObs{1, first_honest(0), 0.0});
+      }
+      break;
+    }
+    case Mutation::kSequenceFabrication: {
+      const net::NodeId origin = scenario_.injections.empty()
+                                     ? first_honest(0)
+                                     : scenario_.injections.front().sender;
+      honest_delivered_.insert(
+          mempool::Transaction::make_id(origin, 0x7ffffffULL));
+      break;
+    }
+    case Mutation::kWrongOverlay: {
+      if (!certified_sends_.empty()) {
+        auto& rec = certified_sends_.front();
+        rec.overlay_index = static_cast<std::uint32_t>(
+            (rec.overlay_index + 1) % std::max<std::size_t>(2, scenario_.k));
+      }
+      break;
+    }
+    case Mutation::kFalseAccusation: {
+      synthetic_accusations_.emplace_back(first_honest(0), first_honest(1));
+      break;
+    }
+    case Mutation::kOverlayDeficit: {
+      if (generations_.empty() || generations_.front().empty()) break;
+      overlay::Overlay& o = generations_.front().front();
+      for (net::NodeId v = 0; v < o.node_count(); ++v) {
+        if (o.is_entry(v) || o.predecessors(v).empty()) continue;
+        const std::vector<net::NodeId> preds = o.predecessors(v);
+        for (net::NodeId p : preds) o.remove_link(p, v);
+        break;
+      }
+      break;
+    }
+  }
+}
+
+void InvariantSuite::check_duplicates(std::vector<Failure>& out) const {
+  const std::size_t before = out.size();
+  for (const DeliveryObs& obs : honest_duplicates_) {
+    std::ostringstream detail;
+    detail << "honest node " << obs.node << " delivered tx " << obs.item
+           << " twice (second delivery at t=" << obs.when << "ms)";
+    add_failure(out, before, "no-duplicate-delivery", detail.str());
+  }
+}
+
+void InvariantSuite::check_sequences(std::vector<Failure>& out) const {
+  const std::size_t before = out.size();
+  // Deterministic iteration order for reporting.
+  std::vector<std::uint64_t> ids(honest_delivered_.begin(),
+                                 honest_delivered_.end());
+  std::sort(ids.begin(), ids.end());
+  for (std::uint64_t id : ids) {
+    const std::uint64_t origin = id >> 32;
+    if (origin >= scenario_.nodes) {
+      std::ostringstream detail;
+      detail << "delivered tx " << id << " names nonexistent origin "
+             << origin;
+      add_failure(out, before, "sequence-integrity", detail.str());
+      continue;
+    }
+    if (!honest(static_cast<net::NodeId>(origin))) continue;
+    if (injected_.count(id) == 0) {
+      std::ostringstream detail;
+      detail << "delivered tx " << id << " (origin " << origin << ", seq "
+             << (id & 0xffffffffULL)
+             << ") was never injected by that honest origin";
+      add_failure(out, before, "sequence-integrity", detail.str());
+    }
+  }
+}
+
+void InvariantSuite::check_overlay_consistency(std::vector<Failure>& out) const {
+  if (!scenario_.hermes()) return;
+  const std::size_t before = out.size();
+  const std::size_t k = std::max<std::size_t>(1, scenario_.k);
+  std::unordered_map<std::string, const CertifiedSend*> first_of;
+  for (const CertifiedSend& rec : certified_sends_) {
+    const std::size_t expected = hermes_proto::select_overlay(rec.certificate, k);
+    if (expected != rec.overlay_index) {
+      std::ostringstream detail;
+      detail << "honest node " << rec.src << " sent item " << rec.item_key
+             << " on overlay " << rec.overlay_index
+             << " but its certificate selects " << expected;
+      add_failure(out, before, "overlay-consistency", detail.str());
+    }
+    auto [it, inserted] = first_of.try_emplace(rec.item_key, &rec);
+    if (!inserted && it->second->certificate != rec.certificate) {
+      std::ostringstream detail;
+      detail << "honest nodes " << it->second->src << " and " << rec.src
+             << " sent item " << rec.item_key
+             << " with different certificates";
+      add_failure(out, before, "overlay-consistency", detail.str());
+    }
+  }
+}
+
+void InvariantSuite::check_accusations(std::vector<Failure>& out) const {
+  const std::size_t before = out.size();
+  for (const auto& [accuser, offender] : synthetic_accusations_) {
+    std::ostringstream detail;
+    detail << "honest node " << accuser << " excluded honest node "
+           << offender;
+    add_failure(out, before, "no-false-accusation", detail.str());
+  }
+  if (!scenario_.hermes()) return;
+  for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+    if (!honest(v)) continue;
+    const auto* hn = dynamic_cast<const HermesNode*>(&ctx_.node(v));
+    if (hn == nullptr) continue;
+    for (const hermes_proto::Violation& violation : hn->audit().violations()) {
+      if (violation.offender < ctx_.behaviors.size() &&
+          honest(violation.offender)) {
+        std::ostringstream detail;
+        detail << "honest node " << v << " recorded "
+               << hermes_proto::violation_name(violation.kind)
+               << " against honest node " << violation.offender << " (tx "
+               << violation.tx_id << ")";
+        add_failure(out, before, "no-false-accusation", detail.str());
+      }
+    }
+    for (net::NodeId u = 0; u < ctx_.node_count(); ++u) {
+      if (u == v || !honest(u)) continue;
+      if (hn->excluded(u)) {
+        std::ostringstream detail;
+        detail << "honest node " << v << " excluded honest node " << u;
+        add_failure(out, before, "no-false-accusation", detail.str());
+      }
+    }
+  }
+}
+
+void InvariantSuite::check_fallback(std::vector<Failure>& out) const {
+  if (!scenario_.hermes()) return;
+  const std::size_t before = out.size();
+  if (!scenario_.enable_fallback) {
+    if (honest_fallback_pushes_ + honest_fallback_offers_ +
+            honest_fallback_requests_ >
+        0) {
+      std::ostringstream detail;
+      detail << "fallback disabled but honest nodes sent "
+             << honest_fallback_offers_ << " offers, "
+             << honest_fallback_requests_ << " pulls, "
+             << honest_fallback_pushes_ << " pushes";
+      add_failure(out, before, "fallback-activation", detail.str());
+    }
+    return;
+  }
+  // In a benign run with a delay comfortably beyond the dissemination tail,
+  // every node holds every transaction before the first offer fires — a
+  // pull means the fallback activated without faults.
+  if (scenario_.benign() && scenario_.fallback_delay_ms >= 2000.0 &&
+      honest_fallback_requests_ > 0) {
+    std::ostringstream detail;
+    detail << "benign run (fallback delay " << scenario_.fallback_delay_ms
+           << "ms) but honest nodes sent " << honest_fallback_requests_
+           << " fallback pulls";
+    add_failure(out, before, "fallback-activation", detail.str());
+  }
+}
+
+void InvariantSuite::check_connectivity(std::vector<Failure>& out) const {
+  if (!scenario_.hermes()) return;
+  const std::size_t before = out.size();
+  const std::size_t f = scenario_.f;
+  for (std::size_t g = 0; g < generations_.size(); ++g) {
+    for (std::size_t idx = 0; idx < generations_[g].size(); ++idx) {
+      const overlay::Overlay& o = generations_[g][idx];
+      for (const std::string& violation : o.validate()) {
+        std::ostringstream detail;
+        detail << "generation " << g << " overlay " << idx << ": "
+               << violation;
+        add_failure(out, before, "overlay-connectivity", detail.str());
+      }
+      if (f == 0) continue;
+      const std::size_t n = o.node_count();
+      // Enumerate f-subsets when feasible, otherwise sample.
+      std::vector<std::vector<net::NodeId>> subsets;
+      if (f == 1) {
+        for (net::NodeId v = 0; v < n; ++v) subsets.push_back({v});
+      } else if (f == 2 && n * (n - 1) / 2 <= kMaxRemovalSubsets) {
+        for (net::NodeId a = 0; a < n; ++a) {
+          for (net::NodeId b = a + 1; b < n; ++b) subsets.push_back({a, b});
+        }
+      } else {
+        Rng rng(scenario_.seed ^ (g * 1315423911ULL) ^ idx);
+        for (std::size_t i = 0; i < kMaxRemovalSubsets; ++i) {
+          std::vector<net::NodeId> subset;
+          for (std::size_t idx2 : rng.sample_indices(n, f)) {
+            subset.push_back(static_cast<net::NodeId>(idx2));
+          }
+          subsets.push_back(std::move(subset));
+        }
+      }
+      for (const auto& subset : subsets) {
+        if (!overlay::survives_removal(o, subset)) {
+          std::ostringstream detail;
+          detail << "generation " << g << " overlay " << idx
+                 << " disconnects after removing {";
+          for (std::size_t i = 0; i < subset.size(); ++i) {
+            detail << (i ? "," : "") << subset[i];
+          }
+          detail << "}";
+          add_failure(out, before, "overlay-connectivity", detail.str());
+          break;  // one witness per overlay is enough
+        }
+      }
+    }
+  }
+}
+
+bool InvariantSuite::honest_subgraph_connected() const {
+  const net::Graph& g = ctx_.topology.graph;
+  const std::size_t n = g.node_count();
+  std::vector<char> eligible(n, 0);
+  net::NodeId start = 0;
+  bool found = false;
+  std::size_t eligible_count = 0;
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (honest(v) && !ever_crashed_[v]) {
+      eligible[v] = 1;
+      ++eligible_count;
+      if (!found) {
+        start = v;
+        found = true;
+      }
+    }
+  }
+  if (!found) return false;
+  std::vector<char> seen(n, 0);
+  std::vector<net::NodeId> queue{start};
+  seen[start] = 1;
+  std::size_t reached = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const net::Edge& e : g.neighbors(queue[head])) {
+      if (eligible[e.to] && !seen[e.to]) {
+        seen[e.to] = 1;
+        ++reached;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return reached == eligible_count;
+}
+
+void InvariantSuite::check_coverage(std::vector<Failure>& out) const {
+  // Regimes where final coverage is not decidable from the scenario alone:
+  // partitions can outlive the fallback's offer rounds, and transit faults
+  // can black-hole the (single-path) TRS round-trip itself.
+  if (!scenario_.partitions.empty() || scenario_.transit_faults) return;
+  if (scenario_.drain_ms < 4000.0) return;
+  if (scenario_.max_concurrent_crashes() > scenario_.f) return;
+  std::size_t epoch_advances = 0;
+  for (const ChurnEvent& ev : scenario_.churn) {
+    epoch_advances += ev.advance_epoch ? 1 : 0;
+  }
+  if (epoch_advances >= 2) return;  // stale-drop of a 2-generations-old cert
+
+  const bool churn_only = scenario_.byzantine.empty() && !scenario_.blind_blast &&
+                          scenario_.drop_probability == 0.0;
+  enum class Tier { kExact, kSlack, kRepair } tier;
+  if (scenario_.benign()) {
+    tier = Tier::kExact;
+  } else if (!scenario_.hermes()) {
+    return;  // gossip has no repair story; only the benign bound is a claim
+  } else if (churn_only) {
+    tier = Tier::kSlack;
+  } else {
+    if (!scenario_.enable_fallback) return;
+    if (scenario_.drop_probability > 0.15) return;
+    if (!honest_subgraph_connected()) return;
+    tier = Tier::kRepair;
+  }
+
+  std::vector<net::NodeId> eligible;
+  for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+    if (honest(v) && !ever_crashed_[v]) eligible.push_back(v);
+  }
+
+  const std::size_t before = out.size();
+  for (const auto& [id, batch_member] : injected_) {
+    if (tier == Tier::kRepair && batch_member) continue;  // no member fallback
+    const net::NodeId sender = static_cast<net::NodeId>(id >> 32);
+    std::size_t population = 0;
+    std::size_t missed = 0;
+    for (net::NodeId v : eligible) {
+      if (v == sender) continue;
+      ++population;
+      if (!ctx_.tracker.delivered(id, v)) ++missed;
+    }
+    // Total loss under random message drops means the single-shot TRS
+    // certification round-trip itself was dropped: no certificate ever
+    // existed, so there was nothing for the fallback to repair. The
+    // resilience claim covers dissemination of *certified* transactions;
+    // partial delivery beyond the allowance is still a failure.
+    if (tier == Tier::kRepair && scenario_.drop_probability > 0.0 &&
+        missed == population) {
+      continue;
+    }
+    std::size_t allowance = 0;
+    switch (tier) {
+      case Tier::kExact:
+        allowance = 0;
+        break;
+      case Tier::kSlack:
+        allowance = scenario_.f;
+        break;
+      case Tier::kRepair: {
+        // Base 30% slack, widened with the drop rate: a repair needs an
+        // offer/pull/push chain to survive, so random drops compound.
+        const double frac = 0.30 + 2.0 * scenario_.drop_probability;
+        allowance = std::max<std::size_t>(
+            scenario_.f + 1,
+            static_cast<std::size_t>(static_cast<double>(population) * frac));
+        break;
+      }
+    }
+    if (missed > allowance) {
+      std::ostringstream detail;
+      detail << "tx " << id << " missed " << missed << "/" << population
+             << " eligible honest nodes (allowance " << allowance << ")";
+      add_failure(out, before, "coverage", detail.str());
+    }
+  }
+}
+
+std::vector<Failure> InvariantSuite::finish() {
+  std::vector<Failure> out;
+  check_duplicates(out);
+  check_sequences(out);
+  check_overlay_consistency(out);
+  check_accusations(out);
+  check_fallback(out);
+  check_connectivity(out);
+  check_coverage(out);
+  return out;
+}
+
+}  // namespace hermes::fuzz

@@ -1,0 +1,140 @@
+// Invariant oracle for fuzzed scenario runs.
+//
+// The suite is a pure observer: it subscribes to the network send tap and
+// the delivery tracker's observer, snapshots every certified overlay
+// generation, and at the end of the run folds those observation streams
+// together with the final node state into a verdict. Checked properties
+// (the paper's core claims, scoped to regimes where they are decidable):
+//
+//   no-duplicate-delivery   no honest node delivers a transaction twice
+//   sequence-integrity      every delivered id with an honest origin was
+//                           actually injected by that origin (no
+//                           fabricated or skipped sequence numbers)
+//   overlay-consistency     every honest Data/BatchChunk/Fallback send
+//                           claims overlay seed mod k for its certificate,
+//                           and all honest nodes agree per transaction
+//   no-false-accusation     violations recorded by honest nodes only ever
+//                           name Byzantine offenders; no honest node
+//                           excludes another honest node
+//   fallback-activation     disabled fallback stays silent; in benign runs
+//                           with a generous delay no hole-repair pull ever
+//                           fires (fallback activates only under faults)
+//   overlay-connectivity    every certified overlay generation validates
+//                           and survives removal of any f nodes
+//   coverage                injected transactions reach the honest,
+//                           never-crashed population (exact in benign
+//                           runs, f-slack under churn, lenient-threshold
+//                           when the gossip fallback is carrying faults)
+//
+// Mutations corrupt the *observation streams* just before the verdict —
+// they simulate a protocol that broke the corresponding property, proving
+// each checker is live (and giving the shrinker a stable failure to
+// minimize) without touching protocol code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fuzz/scenario.hpp"
+#include "hermes/hermes_node.hpp"
+#include "protocols/base.hpp"
+#include "sim/message.hpp"
+
+namespace hermes::fuzz {
+
+enum class Mutation : std::uint8_t {
+  kNone,
+  kDuplicateDelivery,
+  kSequenceFabrication,
+  kWrongOverlay,
+  kFalseAccusation,
+  kOverlayDeficit,
+};
+
+const char* mutation_name(Mutation m);
+std::optional<Mutation> mutation_from(const std::string& name);
+
+struct Failure {
+  std::string checker;
+  std::string detail;
+};
+
+class InvariantSuite {
+ public:
+  InvariantSuite(const Scenario& scenario, protocols::ExperimentContext& ctx);
+
+  // --- observation feed (wired by the runner)
+  void on_send(sim::SimTime at, const sim::Message& msg);
+  void on_delivery(std::uint64_t item, net::NodeId node, sim::SimTime when,
+                   bool duplicate);
+  void note_injected(std::uint64_t tx_id, bool batch_member);
+  void add_generation(
+      const std::shared_ptr<const hermes_proto::HermesShared>& shared);
+
+  // Corrupts recorded observations (see header comment).
+  void apply_mutation(Mutation m);
+
+  // Runs every end-of-run check; empty result means all invariants held.
+  std::vector<Failure> finish();
+
+ private:
+  struct DeliveryObs {
+    std::uint64_t item = 0;
+    net::NodeId node = 0;
+    sim::SimTime when = 0.0;
+  };
+  struct CertifiedSend {
+    net::NodeId src = 0;
+    // Data/Fallback: tx id. BatchChunk: the TrsId key (one per batch).
+    std::string item_key;
+    std::uint32_t overlay_index = 0;
+    Bytes certificate;
+  };
+
+  bool honest(net::NodeId v) const {
+    return ctx_.behaviors[v] == protocols::Behavior::kHonest;
+  }
+
+  void check_duplicates(std::vector<Failure>& out) const;
+  void check_sequences(std::vector<Failure>& out) const;
+  void check_overlay_consistency(std::vector<Failure>& out) const;
+  void check_accusations(std::vector<Failure>& out) const;
+  void check_fallback(std::vector<Failure>& out) const;
+  void check_connectivity(std::vector<Failure>& out) const;
+  void check_coverage(std::vector<Failure>& out) const;
+  // True when the physical graph restricted to honest, never-crashed nodes
+  // is connected — the precondition for fallback-driven repair.
+  bool honest_subgraph_connected() const;
+
+  const Scenario& scenario_;
+  protocols::ExperimentContext& ctx_;
+
+  std::vector<char> ever_crashed_;
+
+  // Delivery stream.
+  std::vector<DeliveryObs> honest_duplicates_;
+  std::optional<DeliveryObs> first_honest_delivery_;
+  std::unordered_set<std::uint64_t> honest_delivered_;
+
+  // Send stream (honest sources only).
+  std::vector<CertifiedSend> certified_sends_;
+  std::size_t honest_fallback_pushes_ = 0;
+  std::size_t honest_fallback_offers_ = 0;
+  std::size_t honest_fallback_requests_ = 0;
+
+  // Injections, in id order for deterministic reporting.
+  std::map<std::uint64_t, bool> injected_;  // id -> batch member
+
+  // Certified overlay generations (copied so mutations may corrupt them).
+  std::vector<std::vector<overlay::Overlay>> generations_;
+
+  std::vector<std::pair<net::NodeId, net::NodeId>> synthetic_accusations_;
+};
+
+}  // namespace hermes::fuzz

@@ -1,0 +1,196 @@
+#include "fuzz/runner.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "crypto/sha256.hpp"
+#include "fuzz/world.hpp"
+#include "hermes/hermes_node.hpp"
+#include "protocols/gossip.hpp"
+#include "sim/trace.hpp"
+#include "support/bytes.hpp"
+
+namespace hermes::fuzz {
+
+using hermes_proto::HermesConfig;
+using hermes_proto::HermesNode;
+using hermes_proto::HermesProtocol;
+using protocols::Transaction;
+
+namespace {
+
+HermesConfig hermes_config(const Scenario& s) {
+  HermesConfig cfg;
+  cfg.f = s.f;
+  cfg.k = s.k;
+  cfg.committee = s.committee;
+  cfg.fallback_delay_ms = s.fallback_delay_ms;
+  cfg.enable_fallback = s.enable_fallback;
+  cfg.enable_acks = s.enable_acks;
+  cfg.adversary_blind_blast = s.blind_blast;
+  cfg.direct_entry_injection = s.direct_injection;
+  cfg.builder.f = s.f;
+  cfg.builder.k = s.k;
+  // Short annealing schedule: enough to exercise the optimizer (including
+  // its worker lanes), cheap enough for thousands of runs per batch.
+  cfg.builder.annealing.initial_temperature = 5.0;
+  cfg.builder.annealing.min_temperature = 1.0;
+  cfg.builder.annealing.cooling_rate = 0.8;
+  cfg.builder.annealing.moves_per_temperature = 4;
+  cfg.builder.annealing.workers = s.annealing_workers;
+  return cfg;
+}
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
+  net::TopologyParams tp;
+  tp.node_count = s.nodes;
+  tp.min_degree = s.min_degree;
+  tp.connectivity = s.connectivity;
+  tp.locality_bias = s.locality_bias;
+
+  sim::NetworkParams np;
+  np.drop_probability = s.drop_probability;
+  np.jitter_stddev_ms = s.jitter_stddev_ms;
+
+  std::unique_ptr<protocols::Protocol> protocol;
+  HermesProtocol* hermes = nullptr;
+  if (s.hermes()) {
+    auto p = std::make_unique<HermesProtocol>(hermes_config(s));
+    hermes = p.get();
+    protocol = std::move(p);
+  } else {
+    protocols::GossipParams gp;
+    // Fanout at least the degree cap of fuzzed topologies: benign gossip
+    // runs flood, making exact-coverage a sound oracle.
+    gp.fanout = 16;
+    protocol = std::make_unique<protocols::GossipProtocol>(gp);
+  }
+
+  World w(tp, *protocol, s.seed, np);
+  for (const ByzAssignment& b : s.byzantine) {
+    if (b.node < w.ctx->behaviors.size()) {
+      w.ctx->behaviors[b.node] = b.behavior;
+    }
+  }
+  w.ctx->attack_enabled = s.has_front_runner();
+  // enable_transit_faults resets the send tap, so it must precede ours.
+  if (s.transit_faults) protocols::enable_transit_faults(*w.ctx);
+
+  w.start();
+
+  InvariantSuite suite(s, *w.ctx);
+  if (hermes != nullptr) suite.add_generation(hermes->shared());
+
+  sim::TraceCollector collector;
+  crypto::Sha256 hasher;
+  std::size_t sends = 0;
+  const bool dump = opts.collect_trace_dump;
+  w.ctx->network.set_send_tap(
+      [&suite, &collector, &hasher, &sends, dump](const sim::Message& msg,
+                                                  sim::SimTime now) {
+        Bytes record;
+        record.reserve(32);
+        std::uint64_t time_bits = 0;
+        static_assert(sizeof(time_bits) == sizeof(now));
+        std::memcpy(&time_bits, &now, sizeof(time_bits));
+        put_u64_be(record, time_bits);
+        put_u32_be(record, msg.src);
+        put_u32_be(record, msg.dst);
+        put_u32_be(record, msg.type);
+        put_u64_be(record, msg.wire_bytes);
+        hasher.update(record);
+        ++sends;
+        if (dump) collector.record(now, msg.src, msg.dst, msg.type,
+                                   msg.wire_bytes);
+        suite.on_send(now, msg);
+      });
+  w.ctx->tracker.set_observer(
+      [&suite](std::uint64_t item, net::NodeId node, sim::SimTime when,
+               bool duplicate) { suite.on_delivery(item, node, when, duplicate); });
+
+  // --- schedule: injections
+  std::uint64_t member_seq = 0x800000;  // batch members' id namespace
+  for (const Injection& inj : s.injections) {
+    w.at(inj.at_ms, [&suite, &member_seq, inj](World& world) {
+      if (inj.sender >= world.ctx->node_count()) return;
+      if (inj.batch_size == 0) {
+        const Transaction tx = world.send_from(inj.sender);
+        suite.note_injected(tx.id, false);
+        return;
+      }
+      std::vector<Transaction> txs;
+      for (std::uint32_t i = 0; i < inj.batch_size; ++i) {
+        Transaction tx;
+        tx.sender = inj.sender;
+        tx.sender_seq = ++member_seq;
+        tx.id = Transaction::make_id(inj.sender, tx.sender_seq);
+        tx.created_at = world.ctx->engine.now();
+        world.ctx->tracker.on_created(tx.id, tx.created_at);
+        suite.note_injected(tx.id, true);
+        txs.push_back(tx);
+      }
+      auto* hn = dynamic_cast<HermesNode*>(&world.ctx->node(inj.sender));
+      if (hn != nullptr) {
+        hn->submit_batch(std::move(txs));
+      } else {
+        for (const Transaction& tx : txs) world.ctx->node(inj.sender).submit(tx);
+      }
+    });
+  }
+
+  // --- schedule: churn (crash/recover + optional view change)
+  for (const ChurnEvent& ev : s.churn) {
+    w.at(ev.at_ms, [&suite, hermes, ev](World& world) {
+      for (net::NodeId v : ev.nodes) {
+        if (v < world.ctx->node_count()) {
+          world.ctx->network.set_crashed(v, !ev.recover);
+        }
+      }
+      if (ev.advance_epoch && hermes != nullptr) {
+        hermes->advance_epoch(*world.ctx, ev.epoch_seed);
+        suite.add_generation(hermes->shared());
+      }
+    });
+  }
+
+  // --- schedule: partition windows
+  for (const PartitionWindow& pw : s.partitions) {
+    w.at(pw.start_ms, [pw](World& world) {
+      const std::size_t n = world.ctx->node_count();
+      std::vector<int> side(n, 0);
+      Rng prng(pw.assign_seed);
+      bool mixed = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        side[v] = prng.bernoulli(0.5) ? 1 : 0;
+        if (v > 0 && side[v] != side[0]) mixed = true;
+      }
+      if (!mixed && n > 1) side[0] ^= 1;
+      world.ctx->network.set_partition(side);
+    });
+    w.at(pw.end_ms, [](World& world) { world.ctx->network.heal_partition(); });
+  }
+
+  double horizon = 0.0;
+  for (const Injection& inj : s.injections) horizon = std::max(horizon, inj.at_ms);
+  for (const ChurnEvent& ev : s.churn) horizon = std::max(horizon, ev.at_ms);
+  for (const PartitionWindow& pw : s.partitions) {
+    horizon = std::max(horizon, pw.end_ms);
+  }
+  horizon += s.drain_ms;
+  w.run_ms(horizon);
+
+  suite.apply_mutation(opts.mutation);
+
+  RunResult result;
+  result.failures = suite.finish();
+  result.trace_hash = hex_encode(crypto::digest_to_bytes(hasher.finish()));
+  if (dump) result.trace_dump = collector.canonical_dump();
+  result.sends = sends;
+  result.sim_end_ms = horizon;
+  return result;
+}
+
+}  // namespace hermes::fuzz

@@ -1,0 +1,36 @@
+// Executes one Scenario on the discrete-event engine with the invariant
+// suite observing every send and delivery. The run is a pure function of
+// the Scenario struct: replaying the same scenario (from its seed or from
+// a serialized corpus entry) reproduces the identical trace hash.
+#pragma once
+
+#include <string>
+
+#include "fuzz/invariants.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace hermes::fuzz {
+
+struct RunOptions {
+  // Observation-stream corruption applied before the verdict (mutation
+  // testing of the oracle itself).
+  Mutation mutation = Mutation::kNone;
+  // Also produce TraceCollector::canonical_dump() for byte-level diffing.
+  bool collect_trace_dump = false;
+};
+
+struct RunResult {
+  std::vector<Failure> failures;
+  // Hex SHA-256 over the canonical send stream (time bits, src, dst, type,
+  // wire bytes of every send, in engine order).
+  std::string trace_hash;
+  std::string trace_dump;  // only when collect_trace_dump
+  std::size_t sends = 0;
+  double sim_end_ms = 0.0;
+
+  bool ok() const { return failures.empty(); }
+};
+
+RunResult run_scenario(const Scenario& s, const RunOptions& opts = {});
+
+}  // namespace hermes::fuzz

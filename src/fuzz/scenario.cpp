@@ -1,0 +1,444 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/rng.hpp"
+
+namespace hermes::fuzz {
+
+using protocols::Behavior;
+
+bool Scenario::has_front_runner() const {
+  return std::any_of(byzantine.begin(), byzantine.end(), [](const auto& b) {
+    return b.behavior == Behavior::kFrontRunner;
+  });
+}
+
+bool Scenario::benign() const {
+  return byzantine.empty() && !transit_faults && drop_probability == 0.0 &&
+         churn.empty() && partitions.empty();
+}
+
+std::size_t Scenario::max_concurrent_crashes() const {
+  std::set<net::NodeId> down;
+  std::size_t peak = 0;
+  for (const ChurnEvent& ev : churn) {  // kept sorted by at_ms
+    for (net::NodeId v : ev.nodes) {
+      if (ev.recover) {
+        down.erase(v);
+      } else {
+        down.insert(v);
+      }
+    }
+    peak = std::max(peak, down.size());
+  }
+  return peak;
+}
+
+Scenario generate_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  Rng rng(seed ^ 0x5ce7a51a9f22ULL);
+
+  // Topology: small worlds keep a fuzz batch fast while still exercising
+  // multi-layer overlays (the generator is re-ranged, not re-coded, for
+  // nightly large-N sweeps).
+  s.nodes = 12 + rng.uniform_u64(37);  // 12..48
+  s.f = (s.nodes >= 20 && rng.bernoulli(0.35)) ? 2 : 1;
+  s.k = 2 + rng.uniform_u64(3);  // 2..4
+  s.min_degree = std::max<std::size_t>(s.f + 2, 4 + rng.uniform_u64(3));
+  s.connectivity = 2;
+  s.locality_bias = rng.uniform_real(0.3, 0.7);
+  s.protocol = rng.bernoulli(0.8) ? ProtocolKind::kHermes : ProtocolKind::kGossip;
+
+  // Byzantine assignment. The honest floor keeps a 2f+1-honest committee
+  // pickable plus sender slack, matching the paper's system model.
+  if (rng.bernoulli(0.55)) {
+    std::size_t want = static_cast<std::size_t>(
+        rng.uniform_real(0.05, 0.25) * static_cast<double>(s.nodes));
+    const std::size_t honest_floor = 3 * s.f + 3;
+    const std::size_t cap = s.nodes > honest_floor ? s.nodes - honest_floor : 0;
+    want = std::min(want, cap);
+    for (std::size_t idx : rng.sample_indices(s.nodes, want)) {
+      ByzAssignment b;
+      b.node = static_cast<net::NodeId>(idx);
+      b.behavior =
+          rng.bernoulli(0.6) ? Behavior::kDropper : Behavior::kFrontRunner;
+      s.byzantine.push_back(b);
+    }
+    std::sort(s.byzantine.begin(), s.byzantine.end(),
+              [](const auto& a, const auto& b) { return a.node < b.node; });
+    if (s.has_front_runner()) s.blind_blast = rng.bernoulli(0.3);
+    if (!s.byzantine.empty()) s.transit_faults = rng.bernoulli(0.2);
+  }
+
+  s.drop_probability = rng.bernoulli(0.35) ? rng.uniform_real(0.01, 0.12) : 0.0;
+  s.jitter_stddev_ms = rng.bernoulli(0.4) ? rng.uniform_real(1.0, 20.0) : 0.0;
+
+  std::unordered_set<net::NodeId> byz_set;
+  for (const auto& b : s.byzantine) byz_set.insert(b.node);
+  std::vector<net::NodeId> honest;
+  for (net::NodeId v = 0; v < s.nodes; ++v) {
+    if (byz_set.count(v) == 0) honest.push_back(v);
+  }
+
+  if (s.hermes()) {
+    // Committee: 3f+1 members, at most f Byzantine (system model bound).
+    const std::size_t committee_size = 3 * s.f + 1;
+    const std::size_t byz_members = s.byzantine.empty()
+                                        ? 0
+                                        : rng.uniform_u64(std::min(
+                                              s.f, s.byzantine.size()) + 1);
+    for (std::size_t idx : rng.sample_indices(s.byzantine.size(), byz_members)) {
+      s.committee.push_back(s.byzantine[idx].node);
+    }
+    for (std::size_t idx :
+         rng.sample_indices(honest.size(), committee_size - byz_members)) {
+      s.committee.push_back(honest[idx]);
+    }
+    rng.shuffle(s.committee);
+
+    static constexpr double kDelays[] = {400.0, 800.0, 2000.0, 3000.0};
+    s.fallback_delay_ms = kDelays[rng.uniform_u64(4)];
+    s.enable_fallback = rng.bernoulli(0.85);
+    s.enable_acks = rng.bernoulli(0.2);
+    // Route-relayed injection survives only <= f Byzantine relays (f+1
+    // disjoint paths), so it is sampled only inside that bound.
+    s.direct_injection = s.byzantine.size() > s.f || rng.bernoulli(0.8);
+    const std::uint64_t w = rng.uniform_u64(5);
+    s.annealing_workers = w < 3 ? 1 : (w == 3 ? 2 : 4);
+  }
+
+  // Injection schedule: honest senders only (a Byzantine "client" is the
+  // front-runner path, modelled separately).
+  const std::size_t n_inject = 1 + rng.uniform_u64(5);
+  double t = 20.0 + rng.uniform_real(0.0, 150.0);
+  std::unordered_set<net::NodeId> senders;
+  for (std::size_t i = 0; i < n_inject; ++i) {
+    Injection inj;
+    inj.at_ms = t;
+    t += rng.uniform_real(150.0, 700.0);
+    inj.sender =
+        honest[static_cast<std::size_t>(rng.uniform_u64(honest.size()))];
+    if (s.hermes() && rng.bernoulli(0.15)) {
+      inj.batch_size = 3 + static_cast<std::uint32_t>(rng.uniform_u64(4));
+    }
+    senders.insert(inj.sender);
+    s.injections.push_back(inj);
+  }
+  const double last_inject = s.injections.back().at_ms;
+
+  // Churn: crash (and maybe recover) up to f nodes, optionally followed by
+  // a view change. Committee members and senders are exempt so the
+  // coverage oracle stays decidable; committee churn has dedicated unit
+  // tests.
+  if (s.hermes() && rng.bernoulli(0.35)) {
+    std::unordered_set<net::NodeId> committee_set(s.committee.begin(),
+                                                  s.committee.end());
+    std::vector<net::NodeId> candidates;
+    for (net::NodeId v = 0; v < s.nodes; ++v) {
+      if (committee_set.count(v) == 0 && senders.count(v) == 0) {
+        candidates.push_back(v);
+      }
+    }
+    const std::size_t count = 1 + rng.uniform_u64(s.f);
+    if (candidates.size() >= count) {
+      ChurnEvent crash;
+      crash.at_ms = rng.uniform_real(100.0, last_inject + 800.0);
+      for (std::size_t idx : rng.sample_indices(candidates.size(), count)) {
+        crash.nodes.push_back(candidates[idx]);
+      }
+      std::sort(crash.nodes.begin(), crash.nodes.end());
+      crash.advance_epoch = rng.bernoulli(0.5);
+      crash.epoch_seed = rng.next_u64();
+      const bool recover = rng.bernoulli(0.5);
+      const double recover_at = crash.at_ms + rng.uniform_real(800.0, 3000.0);
+      // At most one view change per scenario: a certificate stamped two
+      // generations back is dropped as stale, which would make coverage
+      // undecidable (the invariant suite also skips that regime).
+      const bool crash_advanced = crash.advance_epoch;
+      s.churn.push_back(std::move(crash));
+      if (recover) {
+        ChurnEvent rec;
+        rec.at_ms = recover_at;
+        rec.recover = true;
+        rec.nodes = s.churn.back().nodes;
+        rec.advance_epoch = !crash_advanced && rng.bernoulli(0.3);
+        rec.epoch_seed = rng.next_u64();
+        s.churn.push_back(std::move(rec));
+      }
+    }
+  }
+
+  if (rng.bernoulli(0.22)) {
+    PartitionWindow pw;
+    pw.start_ms = rng.uniform_real(0.0, 1000.0);
+    pw.end_ms = pw.start_ms + rng.uniform_real(400.0, 2500.0);
+    pw.assign_seed = rng.next_u64();
+    s.partitions.push_back(pw);
+  }
+
+  const bool messy = !s.byzantine.empty() || s.transit_faults ||
+                     s.drop_probability > 0.0 || !s.churn.empty() ||
+                     !s.partitions.empty();
+  s.drain_ms = messy ? 12000.0 + rng.uniform_real(0.0, 4000.0) : 6000.0;
+  return s;
+}
+
+namespace {
+
+const char* behavior_name(Behavior b) {
+  switch (b) {
+    case Behavior::kHonest:
+      return "honest";
+    case Behavior::kDropper:
+      return "dropper";
+    case Behavior::kFrontRunner:
+      return "frontrunner";
+  }
+  return "?";
+}
+
+std::optional<Behavior> behavior_from(const std::string& name) {
+  if (name == "honest") return Behavior::kHonest;
+  if (name == "dropper") return Behavior::kDropper;
+  if (name == "frontrunner") return Behavior::kFrontRunner;
+  return std::nullopt;
+}
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Splits "key=value"; returns false when '=' is missing.
+bool split_kv(const std::string& token, std::string& key, std::string& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+std::string describe(const Scenario& s) {
+  std::ostringstream out;
+  out << "seed=" << s.seed << " n=" << s.nodes << " f=" << s.f << " k=" << s.k
+      << " " << (s.hermes() ? "hermes" : "gossip");
+  if (!s.byzantine.empty()) {
+    std::size_t droppers = 0;
+    std::size_t front = 0;
+    for (const auto& b : s.byzantine) {
+      (b.behavior == Behavior::kDropper ? droppers : front) += 1;
+    }
+    out << " byz=" << s.byzantine.size() << "(d" << droppers << "/fr" << front
+        << ")";
+  }
+  if (s.drop_probability > 0.0) out << " drop=" << s.drop_probability;
+  if (s.jitter_stddev_ms > 0.0) out << " jitter=" << s.jitter_stddev_ms;
+  if (s.transit_faults) out << " transit";
+  if (s.blind_blast) out << " blast";
+  out << " inj=" << s.injections.size();
+  if (!s.churn.empty()) out << " churn=" << s.churn.size();
+  if (!s.partitions.empty()) out << " part=" << s.partitions.size();
+  if (s.hermes() && !s.enable_fallback) out << " nofallback";
+  out << " drain=" << s.drain_ms;
+  return out.str();
+}
+
+std::string serialize(const Scenario& s) {
+  std::ostringstream out;
+  out << "hermes-fuzz-scenario v1\n";
+  out << "seed=" << s.seed << "\n";
+  out << "nodes=" << s.nodes << "\n";
+  out << "f=" << s.f << "\n";
+  out << "k=" << s.k << "\n";
+  out << "min_degree=" << s.min_degree << "\n";
+  out << "connectivity=" << s.connectivity << "\n";
+  out << "locality_bias=" << fmt_double(s.locality_bias) << "\n";
+  out << "protocol=" << (s.hermes() ? "hermes" : "gossip") << "\n";
+  out << "blind_blast=" << (s.blind_blast ? 1 : 0) << "\n";
+  out << "transit_faults=" << (s.transit_faults ? 1 : 0) << "\n";
+  out << "drop_probability=" << fmt_double(s.drop_probability) << "\n";
+  out << "jitter_stddev_ms=" << fmt_double(s.jitter_stddev_ms) << "\n";
+  out << "fallback_delay_ms=" << fmt_double(s.fallback_delay_ms) << "\n";
+  out << "enable_fallback=" << (s.enable_fallback ? 1 : 0) << "\n";
+  out << "enable_acks=" << (s.enable_acks ? 1 : 0) << "\n";
+  out << "direct_injection=" << (s.direct_injection ? 1 : 0) << "\n";
+  out << "annealing_workers=" << s.annealing_workers << "\n";
+  out << "drain_ms=" << fmt_double(s.drain_ms) << "\n";
+  if (!s.committee.empty()) {
+    out << "committee=";
+    for (std::size_t i = 0; i < s.committee.size(); ++i) {
+      out << (i ? "," : "") << s.committee[i];
+    }
+    out << "\n";
+  }
+  if (!s.byzantine.empty()) {
+    out << "byz=";
+    for (std::size_t i = 0; i < s.byzantine.size(); ++i) {
+      out << (i ? "," : "") << s.byzantine[i].node << ":"
+          << behavior_name(s.byzantine[i].behavior);
+    }
+    out << "\n";
+  }
+  for (const Injection& inj : s.injections) {
+    out << "inject at=" << fmt_double(inj.at_ms) << " sender=" << inj.sender
+        << " batch=" << inj.batch_size << "\n";
+  }
+  for (const ChurnEvent& ev : s.churn) {
+    out << "churn at=" << fmt_double(ev.at_ms)
+        << " action=" << (ev.recover ? "recover" : "crash") << " nodes=";
+    for (std::size_t i = 0; i < ev.nodes.size(); ++i) {
+      out << (i ? "|" : "") << ev.nodes[i];
+    }
+    out << " epoch=" << (ev.advance_epoch ? 1 : 0)
+        << " epoch_seed=" << ev.epoch_seed << "\n";
+  }
+  for (const PartitionWindow& pw : s.partitions) {
+    out << "partition start=" << fmt_double(pw.start_ms)
+        << " end=" << fmt_double(pw.end_ms)
+        << " assign_seed=" << pw.assign_seed << "\n";
+  }
+  return out.str();
+}
+
+std::optional<Scenario> parse_scenario(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "hermes-fuzz-scenario v1") {
+    return std::nullopt;
+  }
+  Scenario s;
+  s.injections.clear();
+  bool ok = true;
+  const auto to_u64 = [&ok](const std::string& v) -> std::uint64_t {
+    char* end = nullptr;
+    const std::uint64_t out = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0') ok = false;
+    return out;
+  };
+  const auto to_double = [&ok](const std::string& v) -> double {
+    char* end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0') ok = false;
+    return out;
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (head == "inject") {
+      Injection inj;
+      std::string token, key, value;
+      while (ls >> token) {
+        if (!split_kv(token, key, value)) return std::nullopt;
+        if (key == "at") inj.at_ms = to_double(value);
+        else if (key == "sender") inj.sender = static_cast<net::NodeId>(to_u64(value));
+        else if (key == "batch") inj.batch_size = static_cast<std::uint32_t>(to_u64(value));
+        else return std::nullopt;
+      }
+      s.injections.push_back(inj);
+    } else if (head == "churn") {
+      ChurnEvent ev;
+      std::string token, key, value;
+      while (ls >> token) {
+        if (!split_kv(token, key, value)) return std::nullopt;
+        if (key == "at") ev.at_ms = to_double(value);
+        else if (key == "action") ev.recover = (value == "recover");
+        else if (key == "nodes") {
+          for (const std::string& part : split(value, '|')) {
+            if (part.empty()) return std::nullopt;
+            ev.nodes.push_back(static_cast<net::NodeId>(to_u64(part)));
+          }
+        } else if (key == "epoch") ev.advance_epoch = to_u64(value) != 0;
+        else if (key == "epoch_seed") ev.epoch_seed = to_u64(value);
+        else return std::nullopt;
+      }
+      s.churn.push_back(std::move(ev));
+    } else if (head == "partition") {
+      PartitionWindow pw;
+      std::string token, key, value;
+      while (ls >> token) {
+        if (!split_kv(token, key, value)) return std::nullopt;
+        if (key == "start") pw.start_ms = to_double(value);
+        else if (key == "end") pw.end_ms = to_double(value);
+        else if (key == "assign_seed") pw.assign_seed = to_u64(value);
+        else return std::nullopt;
+      }
+      s.partitions.push_back(pw);
+    } else {
+      std::string key, value;
+      if (!split_kv(head, key, value)) return std::nullopt;
+      if (key == "seed") s.seed = to_u64(value);
+      else if (key == "nodes") s.nodes = to_u64(value);
+      else if (key == "f") s.f = to_u64(value);
+      else if (key == "k") s.k = to_u64(value);
+      else if (key == "min_degree") s.min_degree = to_u64(value);
+      else if (key == "connectivity") s.connectivity = to_u64(value);
+      else if (key == "locality_bias") s.locality_bias = to_double(value);
+      else if (key == "protocol") {
+        if (value == "hermes") s.protocol = ProtocolKind::kHermes;
+        else if (value == "gossip") s.protocol = ProtocolKind::kGossip;
+        else return std::nullopt;
+      } else if (key == "blind_blast") s.blind_blast = to_u64(value) != 0;
+      else if (key == "transit_faults") s.transit_faults = to_u64(value) != 0;
+      else if (key == "drop_probability") s.drop_probability = to_double(value);
+      else if (key == "jitter_stddev_ms") s.jitter_stddev_ms = to_double(value);
+      else if (key == "fallback_delay_ms") s.fallback_delay_ms = to_double(value);
+      else if (key == "enable_fallback") s.enable_fallback = to_u64(value) != 0;
+      else if (key == "enable_acks") s.enable_acks = to_u64(value) != 0;
+      else if (key == "direct_injection") s.direct_injection = to_u64(value) != 0;
+      else if (key == "annealing_workers") s.annealing_workers = to_u64(value);
+      else if (key == "drain_ms") s.drain_ms = to_double(value);
+      else if (key == "committee") {
+        for (const std::string& part : split(value, ',')) {
+          if (part.empty()) return std::nullopt;
+          s.committee.push_back(static_cast<net::NodeId>(to_u64(part)));
+        }
+      } else if (key == "byz") {
+        for (const std::string& part : split(value, ',')) {
+          const auto bits = split(part, ':');
+          if (bits.size() != 2) return std::nullopt;
+          const auto behavior = behavior_from(bits[1]);
+          if (!behavior) return std::nullopt;
+          ByzAssignment b;
+          b.node = static_cast<net::NodeId>(to_u64(bits[0]));
+          b.behavior = *behavior;
+          s.byzantine.push_back(b);
+        }
+      } else {
+        return std::nullopt;
+      }
+    }
+    if (!ok) return std::nullopt;
+  }
+  return ok ? std::optional<Scenario>(std::move(s)) : std::nullopt;
+}
+
+}  // namespace hermes::fuzz

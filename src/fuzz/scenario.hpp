@@ -1,0 +1,111 @@
+// Randomized adversarial scenario model for the swarm-style fuzzer.
+//
+// A Scenario is the complete, explicit description of one experiment:
+// topology shape, protocol and its knobs, Byzantine role assignment,
+// message-level faults, the injection schedule, churn events and partition
+// windows. generate_scenario() samples all of it deterministically from a
+// single 64-bit seed; the runner executes the *struct*, not the seed, so a
+// shrunk scenario replays exactly like a generated one. Serialization is a
+// line-oriented text format (corpus entries, --replay-file).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "protocols/base.hpp"
+
+namespace hermes::fuzz {
+
+enum class ProtocolKind : std::uint8_t { kHermes, kGossip };
+
+// One Byzantine node and the behaviour it plays.
+struct ByzAssignment {
+  net::NodeId node = 0;
+  protocols::Behavior behavior = protocols::Behavior::kDropper;
+};
+
+// One client injection: a single transaction, or an erasure-coded batch
+// when batch_size > 0 (HERMES only).
+struct Injection {
+  double at_ms = 0.0;
+  net::NodeId sender = 0;
+  std::uint32_t batch_size = 0;
+};
+
+// Crash or recover a set of nodes, optionally followed by a view change
+// (HERMES rebuilds and re-certifies its overlays from epoch_seed).
+struct ChurnEvent {
+  double at_ms = 0.0;
+  bool recover = false;
+  std::vector<net::NodeId> nodes;
+  bool advance_epoch = false;
+  std::uint64_t epoch_seed = 0;
+};
+
+// Two-sided network split active during [start_ms, end_ms); sides are
+// assigned per node from assign_seed.
+struct PartitionWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::uint64_t assign_seed = 0;
+};
+
+struct Scenario {
+  std::uint64_t seed = 0;
+
+  // Topology.
+  std::size_t nodes = 30;
+  std::size_t f = 1;
+  std::size_t k = 3;
+  std::size_t min_degree = 5;
+  std::size_t connectivity = 2;
+  double locality_bias = 0.5;
+
+  ProtocolKind protocol = ProtocolKind::kHermes;
+
+  // Byzantine assignment and message-level faults.
+  std::vector<ByzAssignment> byzantine;
+  bool blind_blast = false;      // front-runners also blast uncertified copies
+  bool transit_faults = false;   // Byzantine underlay intermediaries drop
+  double drop_probability = 0.0;
+  double jitter_stddev_ms = 0.0;
+
+  // HERMES knobs (ignored for gossip).
+  std::vector<net::NodeId> committee;  // 3f+1 members, <= f Byzantine
+  double fallback_delay_ms = 400.0;
+  bool enable_fallback = true;
+  bool enable_acks = false;
+  bool direct_injection = true;  // false: relay over f+1 disjoint paths
+  std::size_t annealing_workers = 1;
+
+  // Schedule.
+  std::vector<Injection> injections;
+  std::vector<ChurnEvent> churn;
+  std::vector<PartitionWindow> partitions;
+  double drain_ms = 6000.0;
+
+  bool hermes() const { return protocol == ProtocolKind::kHermes; }
+  bool has_front_runner() const;
+  // No Byzantine nodes, no message faults, no churn, no partitions: the
+  // regime where exact invariants (full coverage, zero fallback pulls)
+  // must hold.
+  bool benign() const;
+  // Largest node set simultaneously crashed at any point of the schedule.
+  std::size_t max_concurrent_crashes() const;
+};
+
+// Deterministic scenario synthesis: the full experiment is a pure function
+// of `seed`.
+Scenario generate_scenario(std::uint64_t seed);
+
+// One-line human summary (batch logs, corpus annotations).
+std::string describe(const Scenario& s);
+
+// Text round-trip. parse_scenario returns nullopt on malformed input.
+std::string serialize(const Scenario& s);
+std::optional<Scenario> parse_scenario(const std::string& text);
+
+}  // namespace hermes::fuzz

@@ -1,0 +1,33 @@
+// Greedy scenario shrinking: starting from a failing scenario, repeatedly
+// drop or simplify schedule elements (partitions, churn events, Byzantine
+// nodes, injections, fault knobs) while the failure persists, converging
+// on a locally minimal reproducer for the corpus.
+#pragma once
+
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace hermes::fuzz {
+
+struct ShrinkOptions {
+  RunOptions run;
+  // Hard cap on scenario executions spent shrinking.
+  std::size_t max_runs = 150;
+};
+
+struct ShrinkOutcome {
+  Scenario minimal;
+  // Failures of the minimal scenario (same checker as the original).
+  std::vector<Failure> failures;
+  std::size_t runs = 0;     // executions spent
+  std::size_t removed = 0;  // accepted simplification steps
+};
+
+// `original_failures` anchors the search: a candidate counts as still
+// failing only when it reproduces a failure of the same checker as the
+// first original failure (so shrinking cannot wander to a different bug).
+ShrinkOutcome shrink(const Scenario& failing,
+                     const std::vector<Failure>& original_failures,
+                     const ShrinkOptions& opts = {});
+
+}  // namespace hermes::fuzz

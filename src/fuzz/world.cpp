@@ -1,0 +1,34 @@
+#include "fuzz/world.hpp"
+
+namespace hermes::fuzz {
+
+namespace {
+
+net::TopologyParams legacy_params(std::size_t n) {
+  net::TopologyParams tp;
+  tp.node_count = n;
+  tp.min_degree = 5;
+  tp.connectivity = 2;
+  return tp;
+}
+
+}  // namespace
+
+World::World(std::size_t n, protocols::Protocol& protocol, std::uint64_t seed,
+             sim::NetworkParams net_params)
+    : World(legacy_params(n), protocol, seed, net_params) {}
+
+World::World(const net::TopologyParams& topology_params,
+             protocols::Protocol& protocol, std::uint64_t seed,
+             sim::NetworkParams net_params) {
+  Rng trng(seed);
+  ctx = std::make_unique<protocols::ExperimentContext>(
+      net::make_topology(topology_params, trng), net_params, seed);
+  protocol_ = &protocol;
+}
+
+void World::at(double at_ms, std::function<void(World&)> fn) {
+  ctx->engine.schedule_at(at_ms, [this, fn = std::move(fn)] { fn(*this); });
+}
+
+}  // namespace hermes::fuzz

@@ -1,0 +1,49 @@
+// Shared experiment harness: builds a topology, populates it with a
+// protocol, and runs the simulation with an injectable schedule of churn,
+// fault and client events. Both the protocol integration tests
+// (tests/protocols/harness.hpp aliases this type) and the scenario fuzzer
+// drive experiments through this one World, so the two cannot diverge.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "protocols/base.hpp"
+
+namespace hermes::fuzz {
+
+struct World {
+  // Historical shape used by the protocol tests: n nodes with min_degree 5
+  // and 2-connectivity.
+  World(std::size_t n, protocols::Protocol& protocol, std::uint64_t seed = 4242,
+        sim::NetworkParams net_params = {});
+  // Full control over the physical topology (fuzzer entry point).
+  World(const net::TopologyParams& topology_params,
+        protocols::Protocol& protocol, std::uint64_t seed,
+        sim::NetworkParams net_params);
+
+  // Call after optional assign_behaviors / schedule setup.
+  void start() { protocols::populate(*ctx, *protocol_); }
+
+  protocols::Transaction send_from(net::NodeId sender) {
+    return protocols::inject_tx(*ctx, sender);
+  }
+
+  // Schedules `fn` at absolute simulation time `at_ms` (must not be in the
+  // past). Events at equal timestamps run in scheduling order — the
+  // engine's FIFO rule — so a schedule is itself deterministic. This is
+  // the injectable churn/fault hook: crash/recover nodes, flip partitions,
+  // inject transactions, advance epochs.
+  void at(double at_ms, std::function<void(World&)> fn);
+
+  // Convenience wrappers over the network fault switches.
+  void crash(net::NodeId v) { ctx->network.set_crashed(v, true); }
+  void recover(net::NodeId v) { ctx->network.set_crashed(v, false); }
+
+  void run_ms(double ms) { ctx->engine.run_until(ctx->engine.now() + ms); }
+
+  std::unique_ptr<protocols::ExperimentContext> ctx;
+  protocols::Protocol* protocol_ = nullptr;
+};
+
+}  // namespace hermes::fuzz

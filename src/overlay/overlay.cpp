@@ -168,6 +168,36 @@ std::vector<std::string> Overlay::validate() const {
   return errors;
 }
 
+bool survives_removal(const Overlay& o, const std::vector<NodeId>& removed) {
+  const std::size_t n = o.node_count();
+  std::vector<char> dead(n, 0);
+  for (NodeId v : removed) {
+    if (v < n) dead[v] = 1;
+  }
+  std::vector<char> reached(n, 0);
+  std::vector<NodeId> frontier;
+  for (NodeId e : o.entry_points()) {
+    if (!dead[e] && !reached[e]) {
+      reached[e] = 1;
+      frontier.push_back(e);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    for (NodeId u : o.successors(v)) {
+      if (!dead[u] && !reached[u]) {
+        reached[u] = 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!dead[v] && !reached[v]) return false;
+  }
+  return true;
+}
+
 std::vector<std::vector<NodeId>> Overlay::layers() const {
   std::vector<std::vector<NodeId>> out(max_depth() + 1);
   for (NodeId v = 0; v < depth_.size(); ++v) {

@@ -94,4 +94,12 @@ class Overlay {
   std::vector<std::vector<double>> pred_latency_;
 };
 
+// Direct check of the robust-tree claim: after deleting `removed` from the
+// overlay, is every surviving node still reachable from a surviving entry
+// point along successor edges? With |removed| <= f this must hold for any
+// well-formed overlay (f+1 entries plus >= f+1 predecessors per non-entry
+// node, on a shallower-to-deeper DAG). Used by both the property tests and
+// the fuzzer's post-churn connectivity checker.
+bool survives_removal(const Overlay& o, const std::vector<NodeId>& removed);
+
 }  // namespace hermes::overlay

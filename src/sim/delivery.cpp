@@ -19,8 +19,16 @@ void DeliveryTracker::restamp_created(std::uint64_t item, SimTime when) {
 void DeliveryTracker::on_delivered(std::uint64_t item, net::NodeId node,
                                    SimTime when) {
   auto it = created_.find(item);
-  if (it == created_.end()) return;  // deliveries of unknown items ignored
+  if (it == created_.end()) {
+    // Deliveries of unknown items are ignored by the digest but still
+    // surfaced to the observer: a fabricated id must stay visible to
+    // correctness oracles.
+    if (observer_) observer_(item, node, when, false);
+    return;
+  }
+  const bool duplicate = it->second.deliveries.count(node) > 0;
   it->second.deliveries.try_emplace(node, when);
+  if (observer_) observer_(item, node, when, duplicate);
 }
 
 bool DeliveryTracker::delivered(std::uint64_t item, net::NodeId node) const {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -14,7 +15,17 @@ namespace hermes::sim {
 
 class DeliveryTracker {
  public:
+  // Fires on every on_delivered() call, including repeats of an already
+  // recorded (item, node) pair and items never registered via on_created —
+  // `duplicate` distinguishes the former. External oracles (the scenario
+  // fuzzer's invariant checkers) subscribe here to see the raw delivery
+  // stream rather than the first-delivery digest the tracker keeps.
+  using Observer = std::function<void(std::uint64_t item, net::NodeId node,
+                                      SimTime when, bool duplicate)>;
+
   explicit DeliveryTracker(std::size_t node_count) : node_count_(node_count) {}
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   // Records that `item` (a transaction/message id) originated at `when`.
   void on_created(std::uint64_t item, SimTime when);
@@ -49,6 +60,7 @@ class DeliveryTracker {
   };
   std::size_t node_count_;
   std::unordered_map<std::uint64_t, ItemRecord> created_;
+  Observer observer_;
 };
 
 }  // namespace hermes::sim

@@ -1,6 +1,9 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
 
 #include "support/assert.hpp"
 
@@ -52,6 +55,45 @@ const std::deque<TraceCollector::Entry>& TraceCollector::node_log(
   static const std::deque<Entry> kEmpty;
   const auto it = node_logs_.find(node);
   return it == node_logs_.end() ? kEmpty : it->second;
+}
+
+std::string TraceCollector::canonical_dump() const {
+  // Timestamps are printed as the raw bit pattern of the double: equality
+  // of dumps then means bit-identical times, not merely same-looking ones.
+  const auto time_bits = [](SimTime t) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(t));
+    std::memcpy(&bits, &t, sizeof(bits));
+    return bits;
+  };
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line), "total=%zu bucket_ms=%a\n", total_,
+                bucket_ms_);
+  out += line;
+  for (const auto& [type, buckets] : buckets_) {
+    std::size_t total = 0;
+    for (const auto& [bucket, count] : buckets) total += count;
+    const auto byte_it = bytes_.find(type);
+    std::snprintf(line, sizeof(line), "type=%u count=%zu bytes=%zu\n", type,
+                  total, byte_it == bytes_.end() ? 0 : byte_it->second);
+    out += line;
+    for (const auto& [bucket, count] : buckets) {
+      std::snprintf(line, sizeof(line), "  b%zu=%zu\n", bucket, count);
+      out += line;
+    }
+  }
+  for (const auto& [node, log] : node_logs_) {
+    std::snprintf(line, sizeof(line), "node=%u\n", node);
+    out += line;
+    for (const Entry& e : log) {
+      std::snprintf(line, sizeof(line),
+                    "  t=%016" PRIx64 " src=%u dst=%u type=%u bytes=%zu\n",
+                    time_bits(e.at), e.src, e.dst, e.type, e.wire_bytes);
+      out += line;
+    }
+  }
+  return out;
 }
 
 std::string TraceCollector::sparkline(std::uint32_t type) const {

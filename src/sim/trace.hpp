@@ -51,6 +51,12 @@ class TraceCollector {
   // Renders an ASCII sparkline of a type's time series (for examples/CLI).
   std::string sparkline(std::uint32_t type) const;
 
+  // Deterministic textual rendering of the whole trace: totals, bytes and
+  // the full bucket series per type, plus every per-node log entry. Two
+  // runs are trace-identical iff their dumps compare byte-equal, which is
+  // what the cross-worker determinism tests diff.
+  std::string canonical_dump() const;
+
  private:
   std::size_t bucket_of(SimTime at) const {
     return static_cast<std::size_t>(at / bucket_ms_);

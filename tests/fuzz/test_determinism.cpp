@@ -1,0 +1,72 @@
+// Cross-run and cross-worker trace determinism: a scenario is a pure
+// function of its struct, and the annealing worker count is a throughput
+// knob, never an output knob — the full simulated message trace must be
+// byte-identical either way.
+#include <gtest/gtest.h>
+
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace hermes::fuzz {
+namespace {
+
+Scenario base_scenario() {
+  Scenario s;
+  s.seed = 424242;
+  s.nodes = 20;
+  s.f = 1;
+  s.k = 3;
+  s.min_degree = 5;
+  s.committee = {2, 7, 11, 15};
+  s.injections.push_back(Injection{80.0, 4, 0});
+  s.injections.push_back(Injection{350.0, 9, 3});  // one erasure-coded batch
+  s.injections.push_back(Injection{700.0, 17, 0});
+  s.drain_ms = 6000.0;
+  return s;
+}
+
+TEST(Determinism, SameScenarioYieldsIdenticalTrace) {
+  RunOptions opts;
+  opts.collect_trace_dump = true;
+  const RunResult a = run_scenario(base_scenario(), opts);
+  const RunResult b = run_scenario(base_scenario(), opts);
+  EXPECT_TRUE(a.ok()) << a.failures[0].detail;
+  EXPECT_GT(a.sends, 0u);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  ASSERT_FALSE(a.trace_dump.empty());
+  EXPECT_EQ(a.trace_dump, b.trace_dump);
+  EXPECT_EQ(a.sends, b.sends);
+}
+
+TEST(Determinism, WorkerCountDoesNotChangeTrace) {
+  RunOptions opts;
+  opts.collect_trace_dump = true;
+  Scenario one = base_scenario();
+  one.annealing_workers = 1;
+  Scenario four = base_scenario();
+  four.annealing_workers = 4;
+  const RunResult a = run_scenario(one, opts);
+  const RunResult b = run_scenario(four, opts);
+  EXPECT_EQ(a.trace_hash, b.trace_hash)
+      << "annealing worker count leaked into the simulation trace";
+  EXPECT_EQ(a.trace_dump, b.trace_dump);
+}
+
+TEST(Determinism, GeneratedSeedsReplayIdentically) {
+  for (std::uint64_t seed : {3ULL, 8ULL, 21ULL}) {
+    const Scenario s = generate_scenario(seed);
+    const RunResult a = run_scenario(s);
+    const RunResult b = run_scenario(s);
+    EXPECT_EQ(a.trace_hash, b.trace_hash) << "seed " << seed;
+    EXPECT_EQ(a.sends, b.sends) << "seed " << seed;
+  }
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentTraces) {
+  const RunResult a = run_scenario(generate_scenario(3));
+  const RunResult b = run_scenario(generate_scenario(8));
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+}  // namespace
+}  // namespace hermes::fuzz

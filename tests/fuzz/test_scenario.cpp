@@ -1,0 +1,160 @@
+// Scenario generator properties: determinism, serialization round-trip,
+// and the structural constraints every sampled experiment must satisfy
+// (system-model bounds the invariant suite depends on).
+#include "fuzz/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hermes::fuzz {
+namespace {
+
+using protocols::Behavior;
+
+TEST(Scenario, GenerationIsDeterministic) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 9001ULL, 0xdeadbeefULL}) {
+    const Scenario a = generate_scenario(seed);
+    const Scenario b = generate_scenario(seed);
+    EXPECT_EQ(serialize(a), serialize(b)) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, DistinctSeedsDiffer) {
+  std::unordered_set<std::string> seen;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    seen.insert(serialize(generate_scenario(seed)));
+  }
+  // A couple of collisions would be astronomically unlikely; any collision
+  // signals the seed is not actually feeding the sampler.
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(Scenario, SerializeParseRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    const std::string text = serialize(s);
+    const auto parsed = parse_scenario(text);
+    ASSERT_TRUE(parsed.has_value()) << "seed " << seed;
+    EXPECT_EQ(serialize(*parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_scenario("").has_value());
+  EXPECT_FALSE(parse_scenario("not-a-scenario\nseed=1\n").has_value());
+  EXPECT_FALSE(
+      parse_scenario("hermes-fuzz-scenario v1\nnodes=abc\n").has_value());
+  EXPECT_FALSE(
+      parse_scenario("hermes-fuzz-scenario v1\nunknown_key=3\n").has_value());
+  EXPECT_FALSE(parse_scenario("hermes-fuzz-scenario v1\nbyz=5:weird\n")
+                   .has_value());
+}
+
+TEST(Scenario, SampledScenariosSatisfySystemModel) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    EXPECT_GE(s.nodes, 12u);
+    EXPECT_LE(s.nodes, 48u);
+    EXPECT_GE(s.f, 1u);
+    EXPECT_LE(s.f, 2u);
+    EXPECT_GE(s.k, 2u);
+    EXPECT_LE(s.k, 4u);
+    EXPECT_GE(s.min_degree, s.f + 2);
+
+    std::unordered_set<net::NodeId> byz;
+    for (const ByzAssignment& b : s.byzantine) {
+      EXPECT_LT(b.node, s.nodes);
+      EXPECT_NE(b.behavior, Behavior::kHonest);
+      EXPECT_TRUE(byz.insert(b.node).second) << "duplicate byz node";
+    }
+    // Honest floor: 2f+1 honest committee members plus sender slack.
+    EXPECT_GE(s.nodes - s.byzantine.size(), 3 * s.f + 3);
+
+    if (s.hermes()) {
+      EXPECT_EQ(s.committee.size(), 3 * s.f + 1);
+      std::size_t byz_members = 0;
+      std::unordered_set<net::NodeId> members;
+      for (net::NodeId v : s.committee) {
+        EXPECT_LT(v, s.nodes);
+        EXPECT_TRUE(members.insert(v).second) << "duplicate committee member";
+        if (byz.count(v) != 0) ++byz_members;
+      }
+      EXPECT_LE(byz_members, s.f);
+      if (!s.direct_injection) EXPECT_LE(s.byzantine.size(), s.f);
+    } else {
+      EXPECT_TRUE(s.committee.empty());
+      EXPECT_TRUE(s.churn.empty());
+    }
+
+    ASSERT_FALSE(s.injections.empty());
+    double prev = 0.0;
+    for (const Injection& inj : s.injections) {
+      EXPECT_LT(inj.sender, s.nodes);
+      EXPECT_EQ(byz.count(inj.sender), 0u) << "Byzantine sender";
+      EXPECT_GT(inj.at_ms, prev);
+      prev = inj.at_ms;
+      if (inj.batch_size != 0) {
+        EXPECT_TRUE(s.hermes());
+        EXPECT_GE(inj.batch_size, 3u);
+        EXPECT_LE(inj.batch_size, 6u);
+      }
+    }
+
+    EXPECT_LE(s.max_concurrent_crashes(), s.f);
+    std::unordered_set<net::NodeId> committee(s.committee.begin(),
+                                              s.committee.end());
+    std::size_t advances = 0;
+    for (const ChurnEvent& ev : s.churn) {
+      if (ev.advance_epoch) ++advances;
+      for (net::NodeId v : ev.nodes) {
+        EXPECT_LT(v, s.nodes);
+        EXPECT_EQ(committee.count(v), 0u) << "committee member churned";
+      }
+    }
+    // Two view changes would stale-drop in-flight certificates.
+    EXPECT_LE(advances, 1u);
+
+    for (const PartitionWindow& pw : s.partitions) {
+      EXPECT_GT(pw.end_ms, pw.start_ms);
+    }
+    EXPECT_GE(s.drain_ms, 6000.0);
+    if (!s.benign()) EXPECT_GE(s.drain_ms, 12000.0);
+  }
+}
+
+TEST(Scenario, BenignPredicateMatchesDefinition) {
+  Scenario s;
+  EXPECT_TRUE(s.benign());
+  s.drop_probability = 0.05;
+  EXPECT_FALSE(s.benign());
+  s.drop_probability = 0.0;
+  s.byzantine.push_back({3, Behavior::kDropper});
+  EXPECT_FALSE(s.benign());
+  EXPECT_FALSE(s.has_front_runner());
+  s.byzantine.push_back({4, Behavior::kFrontRunner});
+  EXPECT_TRUE(s.has_front_runner());
+}
+
+TEST(Scenario, MaxConcurrentCrashesTracksRecovery) {
+  Scenario s;
+  ChurnEvent crash;
+  crash.at_ms = 100.0;
+  crash.nodes = {5, 6};
+  s.churn.push_back(crash);
+  ChurnEvent rec;
+  rec.at_ms = 500.0;
+  rec.recover = true;
+  rec.nodes = {5};
+  s.churn.push_back(rec);
+  ChurnEvent crash2;
+  crash2.at_ms = 900.0;
+  crash2.nodes = {7};
+  s.churn.push_back(crash2);
+  EXPECT_EQ(s.max_concurrent_crashes(), 2u);
+}
+
+}  // namespace
+}  // namespace hermes::fuzz

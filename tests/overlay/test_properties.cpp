@@ -3,11 +3,14 @@
 // construction, annealing, encoding, certification.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <tuple>
+#include <vector>
 
 #include "crypto/sim_signer.hpp"
 #include "net/topology.hpp"
 #include "overlay/builder.hpp"
+#include "overlay/overlay.hpp"
 #include "overlay/encoding.hpp"
 #include "overlay/roles.hpp"
 
@@ -77,6 +80,39 @@ TEST_P(OverlayPipelineProperty, EveryNodeReachableWithFiniteLatency) {
       EXPECT_NE(d, net::kInfLatency);
       EXPECT_GE(d, 0.0);
     }
+  }
+}
+
+// Section V's resilience claim, checked exhaustively: removing ANY set of
+// f nodes leaves every surviving node reachable from a surviving entry
+// point (f+1 entry points plus >= f+1 predecessors per interior node).
+TEST_P(OverlayPipelineProperty, SurvivesAnyFNodeRemovals) {
+  const auto [n, f, k] = GetParam();
+  (void)k;
+  std::vector<net::NodeId> subset(f);
+  for (const Overlay& o : set_.overlays) {
+    // Enumerate all f-subsets of [0, n) with an odometer over sorted ids.
+    std::size_t checked = 0;
+    const std::function<bool(std::size_t, net::NodeId)> walk =
+        [&](std::size_t depth, net::NodeId first) -> bool {
+      if (depth == f) {
+        ++checked;
+        if (!survives_removal(o, subset)) {
+          ADD_FAILURE() << "n=" << n << " f=" << f
+                        << ": overlay disconnected by removing node set #"
+                        << checked;
+          return false;
+        }
+        return true;
+      }
+      for (net::NodeId v = first; v < n; ++v) {
+        subset[depth] = v;
+        if (!walk(depth + 1, v + 1)) return false;
+      }
+      return true;
+    };
+    walk(0, 0);
+    EXPECT_GT(checked, 0u);
   }
 }
 

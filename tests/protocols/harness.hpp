@@ -1,35 +1,12 @@
-// Shared fixture for protocol integration tests: builds a small world,
-// populates it with a protocol, and runs the simulation to a deadline.
+// Shared fixture for protocol integration tests. The implementation lives
+// in src/fuzz/world.hpp so the scenario fuzzer and the protocol tests run
+// experiments through one harness; this header only re-exports the name.
 #pragma once
 
-#include <memory>
-
-#include "protocols/base.hpp"
+#include "fuzz/world.hpp"
 
 namespace hermes::protocols::testing {
 
-struct World {
-  World(std::size_t n, Protocol& protocol, std::uint64_t seed = 4242,
-        sim::NetworkParams net_params = {}) {
-    net::TopologyParams tp;
-    tp.node_count = n;
-    tp.min_degree = 5;
-    tp.connectivity = 2;
-    Rng trng(seed);
-    ctx = std::make_unique<ExperimentContext>(net::make_topology(tp, trng),
-                                              net_params, seed);
-    protocol_ = &protocol;
-  }
-
-  // Call after optional assign_behaviors.
-  void start() { populate(*ctx, *protocol_); }
-
-  Transaction send_from(net::NodeId sender) { return inject_tx(*ctx, sender); }
-
-  void run_ms(double ms) { ctx->engine.run_until(ctx->engine.now() + ms); }
-
-  std::unique_ptr<ExperimentContext> ctx;
-  Protocol* protocol_ = nullptr;
-};
+using World = ::hermes::fuzz::World;
 
 }  // namespace hermes::protocols::testing

@@ -76,6 +76,75 @@ TEST(Engine, ClearDropsPending) {
   EXPECT_TRUE(e.empty());
 }
 
+// Events scheduled *during* execution at the currently-running timestamp
+// queue behind every event already pending at that timestamp.
+TEST(Engine, FifoWithNestedSameTimeScheduling) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(1.0, [&] {
+    order.push_back(0);
+    e.schedule(0.0, [&] { order.push_back(3); });
+  });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(1.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// run_until is deadline-inclusive: events AT the deadline run, including
+// events an at-deadline event schedules for the deadline itself.
+TEST(Engine, RunUntilIncludesDeadlineAndNestedAtDeadline) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(5.0, [&] {
+    order.push_back(0);
+    e.schedule(0.0, [&] { order.push_back(1); });   // still at t=5
+    e.schedule(0.5, [&] { order.push_back(99); });  // past the deadline
+  });
+  const std::size_t executed = e.run_until(5.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+// Splitting a run into consecutive run_until windows must not reorder
+// same-timestamp events relative to one uninterrupted run.
+TEST(Engine, SequentialRunUntilWindowsPreserveFifo) {
+  std::vector<int> windowed;
+  std::vector<int> straight;
+  for (int pass = 0; pass < 2; ++pass) {
+    Engine e;
+    std::vector<int>& order = pass == 0 ? windowed : straight;
+    for (int i = 0; i < 4; ++i) {
+      e.schedule(10.0, [&order, i] { order.push_back(i); });
+      e.schedule(20.0, [&order, i] { order.push_back(10 + i); });
+    }
+    if (pass == 0) {
+      e.run_until(10.0);
+      e.run_until(15.0);
+      e.run_until(20.0);
+    } else {
+      e.run_until(20.0);
+    }
+  }
+  EXPECT_EQ(windowed, straight);
+  EXPECT_EQ(windowed, (std::vector<int>{0, 1, 2, 3, 10, 11, 12, 13}));
+}
+
+TEST(Engine, ScheduleAtUsesAbsoluteTime) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule(4.0, [&] {
+    times.push_back(e.now());
+    e.schedule_at(6.0, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 4.0);
+  EXPECT_DOUBLE_EQ(times[1], 6.0);
+}
+
 TEST(Engine, ZeroDelayRunsAtCurrentTime) {
   Engine e;
   double t = -1.0;

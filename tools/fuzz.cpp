@@ -1,0 +1,216 @@
+// Scenario fuzzer driver.
+//
+//   fuzz --runs N [--seed-base S] [--budget-ms M] [--corpus PATH]
+//       batch mode: run N generated scenarios (seeds S, S+1, ...); on an
+//       invariant failure, append the seed to the corpus, shrink the
+//       scenario, print the minimal reproducer, and exit 1 at the end.
+//   fuzz --replay SEED [--mutate NAME]
+//       re-run one seed twice, verify the trace hash is identical, and
+//       report invariant failures.
+//   fuzz --print SEED
+//       print the serialized scenario for a seed.
+//   fuzz --replay-file PATH [--mutate NAME]
+//       run a serialized scenario (corpus entry or shrinker output).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::fuzz;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzz --runs N [--seed-base S] [--budget-ms M] "
+               "[--corpus PATH] [--mutate NAME]\n"
+               "       fuzz --replay SEED [--mutate NAME]\n"
+               "       fuzz --print SEED\n"
+               "       fuzz --replay-file PATH [--mutate NAME]\n");
+  return 2;
+}
+
+std::optional<std::uint64_t> parse_u64(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+void print_failures(const RunResult& r) {
+  for (const Failure& f : r.failures) {
+    std::printf("  FAIL [%s] %s\n", f.checker.c_str(), f.detail.c_str());
+  }
+}
+
+int replay_scenario(const Scenario& s, Mutation mutation) {
+  RunOptions opts;
+  opts.mutation = mutation;
+  std::printf("%s\n", describe(s).c_str());
+  const RunResult first = run_scenario(s, opts);
+  const RunResult second = run_scenario(s, opts);
+  std::printf("trace %s (%zu sends, %.0f ms)\n", first.trace_hash.c_str(),
+              first.sends, first.sim_end_ms);
+  if (first.trace_hash != second.trace_hash) {
+    std::printf("NONDETERMINISTIC: second run hashed %s\n",
+                second.trace_hash.c_str());
+    return 1;
+  }
+  if (!first.ok()) {
+    print_failures(first);
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}
+
+int run_batch(std::uint64_t runs, std::uint64_t seed_base,
+              std::uint64_t budget_ms, const std::string& corpus_path,
+              Mutation mutation) {
+  RunOptions opts;
+  opts.mutation = mutation;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t executed = 0;
+  std::uint64_t failed = 0;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    if (budget_ms > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      if (static_cast<std::uint64_t>(elapsed) >= budget_ms) {
+        std::printf("budget exhausted after %llu/%llu runs\n",
+                    static_cast<unsigned long long>(executed),
+                    static_cast<unsigned long long>(runs));
+        break;
+      }
+    }
+    const std::uint64_t seed = seed_base + i;
+    const Scenario s = generate_scenario(seed);
+    const RunResult r = run_scenario(s, opts);
+    ++executed;
+    if (r.ok()) continue;
+    ++failed;
+    std::printf("seed %llu FAILED: %s\n",
+                static_cast<unsigned long long>(seed), describe(s).c_str());
+    print_failures(r);
+    if (!corpus_path.empty()) {
+      std::ofstream corpus(corpus_path, std::ios::app);
+      corpus << seed << " " << r.failures.front().checker << "\n";
+    }
+    ShrinkOptions sopts;
+    sopts.run = opts;
+    const ShrinkOutcome shrunk = shrink(s, r.failures, sopts);
+    std::printf("shrunk (%zu steps accepted over %zu runs):\n%s",
+                shrunk.removed, shrunk.runs,
+                serialize(shrunk.minimal).c_str());
+    std::printf("reproduce: fuzz --replay %llu\n",
+                static_cast<unsigned long long>(seed));
+  }
+  std::printf("%llu/%llu runs ok\n",
+              static_cast<unsigned long long>(executed - failed),
+              static_cast<unsigned long long>(executed));
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t runs = 0;
+  std::uint64_t seed_base = 1;
+  std::uint64_t budget_ms = 0;
+  std::string corpus_path;
+  std::optional<std::uint64_t> replay_seed;
+  std::optional<std::uint64_t> print_seed;
+  std::string replay_file;
+  Mutation mutation = Mutation::kNone;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    if (arg == "--runs") {
+      const auto v = parse_u64(value);
+      if (!v) return usage();
+      runs = *v;
+      ++i;
+    } else if (arg == "--seed-base") {
+      const auto v = parse_u64(value);
+      if (!v) return usage();
+      seed_base = *v;
+      ++i;
+    } else if (arg == "--budget-ms") {
+      const auto v = parse_u64(value);
+      if (!v) return usage();
+      budget_ms = *v;
+      ++i;
+    } else if (arg == "--corpus") {
+      if (value == nullptr) return usage();
+      corpus_path = value;
+      ++i;
+    } else if (arg == "--replay") {
+      const auto v = parse_u64(value);
+      if (!v) return usage();
+      replay_seed = *v;
+      ++i;
+    } else if (arg == "--print") {
+      const auto v = parse_u64(value);
+      if (!v) return usage();
+      print_seed = *v;
+      ++i;
+    } else if (arg == "--replay-file") {
+      if (value == nullptr) return usage();
+      replay_file = value;
+      ++i;
+    } else if (arg == "--mutate") {
+      if (value == nullptr) return usage();
+      const auto m = mutation_from(value);
+      if (!m) {
+        std::fprintf(stderr, "unknown mutation: %s\n", value);
+        return 2;
+      }
+      mutation = *m;
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+
+  if (print_seed) {
+    const Scenario s = generate_scenario(*print_seed);
+    std::printf("%s", serialize(s).c_str());
+    return 0;
+  }
+  if (replay_seed) {
+    return replay_scenario(generate_scenario(*replay_seed), mutation);
+  }
+  if (!replay_file.empty()) {
+    std::ifstream in(replay_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", replay_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto s = parse_scenario(text.str());
+    if (!s) {
+      std::fprintf(stderr, "malformed scenario file %s\n", replay_file.c_str());
+      return 2;
+    }
+    return replay_scenario(*s, mutation);
+  }
+  if (runs > 0) {
+    return run_batch(runs, seed_base, budget_ms, corpus_path, mutation);
+  }
+  return usage();
+}
