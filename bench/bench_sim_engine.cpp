@@ -1,0 +1,304 @@
+// Simulator hot-path benchmarks (google-benchmark): raw event-engine
+// scheduling throughput, the Network::send delivery path, and end-to-end
+// HERMES dissemination at paper scale. tools/run_benches.sh runs these and
+// records the numbers in BENCH_sim.json; the committed baseline block in
+// that file is the pre-rewrite engine (std::function closures on a binary
+// heap, RTTI message dispatch, unordered_map pair-latency cache).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace hermes;
+
+// --- raw engine microbenches ------------------------------------------------
+
+// Schedule n events at pre-generated pseudo-random offsets, then drain the
+// queue. Dominated by event allocation plus priority-queue churn.
+void BM_EngineScheduleDrain(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4242);
+  std::vector<double> delays(n);
+  for (auto& d : delays) d = rng.uniform_real(0.0, 1000.0);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Engine e;
+    for (std::size_t i = 0; i < n; ++i) {
+      e.schedule(delays[i], [&sink] { ++sink; });
+    }
+    e.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleDrain)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+// Same drain with a capture the size of a network delivery closure
+// (Network* + Message is ~48 bytes), the dominant event shape in protocol
+// runs. The pre-rewrite std::function heap-allocates every one of these.
+void BM_EngineScheduleDrainDeliverySized(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4242);
+  std::vector<double> delays(n);
+  for (auto& d : delays) d = rng.uniform_real(0.0, 1000.0);
+  struct Payload {
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    std::shared_ptr<const int> body;
+  };
+  auto shared_body = std::make_shared<const int>(7);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Engine e;
+    for (std::size_t i = 0; i < n; ++i) {
+      Payload p;
+      p.body = shared_body;
+      e.schedule(delays[i], [&sink, p] { sink += p.a; });
+    }
+    e.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleDrainDeliverySized)->Arg(1024)->Arg(65536);
+
+// Steady-state timer pattern: `timers` self-rescheduling events keep a
+// small queue busy for a long run, the shape protocol timers (gossip
+// rounds, fallback offers, VCS ticks) produce.
+void BM_EngineSteadyStateTimers(benchmark::State& state) {
+  const std::size_t timers = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kEvents = 1 << 18;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Engine e;
+    struct Timer {
+      sim::Engine* engine;
+      double period;
+      std::uint64_t* sink;
+      void operator()() {
+        ++*sink;
+        engine->schedule(period, *this);
+      }
+    };
+    Rng rng(99);
+    for (std::size_t i = 0; i < timers; ++i) {
+      e.schedule(rng.uniform_real(0.0, 5.0),
+                 Timer{&e, rng.uniform_real(1.0, 10.0), &sink});
+    }
+    e.run(kEvents);
+    e.clear();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEvents));
+}
+BENCHMARK(BM_EngineSteadyStateTimers)->Arg(64)->Arg(4096);
+
+// --- Network::send path -----------------------------------------------------
+
+struct BlastBody final : sim::Body<BlastBody> {
+  std::uint64_t payload = 0;
+};
+
+class BlastNode final : public sim::Node {
+ public:
+  using sim::Node::Node;
+  std::uint64_t received = 0;
+  void on_message(const sim::Message& msg) override {
+    received += msg.as<BlastBody>().payload;
+  }
+  void blast(net::NodeId dst, const std::shared_ptr<const BlastBody>& body) {
+    send_to(dst, /*type=*/1, /*wire_bytes=*/256, body);
+  }
+};
+
+// Random point-to-point sends across a mid-size topology: exercises the
+// pair-latency cache, uplink serialization accounting, the delivery
+// closure, and typed dispatch on receive.
+void BM_NetworkRandomSends(benchmark::State& state) {
+  const std::size_t n = 256;
+  constexpr std::size_t kSends = 1 << 16;
+  const net::Topology topo = bench::make_bench_topology(n, 42);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Network network(engine, topo, sim::NetworkParams{}, Rng(7));
+    std::vector<std::unique_ptr<BlastNode>> nodes;
+    for (net::NodeId v = 0; v < n; ++v) {
+      nodes.push_back(std::make_unique<BlastNode>(network, v));
+    }
+    auto body = std::make_shared<const BlastBody>();
+    Rng rng(13);
+    for (std::size_t i = 0; i < kSends; ++i) {
+      const auto src = static_cast<net::NodeId>(rng.uniform_u64(n));
+      auto dst = static_cast<net::NodeId>(rng.uniform_u64(n - 1));
+      if (dst >= src) ++dst;
+      nodes[src]->blast(dst, body);
+      if ((i & 1023) == 0) engine.run_until(engine.now() + 1.0);
+    }
+    engine.run();
+    sink += nodes[0]->received;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSends));
+}
+BENCHMARK(BM_NetworkRandomSends)->Unit(benchmark::kMillisecond);
+
+// --- end-to-end dissemination ----------------------------------------------
+
+// Full protocol runs, timed over injection + drain only (world construction
+// and overlay build excluded via manual timing). The events_per_sec counter
+// is the headline sim-throughput number BENCH_sim.json tracks.
+template <typename MakeProtocol>
+void dissemination_bench(benchmark::State& state, std::size_t nodes,
+                         MakeProtocol&& make_protocol, std::size_t txs,
+                         double gap_ms, double drain_ms) {
+  std::uint64_t total_events = 0;
+  std::uint64_t total_sends = 0;
+  for (auto _ : state) {
+    auto protocol = make_protocol();
+    protocols::ExperimentContext ctx(bench::make_bench_topology(nodes, 42),
+                                     sim::NetworkParams{}, 42 ^ 0x5eedULL);
+    protocols::populate(ctx, *protocol);
+    Rng workload(42 ^ 0x770a1cULL);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t events = 0;
+    for (std::size_t i = 0; i < txs; ++i) {
+      protocols::inject_tx(ctx, ctx.random_honest(workload));
+      events += ctx.engine.run_until(ctx.engine.now() + gap_ms);
+    }
+    events += ctx.engine.run_until(ctx.engine.now() + drain_ms);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    state.SetIterationTime(
+        std::chrono::duration<double>(t1 - t0).count());
+    total_events += events;
+    total_sends += ctx.network.total().messages_sent;
+  }
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(total_events) /
+      static_cast<double>(state.iterations()));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_events), benchmark::Counter::kIsRate);
+  state.counters["sends"] = benchmark::Counter(
+      static_cast<double>(total_sends) /
+      static_cast<double>(state.iterations()));
+}
+
+// HERMES configured like the fuzzer: k = 3 overlays and a short annealing
+// schedule so overlay construction stays a fixed small prologue and the
+// measurement tracks the dissemination hot path.
+hermes_proto::HermesConfig scale_hermes_config() {
+  hermes_proto::HermesConfig cfg = bench::bench_hermes_config(/*f=*/1, /*k=*/3);
+  cfg.builder.annealing.initial_temperature = 5.0;
+  cfg.builder.annealing.min_temperature = 1.0;
+  cfg.builder.annealing.cooling_rate = 0.8;
+  cfg.builder.annealing.moves_per_temperature = 4;
+  return cfg;
+}
+
+void BM_HermesDissemination(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  dissemination_bench(
+      state, nodes,
+      [] {
+        return std::make_unique<hermes_proto::HermesProtocol>(
+            scale_hermes_config());
+      },
+      /*txs=*/10, /*gap_ms=*/100.0, /*drain_ms=*/2000.0);
+}
+BENCHMARK(BM_HermesDissemination)
+    ->Arg(500)
+    ->Arg(2000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// Push-gossip at the same sizes: no overlay build, so this is the purest
+// large-N event-engine stress (fanout 8 floods generate ~n * fanout sends
+// per transaction).
+void BM_GossipDissemination(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  dissemination_bench(
+      state, nodes,
+      [] {
+        return std::make_unique<protocols::GossipProtocol>(
+            protocols::GossipParams{});
+      },
+      /*txs=*/10, /*gap_ms=*/100.0, /*drain_ms=*/2000.0);
+}
+BENCHMARK(BM_GossipDissemination)
+    ->Arg(2000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+// Custom main, mirroring bench_overlay_build: --benchmark_* flags pass
+// through; --nodes N registers the paper-scale dissemination runs (HERMES
+// and gossip) at that N on top of the CI-friendly defaults.
+int main(int argc, char** argv) {
+  std::vector<char*> filtered{argv[0]};
+  std::size_t custom_nodes = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      filtered.push_back(argv[i]);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      custom_nodes = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || custom_nodes == 0) {
+        std::fprintf(stderr,
+                     "error: --nodes expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+    }
+  }
+  if (custom_nodes > 0) {
+    benchmark::RegisterBenchmark(
+        ("BM_HermesDissemination/" + std::to_string(custom_nodes)).c_str(),
+        [custom_nodes](benchmark::State& state) {
+          dissemination_bench(
+              state, custom_nodes,
+              [] {
+                return std::make_unique<hermes_proto::HermesProtocol>(
+                    scale_hermes_config());
+              },
+              /*txs=*/5, /*gap_ms=*/100.0, /*drain_ms=*/2000.0);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("BM_GossipDissemination/" + std::to_string(custom_nodes)).c_str(),
+        [custom_nodes](benchmark::State& state) {
+          dissemination_bench(
+              state, custom_nodes,
+              [] {
+                return std::make_unique<protocols::GossipProtocol>(
+                    protocols::GossipParams{});
+              },
+              /*txs=*/5, /*gap_ms=*/100.0, /*drain_ms=*/2000.0);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,11 @@
 
 #include "support/assert.hpp"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define HERMES_SHA256_X86_SHANI 1
+#include <immintrin.h>
+#endif
+
 namespace hermes::crypto {
 
 namespace {
@@ -25,6 +30,222 @@ inline std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
 
+#if HERMES_SHA256_X86_SHANI
+
+// One SHA-256 compression round pair per sha256rnds2 instruction: the
+// whole 64-round schedule runs in hardware. Bit-identical to the scalar
+// path (same FIPS 180-4 function), selected at runtime when the CPU
+// reports the SHA extensions; certificate verification in paper-scale
+// runs spends most of its crypto time here.
+__attribute__((target("sha,sse4.1"))) void process_block_shani(
+    std::uint32_t state[8], const std::uint8_t* data) {
+  const __m128i kShuffleMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack {a..h} into the ABEF / CDGH lane order sha256rnds2 expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+  __m128i msg;
+
+  // Rounds 0-3.
+  msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+  __m128i msg0 = _mm_shuffle_epi8(msg, kShuffleMask);
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 4-7.
+  __m128i msg1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+  msg1 = _mm_shuffle_epi8(msg1, kShuffleMask);
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 8-11.
+  __m128i msg2 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+  msg2 = _mm_shuffle_epi8(msg2, kShuffleMask);
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 12-15.
+  __m128i msg3 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+  msg3 = _mm_shuffle_epi8(msg3, kShuffleMask);
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 16-19.
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 20-23.
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 24-27.
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 28-31.
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 32-35.
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 36-39.
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 40-43.
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 44-47.
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 48-51.
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 52-55.
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 56-59.
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 60-63.
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // Back to the {a..h} word order.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool cpu_has_sha_extensions() {
+  static const bool has = __builtin_cpu_supports("sha") != 0 &&
+                          __builtin_cpu_supports("sse4.1") != 0;
+  return has;
+}
+
+#endif  // HERMES_SHA256_X86_SHANI
+
 }  // namespace
 
 Sha256::Sha256() {
@@ -39,6 +260,12 @@ Sha256::Sha256() {
 }
 
 void Sha256::process_block(const std::uint8_t* block) {
+#if HERMES_SHA256_X86_SHANI
+  if (cpu_has_sha_extensions()) {
+    process_block_shani(h_, block);
+    return;
+  }
+#endif
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |

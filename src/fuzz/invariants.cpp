@@ -77,7 +77,7 @@ void InvariantSuite::on_send(sim::SimTime, const sim::Message& msg) {
   if (msg.src >= ctx_.behaviors.size() || !honest(msg.src)) return;
   switch (msg.type) {
     case HermesNode::kMsgData: {
-      const auto* d = dynamic_cast<const DataBody*>(msg.body.get());
+      const auto* d = msg.try_as<DataBody>();
       if (d == nullptr) return;
       CertifiedSend rec;
       rec.src = msg.src;
@@ -88,7 +88,7 @@ void InvariantSuite::on_send(sim::SimTime, const sim::Message& msg) {
       break;
     }
     case HermesNode::kMsgBatchChunk: {
-      const auto* c = dynamic_cast<const BatchChunkBody*>(msg.body.get());
+      const auto* c = msg.try_as<BatchChunkBody>();
       if (c == nullptr) return;
       CertifiedSend rec;
       rec.src = msg.src;
@@ -100,7 +100,7 @@ void InvariantSuite::on_send(sim::SimTime, const sim::Message& msg) {
     }
     case HermesNode::kMsgFallback: {
       ++honest_fallback_pushes_;
-      const auto* fb = dynamic_cast<const FallbackBody*>(msg.body.get());
+      const auto* fb = msg.try_as<FallbackBody>();
       if (fb == nullptr) return;
       CertifiedSend rec;
       rec.src = msg.src;

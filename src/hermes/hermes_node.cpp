@@ -172,14 +172,15 @@ void HermesNode::disseminate_batch(const std::vector<Transaction>& txs,
     chunk.shard = shard;
     absorb_chunk(chunk);  // the sender holds every shard
     const overlay::Overlay& ov = shared_->overlays[overlay_index];
+    // One immutable body per shard, shared by every entry-point copy.
+    std::shared_ptr<const BatchChunkBody> body;
     for (net::NodeId entry : ov.entry_points()) {
       if (entry == id()) {
         forward_chunk(chunk);
         continue;
       }
-      auto body = std::make_shared<BatchChunkBody>(chunk);
-      send_to(entry, kMsgBatchChunk, shard_wire + certificate.size(),
-              std::move(body));
+      if (!body) body = std::make_shared<BatchChunkBody>(chunk);
+      send_to(entry, kMsgBatchChunk, shard_wire + certificate.size(), body);
     }
   }
 }
@@ -193,10 +194,12 @@ void HermesNode::forward_chunk(const BatchChunkBody& chunk) {
   const std::size_t overlay_index =
       (chunk.base_overlay + chunk.shard.index) % shared->config.k;
   const overlay::Overlay& ov = shared->overlays[overlay_index];
-  for (net::NodeId succ : ov.successors(id())) {
-    auto body = std::make_shared<BatchChunkBody>(chunk);
+  const auto& succs = ov.successors(id());
+  if (succs.empty()) return;
+  auto body = std::make_shared<const BatchChunkBody>(chunk);
+  for (net::NodeId succ : succs) {
     send_to(succ, kMsgBatchChunk,
-            chunk.shard_wire_bytes + chunk.certificate.size(), std::move(body));
+            chunk.shard_wire_bytes + chunk.certificate.size(), body);
   }
 }
 
@@ -453,19 +456,20 @@ void HermesNode::disseminate(const Transaction& tx, const TrsId& trs,
   remember_cert(*shared_, tx, trs, certificate, overlay_index);
   if (shared_->config.direct_entry_injection) {
     const overlay::Overlay& ov = shared_->overlays[overlay_index];
+    // One immutable body shared by every entry-point copy.
+    auto body = std::make_shared<DataBody>();
+    body->tx = tx;
+    body->trs = trs;
+    body->certificate = certificate;
+    body->overlay_index = static_cast<std::uint32_t>(overlay_index);
+    body->epoch = shared_->epoch;
+    const std::size_t wire = tx.payload_bytes + certificate.size() + 48;
     for (net::NodeId entry : ov.entry_points()) {
       if (entry == id()) {
         accept_and_forward(*shared_, tx, trs, certificate, overlay_index);
         continue;
       }
-      auto body = std::make_shared<DataBody>();
-      body->tx = tx;
-      body->trs = trs;
-      body->certificate = certificate;
-      body->overlay_index = static_cast<std::uint32_t>(overlay_index);
-      body->epoch = shared_->epoch;
-      send_to(entry, kMsgData, tx.payload_bytes + certificate.size() + 48,
-              std::move(body));
+      send_to(entry, kMsgData, wire, body);
     }
     return;
   }
@@ -566,15 +570,20 @@ void HermesNode::accept_and_forward(const HermesShared& shared,
   }
   if (!relays_tx(tx)) return;  // droppers / front-run censorship end here
   const overlay::Overlay& ov = shared.overlays[overlay_index];
-  for (net::NodeId succ : ov.successors(id())) {
-    auto body = std::make_shared<DataBody>();
-    body->tx = tx;
-    body->trs = trs;
-    body->certificate = certificate;
-    body->overlay_index = static_cast<std::uint32_t>(overlay_index);
-    body->epoch = shared.epoch;
-    send_to(succ, kMsgData, tx.payload_bytes + certificate.size() + 48,
-            std::move(body));
+  const auto& succs = ov.successors(id());
+  if (succs.empty()) return;
+  // Every successor receives an identical immutable payload, so one body
+  // is built and shared across all copies of the message (receivers that
+  // mutate — the route relay — clone first).
+  auto body = std::make_shared<DataBody>();
+  body->tx = tx;
+  body->trs = trs;
+  body->certificate = certificate;
+  body->overlay_index = static_cast<std::uint32_t>(overlay_index);
+  body->epoch = shared.epoch;
+  const std::size_t wire = tx.payload_bytes + certificate.size() + 48;
+  for (net::NodeId succ : succs) {
+    send_to(succ, kMsgData, wire, body);
   }
 }
 

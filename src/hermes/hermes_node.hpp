@@ -30,17 +30,17 @@ using protocols::Transaction;
 
 // Message bodies -------------------------------------------------------------
 
-struct TrsRequestBody final : sim::MessageBody {
+struct TrsRequestBody final : sim::Body<TrsRequestBody> {
   TrsId trs;
 };
-struct TrsVoteBody final : sim::MessageBody {  // Echo and Ready
+struct TrsVoteBody final : sim::Body<TrsVoteBody> {  // Echo and Ready
   TrsId trs;
 };
-struct TrsPartialBody final : sim::MessageBody {
+struct TrsPartialBody final : sim::Body<TrsPartialBody> {
   TrsId trs;
   crypto::PartialSignature partial;
 };
-struct DataBody final : sim::MessageBody {
+struct DataBody final : sim::Body<DataBody> {
   Transaction tx;
   TrsId trs;
   Bytes certificate;
@@ -52,7 +52,7 @@ struct DataBody final : sim::MessageBody {
   // Remaining relay hops toward an entry point; empty once it arrives.
   std::vector<net::NodeId> route;
 };
-struct FallbackBody final : sim::MessageBody {
+struct FallbackBody final : sim::Body<FallbackBody> {
   Transaction tx;
   TrsId trs;
   Bytes certificate;
@@ -62,28 +62,28 @@ struct FallbackBody final : sim::MessageBody {
 // Gossip fallback is offer/pull: after delay T a holder advertises the tx
 // id to random neighbors; only nodes with a hole pull the payload. This
 // keeps the fallback's steady-state cost near zero (Figure 3b).
-struct FallbackOfferBody final : sim::MessageBody {
+struct FallbackOfferBody final : sim::Body<FallbackOfferBody> {
   std::uint64_t tx_id = 0;
 };
-struct FallbackRequestBody final : sim::MessageBody {
+struct FallbackRequestBody final : sim::Body<FallbackRequestBody> {
   std::uint64_t tx_id = 0;
 };
 // Signed violation report gossiped for global accountability
 // (Section VI-C).
-struct ViolationReportBody final : sim::MessageBody {
+struct ViolationReportBody final : sim::Body<ViolationReportBody> {
   Violation violation;
   net::NodeId reporter = 0;
   Bytes signature;
 };
 // Aggregated delivery acknowledgment flowing back up the overlay
 // (Section IV step 3, optional).
-struct AckUpBody final : sim::MessageBody {
+struct AckUpBody final : sim::Body<AckUpBody> {
   std::uint64_t tx_id = 0;
   std::uint32_t overlay_index = 0;
   std::uint32_t count = 0;  // deliveries in the reporting subtree
 };
 // One Reed-Solomon shard of an erasure-coded batch (Section VIII-D).
-struct BatchChunkBody final : sim::MessageBody {
+struct BatchChunkBody final : sim::Body<BatchChunkBody> {
   TrsId trs;  // origin, batch sequence number, batch hash
   Bytes certificate;
   std::uint32_t base_overlay = 0;  // seed mod k; shard c rides (base+c) mod k

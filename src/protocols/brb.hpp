@@ -27,7 +27,7 @@ struct BrbParams {
   bool use_override = false;
 };
 
-struct BrbVoteBody final : sim::MessageBody {
+struct BrbVoteBody final : sim::Body<BrbVoteBody> {
   std::uint64_t tx_id = 0;
 };
 

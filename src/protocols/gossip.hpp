@@ -20,11 +20,11 @@ struct GossipParams {
   std::size_t adversary_extra_links = 32;
 };
 
-struct TxBody final : sim::MessageBody {
+struct TxBody final : sim::Body<TxBody> {
   Transaction tx;
 };
 // Lazy-gossip announcement / request (tx id only).
-struct TxIdBody final : sim::MessageBody {
+struct TxIdBody final : sim::Body<TxIdBody> {
   std::uint64_t tx_id = 0;
 };
 

@@ -24,15 +24,15 @@ struct L0Params {
   std::size_t adversary_extra_links = 24;
 };
 
-struct CommitBody final : sim::MessageBody {
+struct CommitBody final : sim::Body<CommitBody> {
   mempool::Commitment commitment;
 };
 
-struct DigestBody final : sim::MessageBody {
+struct DigestBody final : sim::Body<DigestBody> {
   std::vector<std::uint64_t> tx_ids;  // sorted
 };
 
-struct TxRequestBody final : sim::MessageBody {
+struct TxRequestBody final : sim::Body<TxRequestBody> {
   std::vector<std::uint64_t> tx_ids;
 };
 

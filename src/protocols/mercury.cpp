@@ -113,7 +113,7 @@ void MercuryNode::schedule_vcs_tick() {
   ctx_.engine.schedule(phase, [this] {
     const auto tick = [this](auto&& self) -> void {
       if (relays()) {
-        struct VcsBody final : sim::MessageBody {};
+        struct VcsBody final : sim::Body<VcsBody> {};
         for (net::NodeId p : dir_->intra_peers[id()]) {
           send_to(p, kMsgVcsUpdate, params_.vcs_update_bytes,
                   std::make_shared<VcsBody>());

@@ -32,16 +32,16 @@ struct NarwhalParams {
   double batch_delay_ms = 120.0;
 };
 
-struct AckBody final : sim::MessageBody {
+struct AckBody final : sim::Body<AckBody> {
   std::uint64_t tx_id = 0;
 };
 
-struct CertBody final : sim::MessageBody {
+struct CertBody final : sim::Body<CertBody> {
   std::uint64_t tx_id = 0;
   std::vector<net::NodeId> signers;  // 2f+1 ack'ers (sampled for repair)
 };
 
-struct FetchBody final : sim::MessageBody {
+struct FetchBody final : sim::Body<FetchBody> {
   std::uint64_t tx_id = 0;
 };
 

@@ -1,29 +1,179 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace hermes::sim {
 
-void Engine::schedule(SimTime delay, Callback fn) {
+namespace {
+
+// Below this many overflow events a spread degenerates to one heapified
+// run: bucketing overhead would exceed the heap operations it saves.
+constexpr std::size_t kDirectSortThreshold = 64;
+// Spread geometry: aim for roughly this many events per rung, bounded so a
+// pathological burst cannot allocate an absurd rung array.
+constexpr std::size_t kTargetPerRung = 16;
+constexpr std::size_t kMaxRungs = 4096;
+
+}  // namespace
+
+void Engine::schedule(SimTime delay, EventFn fn) {
   HERMES_REQUIRE(delay >= 0.0);
   schedule_at(now_ + delay, std::move(fn));
 }
 
-void Engine::schedule_at(SimTime when, Callback fn) {
+void Engine::schedule_at(SimTime when, EventFn fn) {
   HERMES_REQUIRE(when >= now_);
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  enqueue(when, std::move(fn));
+}
+
+std::size_t Engine::rung_index(SimTime when) const {
+  // The same formula routes spread-time distribution and later insertions.
+  // It is monotone in `when` (subtraction, positive division, floor and
+  // clamp all are), and a fixed `when` always maps to a fixed rung; both
+  // properties together make consumption order exactly the (when, seq)
+  // total order, immune to floating-point edge rounding.
+  if (when <= spread_start_) return 0;
+  const double rel = (when - spread_start_) / rung_width_;
+  if (rel >= static_cast<double>(rungs_in_use_ - 1)) return rungs_in_use_ - 1;
+  return static_cast<std::size_t>(rel);
+}
+
+void Engine::heap_push(const EventRef& ref) {
+  bottom_.push_back(ref);
+  std::push_heap(bottom_.begin(), bottom_.end(),
+                 [](const EventRef& a, const EventRef& b) {
+                   return ref_less(b, a);  // min-(when, seq) at the front
+                 });
+}
+
+void Engine::enqueue(SimTime when, EventFn fn) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    pool_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::move(fn));
+  }
+  const EventRef ref{when, next_seq_++, slot};
+  ++size_;
+
+  if (size_ == 1) {
+    // Empty-queue fast path: every tier is empty; the single event is the
+    // heap, and its own (when, seq) is the heap's upper edge.
+    bottom_.push_back(ref);
+    bottom_limit_ = ref;
+    return;
+  }
+  if (rungs_active_) {
+    if (when >= spread_end_) {
+      top_.push_back(ref);
+      return;
+    }
+    const std::size_t idx = rung_index(when);
+    if (idx < cur_rung_) {
+      // Orders within (or before) the rung currently draining as bottom_.
+      heap_push(ref);
+    } else {
+      rungs_[idx].push_back(ref);
+    }
+    return;
+  }
+  // No spread active. bottom_limit_ was the heap's maximal element when it
+  // was filled and never changes between refills, so everything parked in
+  // top_ orders after every event the heap can still receive.
+  if (ref_less(ref, bottom_limit_)) {
+    heap_push(ref);
+  } else {
+    top_.push_back(ref);
+  }
+}
+
+void Engine::spread_top() {
+  const std::size_t n = top_.size();
+  SimTime tmin = top_[0].when;
+  SimTime tmax = top_[0].when;
+  for (const EventRef& e : top_) {
+    if (e.when < tmin) tmin = e.when;
+    if (e.when > tmax) tmax = e.when;
+  }
+  const std::size_t nrungs =
+      std::clamp<std::size_t>(n / kTargetPerRung, 2, kMaxRungs);
+  const double width = (tmax - tmin) / static_cast<double>(nrungs);
+  if (n <= kDirectSortThreshold || !(width > 0.0)) {
+    // Small batch, or all timestamps (nearly) identical: one heapified
+    // run, with the batch maximum as the new insertion edge.
+    bottom_.swap(top_);
+    top_.clear();
+    bottom_limit_ =
+        *std::max_element(bottom_.begin(), bottom_.end(), &ref_less);
+    std::make_heap(bottom_.begin(), bottom_.end(),
+                   [](const EventRef& a, const EventRef& b) {
+                     return ref_less(b, a);
+                   });
+    return;
+  }
+  spread_start_ = tmin;
+  spread_end_ = tmax;
+  rung_width_ = width;
+  rungs_in_use_ = nrungs;
+  if (rungs_.size() < nrungs) rungs_.resize(nrungs);
+  rungs_active_ = true;
+  cur_rung_ = 0;
+  for (const EventRef& e : top_) rungs_[rung_index(e.when)].push_back(e);
+  top_.clear();
+  // New events with when >= spread_end_ overflow to top_; tmax itself was
+  // routed to the last rung, and any later arrival at exactly tmax carries
+  // a larger seq, so parking it in top_ preserves FIFO.
+}
+
+void Engine::refill_bottom() {
+  for (;;) {
+    if (rungs_active_) {
+      while (cur_rung_ < rungs_in_use_) {
+        std::vector<EventRef>& rung = rungs_[cur_rung_++];
+        if (rung.empty()) continue;
+        bottom_.swap(rung);  // rung keeps the old bottom's capacity
+        std::make_heap(bottom_.begin(), bottom_.end(),
+                       [](const EventRef& a, const EventRef& b) {
+                         return ref_less(b, a);
+                       });
+        return;
+      }
+      rungs_active_ = false;
+    }
+    if (top_.empty()) return;  // queue fully drained
+    spread_top();
+    if (!bottom_.empty()) return;  // direct-heapify path filled bottom_
+  }
+}
+
+Engine::EventRef Engine::extract_min(EventFn& fn_out) {
+  std::pop_heap(bottom_.begin(), bottom_.end(),
+                [](const EventRef& a, const EventRef& b) {
+                  return ref_less(b, a);
+                });
+  const EventRef ref = bottom_.back();
+  bottom_.pop_back();
+  --size_;
+  fn_out = std::move(pool_[ref.slot]);
+  free_.push_back(ref.slot);
+  // Restore the invariant before the callback runs so nested schedule()
+  // calls see a consistent queue.
+  if (bottom_.empty()) refill_bottom();
+  return ref;
 }
 
 std::size_t Engine::run(std::size_t max_events) {
   std::size_t executed = 0;
-  while (!queue_.empty() && executed < max_events) {
-    // priority_queue::top returns const&; the callback must be moved out
-    // before pop, so copy the metadata and move the closure via const_cast
-    // of the container idiom. Simpler and safe: copy the event.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ev.fn();
+  EventFn fn;
+  while (size_ > 0 && executed < max_events) {
+    const EventRef ref = extract_min(fn);
+    now_ = ref.when;
+    fn();
+    fn.reset();
     ++executed;
   }
   return executed;
@@ -31,11 +181,12 @@ std::size_t Engine::run(std::size_t max_events) {
 
 std::size_t Engine::run_until(SimTime deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ev.fn();
+  EventFn fn;
+  while (size_ > 0 && bottom_.front().when <= deadline) {
+    const EventRef ref = extract_min(fn);
+    now_ = ref.when;
+    fn();
+    fn.reset();
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;
@@ -43,7 +194,28 @@ std::size_t Engine::run_until(SimTime deadline) {
 }
 
 void Engine::clear() {
-  while (!queue_.empty()) queue_.pop();
+  const auto release = [this](const EventRef& e) {
+    pool_[e.slot].reset();
+    free_.push_back(e.slot);
+  };
+  for (const EventRef& e : bottom_) release(e);
+  bottom_.clear();
+  if (rungs_active_) {
+    for (std::size_t r = cur_rung_; r < rungs_in_use_; ++r) {
+      for (const EventRef& e : rungs_[r]) release(e);
+      rungs_[r].clear();
+    }
+  }
+  rungs_active_ = false;
+  for (const EventRef& e : top_) release(e);
+  top_.clear();
+  size_ = 0;
+}
+
+void Engine::reset() {
+  clear();
+  now_ = 0.0;
+  next_seq_ = 0;
 }
 
 }  // namespace hermes::sim

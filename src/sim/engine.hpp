@@ -4,11 +4,31 @@
 // virtual (milliseconds as double), events execute in (time, insertion
 // sequence) order, and every random choice comes from seeded Rng streams,
 // so a run is a pure function of its seed.
+//
+// Hot-path design (the engine executes hundreds of millions of events in a
+// paper-scale run):
+//   - Callbacks are EventFn records with a small-buffer optimization: a
+//     capture up to kInlineBytes (enough for a full Network delivery
+//     closure) lives inline in a slab slot, so steady-state scheduling
+//     performs no heap allocation. Slots are pooled and recycled through a
+//     free list; clear() keeps the pool warm for the next repetition.
+//   - Ordering uses a tiered ladder/bucket queue over POD
+//     (when, seq, slot) records: a small binary min-heap (`bottom`) over
+//     the near horizon being drained, an array of bucket rungs covering
+//     the current time window, and an unsorted far-future overflow that
+//     is spread into fresh rungs when reached. Bucket routing applies the
+//     identical monotone index formula to spreads and to new insertions,
+//     which makes the execution order exactly the (when, seq) total order
+//     a single global heap produces — FIFO among same-time events
+//     included — while keeping the heap small (one rung) so pops stay
+//     cache-resident at paper scale.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
@@ -17,15 +37,112 @@ namespace hermes::sim {
 
 using SimTime = double;  // milliseconds
 
+// Move-only callable with inline storage for small captures; larger
+// callables fall back to one heap allocation. Invoking an empty EventFn is
+// a programming error.
+class EventFn {
+ public:
+  // Sized for the Network delivery closure (Network* + Message) plus
+  // headroom for the protocol timer lambdas.
+  static constexpr std::size_t kInlineBytes = 56;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    HERMES_REQUIRE(ops_ != nullptr);
+    ops_->invoke(storage_);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* dst, void* src) {
+      Fn* s = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& slot(void* p) { return *static_cast<Fn**>(p); }
+    static void invoke(void* p) { (*slot(p))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) Fn*(slot(src));
+    }
+    static void destroy(void* p) { delete slot(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run `delay` ms from now (delay >= 0).
-  void schedule(SimTime delay, Callback fn);
-  void schedule_at(SimTime when, Callback fn);
+  void schedule(SimTime delay, EventFn fn);
+  void schedule_at(SimTime when, EventFn fn);
 
   // Runs events until the queue drains or `max_events` fire.
   // Returns the number of events executed.
@@ -33,27 +150,77 @@ class Engine {
   // Runs events with timestamp <= deadline.
   std::size_t run_until(SimTime deadline);
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
-  // Drops all pending events (used between benchmark repetitions).
+  bool empty() const { return size_ == 0; }
+  std::size_t pending() const { return size_; }
+
+  // Drops all pending events. The clock and the FIFO sequence counter are
+  // deliberately NOT rewound: events scheduled after a clear() still order
+  // behind everything scheduled before it, and now() stays monotonic, so a
+  // clear() mid-run cannot reorder a subsequently shared schedule. The
+  // event pool is retained for reuse. Benchmark repetitions that want a
+  // fresh, seed-deterministic engine should call reset().
   void clear();
 
+  // clear() plus rewinding now() to 0 and the sequence counter to its
+  // initial state: the engine becomes indistinguishable from a freshly
+  // constructed one, except that the warmed event pool is kept.
+  void reset();
+
+  // Number of slab slots ever allocated (regression hook: repetitions over
+  // a bounded-pending workload must not grow the pool).
+  std::size_t pool_capacity() const { return pool_.size(); }
+
  private:
-  struct Event {
+  struct EventRef {
     SimTime when;
     std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    Callback fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static bool ref_less(const EventRef& a, const EventRef& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void enqueue(SimTime when, EventFn fn);
+  // Pops the globally minimal (when, seq) event; caller owns the returned
+  // callback. Maintains the "bottom_ non-empty while size_ > 0" invariant.
+  EventRef extract_min(EventFn& fn_out);
+  void refill_bottom();
+  void spread_top();
+  void heap_push(const EventRef& ref);
+  std::size_t rung_index(SimTime when) const;
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t size_ = 0;
+
+  // Tier 1: binary min-heap (by (when, seq)) over the events currently
+  // being drained. While rungs are active this holds the contents of rung
+  // cur_rung_ - 1; new events that order before the remaining rungs are
+  // pushed here. While no spread is active, events ordering before
+  // bottom_limit_ (the heap's upper edge at fill time) are pushed here
+  // and everything else overflows to top_.
+  std::vector<EventRef> bottom_;
+  EventRef bottom_limit_{0.0, 0, 0};
+
+  // Tier 2: bucket rungs of the current spread, covering
+  // [spread_start_, spread_end_). rungs_[i] holds events whose rung_index
+  // is i; rungs below cur_rung_ have been consumed.
+  bool rungs_active_ = false;
+  std::vector<std::vector<EventRef>> rungs_;
+  std::size_t rungs_in_use_ = 0;
+  std::size_t cur_rung_ = 0;
+  SimTime spread_start_ = 0.0;
+  SimTime spread_end_ = 0.0;
+  double rung_width_ = 0.0;
+
+  // Tier 3: unsorted overflow beyond the current spread (or beyond the
+  // sorted bottom run when no spread is active).
+  std::vector<EventRef> top_;
+
+  // Event slab: slot-indexed callbacks plus the recycled-slot free list.
+  std::vector<EventFn> pool_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace hermes::sim

@@ -1,19 +1,59 @@
 // Message model for the simulated network.
 //
-// Protocols subclass MessageBody for their typed payloads; `wire_bytes`
-// is what the bandwidth accounting charges (headers + payload), decoupled
-// from the in-memory representation.
+// Protocols subclass Body<T> (CRTP over MessageBody) for their typed
+// payloads; `wire_bytes` is what the bandwidth accounting charges (headers
+// + payload), decoupled from the in-memory representation.
+//
+// Payload downcasts use a static type tag assigned once per body type
+// instead of RTTI: Message::as<T>() is a load + compare + static_cast on
+// the delivery hot path, where the previous dynamic_cast walked the
+// inheritance graph for every received message.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "net/graph.hpp"
+#include "support/assert.hpp"
 
 namespace hermes::sim {
 
+using BodyTag = std::uint32_t;
+
+namespace detail {
+
+inline BodyTag allocate_body_tag() {
+  static BodyTag next = 0;
+  return next++;
+}
+
+// One tag per distinct body type, assigned on first use. Tags never cross
+// a process boundary (wire identity is Message::type), so the assignment
+// order does not affect determinism.
+template <typename T>
+BodyTag body_tag() {
+  static const BodyTag tag = allocate_body_tag();
+  return tag;
+}
+
+}  // namespace detail
+
 struct MessageBody {
-  virtual ~MessageBody() = default;
+  BodyTag body_tag;
+
+ protected:
+  explicit MessageBody(BodyTag tag) : body_tag(tag) {}
+  // Subclasses are owned via shared_ptr, whose control block captures the
+  // concrete deleter at construction; no virtual destructor (or vtable)
+  // is needed.
+  ~MessageBody() = default;
+};
+
+// CRTP base every message body derives from:
+//   struct TxBody final : sim::Body<TxBody> { ... };
+template <typename T>
+struct Body : MessageBody {
+  Body() : MessageBody(detail::body_tag<T>()) {}
 };
 
 struct Message {
@@ -25,9 +65,20 @@ struct Message {
 
   template <typename T>
   const T& as() const {
-    const T* typed = dynamic_cast<const T*>(body.get());
-    HERMES_REQUIRE(typed != nullptr);
-    return *typed;
+    HERMES_REQUIRE(body != nullptr &&
+                   body->body_tag == detail::body_tag<T>());
+    return *static_cast<const T*>(body.get());
+  }
+
+  // Optional downcast: nullptr when the body is absent or of another type
+  // (observers that snoop a heterogeneous message stream, e.g. the fuzz
+  // invariant oracle).
+  template <typename T>
+  const T* try_as() const {
+    if (body == nullptr || body->body_tag != detail::body_tag<T>()) {
+      return nullptr;
+    }
+    return static_cast<const T*>(body.get());
   }
 };
 

@@ -5,6 +5,73 @@
 
 namespace hermes::sim {
 
+namespace {
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Network::PairCache::PairCache(std::size_t node_count) {
+  // Each node caches a handful of non-adjacent peers in typical overlay
+  // workloads; all-to-all protocols grow the table on demand.
+  const std::size_t capacity = next_pow2(std::max<std::size_t>(64, node_count * 8));
+  slots_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+std::size_t Network::PairCache::probe_start(std::uint64_t key,
+                                            std::size_t mask) {
+  // splitmix64 finalizer: the packed (min << 32 | max) keys are highly
+  // regular, so mix before masking to keep probe sequences short.
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ULL;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebULL;
+  key ^= key >> 31;
+  return static_cast<std::size_t>(key) & mask;
+}
+
+const double* Network::PairCache::find(std::uint64_t key) const {
+  for (std::size_t i = probe_start(key, mask_);; i = (i + 1) & mask_) {
+    const Slot& slot = slots_[i];
+    if (slot.key == key) return &slot.value;
+    if (slot.key == 0) return nullptr;
+  }
+}
+
+void Network::PairCache::insert(std::uint64_t key, double value) {
+  if ((used_ + 1) * 10 > slots_.size() * 7) grow();
+  for (std::size_t i = probe_start(key, mask_);; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.key == 0) {
+      slot.key = key;
+      slot.value = value;
+      ++used_;
+      return;
+    }
+    HERMES_REQUIRE(slot.key != key);  // double insert
+  }
+}
+
+void Network::PairCache::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.key == 0) continue;
+    for (std::size_t i = probe_start(slot.key, mask_);; i = (i + 1) & mask_) {
+      if (slots_[i].key == 0) {
+        slots_[i] = slot;
+        break;
+      }
+    }
+  }
+}
+
 Network::Network(Engine& engine, const net::Topology& topology,
                  NetworkParams params, Rng rng)
     : engine_(engine),
@@ -15,6 +82,7 @@ Network::Network(Engine& engine, const net::Topology& topology,
       nodes_(topology.graph.node_count(), nullptr),
       counters_(topology.graph.node_count()),
       crashed_(topology.graph.node_count(), false),
+      pair_cache_(topology.graph.node_count()),
       uplink_free_at_(topology.graph.node_count(), 0.0) {}
 
 void Network::attach(net::NodeId id, Node* node) {
@@ -27,15 +95,14 @@ double Network::pair_latency(net::NodeId a, net::NodeId b) {
   if (const auto lat = topology_.graph.edge_latency(a, b)) return *lat;
   const std::uint64_t key =
       (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
-  const auto it = pair_cache_.find(key);
-  if (it != pair_cache_.end()) return it->second;
+  if (const double* cached = pair_cache_.find(key)) return *cached;
   const double lat =
       model_.sample(topology_.regions[a], topology_.regions[b], rng_);
-  pair_cache_.emplace(key, lat);
+  pair_cache_.insert(key, lat);
   return lat;
 }
 
-SimTime Network::send(const Message& msg) {
+std::optional<SimTime> Network::send(const Message& msg) {
   HERMES_REQUIRE(msg.src < nodes_.size() && msg.dst < nodes_.size());
   HERMES_REQUIRE(msg.src != msg.dst);
 
@@ -47,20 +114,20 @@ SimTime Network::send(const Message& msg) {
 
   if (crashed_[msg.src] || crashed_[msg.dst]) {
     ++dropped_;
-    return -1.0;
+    return std::nullopt;
   }
   if (!partition_of_.empty() &&
       partition_of_[msg.src] != partition_of_[msg.dst]) {
     ++dropped_;
-    return -1.0;
+    return std::nullopt;
   }
   if (relay_filter_ && !relay_filter_(msg)) {
     ++dropped_;
-    return -1.0;
+    return std::nullopt;
   }
   if (params_.drop_probability > 0.0 && rng_.bernoulli(params_.drop_probability)) {
     ++dropped_;
-    return -1.0;
+    return std::nullopt;
   }
 
   double latency = pair_latency(msg.src, msg.dst);
@@ -81,6 +148,10 @@ SimTime Network::send(const Message& msg) {
   }
 
   const SimTime deliver_at = engine_.now() + latency;
+  // The delivery closure (Network* + Message) fits EventFn's inline
+  // buffer, so the steady-state send path performs no heap allocation.
+  static_assert(sizeof(Network*) + sizeof(Message) <= EventFn::kInlineBytes,
+                "delivery closure must stay inline in the event pool");
   engine_.schedule(latency, [this, msg]() {
     if (crashed_[msg.dst]) return;
     Node* receiver = nodes_[msg.dst];

@@ -6,9 +6,10 @@
 // and cached so a pair behaves like a stable path.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -50,8 +51,9 @@ class Network {
   void attach(net::NodeId id, Node* node);
 
   // Sends `msg` from msg.src to msg.dst. Returns the scheduled delivery
-  // time, or a negative value if the message was dropped.
-  SimTime send(const Message& msg);
+  // time, or nullopt if the message was dropped (crash, partition, relay
+  // filter, or stochastic loss).
+  std::optional<SimTime> send(const Message& msg);
 
   // Stable latency for the (a, b) pair (graph edge label or cached sample).
   double pair_latency(net::NodeId a, net::NodeId b);
@@ -88,6 +90,32 @@ class Network {
   bool is_partitioned() const { return !partition_of_.empty(); }
 
  private:
+  // Open-addressed (linear probing) map from the packed pair key
+  // (min << 32 | max, never 0 because src != dst) to the sampled latency.
+  // Flat storage sized from the node count keeps the per-send lookup a
+  // couple of cache lines instead of an unordered_map bucket chase; the
+  // Narwhal all-to-all workload touches O(n^2) pairs, so the table grows
+  // (rehashes) at ~0.7 load.
+  class PairCache {
+   public:
+    explicit PairCache(std::size_t node_count);
+    // Returns the cached value, or nullptr (caller samples and insert()s).
+    const double* find(std::uint64_t key) const;
+    void insert(std::uint64_t key, double value);
+
+   private:
+    struct Slot {
+      std::uint64_t key = 0;  // 0 = empty
+      double value = 0.0;
+    };
+    static std::size_t probe_start(std::uint64_t key, std::size_t mask);
+    void grow();
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t used_ = 0;
+  };
+
   Engine& engine_;
   const net::Topology& topology_;
   NetworkParams params_;
@@ -101,7 +129,7 @@ class Network {
   RelayFilter relay_filter_;
   BandwidthCounters total_;
   std::uint64_t dropped_ = 0;
-  std::unordered_map<std::uint64_t, double> pair_cache_;
+  PairCache pair_cache_;
   // Per-node uplink availability time (serialization model).
   std::vector<SimTime> uplink_free_at_;
 };

@@ -220,10 +220,11 @@ TEST(Serialization, DisabledModelHasNoQueueing) {
   m.dst = 1;
   m.type = 99;
   m.wire_bytes = 1000;
-  const sim::SimTime t1 = ctx.network.send(m);
-  const sim::SimTime t2 = ctx.network.send(m);
-  EXPECT_DOUBLE_EQ(t1, lat);
-  EXPECT_DOUBLE_EQ(t2, lat);
+  const std::optional<sim::SimTime> t1 = ctx.network.send(m);
+  const std::optional<sim::SimTime> t2 = ctx.network.send(m);
+  ASSERT_TRUE(t1.has_value() && t2.has_value());
+  EXPECT_DOUBLE_EQ(*t1, lat);
+  EXPECT_DOUBLE_EQ(*t2, lat);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ net::Topology small_topology(std::size_t n = 8) {
   return net::make_topology(params, rng);
 }
 
-struct PingBody final : MessageBody {
+struct PingBody final : Body<PingBody> {
   int value = 0;
 };
 
@@ -58,8 +58,9 @@ Message make_msg(net::NodeId src, net::NodeId dst, int value = 7) {
 TEST(Network, DeliversWithPairLatency) {
   NetworkFixture fx;
   const double lat = fx.net_.pair_latency(0, 1);
-  const SimTime at = fx.net_.send(make_msg(0, 1));
-  EXPECT_GT(at, 0.0);
+  const std::optional<SimTime> at = fx.net_.send(make_msg(0, 1));
+  ASSERT_TRUE(at.has_value());
+  EXPECT_GT(*at, 0.0);
   fx.engine.run();
   ASSERT_EQ(fx.nodes[1]->received.size(), 1u);
   // Link latency + processing delay + a few microseconds of serialization.
@@ -99,7 +100,7 @@ TEST(Network, ResetCountersZeroes) {
 TEST(Network, CrashedReceiverGetsNothing) {
   NetworkFixture fx;
   fx.net_.set_crashed(1, true);
-  fx.net_.send(make_msg(0, 1));
+  EXPECT_FALSE(fx.net_.send(make_msg(0, 1)).has_value());
   fx.engine.run();
   EXPECT_TRUE(fx.nodes[1]->received.empty());
   EXPECT_EQ(fx.net_.dropped_messages(), 1u);

@@ -11,6 +11,14 @@
 //       print the serialized scenario for a seed.
 //   fuzz --replay-file PATH [--mutate NAME]
 //       run a serialized scenario (corpus entry or shrinker output).
+//   fuzz --hash-batch N [--seed-base S]
+//       print "seed trace-hash sends" for N generated scenarios; diffing
+//       two such listings across an engine change proves (or refutes)
+//       trace equivalence of the rewrite.
+//   fuzz --paper-scale N
+//       scale the first benign HERMES scenario to N nodes and run it once
+//       (nightly large-N smoke on the event engine; fails on any
+//       invariant violation).
 
 #include <chrono>
 #include <cstdint>
@@ -37,7 +45,9 @@ int usage() {
                "[--corpus PATH] [--mutate NAME]\n"
                "       fuzz --replay SEED [--mutate NAME]\n"
                "       fuzz --print SEED\n"
-               "       fuzz --replay-file PATH [--mutate NAME]\n");
+               "       fuzz --replay-file PATH [--mutate NAME]\n"
+               "       fuzz --hash-batch N [--seed-base S]\n"
+               "       fuzz --paper-scale NODES\n");
   return 2;
 }
 
@@ -124,6 +134,47 @@ int run_batch(std::uint64_t runs, std::uint64_t seed_base,
   return failed == 0 ? 0 : 1;
 }
 
+// Prints one "seed trace-hash sends" line per generated scenario. Two
+// listings taken before and after an engine change must be byte-identical
+// for the change to count as trace-preserving.
+int hash_batch(std::uint64_t runs, std::uint64_t seed_base) {
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = seed_base + i;
+    const RunResult r = run_scenario(generate_scenario(seed));
+    std::printf("%llu %s %zu\n", static_cast<unsigned long long>(seed),
+                r.trace_hash.c_str(), r.sends);
+  }
+  return 0;
+}
+
+// Scales the first benign HERMES scenario (by seed order) to `nodes`
+// participants and runs it once. Node-indexed scenario fields (committee,
+// injection senders, churn targets) were drawn below the generator's small
+// node count, so they stay valid when the world only grows.
+int paper_scale(std::uint64_t nodes) {
+  std::uint64_t seed = 1;
+  Scenario s = generate_scenario(seed);
+  while (!(s.hermes() && s.benign())) s = generate_scenario(++seed);
+  s.nodes = static_cast<std::size_t>(nodes);
+  std::printf("paper-scale: seed %llu scaled to %zu nodes\n%s",
+              static_cast<unsigned long long>(seed), s.nodes,
+              describe(s).c_str());
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult r = run_scenario(s);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::printf("\ntrace %s (%zu sends, %.0f sim-ms, %lld wall-ms)\n",
+              r.trace_hash.c_str(), r.sends, r.sim_end_ms,
+              static_cast<long long>(wall_ms));
+  if (!r.ok()) {
+    print_failures(r);
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,6 +184,8 @@ int main(int argc, char** argv) {
   std::string corpus_path;
   std::optional<std::uint64_t> replay_seed;
   std::optional<std::uint64_t> print_seed;
+  std::optional<std::uint64_t> hash_batch_runs;
+  std::optional<std::uint64_t> paper_scale_nodes;
   std::string replay_file;
   Mutation mutation = Mutation::kNone;
 
@@ -168,6 +221,16 @@ int main(int argc, char** argv) {
       if (!v) return usage();
       print_seed = *v;
       ++i;
+    } else if (arg == "--hash-batch") {
+      const auto v = parse_u64(value);
+      if (!v) return usage();
+      hash_batch_runs = *v;
+      ++i;
+    } else if (arg == "--paper-scale") {
+      const auto v = parse_u64(value);
+      if (!v || *v < 10) return usage();
+      paper_scale_nodes = *v;
+      ++i;
     } else if (arg == "--replay-file") {
       if (value == nullptr) return usage();
       replay_file = value;
@@ -186,6 +249,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (hash_batch_runs) {
+    return hash_batch(*hash_batch_runs, seed_base);
+  }
+  if (paper_scale_nodes) {
+    return paper_scale(*paper_scale_nodes);
+  }
   if (print_seed) {
     const Scenario s = generate_scenario(*print_seed);
     std::printf("%s", serialize(s).c_str());

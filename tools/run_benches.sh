@@ -1,44 +1,82 @@
 #!/usr/bin/env bash
-# Runs the overlay-construction benchmarks and writes BENCH_overlay.json:
-# a google-benchmark JSON report wrapped together with the pre-rewrite
-# baseline numbers, so before/after is recorded in one artifact.
+# Unified benchmark entry point. Runs the overlay-construction and
+# sim-engine benchmark suites and writes BENCH_overlay.json and
+# BENCH_sim.json: google-benchmark JSON reports wrapped together with the
+# pre-rewrite baseline numbers, so before/after is recorded in one
+# artifact per suite.
 #
-# Usage: tools/run_benches.sh [output.json] [--nodes N]
+# Usage: tools/run_benches.sh [--quick] [--only overlay|sim] [--nodes N]
 #   BUILD_DIR=<dir>  build tree to use (default: <repo>/build)
-#   --nodes N        additionally run the paper-scale k=10 build at N
-#                    (e.g. 2000 or 5000; forwarded to bench_overlay_build)
+#   --quick          smoke mode for CI: tiny subset, 1 repetition, still
+#                    emits the JSON artifacts
+#   --only SUITE     run just one suite (overlay or sim)
+#   --nodes N        additionally run the paper-scale configs at N nodes
+#                    (forwarded to both suites; e.g. 2000 or 10000)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
-BIN="$BUILD/bench/bench_overlay_build"
 
-OUT="$ROOT/BENCH_overlay.json"
-if [[ $# -gt 0 && $1 != --* ]]; then
-  OUT="$1"
+QUICK=0
+ONLY=""
+NODES=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --only)
+      ONLY="$2"
+      shift
+      ;;
+    --nodes)
+      NODES="$2"
+      shift
+      ;;
+    *)
+      echo "usage: tools/run_benches.sh [--quick] [--only overlay|sim] [--nodes N]" >&2
+      exit 2
+      ;;
+  esac
   shift
+done
+
+REPS=3
+AGG=true
+if [[ $QUICK -eq 1 ]]; then
+  REPS=1
+  AGG=false
 fi
 
-if [[ ! -x $BIN ]]; then
-  echo "error: $BIN not built (cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j)" >&2
-  exit 1
-fi
+need_bin() {
+  if [[ ! -x $1 ]]; then
+    echo "error: $1 not built (cmake --preset default && cmake --build $BUILD -j)" >&2
+    exit 1
+  fi
+}
 
-TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+run_overlay() {
+  local bin="$BUILD/bench/bench_overlay_build"
+  need_bin "$bin"
+  local out="$ROOT/BENCH_overlay.json"
+  local tmp
+  tmp="$(mktemp)"
+  local filter='BM_RobustTreeBuild|BM_OverlaySetBuildK10|BM_SimulatedAnnealing'
+  if [[ $QUICK -eq 1 ]]; then
+    filter='BM_RobustTreeBuild|BM_SimulatedAnnealingPass'
+  fi
+  local extra=()
+  [[ -n $NODES ]] && extra+=(--nodes "$NODES")
+  "$bin" \
+    --benchmark_filter="$filter" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only="$AGG" \
+    --benchmark_out="$tmp" \
+    --benchmark_out_format=json \
+    "${extra[@]}"
 
-"$BIN" \
-  --benchmark_filter='BM_RobustTreeBuild|BM_OverlaySetBuildK10|BM_SimulatedAnnealing' \
-  --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true \
-  --benchmark_out="$TMP" \
-  --benchmark_out_format=json \
-  "$@"
-
-# Baseline: seed revision (whole-overlay copies + from-scratch objective per
-# candidate, per-call link-cost cache), measured on the same machine with the
-# same bench configs before the incremental-objective rewrite.
-cat > "$OUT" <<EOF
+  # Baseline: seed revision (whole-overlay copies + from-scratch objective per
+  # candidate, per-call link-cost cache), measured on the same machine with the
+  # same bench configs before the incremental-objective rewrite.
+  cat > "$out" <<EOF
 {
   "baseline_before_incremental_objective": {
     "note": "pre-rewrite seed: overlay copied and rescored from scratch per candidate move",
@@ -46,8 +84,65 @@ cat > "$OUT" <<EOF
     "BM_OverlaySetBuildK10/100_ms": 35.8,
     "BM_OverlaySetBuildK10/200_ms": 101.0
   },
-  "current": $(cat "$TMP")
+  "current": $(cat "$tmp")
 }
 EOF
+  rm -f "$tmp"
+  echo "wrote $out"
+}
 
-echo "wrote $OUT"
+run_sim() {
+  local bin="$BUILD/bench/bench_sim_engine"
+  need_bin "$bin"
+  local out="$ROOT/BENCH_sim.json"
+  local tmp
+  tmp="$(mktemp)"
+  local filter='BM_Engine|BM_Network|BM_HermesDissemination|BM_GossipDissemination'
+  if [[ $QUICK -eq 1 ]]; then
+    filter='BM_EngineScheduleDrain/1024$|BM_NetworkRandomSends'
+  fi
+  local extra=()
+  [[ -n $NODES ]] && extra+=(--nodes "$NODES")
+  "$bin" \
+    --benchmark_filter="$filter" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only="$AGG" \
+    --benchmark_out="$tmp" \
+    --benchmark_out_format=json \
+    "${extra[@]}"
+
+  # Baseline: seed revision (std::function callbacks in a binary-heap
+  # priority_queue, RTTI dynamic_cast message dispatch, unordered_map
+  # pair-latency cache), measured on the same machine with the same bench
+  # configs before the pooled-engine rewrite.
+  cat > "$out" <<EOF
+{
+  "baseline_before_pooled_engine": {
+    "note": "pre-rewrite seed: heap-allocated std::function events in std::priority_queue, dynamic_cast body dispatch",
+    "BM_EngineScheduleDrain/1048576_Mevents_per_sec": 0.878,
+    "BM_EngineScheduleDrainDeliverySized/65536_Mevents_per_sec": 1.70,
+    "BM_EngineSteadyStateTimers/4096_Mevents_per_sec": 5.57,
+    "BM_NetworkRandomSends_Mevents_per_sec": 1.23,
+    "BM_HermesDissemination/500_events_per_sec": 1030640,
+    "BM_HermesDissemination/2000_events_per_sec": 551283,
+    "BM_GossipDissemination/2000_events_per_sec": 1700960
+  },
+  "current": $(cat "$tmp")
+}
+EOF
+  rm -f "$tmp"
+  echo "wrote $out"
+}
+
+case "$ONLY" in
+  "")
+    run_overlay
+    run_sim
+    ;;
+  overlay) run_overlay ;;
+  sim) run_sim ;;
+  *)
+    echo "error: --only expects 'overlay' or 'sim'" >&2
+    exit 2
+    ;;
+esac
