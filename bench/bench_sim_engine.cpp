@@ -6,6 +6,7 @@
 // heap, RTTI message dispatch, unordered_map pair-latency cache).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -221,6 +222,155 @@ void BM_HermesDissemination(benchmark::State& state) {
 BENCHMARK(BM_HermesDissemination)
     ->Arg(500)
     ->Arg(2000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// Degraded-mode dissemination: three sequential crashes erode the trees'
+// f = 1 redundancy margin, then a burst of transactions must still reach
+// every live honest node. Arg(0) = fallback-only recovery (self-healing
+// off: holes are filled by the delayed offer/pull gossip); Arg(1) = the
+// self-healing loop (silence detection -> local repair keeps routing
+// on-tree). Counters:
+//   recovery_ms    mean sim-time from injection until the LAST live honest
+//                  node holds the transaction (time-to-recover)
+//   offtree_sends  fallback requests + payloads during the degraded phase
+//                  (the message overhead of recovering off-tree)
+//   missing        measured txs that never reached some live honest node
+// The view-change threshold is pinned high so the healing run stays in the
+// local-repair regime — this bench isolates repair, not epoch rebuilds.
+void BM_DegradedDissemination(benchmark::State& state) {
+  const bool healing = state.range(0) != 0;
+  const std::size_t nodes = 150;
+  constexpr std::size_t kCrashes = 3;
+  constexpr std::size_t kMeasuredTxs = 8;
+  double total_recovery = 0.0;
+  std::size_t recovered = 0;
+  std::uint64_t offtree = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t total_sends = 0;
+  for (auto _ : state) {
+    hermes_proto::HermesConfig cfg = scale_hermes_config();
+    cfg.enable_self_healing = healing;
+    cfg.view_change_threshold = 100.0;
+    // Warm traffic runs at a deliberately low rate (the committee's Bracha
+    // round is several sequential hops, so a dense single-origin stream
+    // would measure queueing, not recovery). A wider health tick keeps the
+    // per-tree idle window larger than the inter-arrival gap.
+    cfg.health_tick_ms = 500.0;
+    auto protocol = std::make_unique<hermes_proto::HermesProtocol>(cfg);
+    protocols::ExperimentContext ctx(bench::make_bench_topology(nodes, 42),
+                                     sim::NetworkParams{}, 42 ^ 0x5eedULL);
+    protocols::populate(ctx, *protocol);
+    const auto shared = protocol->shared();
+
+    // Victims: non-committee relays (nodes somebody depends on in at least
+    // one tree). Sender: a live non-committee node.
+    std::vector<net::NodeId> victims;
+    for (net::NodeId v = 0; v < nodes && victims.size() < kCrashes; ++v) {
+      if (shared->is_committee_member(v)) continue;
+      for (const auto& ov : shared->overlays) {
+        if (!ov.successors(v).empty()) {
+          victims.push_back(v);
+          break;
+        }
+      }
+    }
+    // Rotate origins so no single sender's TRS stream serializes the run.
+    std::vector<net::NodeId> senders;
+    for (net::NodeId v = 0; v < nodes && senders.size() < 8; ++v) {
+      if (shared->is_committee_member(v) ||
+          std::find(victims.begin(), victims.end(), v) != victims.end()) {
+        continue;
+      }
+      senders.push_back(v);
+    }
+    std::size_t next_sender = 0;
+    const auto pick_sender = [&] {
+      const net::NodeId s = senders[next_sender];
+      next_sender = (next_sender + 1) % senders.size();
+      return s;
+    };
+
+    bool counting = false;
+    std::uint64_t offtree_run = 0;
+    ctx.network.set_send_tap(
+        [&](const sim::Message& m, sim::SimTime) {
+          if (!counting) return;
+          if (m.type == hermes_proto::HermesNode::kMsgFallback ||
+              m.type == hermes_proto::HermesNode::kMsgFallbackRequest) {
+            ++offtree_run;
+          }
+        });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto warm = [&](int steps) {
+      for (int i = 0; i < steps; ++i) {
+        protocols::inject_tx(ctx, pick_sender());
+        ctx.engine.run_until(ctx.engine.now() + 250.0);
+      }
+    };
+    warm(6);
+    // Sequential churn: each crash is followed by enough warm traffic for
+    // the healing run to detect the silence and repair before the next one.
+    for (net::NodeId victim : victims) {
+      ctx.network.set_crashed(victim, true);
+      warm(8);
+    }
+    counting = true;
+    struct Measured {
+      std::uint64_t tx_id;
+      net::NodeId origin;
+      double injected_at;
+    };
+    std::vector<Measured> measured;
+    for (std::size_t i = 0; i < kMeasuredTxs; ++i) {
+      const net::NodeId origin = pick_sender();
+      const auto tx = protocols::inject_tx(ctx, origin);
+      measured.push_back(Measured{tx.id, origin, ctx.engine.now()});
+      ctx.engine.run_until(ctx.engine.now() + 300.0);
+    }
+    ctx.engine.run_until(ctx.engine.now() + 6000.0);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+
+    for (const auto& [tx_id, origin, injected_at] : measured) {
+      double last = injected_at;
+      bool complete = true;
+      for (net::NodeId v = 0; v < nodes; ++v) {
+        if (v == origin || !ctx.is_honest(v) || ctx.network.is_crashed(v)) {
+          continue;
+        }
+        if (!ctx.tracker.delivered(tx_id, v)) {
+          complete = false;
+          break;
+        }
+        last = std::max(last, ctx.tracker.delivery_time(tx_id, v));
+      }
+      if (complete) {
+        total_recovery += last - injected_at;
+        ++recovered;
+      } else {
+        ++missing;
+      }
+    }
+    offtree += offtree_run;
+    total_sends += ctx.network.total().messages_sent;
+  }
+  state.counters["recovery_ms"] = benchmark::Counter(
+      recovered == 0 ? 0.0
+                     : total_recovery / static_cast<double>(recovered));
+  state.counters["offtree_sends"] = benchmark::Counter(
+      static_cast<double>(offtree) / static_cast<double>(state.iterations()));
+  state.counters["missing"] =
+      benchmark::Counter(static_cast<double>(missing));
+  state.counters["sends"] = benchmark::Counter(
+      static_cast<double>(total_sends) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DegradedDissemination)
+    ->Arg(0)
+    ->Arg(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "hermes/trs.hpp"
+#include "overlay/encoding.hpp"
 #include "overlay/overlay.hpp"
 #include "support/rng.hpp"
 
@@ -47,6 +48,10 @@ const char* mutation_name(Mutation m) {
       return "false-accusation";
     case Mutation::kOverlayDeficit:
       return "overlay-deficit";
+    case Mutation::kRepairDivergence:
+      return "repair-divergence";
+    case Mutation::kLostRecovery:
+      return "lost-recovery";
   }
   return "?";
 }
@@ -55,7 +60,8 @@ std::optional<Mutation> mutation_from(const std::string& name) {
   for (Mutation m :
        {Mutation::kNone, Mutation::kDuplicateDelivery,
         Mutation::kSequenceFabrication, Mutation::kWrongOverlay,
-        Mutation::kFalseAccusation, Mutation::kOverlayDeficit}) {
+        Mutation::kFalseAccusation, Mutation::kOverlayDeficit,
+        Mutation::kRepairDivergence, Mutation::kLostRecovery}) {
     if (name == mutation_name(m)) return m;
   }
   return std::nullopt;
@@ -136,7 +142,12 @@ void InvariantSuite::note_injected(std::uint64_t tx_id, bool batch_member) {
 
 void InvariantSuite::add_generation(
     const std::shared_ptr<const hermes_proto::HermesShared>& shared) {
-  if (shared) generations_.push_back(shared->overlays);
+  if (!shared) return;
+  // The runner snapshots again after the run in case a health-triggered
+  // view change installed a new generation; skip it if nothing changed.
+  if (shared.get() == last_generation_) return;
+  last_generation_ = shared.get();
+  generations_.push_back(shared->overlays);
 }
 
 void InvariantSuite::apply_mutation(Mutation m) {
@@ -188,6 +199,19 @@ void InvariantSuite::apply_mutation(Mutation m) {
         const std::vector<net::NodeId> preds = o.predecessors(v);
         for (net::NodeId p : preds) o.remove_link(p, v);
         break;
+      }
+      break;
+    }
+    case Mutation::kRepairDivergence: {
+      synthetic_repair_divergence_ = true;
+      break;
+    }
+    case Mutation::kLostRecovery: {
+      // Pretend one injected tx silently vanished from an eligible node.
+      if (!injected_.empty()) {
+        synthetic_lost_.push_back(injected_.begin()->first);
+      } else {
+        synthetic_lost_.push_back(mempool::Transaction::make_id(0, 1));
       }
       break;
     }
@@ -308,8 +332,10 @@ void InvariantSuite::check_fallback(std::vector<Failure>& out) const {
   }
   // In a benign run with a delay comfortably beyond the dissemination tail,
   // every node holds every transaction before the first offer fires — a
-  // pull means the fallback activated without faults.
-  if (scenario_.benign() && scenario_.fallback_delay_ms >= 2000.0 &&
+  // pull means the fallback activated without faults. Self-healing gap
+  // pulls are FallbackRequests by design, so the rule is void there.
+  if (scenario_.benign() && !scenario_.self_healing &&
+      scenario_.fallback_delay_ms >= 2000.0 &&
       honest_fallback_requests_ > 0) {
     std::ostringstream detail;
     detail << "benign run (fallback delay " << scenario_.fallback_delay_ms
@@ -410,14 +436,17 @@ void InvariantSuite::check_coverage(std::vector<Failure>& out) const {
   if (!scenario_.partitions.empty() || scenario_.transit_faults) return;
   if (scenario_.drain_ms < 4000.0) return;
   if (scenario_.max_concurrent_crashes() > scenario_.f) return;
-  std::size_t epoch_advances = 0;
+  std::size_t epoch_advances = auto_epoch_advances_;
   for (const ChurnEvent& ev : scenario_.churn) {
     epoch_advances += ev.advance_epoch ? 1 : 0;
   }
   if (epoch_advances >= 2) return;  // stale-drop of a 2-generations-old cert
 
+  // Link flaps silently drop in-window traffic, so they demote the run to
+  // the repair tier; stragglers only delay and the drain already covers it.
   const bool churn_only = scenario_.byzantine.empty() && !scenario_.blind_blast &&
-                          scenario_.drop_probability == 0.0;
+                          scenario_.drop_probability == 0.0 &&
+                          scenario_.link_flaps.empty();
   enum class Tier { kExact, kSlack, kRepair } tier;
   if (scenario_.benign()) {
     tier = Tier::kExact;
@@ -484,6 +513,107 @@ void InvariantSuite::check_coverage(std::vector<Failure>& out) const {
   }
 }
 
+void InvariantSuite::check_repair_convergence(std::vector<Failure>& out) const {
+  if (!scenario_.hermes() || !scenario_.self_healing) return;
+  const std::size_t before = out.size();
+  if (synthetic_repair_divergence_) {
+    add_failure(out, before, "repair-convergence",
+                "synthetic repaired-overlay divergence (mutation)");
+  }
+  // Local repair is a pure function of (pristine overlays, removal set
+  // applied in ascending id order), so honest never-crashed nodes whose
+  // removal sets agree must hold byte-identical repaired trees.
+  std::map<std::vector<net::NodeId>, std::vector<const HermesNode*>> groups;
+  for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+    if (!honest(v) || ever_crashed_[v]) continue;
+    const auto* hn = dynamic_cast<const HermesNode*>(&ctx_.node(v));
+    if (hn == nullptr) continue;
+    std::vector<net::NodeId> key(hn->removed_nodes().begin(),
+                                 hn->removed_nodes().end());
+    groups[std::move(key)].push_back(hn);
+  }
+  for (const auto& [removal, members] : groups) {
+    if (members.size() < 2) continue;
+    const HermesNode* ref = members.front();
+    for (std::size_t idx = 0; idx < scenario_.k; ++idx) {
+      const overlay::Overlay* base = ref->repaired_overlay(idx);
+      const Bytes base_bytes =
+          base ? overlay::encode_overlay(*base) : Bytes{};
+      for (std::size_t m = 1; m < members.size(); ++m) {
+        const overlay::Overlay* other = members[m]->repaired_overlay(idx);
+        const bool mismatch =
+            (base == nullptr) != (other == nullptr) ||
+            (other != nullptr && overlay::encode_overlay(*other) != base_bytes);
+        if (mismatch) {
+          std::ostringstream detail;
+          detail << "nodes " << ref->id() << " and " << members[m]->id()
+                 << " share removal set {";
+          for (std::size_t i = 0; i < removal.size(); ++i) {
+            detail << (i ? "," : "") << removal[i];
+          }
+          detail << "} but diverge on repaired overlay " << idx;
+          add_failure(out, before, "repair-convergence", detail.str());
+        }
+      }
+    }
+  }
+}
+
+void InvariantSuite::check_recovery_liveness(std::vector<Failure>& out) const {
+  if (!scenario_.hermes() || !scenario_.self_healing) return;
+  // Decidable regime only: no random drops or partitions (the repair loop
+  // is then the only lossy element), crashes within the f budget, at most
+  // one overlay generation swap, a connected honest core, and enough drain
+  // for digests to spread and gap pulls to drain multi-hop holes.
+  if (!scenario_.enable_fallback) return;
+  if (scenario_.drop_probability > 0.0 || !scenario_.partitions.empty() ||
+      scenario_.transit_faults) {
+    return;
+  }
+  if (scenario_.max_concurrent_crashes() > scenario_.f) return;
+  std::size_t epoch_advances = auto_epoch_advances_;
+  for (const ChurnEvent& ev : scenario_.churn) {
+    epoch_advances += ev.advance_epoch ? 1 : 0;
+  }
+  if (epoch_advances >= 2) return;
+  if (!honest_subgraph_connected()) return;
+  if (scenario_.drain_ms < 8000.0) return;
+
+  std::vector<net::NodeId> eligible;
+  for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+    if (honest(v) && !ever_crashed_[v]) eligible.push_back(v);
+  }
+
+  const std::size_t before = out.size();
+  for (std::uint64_t id : synthetic_lost_) {
+    std::ostringstream detail;
+    detail << "tx " << id << " lost on an eligible node (mutation)";
+    add_failure(out, before, "recovery-liveness", detail.str());
+  }
+  for (const auto& [id, batch_member] : injected_) {
+    if (batch_member) continue;  // members have no per-seq pull identity
+    const net::NodeId sender = static_cast<net::NodeId>(id >> 32);
+    // Certified iff some eligible non-origin node delivered it: an
+    // uncertified tx (e.g. its TRS round parked behind a crashed origin)
+    // has nothing to recover.
+    bool certified = false;
+    for (net::NodeId v : eligible) {
+      if (v != sender && ctx_.tracker.delivered(id, v)) {
+        certified = true;
+        break;
+      }
+    }
+    if (!certified) continue;
+    for (net::NodeId v : eligible) {
+      if (v == sender || ctx_.tracker.delivered(id, v)) continue;
+      std::ostringstream detail;
+      detail << "certified tx " << id << " never reached eligible honest node "
+             << v << " despite self-healing";
+      add_failure(out, before, "recovery-liveness", detail.str());
+    }
+  }
+}
+
 std::vector<Failure> InvariantSuite::finish() {
   std::vector<Failure> out;
   check_duplicates(out);
@@ -493,6 +623,8 @@ std::vector<Failure> InvariantSuite::finish() {
   check_fallback(out);
   check_connectivity(out);
   check_coverage(out);
+  check_repair_convergence(out);
+  check_recovery_liveness(out);
   return out;
 }
 

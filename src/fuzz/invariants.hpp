@@ -25,6 +25,14 @@
 //                           never-crashed population (exact in benign
 //                           runs, f-slack under churn, lenient-threshold
 //                           when the gossip fallback is carrying faults)
+//   repair-convergence      with self-healing on, honest never-crashed
+//                           nodes that agree on a removal set hold
+//                           byte-identical locally repaired overlays
+//   recovery-liveness       with self-healing on (in regimes where
+//                           recovery is decidable), every certified
+//                           transaction reaches *every* eligible honest
+//                           node — the repair loop closes the holes the
+//                           coverage allowance would otherwise tolerate
 //
 // Mutations corrupt the *observation streams* just before the verdict —
 // they simulate a protocol that broke the corresponding property, proving
@@ -55,6 +63,8 @@ enum class Mutation : std::uint8_t {
   kWrongOverlay,
   kFalseAccusation,
   kOverlayDeficit,
+  kRepairDivergence,
+  kLostRecovery,
 };
 
 const char* mutation_name(Mutation m);
@@ -76,6 +86,9 @@ class InvariantSuite {
   void note_injected(std::uint64_t tx_id, bool batch_member);
   void add_generation(
       const std::shared_ptr<const hermes_proto::HermesShared>& shared);
+  // Number of health-triggered (automatic) view changes during the run;
+  // folded into the epoch-advance budget of the coverage oracle.
+  void set_auto_epoch_advances(std::uint64_t n) { auto_epoch_advances_ = n; }
 
   // Corrupts recorded observations (see header comment).
   void apply_mutation(Mutation m);
@@ -108,6 +121,12 @@ class InvariantSuite {
   void check_fallback(std::vector<Failure>& out) const;
   void check_connectivity(std::vector<Failure>& out) const;
   void check_coverage(std::vector<Failure>& out) const;
+  // Self-healing checks (only bite when scenario_.self_healing):
+  // honest nodes that agree on the removal set hold byte-identical
+  // repaired overlays; certified transactions still reach every eligible
+  // honest node in regimes where recovery is decidable.
+  void check_repair_convergence(std::vector<Failure>& out) const;
+  void check_recovery_liveness(std::vector<Failure>& out) const;
   // True when the physical graph restricted to honest, never-crashed nodes
   // is connected — the precondition for fallback-driven repair.
   bool honest_subgraph_connected() const;
@@ -133,8 +152,13 @@ class InvariantSuite {
 
   // Certified overlay generations (copied so mutations may corrupt them).
   std::vector<std::vector<overlay::Overlay>> generations_;
+  const void* last_generation_ = nullptr;  // dedup repeated add_generation
+
+  std::uint64_t auto_epoch_advances_ = 0;
 
   std::vector<std::pair<net::NodeId, net::NodeId>> synthetic_accusations_;
+  bool synthetic_repair_divergence_ = false;
+  std::vector<std::uint64_t> synthetic_lost_;
 };
 
 }  // namespace hermes::fuzz

@@ -30,6 +30,7 @@ HermesConfig hermes_config(const Scenario& s) {
   cfg.enable_acks = s.enable_acks;
   cfg.adversary_blind_blast = s.blind_blast;
   cfg.direct_entry_injection = s.direct_injection;
+  cfg.enable_self_healing = s.self_healing;
   cfg.builder.f = s.f;
   cfg.builder.k = s.k;
   // Short annealing schedule: enough to exercise the optimizer (including
@@ -78,6 +79,18 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
   w.ctx->attack_enabled = s.has_front_runner();
   // enable_transit_faults resets the send tap, so it must precede ours.
   if (s.transit_faults) protocols::enable_transit_faults(*w.ctx);
+
+  for (const LinkFlap& flap : s.link_flaps) {
+    if (flap.a >= s.nodes || flap.b >= s.nodes || flap.a == flap.b ||
+        flap.start_ms >= flap.end_ms) {
+      continue;
+    }
+    w.ctx->network.add_link_flap(flap.a, flap.b, flap.start_ms, flap.end_ms);
+  }
+  for (const Straggler& st : s.stragglers) {
+    if (st.node >= s.nodes || st.multiplier <= 0.0) continue;
+    w.ctx->network.set_processing_multiplier(st.node, st.multiplier);
+  }
 
   w.start();
 
@@ -179,8 +192,19 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
   for (const PartitionWindow& pw : s.partitions) {
     horizon = std::max(horizon, pw.end_ms);
   }
+  for (const LinkFlap& flap : s.link_flaps) {
+    horizon = std::max(horizon, flap.end_ms);
+  }
   horizon += s.drain_ms;
   w.run_ms(horizon);
+
+  if (hermes != nullptr) {
+    // Health-triggered view changes install a new generation mid-run; the
+    // suite needs it for certificate/coverage decisions, plus the advance
+    // count so epoch accounting stays consistent.
+    suite.set_auto_epoch_advances(hermes->auto_advances());
+    suite.add_generation(hermes->shared());
+  }
 
   suite.apply_mutation(opts.mutation);
 

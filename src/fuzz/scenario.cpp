@@ -22,7 +22,8 @@ bool Scenario::has_front_runner() const {
 
 bool Scenario::benign() const {
   return byzantine.empty() && !transit_faults && drop_probability == 0.0 &&
-         churn.empty() && partitions.empty();
+         churn.empty() && partitions.empty() && link_flaps.empty() &&
+         stragglers.empty();
 }
 
 std::size_t Scenario::max_concurrent_crashes() const {
@@ -41,7 +42,7 @@ std::size_t Scenario::max_concurrent_crashes() const {
   return peak;
 }
 
-Scenario generate_scenario(std::uint64_t seed) {
+Scenario generate_scenario(std::uint64_t seed, bool extended) {
   Scenario s;
   s.seed = seed;
   Rng rng(seed ^ 0x5ce7a51a9f22ULL);
@@ -188,6 +189,45 @@ Scenario generate_scenario(std::uint64_t seed) {
                      s.drop_probability > 0.0 || !s.churn.empty() ||
                      !s.partitions.empty();
   s.drain_ms = messy ? 12000.0 + rng.uniform_real(0.0, 4000.0) : 6000.0;
+  if (!extended) return s;
+
+  // --- extended fault modes. Every draw below comes strictly after every
+  // legacy draw, so extended=false replays the historical corpus exactly.
+  if (rng.bernoulli(0.25)) {
+    const std::size_t n_flaps = 1 + rng.uniform_u64(3);  // 1..3 windows
+    for (std::size_t i = 0; i < n_flaps; ++i) {
+      LinkFlap flap;
+      flap.a = static_cast<net::NodeId>(rng.uniform_u64(s.nodes));
+      flap.b = static_cast<net::NodeId>(rng.uniform_u64(s.nodes - 1));
+      if (flap.b >= flap.a) ++flap.b;  // distinct endpoints
+      flap.start_ms = rng.uniform_real(50.0, last_inject + 1000.0);
+      flap.end_ms = flap.start_ms + rng.uniform_real(200.0, 1500.0);
+      s.link_flaps.push_back(flap);
+    }
+  }
+  if (rng.bernoulli(0.25)) {
+    const std::size_t n_strag = 1 + rng.uniform_u64(2);  // 1..2 nodes
+    for (std::size_t idx : rng.sample_indices(s.nodes, n_strag)) {
+      Straggler st;
+      st.node = static_cast<net::NodeId>(idx);
+      // processing_delay_ms is tiny (0.05 ms default), so meaningful
+      // straggling needs a large multiplier.
+      st.multiplier = rng.uniform_real(20.0, 400.0);
+      s.stragglers.push_back(st);
+    }
+    std::sort(s.stragglers.begin(), s.stragglers.end(),
+              [](const auto& a, const auto& b) { return a.node < b.node; });
+  }
+  // Self-healing rides the fallback path (gap pulls are FallbackRequests),
+  // so it is only sampled when the fallback is on. Recovery needs room:
+  // detection (silence strikes) + repair + pulls stretch the tail.
+  if (s.hermes() && s.enable_fallback && rng.bernoulli(0.5)) {
+    s.self_healing = true;
+    s.drain_ms = std::max(s.drain_ms, 10000.0 + rng.uniform_real(0.0, 2000.0));
+  }
+  if (!s.link_flaps.empty() || !s.stragglers.empty()) {
+    s.drain_ms = std::max(s.drain_ms, 12000.0 + rng.uniform_real(0.0, 2000.0));
+  }
   return s;
 }
 
@@ -264,6 +304,9 @@ std::string describe(const Scenario& s) {
   out << " inj=" << s.injections.size();
   if (!s.churn.empty()) out << " churn=" << s.churn.size();
   if (!s.partitions.empty()) out << " part=" << s.partitions.size();
+  if (!s.link_flaps.empty()) out << " flaps=" << s.link_flaps.size();
+  if (!s.stragglers.empty()) out << " strag=" << s.stragglers.size();
+  if (s.self_healing) out << " healing";
   if (s.hermes() && !s.enable_fallback) out << " nofallback";
   out << " drain=" << s.drain_ms;
   return out.str();
@@ -289,6 +332,7 @@ std::string serialize(const Scenario& s) {
   out << "enable_acks=" << (s.enable_acks ? 1 : 0) << "\n";
   out << "direct_injection=" << (s.direct_injection ? 1 : 0) << "\n";
   out << "annealing_workers=" << s.annealing_workers << "\n";
+  out << "self_healing=" << (s.self_healing ? 1 : 0) << "\n";
   out << "drain_ms=" << fmt_double(s.drain_ms) << "\n";
   if (!s.committee.empty()) {
     out << "committee=";
@@ -322,6 +366,15 @@ std::string serialize(const Scenario& s) {
     out << "partition start=" << fmt_double(pw.start_ms)
         << " end=" << fmt_double(pw.end_ms)
         << " assign_seed=" << pw.assign_seed << "\n";
+  }
+  for (const LinkFlap& flap : s.link_flaps) {
+    out << "flap a=" << flap.a << " b=" << flap.b
+        << " start=" << fmt_double(flap.start_ms)
+        << " end=" << fmt_double(flap.end_ms) << "\n";
+  }
+  for (const Straggler& st : s.stragglers) {
+    out << "straggler node=" << st.node
+        << " mult=" << fmt_double(st.multiplier) << "\n";
   }
   return out.str();
 }
@@ -392,6 +445,28 @@ std::optional<Scenario> parse_scenario(const std::string& text) {
         else return std::nullopt;
       }
       s.partitions.push_back(pw);
+    } else if (head == "flap") {
+      LinkFlap flap;
+      std::string token, key, value;
+      while (ls >> token) {
+        if (!split_kv(token, key, value)) return std::nullopt;
+        if (key == "a") flap.a = static_cast<net::NodeId>(to_u64(value));
+        else if (key == "b") flap.b = static_cast<net::NodeId>(to_u64(value));
+        else if (key == "start") flap.start_ms = to_double(value);
+        else if (key == "end") flap.end_ms = to_double(value);
+        else return std::nullopt;
+      }
+      s.link_flaps.push_back(flap);
+    } else if (head == "straggler") {
+      Straggler st;
+      std::string token, key, value;
+      while (ls >> token) {
+        if (!split_kv(token, key, value)) return std::nullopt;
+        if (key == "node") st.node = static_cast<net::NodeId>(to_u64(value));
+        else if (key == "mult") st.multiplier = to_double(value);
+        else return std::nullopt;
+      }
+      s.stragglers.push_back(st);
     } else {
       std::string key, value;
       if (!split_kv(head, key, value)) return std::nullopt;
@@ -415,6 +490,7 @@ std::optional<Scenario> parse_scenario(const std::string& text) {
       else if (key == "enable_acks") s.enable_acks = to_u64(value) != 0;
       else if (key == "direct_injection") s.direct_injection = to_u64(value) != 0;
       else if (key == "annealing_workers") s.annealing_workers = to_u64(value);
+      else if (key == "self_healing") s.self_healing = to_u64(value) != 0;
       else if (key == "drain_ms") s.drain_ms = to_double(value);
       else if (key == "committee") {
         for (const std::string& part : split(value, ',')) {

@@ -53,6 +53,22 @@ struct PartitionWindow {
   std::uint64_t assign_seed = 0;
 };
 
+// One physical link silently dropping every message during
+// [start_ms, end_ms) — the grey-failure sibling of a partition.
+struct LinkFlap {
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+// A node whose local processing delay is scaled by `multiplier` for the
+// whole run (slow disk, overloaded host): late, not silent.
+struct Straggler {
+  net::NodeId node = 0;
+  double multiplier = 1.0;
+};
+
 struct Scenario {
   std::uint64_t seed = 0;
 
@@ -80,11 +96,16 @@ struct Scenario {
   bool enable_acks = false;
   bool direct_injection = true;  // false: relay over f+1 disjoint paths
   std::size_t annealing_workers = 1;
+  // Self-healing loop (HermesConfig::enable_self_healing): health ticks,
+  // gap pulls, local repair, health-triggered view changes.
+  bool self_healing = false;
 
   // Schedule.
   std::vector<Injection> injections;
   std::vector<ChurnEvent> churn;
   std::vector<PartitionWindow> partitions;
+  std::vector<LinkFlap> link_flaps;
+  std::vector<Straggler> stragglers;
   double drain_ms = 6000.0;
 
   bool hermes() const { return protocol == ProtocolKind::kHermes; }
@@ -98,8 +119,12 @@ struct Scenario {
 };
 
 // Deterministic scenario synthesis: the full experiment is a pure function
-// of `seed`.
-Scenario generate_scenario(std::uint64_t seed);
+// of `seed`. With `extended` set (the default) the generator also samples
+// the post-v1 fault modes — link flaps, stragglers, self-healing — whose
+// draws are appended strictly after every legacy draw, so
+// extended == false reproduces the historical corpus byte-for-byte (this
+// is what `fuzz --hash-batch` uses as its trace-equivalence baseline).
+Scenario generate_scenario(std::uint64_t seed, bool extended = true);
 
 // One-line human summary (batch logs, corpus annotations).
 std::string describe(const Scenario& s);

@@ -70,6 +70,53 @@ struct HermesConfig {
   // which tolerates Byzantine relays at a latency cost.
   bool direct_entry_injection = true;
 
+  // TRS round-trip retry (Section IV step 1). The origin re-sends its
+  // request to silent committee members with exponential backoff starting
+  // at trs_retry_base_ms and multiplying by trs_retry_backoff each attempt
+  // (capped at trs_retry_max_ms), giving up — and dropping the pending
+  // entry — after trs_retry_max_attempts. The defaults reproduce the
+  // historical fixed 400 ms x 12 schedule exactly.
+  double trs_retry_base_ms = 400.0;
+  double trs_retry_backoff = 1.0;
+  double trs_retry_max_ms = 3200.0;
+  std::size_t trs_retry_max_attempts = 12;
+
+  // --- Self-healing (detect -> repair -> recover, Sections VI-C/VII) ---
+  // Master switch. Off by default: every knob below is inert and the
+  // protocol's message trace is bit-identical to the pre-self-healing
+  // implementation.
+  bool enable_self_healing = false;
+
+  // HealthMonitor cadence: each node samples its own health every
+  // health_tick_ms and acts on what it sees (gap pulls, silence strikes,
+  // view-change votes).
+  double health_tick_ms = 200.0;
+
+  // A predecessor that stayed silent across this many consecutive health
+  // ticks while the node kept receiving the same origins' traffic on other
+  // overlays earns a DepartureReport. f+1 distinct reporters mark the node
+  // departed everywhere (f+1 cannot all be faulty).
+  std::size_t silence_strikes = 3;
+
+  // A delivery gap older than this triggers a targeted gap pull from
+  // overlay-neighbor peers (reuses the fallback request path).
+  double gap_pull_after_ms = 600.0;
+
+  // View change: committee members vote to advance the epoch when the
+  // cumulative degradation score (departed + excluded nodes weighted by
+  // failed local repairs) reaches view_change_threshold; the vote clears
+  // only after degradation falls below view_change_clear (hysteresis), and
+  // two automatic epoch advances are separated by at least
+  // view_change_cooldown_ms (anti-flapping).
+  double view_change_threshold = 3.0;
+  double view_change_clear = 1.0;
+  double view_change_cooldown_ms = 5000.0;
+
+  // Weight of a failed local repair in the degradation score (a failed
+  // repair means the overlay is structurally degraded beyond local fixes,
+  // so it weighs more than a cleanly absorbed departure).
+  double failed_repair_weight = 2.0;
+
   // Overlay construction knobs (offline phase).
   overlay::BuilderParams builder;
 

@@ -1,0 +1,79 @@
+#include "hermes/health.hpp"
+
+namespace hermes::hermes_proto {
+
+void HealthMonitor::observe_progress(net::NodeId origin,
+                                     std::uint64_t contiguous,
+                                     std::uint64_t max_seen,
+                                     sim::SimTime now) {
+  GapState& state = gaps_[origin];
+  state.contiguous = contiguous;
+  state.max_seen = max_seen;
+  if (max_seen > contiguous) {
+    if (state.gap_since < 0.0) state.gap_since = now;
+  } else {
+    state.gap_since = -1.0;
+  }
+}
+
+void HealthMonitor::note_overlay_shortfall(std::size_t overlay_index) {
+  ++shortfall_[overlay_index];
+}
+
+void HealthMonitor::on_epoch_advanced() {
+  // Gap timers restart: in-flight holes will be re-observed against the
+  // new generation, and counting pre-change degradation twice would defeat
+  // the hysteresis.
+  gaps_.clear();
+  removed_since_epoch_ = 0;
+  trs_give_ups_since_epoch_ = 0;
+  failed_repairs_ = 0;
+}
+
+std::vector<HealthMonitor::Gap> HealthMonitor::stale_gaps(
+    sim::SimTime now) const {
+  std::vector<Gap> out;
+  for (const auto& [origin, state] : gaps_) {
+    if (state.gap_since < 0.0) continue;
+    if (now - state.gap_since < stale_gap_after_ms_) continue;
+    out.push_back(Gap{origin, state.contiguous + 1, state.max_seen});
+  }
+  return out;
+}
+
+bool HealthMonitor::gap_stale(net::NodeId origin, sim::SimTime now) const {
+  const auto it = gaps_.find(origin);
+  if (it == gaps_.end() || it->second.gap_since < 0.0) return false;
+  return now - it->second.gap_since >= stale_gap_after_ms_;
+}
+
+std::size_t HealthMonitor::stale_gap_count(sim::SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& [origin, state] : gaps_) {
+    if (state.gap_since >= 0.0 && now - state.gap_since >= stale_gap_after_ms_) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t HealthMonitor::overlay_shortfall(std::size_t overlay_index) const {
+  const auto it = shortfall_.find(overlay_index);
+  return it == shortfall_.end() ? 0 : it->second;
+}
+
+std::size_t HealthMonitor::total_overlay_shortfall() const {
+  std::size_t total = 0;
+  for (const auto& [idx, count] : shortfall_) total += count;
+  return total;
+}
+
+double HealthMonitor::degradation_score(double failed_repair_weight,
+                                        sim::SimTime now) const {
+  return static_cast<double>(removed_since_epoch_) +
+         failed_repair_weight * static_cast<double>(failed_repairs_) +
+         0.5 * static_cast<double>(stale_gap_count(now)) +
+         0.5 * static_cast<double>(trs_give_ups_since_epoch_);
+}
+
+}  // namespace hermes::hermes_proto

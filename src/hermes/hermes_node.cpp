@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/connectivity.hpp"
+#include "overlay/repair.hpp"
 #include "support/assert.hpp"
 
 namespace hermes::hermes_proto {
@@ -54,7 +55,8 @@ HermesNode::HermesNode(ExperimentContext& ctx, net::NodeId id,
     : ProtocolNode(ctx, id),
       shared_(std::move(shared)),
       rng_(ctx.rng.fork(0x8e77ULL * (id + 1))),
-      collector_(*shared_->scheme) {
+      collector_(*shared_->scheme),
+      monitor_(shared_->config.gap_pull_after_ms) {
   const std::size_t idx = shared_->committee_index(id);
   if (idx != 0) {
     committee_state_ =
@@ -99,8 +101,17 @@ void HermesNode::send_trs_request(const TrsId& trs, int attempt) {
       pending_batches_.count(trs.key()) == 0) {
     return;  // certificate already formed
   }
-  constexpr int kMaxAttempts = 12;
-  if (attempt >= kMaxAttempts) return;
+  const HermesConfig& cfg = shared_->config;
+  if (attempt >= static_cast<int>(cfg.trs_retry_max_attempts)) {
+    // Give up for real: drop the pending entry (a leaked entry would let a
+    // stray late partial complete a round the sender already wrote off,
+    // and would pin the payload forever) and surface the failure.
+    pending_.erase(trs.key());
+    pending_batches_.erase(trs.key());
+    ++trs_given_up_;
+    monitor_.note_trs_give_up();
+    return;
+  }
   for (net::NodeId member : shared_->committee) {
     if (member == id()) continue;
     auto body = std::make_shared<TrsRequestBody>();
@@ -122,8 +133,13 @@ void HermesNode::send_trs_request(const TrsId& trs, int attempt) {
   // Message loss is not retried by the network; the sender re-requests
   // until the certificate forms. Committee members answer duplicates of
   // already-delivered tuples with a fresh partial, so one surviving
-  // retransmission completes the round.
-  ctx_.engine.schedule(400.0, [this, trs, attempt] {
+  // retransmission completes the round. The retry delay backs off
+  // exponentially (the defaults keep it flat at the historical 400 ms).
+  double delay = cfg.trs_retry_base_ms;
+  for (int i = 0; i < attempt; ++i) {
+    delay = std::min(delay * cfg.trs_retry_backoff, cfg.trs_retry_max_ms);
+  }
+  ctx_.engine.schedule(delay, [this, trs, attempt] {
     send_trs_request(trs, attempt + 1);
   });
 }
@@ -171,7 +187,7 @@ void HermesNode::disseminate_batch(const std::vector<Transaction>& txs,
     chunk.epoch = shared_->epoch;
     chunk.shard = shard;
     absorb_chunk(chunk);  // the sender holds every shard
-    const overlay::Overlay& ov = shared_->overlays[overlay_index];
+    const overlay::Overlay& ov = routing_overlay(*shared_, overlay_index);
     // One immutable body per shard, shared by every entry-point copy.
     std::shared_ptr<const BatchChunkBody> body;
     for (net::NodeId entry : ov.entry_points()) {
@@ -193,7 +209,7 @@ void HermesNode::forward_chunk(const BatchChunkBody& chunk) {
   if (shared == nullptr) return;  // stale generation
   const std::size_t overlay_index =
       (chunk.base_overlay + chunk.shard.index) % shared->config.k;
-  const overlay::Overlay& ov = shared->overlays[overlay_index];
+  const overlay::Overlay& ov = routing_overlay(*shared, overlay_index);
   const auto& succs = ov.successors(id());
   if (succs.empty()) return;
   auto body = std::make_shared<const BatchChunkBody>(chunk);
@@ -223,6 +239,9 @@ void HermesNode::absorb_chunk(const BatchChunkBody& chunk) {
   assembly.shards.clear();
   ++batches_decoded_;
   for (const Transaction& tx : *txs) deliver_tx(tx);
+  // The batch consumed one sequence number of its origin: close it, or
+  // gap detection would chase a hole that is not a missing transaction.
+  note_sequence_delivered(chunk.trs.origin, chunk.trs.seq);
 }
 
 void HermesNode::on_batch_chunk(const sim::Message& msg) {
@@ -247,10 +266,22 @@ void HermesNode::on_batch_chunk(const sim::Message& msg) {
   }
   const std::size_t overlay_index = (chunk.base_overlay + chunk.shard.index) % k;
   const overlay::Overlay& ov = shared->overlays[overlay_index];
-  if (!ov.is_entry(id()) && !ov.has_link(msg.src, id())) {
+  bool legitimate = ov.is_entry(id()) || ov.has_link(msg.src, id());
+  if (!legitimate && healing_enabled()) {
+    // Same repair-convergence leniency as on_data.
+    if (shared == shared_.get()) {
+      const overlay::Overlay& route = routing_overlay(*shared, overlay_index);
+      legitimate = route.is_entry(id()) || route.has_link(msg.src, id());
+    }
+    legitimate = legitimate || msg.src == chunk.trs.origin ||
+                 (ov.depth(msg.src) != 0 && ov.depth(id()) != 0 &&
+                  ov.depth(msg.src) <= ov.depth(id()));
+  }
+  if (!legitimate) {
     record_violation(ViolationKind::kIllegitimatePredecessor, msg.src, 0);
     return;
   }
+  if (healing_enabled()) overlay_recv_[overlay_index][msg.src] = now();
   absorb_chunk(chunk);
   if (!relays()) return;
   forward_chunk(chunk);
@@ -455,7 +486,7 @@ void HermesNode::disseminate(const Transaction& tx, const TrsId& trs,
   ctx_.tracker.restamp_created(tx.id, now());
   remember_cert(*shared_, tx, trs, certificate, overlay_index);
   if (shared_->config.direct_entry_injection) {
-    const overlay::Overlay& ov = shared_->overlays[overlay_index];
+    const overlay::Overlay& ov = routing_overlay(*shared_, overlay_index);
     // One immutable body shared by every entry-point copy.
     auto body = std::make_shared<DataBody>();
     body->tx = tx;
@@ -524,13 +555,33 @@ void HermesNode::on_data(const sim::Message& msg) {
     return;
   }
   const overlay::Overlay& ov = shared->overlays[d.overlay_index];
-  const bool via_entry = ov.is_entry(id());
-  const bool via_pred = ov.has_link(msg.src, id());
-  if (!via_entry && !via_pred) {
+  bool legitimate = ov.is_entry(id()) || ov.has_link(msg.src, id());
+  if (!legitimate && healing_enabled()) {
+    // During repair convergence the sender may already route on its
+    // repaired tree while this node has not applied (or not yet learned
+    // of) the same removals — and a message sent on a repaired tree can
+    // even arrive after a view change, resolving to the previous
+    // generation here. Accept anything consistent with a repaired view
+    // without logging a violation: transient disagreement is churn, not
+    // malice. Equal depth must pass because repair promotes a depth-2
+    // node to the entry layer, where it feeds its former depth-2
+    // siblings; the origin must pass because it injects directly to
+    // promoted entries. This trades some off-tree policing for zero false
+    // accusations — certified transactions are already front-run-proof.
+    if (shared == shared_.get()) {
+      const overlay::Overlay& route = routing_overlay(*shared, d.overlay_index);
+      legitimate = route.is_entry(id()) || route.has_link(msg.src, id());
+    }
+    legitimate = legitimate || msg.src == d.trs.origin ||
+                 (ov.depth(msg.src) != 0 && ov.depth(id()) != 0 &&
+                  ov.depth(msg.src) <= ov.depth(id()));
+  }
+  if (!legitimate) {
     record_violation(ViolationKind::kIllegitimatePredecessor, msg.src,
                      d.tx.id);
     return;
   }
+  if (healing_enabled()) overlay_recv_[d.overlay_index][msg.src] = now();
   accept_and_forward(*shared, d.tx, d.trs, d.certificate, d.overlay_index);
 }
 
@@ -562,14 +613,13 @@ void HermesNode::accept_and_forward(const HermesShared& shared,
   remember_cert(shared, tx, trs, certificate, overlay_index);
   // Sequence-continuity bookkeeping per origin (reordering across overlays
   // is legitimate; persistent holes are repaired by the fallback).
-  auto& contiguous = delivered_seq_.try_emplace(trs.origin, 0).first->second;
-  if (trs.seq == contiguous + 1) ++contiguous;
+  note_sequence_delivered(trs.origin, trs.seq);
 
   if (shared.config.enable_acks) {
     start_ack_aggregation(tx.id, overlay_index);
   }
   if (!relays_tx(tx)) return;  // droppers / front-run censorship end here
-  const overlay::Overlay& ov = shared.overlays[overlay_index];
+  const overlay::Overlay& ov = routing_overlay(shared, overlay_index);
   const auto& succs = ov.successors(id());
   if (succs.empty()) return;
   // Every successor receives an identical immutable payload, so one body
@@ -647,6 +697,11 @@ void HermesNode::on_fallback(const sim::Message& msg) {
   }
   // Fallback rides gossip: no predecessor requirement, but the certificate
   // requirement keeps unauthorized transactions out.
+  if (healing_enabled() && !pool_.contains(d.tx.id)) {
+    // The assigned overlay under-delivered: this copy had to come in
+    // through the repair path.
+    monitor_.note_overlay_shortfall(d.overlay_index);
+  }
   accept_and_forward(*shared, d.tx, d.trs, d.certificate, d.overlay_index);
 }
 
@@ -661,10 +716,366 @@ void HermesNode::install_shared(std::shared_ptr<const HermesShared> next) {
   prev_shared_ = shared_;
   shared_ = std::move(next);
   route_cache_.clear();  // entry points moved; recompute on demand
+  if (!healing_enabled()) return;
+  // New generation: transient health state resets (silence evidence and
+  // votes referred to the old trees), the vote machinery re-arms, and the
+  // repairs are rebuilt against the fresh overlays — peers known departed
+  // stay departed across the view change.
+  overlay_recv_.clear();
+  silence_count_.clear();
+  view_change_votes_.clear();
+  view_change_armed_ = true;
+  monitor_.on_epoch_advanced();
+  rebuild_repairs();
 }
 
 bool HermesNode::excluded(net::NodeId node) const {
   return audit_.is_excluded(node) || global_excluded_.count(node) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: detect (HealthMonitor feeds) -> repair (local tree surgery)
+// -> recover (gap pulls, digests, health-triggered view changes).
+
+const overlay::Overlay& HermesNode::routing_overlay(const HermesShared& shared,
+                                                    std::size_t idx) const {
+  // Repairs apply to the current generation only; in-flight traffic of the
+  // previous generation keeps routing on its own pristine trees.
+  if (healing_enabled() && &shared == shared_.get()) {
+    const auto it = repaired_.find(idx);
+    if (it != repaired_.end()) return it->second;
+  }
+  return shared.overlays[idx];
+}
+
+const overlay::Overlay* HermesNode::repaired_overlay(std::size_t idx) const {
+  const auto it = repaired_.find(idx);
+  return it == repaired_.end() ? nullptr : &it->second;
+}
+
+void HermesNode::on_start() {
+  // Health ticks are a correct-node duty: droppers receive but contribute
+  // nothing, so they do not scan, pull, or vote either.
+  if (!healing_enabled() || !relays()) return;
+  ctx_.engine.schedule(shared_->config.health_tick_ms,
+                       [this] { health_tick(); });
+}
+
+void HermesNode::note_sequence_delivered(net::NodeId origin,
+                                         std::uint64_t seq) {
+  auto& contiguous = delivered_seq_.try_emplace(origin, 0).first->second;
+  if (!healing_enabled()) {
+    // Historical behavior (kept bit-compatible): out-of-order arrivals
+    // never advance the frontier retroactively.
+    if (seq == contiguous + 1) ++contiguous;
+    return;
+  }
+  auto& max_seen = max_seen_seq_[origin];
+  max_seen = std::max(max_seen, seq);
+  if (seq <= contiguous) return;
+  if (seq != contiguous + 1) {
+    ahead_seq_[origin].insert(seq);
+    return;
+  }
+  ++contiguous;
+  // Drain any out-of-order deliveries the frontier just caught up with —
+  // without this a single reordering would leave a phantom gap open
+  // forever and the monitor would chase sequences this node already has.
+  const auto it = ahead_seq_.find(origin);
+  if (it == ahead_seq_.end()) return;
+  auto& ahead = it->second;
+  while (!ahead.empty() && *ahead.begin() <= contiguous + 1) {
+    if (*ahead.begin() == contiguous + 1) ++contiguous;
+    ahead.erase(ahead.begin());
+  }
+  if (ahead.empty()) ahead_seq_.erase(it);
+}
+
+void HermesNode::health_tick() {
+  if (!healing_enabled()) return;
+  const double now_ms = now();
+  // Feed the monitor a per-origin progress snapshot. Origins are sorted so
+  // everything downstream (pulls, digests) emits in reproducible order.
+  std::vector<net::NodeId> origins;
+  origins.reserve(max_seen_seq_.size());
+  for (const auto& [origin, seq] : max_seen_seq_) origins.push_back(origin);
+  std::sort(origins.begin(), origins.end());
+  for (net::NodeId origin : origins) {
+    const auto d = delivered_seq_.find(origin);
+    const std::uint64_t contiguous =
+        d == delivered_seq_.end() ? 0 : d->second;
+    monitor_.observe_progress(origin, contiguous,
+                              std::max(contiguous, max_seen_seq_[origin]),
+                              now_ms);
+  }
+  pull_gaps(now_ms);
+  send_seq_digest();
+  scan_for_silence(now_ms);
+  if (committee_state_) {
+    const double score = monitor_.degradation_score(
+        shared_->config.failed_repair_weight, now_ms);
+    if (view_change_armed_ && score >= shared_->config.view_change_threshold) {
+      view_change_armed_ = false;  // one vote per degradation episode
+      cast_view_change_vote();
+    } else if (!view_change_armed_ &&
+               score < shared_->config.view_change_clear) {
+      view_change_armed_ = true;  // hysteresis: re-arm only once recovered
+    }
+  }
+  ctx_.engine.schedule(shared_->config.health_tick_ms,
+                       [this] { health_tick(); });
+}
+
+void HermesNode::pull_gaps(sim::SimTime now_ms) {
+  // Gap pulls ride the fallback request path, so they obey its switch.
+  if (!shared_->config.enable_fallback) return;
+  const auto gaps = monitor_.stale_gaps(now_ms);
+  if (gaps.empty()) return;
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  for (const auto& gap : gaps) {
+    auto& last = last_pull_ms_.try_emplace(gap.origin, -1e300).first->second;
+    if (now_ms - last < shared_->config.gap_pull_after_ms) continue;
+    last = now_ms;
+    monitor_.note_gap_pull();
+    const std::size_t fanout =
+        std::min(shared_->config.fallback_fanout, nbrs.size());
+    std::size_t asked = 0;
+    for (std::uint64_t seq = gap.next_seq;
+         seq <= gap.max_seen && asked < 8; ++seq) {
+      const std::uint64_t tx_id = Transaction::make_id(gap.origin, seq);
+      if (pool_.contains(tx_id)) continue;
+      ++asked;
+      for (std::size_t i : rng_.sample_indices(nbrs.size(), fanout)) {
+        auto body = std::make_shared<FallbackRequestBody>();
+        body->tx_id = tx_id;
+        send_to(nbrs[i].to, kMsgFallbackRequest, 16, std::move(body));
+      }
+    }
+  }
+}
+
+void HermesNode::send_seq_digest() {
+  // Anti-entropy: one random neighbor learns this node's per-origin
+  // horizon each tick. This is what lets a node that missed *every* copy
+  // of a transaction discover that it exists and open a gap for it.
+  if (max_seen_seq_.empty()) return;
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  auto body = std::make_shared<SeqDigestBody>();
+  body->max_seen.reserve(max_seen_seq_.size());
+  std::vector<net::NodeId> origins;
+  origins.reserve(max_seen_seq_.size());
+  for (const auto& [origin, seq] : max_seen_seq_) origins.push_back(origin);
+  std::sort(origins.begin(), origins.end());
+  for (net::NodeId origin : origins) {
+    body->max_seen.emplace_back(origin, max_seen_seq_[origin]);
+  }
+  const std::size_t wire = 8 + 12 * body->max_seen.size();
+  const std::size_t pick =
+      static_cast<std::size_t>(rng_.uniform_u64(nbrs.size()));
+  send_to(nbrs[pick].to, kMsgSeqDigest, wire, std::move(body));
+}
+
+void HermesNode::on_seq_digest(const sim::Message& msg) {
+  if (!healing_enabled() || excluded(msg.src)) return;
+  for (const auto& [origin, seq] : msg.as<SeqDigestBody>().max_seen) {
+    if (origin >= ctx_.node_count()) continue;  // malformed
+    auto& max_seen = max_seen_seq_[origin];
+    max_seen = std::max(max_seen, seq);
+  }
+}
+
+void HermesNode::scan_for_silence(sim::SimTime now_ms) {
+  // A predecessor is suspect when, on the same tree and within the recent
+  // window, a sibling predecessor fed this node but it did not — comparing
+  // siblings controls for there simply being no traffic. std::set keeps
+  // the strike/report order reproducible.
+  const double window = 2.0 * shared_->config.health_tick_ms;
+  std::set<net::NodeId> silent;
+  std::set<net::NodeId> active;
+  for (std::size_t idx = 0; idx < shared_->overlays.size(); ++idx) {
+    const overlay::Overlay& ov = shared_->overlays[idx];
+    if (ov.is_entry(id())) continue;
+    const auto recv_it = overlay_recv_.find(idx);
+    if (recv_it == overlay_recv_.end()) continue;
+    double freshest = -1e300;
+    for (const auto& [src, at] : recv_it->second) {
+      freshest = std::max(freshest, at);
+    }
+    if (now_ms - freshest > window) continue;  // tree idle: no evidence
+    for (net::NodeId pred : ov.predecessors(id())) {
+      if (removed_.count(pred)) continue;  // already repaired around
+      const auto at = recv_it->second.find(pred);
+      const bool heard =
+          at != recv_it->second.end() && now_ms - at->second <= window;
+      (heard ? active : silent).insert(pred);
+    }
+  }
+  for (net::NodeId pred : active) silent.erase(pred);
+  for (auto it = silence_count_.begin(); it != silence_count_.end();) {
+    it = silent.count(it->first) ? std::next(it) : silence_count_.erase(it);
+  }
+  for (net::NodeId suspect : silent) {
+    if (++silence_count_[suspect] >= shared_->config.silence_strikes) {
+      report_departure(suspect);
+    }
+  }
+}
+
+Bytes HermesNode::departure_material(net::NodeId suspect,
+                                     net::NodeId reporter) {
+  Bytes out = to_bytes("hermes.depart.v1");
+  put_u32_be(out, suspect);
+  put_u32_be(out, reporter);
+  return out;
+}
+
+void HermesNode::report_departure(net::NodeId suspect) {
+  if (!departure_reported_.insert(suspect).second) return;
+  ++departure_reports_sent_;
+  DepartureReportBody report;
+  report.suspect = suspect;
+  report.reporter = id();
+  const Bytes material = departure_material(suspect, id());
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, id());
+  report.signature = signer.sign(material);
+  seen_departures_.insert(hex_encode(material));
+  auto& accusers = departure_accusers_[suspect];
+  accusers.insert(id());
+  if (accusers.size() >= shared_->config.f + 1) mark_removed(suspect);
+  gossip_departure(report);
+}
+
+void HermesNode::gossip_departure(const DepartureReportBody& report) {
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  const std::size_t fanout =
+      std::min(shared_->config.report_fanout, nbrs.size());
+  for (std::size_t i : rng_.sample_indices(nbrs.size(), fanout)) {
+    auto body = std::make_shared<DepartureReportBody>(report);
+    send_to(nbrs[i].to, kMsgDepartureReport, 24, std::move(body));
+  }
+}
+
+void HermesNode::on_departure_report(const sim::Message& msg) {
+  if (!healing_enabled()) return;
+  const auto& report = msg.as<DepartureReportBody>();
+  if (report.suspect >= ctx_.node_count() ||
+      report.reporter >= ctx_.node_count() ||
+      report.suspect == report.reporter || report.suspect == id()) {
+    return;
+  }
+  const Bytes material =
+      departure_material(report.suspect, report.reporter);
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, report.reporter);
+  if (!signer.verify(material, report.signature)) return;
+  // Only downstream nodes observe silence: the reporter must actually be a
+  // successor of the suspect in some current-generation tree, or its
+  // report carries no evidence.
+  bool downstream = false;
+  for (const auto& ov : shared_->overlays) {
+    if (ov.has_link(report.suspect, report.reporter)) {
+      downstream = true;
+      break;
+    }
+  }
+  if (!downstream) return;
+  if (!seen_departures_.insert(hex_encode(material)).second) return;
+  auto& accusers = departure_accusers_[report.suspect];
+  accusers.insert(report.reporter);
+  // f+1 distinct reporters cannot all be faulty: the suspect is gone.
+  if (accusers.size() >= shared_->config.f + 1) mark_removed(report.suspect);
+  if (relays()) gossip_departure(report);
+}
+
+void HermesNode::mark_removed(net::NodeId node) {
+  if (!healing_enabled() || node == id()) return;
+  if (!removed_.insert(node).second) return;
+  monitor_.note_removed();
+  rebuild_repairs();
+}
+
+void HermesNode::rebuild_repairs() {
+  // Canonical repair: start from the pristine certified trees and apply
+  // the removal set in ascending node-id order (std::set iteration). The
+  // repaired trees are thus a pure function of (pristine generation,
+  // removal set) — honest nodes that converge on the same removals hold
+  // byte-identical trees no matter the order they learned them in.
+  repaired_.clear();
+  std::size_t failures = 0;
+  if (!removed_.empty()) {
+    for (std::size_t idx = 0; idx < shared_->overlays.size(); ++idx) {
+      overlay::Overlay repaired = shared_->overlays[idx];
+      bool changed = false;
+      for (net::NodeId gone : removed_) {
+        const auto result =
+            overlay::remove_node_locally(repaired, gone, ctx_.topology.graph);
+        if (result.ok) {
+          changed = true;
+        } else {
+          ++failures;  // structurally beyond local surgery
+        }
+      }
+      if (changed) repaired_.emplace(idx, std::move(repaired));
+    }
+  }
+  monitor_.set_failed_repairs(failures);
+}
+
+Bytes HermesNode::view_change_material(std::uint64_t epoch,
+                                       net::NodeId voter) {
+  Bytes out = to_bytes("hermes.viewchange.v1");
+  put_u64_be(out, epoch);
+  put_u32_be(out, voter);
+  return out;
+}
+
+void HermesNode::cast_view_change_vote() {
+  const std::uint64_t epoch = shared_->epoch;
+  ViewChangeVoteBody vote;
+  vote.from_epoch = epoch;
+  vote.voter = id();
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, id());
+  vote.signature = signer.sign(view_change_material(epoch, id()));
+  view_change_votes_[epoch].insert(id());
+  for (net::NodeId member : shared_->committee) {
+    if (member == id()) continue;
+    auto body = std::make_shared<ViewChangeVoteBody>(vote);
+    send_to(member, kMsgViewChangeVote, 32, std::move(body));
+  }
+  maybe_trigger_view_change(epoch);
+}
+
+void HermesNode::on_view_change_vote(const sim::Message& msg) {
+  if (!healing_enabled() || !committee_state_) return;
+  const auto& vote = msg.as<ViewChangeVoteBody>();
+  if (vote.voter != msg.src || !shared_->is_committee_member(vote.voter)) {
+    return;
+  }
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, vote.voter);
+  if (!signer.verify(view_change_material(vote.from_epoch, vote.voter),
+                     vote.signature)) {
+    return;
+  }
+  if (vote.from_epoch != shared_->epoch) return;  // stale epoch
+  view_change_votes_[vote.from_epoch].insert(vote.voter);
+  maybe_trigger_view_change(vote.from_epoch);
+}
+
+void HermesNode::maybe_trigger_view_change(std::uint64_t epoch) {
+  if (epoch != shared_->epoch) return;
+  const auto it = view_change_votes_.find(epoch);
+  if (it == view_change_votes_.end()) return;
+  // f+1 committee votes contain at least one honest member's judgment.
+  if (it->second.size() < shared_->config.f + 1) return;
+  if (shared_->view_change && shared_->view_change->request) {
+    shared_->view_change->request(epoch);
+  }
 }
 
 Bytes HermesNode::report_material(const Violation& v, net::NodeId reporter) {
@@ -718,7 +1129,11 @@ void HermesNode::on_violation_report(const sim::Message& msg) {
   accusers.insert(report.reporter);
   // f+1 distinct accusers cannot all be faulty: exclude network-wide.
   if (accusers.size() >= shared_->config.f + 1) {
-    global_excluded_.insert(report.violation.offender);
+    if (global_excluded_.insert(report.violation.offender).second) {
+      // Self-healing: an excluded peer is routed around immediately, not
+      // just ignored — every honest node repairs its trees in place.
+      mark_removed(report.violation.offender);
+    }
   }
   if (relays()) gossip_report(report);
 }
@@ -805,6 +1220,9 @@ void HermesNode::on_message(const sim::Message& msg) {
     case kMsgBatchChunk: on_batch_chunk(msg); return;
     case kMsgAckUp: on_ack_up(msg); return;
     case kMsgViolationReport: on_violation_report(msg); return;
+    case kMsgDepartureReport: on_departure_report(msg); return;
+    case kMsgViewChangeVote: on_view_change_vote(msg); return;
+    case kMsgSeqDigest: on_seq_digest(msg); return;
     default: return;
   }
 }
@@ -864,6 +1282,29 @@ std::unique_ptr<ProtocolNode> HermesProtocol::make_node(ExperimentContext& ctx,
     } else {
       shared->committee = config_.committee;
     }
+    if (config_.enable_self_healing) {
+      // Bridge from committee health votes back to the epoch machinery.
+      // The advance is deferred one event: advance_epoch swaps the shared
+      // state under every node, and doing that inside a message handler
+      // that is still reading it invites reentrancy bugs.
+      auto control = std::make_shared<ViewChangeControl>();
+      ExperimentContext* ctx_ptr = &ctx;
+      control->request = [this, ctx_ptr](std::uint64_t from_epoch) {
+        if (!shared_ || shared_->epoch != from_epoch) return;
+        const double now_ms = ctx_ptr->engine.now();
+        if (now_ms - last_auto_advance_ms_ <
+            config_.view_change_cooldown_ms) {
+          return;  // anti-flapping cooldown
+        }
+        last_auto_advance_ms_ = now_ms;
+        ++auto_advances_;
+        ctx_ptr->engine.schedule(0.0, [this, ctx_ptr, from_epoch] {
+          if (!shared_ || shared_->epoch != from_epoch) return;
+          advance_epoch(*ctx_ptr, 0x5e1f11a9ULL ^ (from_epoch + 1));
+        });
+      };
+      shared->view_change = std::move(control);
+    }
     shared_ = std::move(shared);
   }
   return std::make_unique<HermesNode>(ctx, id, shared_);
@@ -878,6 +1319,7 @@ void HermesProtocol::advance_epoch(ExperimentContext& ctx,
   next->scheme = shared_->scheme;
   next->committee = shared_->committee;
   next->report_master_key = shared_->report_master_key;
+  next->view_change = shared_->view_change;
 
   // Deterministic per-epoch construction seed (Section VII-B: the committee
   // publishes it so every node can verify the pseudo-random optimization).

@@ -8,7 +8,9 @@
 //   - the delayed gossip fallback of Section VII-A.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -16,6 +18,7 @@
 #include "crypto/sim_signer.hpp"
 #include "hermes/audit.hpp"
 #include "hermes/config.hpp"
+#include "hermes/health.hpp"
 #include "hermes/trs.hpp"
 #include "overlay/encoding.hpp"
 #include "protocols/base.hpp"
@@ -82,6 +85,35 @@ struct AckUpBody final : sim::Body<AckUpBody> {
   std::uint32_t overlay_index = 0;
   std::uint32_t count = 0;  // deliveries in the reporting subtree
 };
+// Signed departure notice (self-healing): `reporter` observed sustained
+// silence from predecessor `suspect` while sibling predecessors kept
+// feeding it. f+1 distinct reporters mark the suspect departed everywhere
+// (f+1 cannot all be faulty), and every honest node then repairs its
+// overlays locally. Deliberately separate from ViolationReportBody:
+// silence is churn evidence, not an accusation of protocol violation, so
+// it never feeds the audit/exclusion machinery.
+struct DepartureReportBody final : sim::Body<DepartureReportBody> {
+  net::NodeId suspect = 0;
+  net::NodeId reporter = 0;
+  Bytes signature;
+};
+// Committee-internal view-change vote (self-healing): a member whose
+// degradation score crossed the threshold asks for an epoch rebuild; f+1
+// distinct votes for the same epoch trigger advance_epoch.
+struct ViewChangeVoteBody final : sim::Body<ViewChangeVoteBody> {
+  std::uint64_t from_epoch = 0;
+  net::NodeId voter = 0;
+  Bytes signature;
+};
+// Per-origin sequence digest (self-healing anti-entropy): each health tick
+// a node tells one random neighbor the highest sequence it has seen per
+// origin. A receiver that learns of sequences beyond its own horizon opens
+// a gap and pulls the payload through the fallback path — this is what
+// lets a node that missed *every* copy of a transaction still discover
+// that it exists.
+struct SeqDigestBody final : sim::Body<SeqDigestBody> {
+  std::vector<std::pair<net::NodeId, std::uint64_t>> max_seen;
+};
 // One Reed-Solomon shard of an erasure-coded batch (Section VIII-D).
 struct BatchChunkBody final : sim::Body<BatchChunkBody> {
   TrsId trs;  // origin, batch sequence number, batch hash
@@ -94,6 +126,15 @@ struct BatchChunkBody final : sim::Body<BatchChunkBody> {
   std::uint32_t shard_wire_bytes = 0;
   std::uint64_t epoch = 0;
   crypto::Shard shard;
+};
+
+// Bridge from the committee's health votes back to the epoch machinery:
+// HermesProtocol installs `request` when self-healing is enabled; a
+// committee member that collects f+1 view-change votes for the current
+// epoch calls it, and the protocol advances the epoch at most once per
+// epoch value, enforcing the configured cooldown.
+struct ViewChangeControl {
+  std::function<void(std::uint64_t from_epoch)> request;
 };
 
 // Shared, immutable per-experiment state: the certified overlays (as every
@@ -111,6 +152,8 @@ struct HermesShared {
   Bytes report_master_key;
   // committee[i] serves threshold index i+1.
   std::vector<net::NodeId> committee;
+  // Non-null only when config.enable_self_healing (see ViewChangeControl).
+  std::shared_ptr<ViewChangeControl> view_change;
 
   bool is_committee_member(net::NodeId v) const;
   // 1-based threshold index; 0 if not a member.
@@ -135,11 +178,24 @@ class HermesNode final : public ProtocolNode {
   // receivers reject and log it, which is the accountability story.
   void fast_submit(const Transaction& tx) override;
   void on_message(const sim::Message& msg) override;
+  // Starts the health tick when self-healing is enabled.
+  void on_start() override;
 
   const AuditLog& audit() const { return audit_; }
   std::size_t trs_requests_sent() const { return trs_requests_; }
+  // TRS rounds abandoned after trs_retry_max_attempts (the pending entry
+  // is dropped; a fresh submission is required to retry).
+  std::size_t trs_given_up() const { return trs_given_up_; }
   std::size_t fallback_pushes() const { return fallback_pushes_; }
   std::size_t batches_decoded() const { return batches_decoded_; }
+  // --- self-healing introspection
+  const HealthMonitor& health() const { return monitor_; }
+  // Canonical removal set (departed + globally excluded), ascending.
+  const std::set<net::NodeId>& removed_nodes() const { return removed_; }
+  // Locally repaired tree for overlay `idx` of the current generation, or
+  // nullptr when no repair applies (empty removal set / healing off).
+  const overlay::Overlay* repaired_overlay(std::size_t idx) const;
+  std::size_t departure_reports_sent() const { return departure_reports_sent_; }
   // Offender excluded either by local observation or by f+1 distinct
   // signed accusations from the network.
   bool excluded(net::NodeId node) const;
@@ -167,6 +223,9 @@ class HermesNode final : public ProtocolNode {
   static constexpr std::uint32_t kMsgBatchChunk = 18;
   static constexpr std::uint32_t kMsgAckUp = 19;
   static constexpr std::uint32_t kMsgViolationReport = 20;
+  static constexpr std::uint32_t kMsgDepartureReport = 21;
+  static constexpr std::uint32_t kMsgViewChangeVote = 22;
+  static constexpr std::uint32_t kMsgSeqDigest = 23;
 
  private:
   // --- sender side
@@ -212,6 +271,30 @@ class HermesNode final : public ProtocolNode {
   const HermesShared* shared_for_epoch(std::uint64_t epoch) const;
   void schedule_fallback(std::uint64_t tx_id, int round = 0);
 
+  // --- self-healing side
+  bool healing_enabled() const { return shared_->config.enable_self_healing; }
+  // The tree actually used for forwarding: the locally repaired copy when
+  // one exists for the current generation, the pristine overlay otherwise.
+  const overlay::Overlay& routing_overlay(const HermesShared& shared,
+                                          std::size_t idx) const;
+  void health_tick();
+  void pull_gaps(sim::SimTime now_ms);
+  void scan_for_silence(sim::SimTime now_ms);
+  void send_seq_digest();
+  void on_seq_digest(const sim::Message& msg);
+  // Per-origin sequence bookkeeping shared by data/batch/fallback paths.
+  void note_sequence_delivered(net::NodeId origin, std::uint64_t seq);
+  void mark_removed(net::NodeId node);
+  void rebuild_repairs();
+  void report_departure(net::NodeId suspect);
+  void gossip_departure(const DepartureReportBody& report);
+  void on_departure_report(const sim::Message& msg);
+  static Bytes departure_material(net::NodeId suspect, net::NodeId reporter);
+  void cast_view_change_vote();
+  void on_view_change_vote(const sim::Message& msg);
+  void maybe_trigger_view_change(std::uint64_t epoch);
+  static Bytes view_change_material(std::uint64_t epoch, net::NodeId voter);
+
   // Vertex-disjoint physical routes from this node to the entry points of
   // overlay `idx` (computed lazily, cached).
   const std::vector<std::vector<net::NodeId>>& entry_routes(std::size_t idx);
@@ -227,6 +310,7 @@ class HermesNode final : public ProtocolNode {
   // Batches awaiting their TRS, keyed like pending_.
   std::unordered_map<std::string, std::vector<Transaction>> pending_batches_;
   std::size_t trs_requests_ = 0;
+  std::size_t trs_given_up_ = 0;
 
   // Committee-side state.
   std::unique_ptr<TrsCommitteeMember> committee_state_;
@@ -274,6 +358,40 @@ class HermesNode final : public ProtocolNode {
   // (trs key, shard index) pairs already forwarded.
   std::unordered_set<std::string> chunk_forwarded_;
   std::size_t batches_decoded_ = 0;
+
+  // --- self-healing state (all empty/inert when enable_self_healing is
+  // off; nothing below touches the message trace then).
+  HealthMonitor monitor_;
+  // Canonical removal set: departed (f+1 departure reports) plus globally
+  // excluded peers. std::set so repairs apply in ascending node-id order —
+  // two honest nodes with equal sets converge to byte-identical trees
+  // regardless of the order they learned the removals in.
+  std::set<net::NodeId> removed_;
+  // Repaired trees of the *current* generation, rebuilt from the pristine
+  // overlays whenever removed_ changes (pure function of both).
+  std::unordered_map<std::size_t, overlay::Overlay> repaired_;
+  // Highest sequence this node has evidence of, per origin (gap ceiling).
+  std::unordered_map<net::NodeId, std::uint64_t> max_seen_seq_;
+  // Out-of-order delivered sequences ahead of the contiguous frontier.
+  std::unordered_map<net::NodeId, std::set<std::uint64_t>> ahead_seq_;
+  // overlay index -> predecessor -> last time it fed us on that overlay.
+  std::unordered_map<std::size_t, std::unordered_map<net::NodeId, double>>
+      overlay_recv_;
+  // Consecutive silent health ticks per suspect predecessor.
+  std::unordered_map<net::NodeId, std::size_t> silence_count_;
+  std::unordered_set<net::NodeId> departure_reported_;  // by this node
+  std::unordered_set<std::string> seen_departures_;     // flood dedup
+  std::unordered_map<net::NodeId, std::unordered_set<net::NodeId>>
+      departure_accusers_;
+  std::size_t departure_reports_sent_ = 0;
+  // Throttle: last gap-pull time per origin.
+  std::unordered_map<net::NodeId, double> last_pull_ms_;
+  // View-change votes collected per epoch (committee members only).
+  std::unordered_map<std::uint64_t, std::unordered_set<net::NodeId>>
+      view_change_votes_;
+  // Hysteresis latch: disarmed after voting, re-armed only once the
+  // degradation score falls below view_change_clear.
+  bool view_change_armed_ = true;
 };
 
 // Builds the overlays (offline phase of Figure 1), certifies them with the
@@ -295,9 +413,16 @@ class HermesProtocol final : public Protocol {
   // per-view-change row charges); the simulator installs them directly.
   void advance_epoch(ExperimentContext& ctx, std::uint64_t epoch_seed);
 
+  // Epoch advances triggered by the committee's health votes (subset of all
+  // advances; manual churn-driven calls are not counted here).
+  std::uint64_t auto_advances() const { return auto_advances_; }
+
  private:
   HermesConfig config_;
   std::shared_ptr<const HermesShared> shared_;
+  // Anti-flapping state for health-triggered view changes.
+  double last_auto_advance_ms_ = -1e300;
+  std::uint64_t auto_advances_ = 0;
 };
 
 // Picks the committee for the experiment: 3f+1 members with at most f

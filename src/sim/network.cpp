@@ -121,6 +121,10 @@ std::optional<SimTime> Network::send(const Message& msg) {
     ++dropped_;
     return std::nullopt;
   }
+  if (!link_flaps_.empty() && link_down(msg.src, msg.dst, engine_.now())) {
+    ++dropped_;
+    return std::nullopt;
+  }
   if (relay_filter_ && !relay_filter_(msg)) {
     ++dropped_;
     return std::nullopt;
@@ -134,7 +138,9 @@ std::optional<SimTime> Network::send(const Message& msg) {
   if (params_.jitter_stddev_ms > 0.0) {
     latency += std::abs(rng_.normal(0.0, params_.jitter_stddev_ms));
   }
-  latency += params_.processing_delay_ms;
+  latency += proc_mult_.empty()
+                 ? params_.processing_delay_ms
+                 : params_.processing_delay_ms * proc_mult_[msg.dst];
 
   if (params_.link_bandwidth_mbps > 0.0) {
     // Queue on the sender's uplink: the wire time of this message starts
@@ -181,6 +187,33 @@ void Network::heal_partition() { partition_of_.clear(); }
 void Network::set_crashed(net::NodeId id, bool crashed) {
   HERMES_REQUIRE(id < crashed_.size());
   crashed_[id] = crashed;
+}
+
+void Network::add_link_flap(net::NodeId a, net::NodeId b, SimTime start_ms,
+                            SimTime end_ms) {
+  HERMES_REQUIRE(a < nodes_.size() && b < nodes_.size() && a != b);
+  HERMES_REQUIRE(start_ms < end_ms);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  link_flaps_[key].emplace_back(start_ms, end_ms);
+}
+
+bool Network::link_down(net::NodeId a, net::NodeId b, SimTime at) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  const auto it = link_flaps_.find(key);
+  if (it == link_flaps_.end()) return false;
+  for (const auto& [start, end] : it->second) {
+    if (at >= start && at < end) return true;
+  }
+  return false;
+}
+
+void Network::set_processing_multiplier(net::NodeId id, double multiplier) {
+  HERMES_REQUIRE(id < nodes_.size());
+  HERMES_REQUIRE(multiplier > 0.0);
+  if (proc_mult_.empty()) proc_mult_.assign(nodes_.size(), 1.0);
+  proc_mult_[id] = multiplier;
 }
 
 }  // namespace hermes::sim

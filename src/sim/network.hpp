@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -89,6 +90,22 @@ class Network {
   void heal_partition();
   bool is_partitioned() const { return !partition_of_.empty(); }
 
+  // Link flap: the undirected link (a, b) is down during [start_ms, end_ms).
+  // Messages attempted while the link is down are charged as drops (the
+  // wire is dead; neither endpoint learns of the loss). Multiple windows
+  // per link compose. Consumes no randomness, so an unflapped run is
+  // trace-identical to one on a Network without flaps.
+  void add_link_flap(net::NodeId a, net::NodeId b, SimTime start_ms,
+                     SimTime end_ms);
+  bool link_down(net::NodeId a, net::NodeId b, SimTime at) const;
+
+  // Straggler model: multiplies the receiver-side processing delay for
+  // `id`. 1.0 (the default) reproduces the unmodified latency bit-for-bit.
+  void set_processing_multiplier(net::NodeId id, double multiplier);
+  double processing_multiplier(net::NodeId id) const {
+    return proc_mult_.empty() ? 1.0 : proc_mult_[id];
+  }
+
  private:
   // Open-addressed (linear probing) map from the packed pair key
   // (min << 32 | max, never 0 because src != dst) to the sampled latency.
@@ -130,6 +147,13 @@ class Network {
   BandwidthCounters total_;
   std::uint64_t dropped_ = 0;
   PairCache pair_cache_;
+  // Down intervals per packed undirected pair key (min << 32 | max).
+  // Empty in the common case; send() skips the lookup entirely then.
+  std::unordered_map<std::uint64_t, std::vector<std::pair<SimTime, SimTime>>>
+      link_flaps_;
+  // Per-node processing-delay multipliers; empty until the first
+  // set_processing_multiplier call (identity).
+  std::vector<double> proc_mult_;
   // Per-node uplink availability time (serialization model).
   std::vector<SimTime> uplink_free_at_;
 };

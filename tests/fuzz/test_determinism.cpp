@@ -68,5 +68,40 @@ TEST(Determinism, DifferentSeedsProduceDifferentTraces) {
   EXPECT_NE(a.trace_hash, b.trace_hash);
 }
 
+TEST(Determinism, ExtendedFaultModesReplayIdentically) {
+  // Link flaps, stragglers and the self-healing loop all consume no extra
+  // randomness at runtime, so a scenario exercising all three must replay
+  // to the same byte trace.
+  for (std::uint64_t seed : {424242ULL, 777ULL}) {
+    Scenario s = base_scenario();
+    s.seed = seed;
+    s.self_healing = true;
+    s.link_flaps.push_back(LinkFlap{1, 5, 100.0, 600.0});
+    s.link_flaps.push_back(LinkFlap{4, 9, 300.0, 1200.0});
+    s.stragglers.push_back(Straggler{3, 80.0});
+    s.drain_ms = 12000.0;
+    const RunResult a = run_scenario(s);
+    const RunResult b = run_scenario(s);
+    EXPECT_TRUE(a.ok()) << a.failures[0].checker << ": "
+                        << a.failures[0].detail;
+    EXPECT_EQ(a.trace_hash, b.trace_hash) << "seed " << seed;
+    EXPECT_EQ(a.sends, b.sends) << "seed " << seed;
+  }
+}
+
+TEST(Determinism, IdentityKnobsAreTraceNeutral) {
+  // A 1.0 processing multiplier and a flap window that never overlaps the
+  // run must leave the trace bit-identical to a run without the knobs.
+  RunOptions opts;
+  opts.collect_trace_dump = true;
+  Scenario knobs = base_scenario();
+  knobs.stragglers.push_back(Straggler{3, 1.0});
+  knobs.link_flaps.push_back(LinkFlap{1, 5, -10.0, -5.0});
+  const RunResult a = run_scenario(base_scenario(), opts);
+  const RunResult b = run_scenario(knobs, opts);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.trace_dump, b.trace_dump);
+}
+
 }  // namespace
 }  // namespace hermes::fuzz

@@ -91,7 +91,15 @@ TEST_P(MutationCatches, ByItsChecker) {
   const auto [mutation, checker] = GetParam();
   RunOptions opts;
   opts.mutation = mutation;
-  const RunResult r = run_scenario(benign_hermes(), opts);
+  Scenario s = benign_hermes();
+  if (mutation == Mutation::kRepairDivergence ||
+      mutation == Mutation::kLostRecovery) {
+    // The self-healing checkers only bite when the loop is on, and
+    // recovery-liveness additionally wants a recovery-sized drain.
+    s.self_healing = true;
+    s.drain_ms = 9000.0;
+  }
+  const RunResult r = run_scenario(s, opts);
   ASSERT_FALSE(r.ok()) << "mutation " << mutation_name(mutation)
                        << " slipped past the oracle";
   EXPECT_TRUE(has_checker(r.failures, checker))
@@ -109,7 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
         MutationCase{Mutation::kSequenceFabrication, "sequence-integrity"},
         MutationCase{Mutation::kWrongOverlay, "overlay-consistency"},
         MutationCase{Mutation::kFalseAccusation, "no-false-accusation"},
-        MutationCase{Mutation::kOverlayDeficit, "overlay-connectivity"}),
+        MutationCase{Mutation::kOverlayDeficit, "overlay-connectivity"},
+        MutationCase{Mutation::kRepairDivergence, "repair-convergence"},
+        MutationCase{Mutation::kLostRecovery, "recovery-liveness"}),
     [](const ::testing::TestParamInfo<MutationCase>& info) {
       std::string name = mutation_name(info.param.mutation);
       for (char& c : name) {
@@ -122,7 +132,8 @@ TEST(Invariants, MutationNamesRoundTrip) {
   for (Mutation m :
        {Mutation::kNone, Mutation::kDuplicateDelivery,
         Mutation::kSequenceFabrication, Mutation::kWrongOverlay,
-        Mutation::kFalseAccusation, Mutation::kOverlayDeficit}) {
+        Mutation::kFalseAccusation, Mutation::kOverlayDeficit,
+        Mutation::kRepairDivergence, Mutation::kLostRecovery}) {
     const auto back = mutation_from(mutation_name(m));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, m);

@@ -83,7 +83,9 @@ TEST(Scenario, SampledScenariosSatisfySystemModel) {
         if (byz.count(v) != 0) ++byz_members;
       }
       EXPECT_LE(byz_members, s.f);
-      if (!s.direct_injection) EXPECT_LE(s.byzantine.size(), s.f);
+      if (!s.direct_injection) {
+        EXPECT_LE(s.byzantine.size(), s.f);
+      }
     } else {
       EXPECT_TRUE(s.committee.empty());
       EXPECT_TRUE(s.churn.empty());
@@ -120,9 +122,75 @@ TEST(Scenario, SampledScenariosSatisfySystemModel) {
     for (const PartitionWindow& pw : s.partitions) {
       EXPECT_GT(pw.end_ms, pw.start_ms);
     }
+
+    for (const LinkFlap& flap : s.link_flaps) {
+      EXPECT_LT(flap.a, s.nodes);
+      EXPECT_LT(flap.b, s.nodes);
+      EXPECT_NE(flap.a, flap.b);
+      EXPECT_GT(flap.end_ms, flap.start_ms);
+    }
+    for (const Straggler& st : s.stragglers) {
+      EXPECT_LT(st.node, s.nodes);
+      EXPECT_GT(st.multiplier, 1.0);
+    }
+    if (s.self_healing) {
+      EXPECT_TRUE(s.hermes());
+      EXPECT_TRUE(s.enable_fallback);
+      EXPECT_GE(s.drain_ms, 10000.0);
+    }
+
     EXPECT_GE(s.drain_ms, 6000.0);
-    if (!s.benign()) EXPECT_GE(s.drain_ms, 12000.0);
+    if (!s.benign()) {
+      EXPECT_GE(s.drain_ms, 12000.0);
+    }
   }
+}
+
+// extended=false must reproduce the historical corpus: no post-v1 fault
+// modes, and every legacy field identical to the extended sampling (the
+// extended draws only append; they never perturb earlier ones). drain_ms
+// is the one exception — extended modes stretch it.
+TEST(Scenario, LegacyModeIsAPrefixOfExtended) {
+  bool saw_extended_faults = false;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Scenario legacy = generate_scenario(seed, false);
+    EXPECT_TRUE(legacy.link_flaps.empty());
+    EXPECT_TRUE(legacy.stragglers.empty());
+    EXPECT_FALSE(legacy.self_healing);
+
+    Scenario ext = generate_scenario(seed);
+    saw_extended_faults |= !ext.link_flaps.empty() ||
+                           !ext.stragglers.empty() || ext.self_healing;
+    ext.link_flaps.clear();
+    ext.stragglers.clear();
+    ext.self_healing = false;
+    ext.drain_ms = legacy.drain_ms;
+    EXPECT_EQ(serialize(ext), serialize(legacy));
+  }
+  EXPECT_TRUE(saw_extended_faults) << "extended sampler never fired";
+}
+
+TEST(Scenario, ExtendedFieldsRoundTrip) {
+  Scenario s;
+  s.seed = 99;
+  s.self_healing = true;
+  s.link_flaps.push_back(LinkFlap{3, 8, 120.5, 900.25});
+  s.link_flaps.push_back(LinkFlap{1, 2, 40.0, 45.0});
+  s.stragglers.push_back(Straggler{6, 150.75});
+  const std::string text = serialize(s);
+  const auto parsed = parse_scenario(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(serialize(*parsed), text);
+  ASSERT_EQ(parsed->link_flaps.size(), 2u);
+  EXPECT_EQ(parsed->link_flaps[0].a, 3u);
+  EXPECT_EQ(parsed->link_flaps[0].b, 8u);
+  EXPECT_DOUBLE_EQ(parsed->link_flaps[0].start_ms, 120.5);
+  EXPECT_DOUBLE_EQ(parsed->link_flaps[0].end_ms, 900.25);
+  ASSERT_EQ(parsed->stragglers.size(), 1u);
+  EXPECT_EQ(parsed->stragglers[0].node, 6u);
+  EXPECT_DOUBLE_EQ(parsed->stragglers[0].multiplier, 150.75);
+  EXPECT_TRUE(parsed->self_healing);
 }
 
 TEST(Scenario, BenignPredicateMatchesDefinition) {

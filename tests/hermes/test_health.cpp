@@ -1,0 +1,114 @@
+// HealthMonitor unit tests (self-healing "detect" stage): gap timers,
+// staleness queries, shortfall accounting, the degradation-score formula
+// and the epoch-reset semantics the view-change hysteresis relies on.
+#include "hermes/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hermes::hermes_proto {
+namespace {
+
+TEST(HealthMonitor, NoGapWhileContiguousTracksMaxSeen) {
+  HealthMonitor m;
+  m.observe_progress(3, 5, 5, 100.0);
+  EXPECT_FALSE(m.gap_stale(3, 100000.0));
+  EXPECT_EQ(m.stale_gap_count(100000.0), 0u);
+  EXPECT_TRUE(m.stale_gaps(100000.0).empty());
+}
+
+TEST(HealthMonitor, GapOpensAgesAndCloses) {
+  HealthMonitor m(600.0);
+  // max_seen pulls ahead at t=100: the timer starts there.
+  m.observe_progress(3, 2, 5, 100.0);
+  EXPECT_FALSE(m.gap_stale(3, 699.0));  // 599 ms old: not yet stale
+  EXPECT_TRUE(m.gap_stale(3, 700.0));   // exactly 600 ms: stale
+  const auto gaps = m.stale_gaps(700.0);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].origin, 3u);
+  EXPECT_EQ(gaps[0].next_seq, 3u);  // first missing sequence
+  EXPECT_EQ(gaps[0].max_seen, 5u);
+  // The hole fills: the gap closes and staleness resets.
+  m.observe_progress(3, 5, 5, 800.0);
+  EXPECT_FALSE(m.gap_stale(3, 100000.0));
+  // A new hole restarts the timer from its own open time.
+  m.observe_progress(3, 5, 7, 900.0);
+  EXPECT_FALSE(m.gap_stale(3, 1400.0));
+  EXPECT_TRUE(m.gap_stale(3, 1500.0));
+}
+
+TEST(HealthMonitor, PersistentGapKeepsOriginalOpenTime) {
+  HealthMonitor m(600.0);
+  m.observe_progress(9, 0, 2, 50.0);
+  // Repeated observations of the same open gap must not reset the timer.
+  m.observe_progress(9, 0, 3, 300.0);
+  m.observe_progress(9, 1, 3, 600.0);
+  EXPECT_TRUE(m.gap_stale(9, 650.0));  // 600 ms after the t=50 open
+  // next_seq follows the latest contiguous frontier, not the open-time one.
+  const auto gaps = m.stale_gaps(650.0);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].next_seq, 2u);
+}
+
+TEST(HealthMonitor, StaleGapCountSpansOrigins) {
+  HealthMonitor m(600.0);
+  m.observe_progress(1, 0, 4, 0.0);
+  m.observe_progress(2, 3, 9, 0.0);
+  m.observe_progress(5, 7, 7, 0.0);  // no gap
+  m.observe_progress(8, 0, 1, 500.0);
+  EXPECT_EQ(m.stale_gap_count(600.0), 2u);   // origins 1 and 2
+  EXPECT_EQ(m.stale_gap_count(1100.0), 3u);  // origin 8 joins
+  EXPECT_EQ(m.stale_gaps(1100.0).size(), 3u);
+  EXPECT_FALSE(m.gap_stale(5, 1100.0));
+  EXPECT_FALSE(m.gap_stale(42, 1100.0));  // unknown origin
+}
+
+TEST(HealthMonitor, ShortfallAccountsPerOverlay) {
+  HealthMonitor m;
+  m.note_overlay_shortfall(0);
+  m.note_overlay_shortfall(2);
+  m.note_overlay_shortfall(2);
+  EXPECT_EQ(m.overlay_shortfall(0), 1u);
+  EXPECT_EQ(m.overlay_shortfall(1), 0u);
+  EXPECT_EQ(m.overlay_shortfall(2), 2u);
+  EXPECT_EQ(m.total_overlay_shortfall(), 3u);
+}
+
+TEST(HealthMonitor, DegradationScoreFormula) {
+  HealthMonitor m(600.0);
+  EXPECT_DOUBLE_EQ(m.degradation_score(2.0, 0.0), 0.0);
+  m.note_removed();
+  m.note_removed();                 // 2 removals -> +2
+  m.set_failed_repairs(3);          // weight 2 -> +6
+  m.note_trs_give_up();             // soft signal -> +0.5
+  m.observe_progress(4, 0, 2, 0.0); // stale by t=600 -> +0.5
+  EXPECT_DOUBLE_EQ(m.degradation_score(2.0, 600.0), 2.0 + 6.0 + 0.5 + 0.5);
+  // The failed-repair weight is the caller's knob, not monitor state.
+  EXPECT_DOUBLE_EQ(m.degradation_score(0.5, 600.0), 2.0 + 1.5 + 0.5 + 0.5);
+  // Before the gap is stale it contributes nothing.
+  EXPECT_DOUBLE_EQ(m.degradation_score(2.0, 599.0), 2.0 + 6.0 + 0.5);
+}
+
+TEST(HealthMonitor, EpochAdvanceResetsEpisodeButKeepsCumulativeCounters) {
+  HealthMonitor m(600.0);
+  m.note_removed();
+  m.set_failed_repairs(2);
+  m.note_gap_pull();
+  m.note_trs_give_up();
+  m.note_overlay_shortfall(1);
+  m.observe_progress(7, 0, 3, 0.0);
+  ASSERT_GT(m.degradation_score(2.0, 1000.0), 0.0);
+
+  m.on_epoch_advanced();
+  // Episode state (what motivated the view change) is wiped...
+  EXPECT_DOUBLE_EQ(m.degradation_score(2.0, 1000.0), 0.0);
+  EXPECT_EQ(m.removed_since_epoch(), 0u);
+  EXPECT_EQ(m.failed_repairs(), 0u);
+  EXPECT_EQ(m.stale_gap_count(100000.0), 0u);
+  // ...while lifetime statistics survive for reporting.
+  EXPECT_EQ(m.gap_pulls(), 1u);
+  EXPECT_EQ(m.trs_give_ups(), 1u);
+  EXPECT_EQ(m.total_overlay_shortfall(), 1u);
+}
+
+}  // namespace
+}  // namespace hermes::hermes_proto

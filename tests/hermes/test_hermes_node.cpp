@@ -152,7 +152,12 @@ TEST(HermesNode, AdversarialTxStillDeliveredThroughProtocol) {
 TEST(HermesNode, SequenceGapBlocksTrs) {
   // A sender that skips a sequence number never completes the TRS for the
   // out-of-order message: the committee parks the request (Section VI-C).
-  HermesProtocol protocol(fast_config());
+  // Give the origin a retry budget that outlasts the 5 s gap below, so the
+  // round is still pending when the gap finally closes (with the default
+  // budget the origin gives up at 4.8 s and drops the pending entry).
+  HermesConfig config = fast_config();
+  config.trs_retry_max_attempts = 64;
+  HermesProtocol protocol(config);
   World w(30, protocol);
   w.start();
   auto& sender = w.ctx->node(5);

@@ -104,6 +104,55 @@ TEST(LocalRepair, SequentialChurnStaysValid) {
   EXPECT_GE(departed.size(), 5u);  // most departures repairable locally
 }
 
+TEST(LocalRepair, SequentialDeparturesDownToMinimumPopulation) {
+  // Harder sequential-churn property: keep removing random nodes until
+  // only f+2 participants remain (entry layer + one dependent). After
+  // every accepted repair the overlay must validate with the departed set
+  // absent AND still tolerate the loss of any f of the survivors — the
+  // paper's resilience bound must survive arbitrarily long repair chains,
+  // not just the first few.
+  constexpr std::size_t kN = 24;
+  constexpr std::size_t kF = 1;
+  RepairFixture fx = make_fixture(kN, kF, 31);
+  Rng rng(7);
+  std::vector<NodeId> departed;
+  bool progress = true;
+  while (progress && kN - departed.size() > kF + 2) {
+    progress = false;
+    std::vector<NodeId> remaining;
+    for (NodeId v = 0; v < kN; ++v) {
+      if (std::find(departed.begin(), departed.end(), v) == departed.end()) {
+        remaining.push_back(v);
+      }
+    }
+    rng.shuffle(remaining);
+    for (NodeId victim : remaining) {
+      const auto result = remove_node_locally(fx.tree, victim, fx.topo.graph);
+      if (!result.ok) continue;  // refusal leaves the overlay untouched
+      departed.push_back(victim);
+      progress = true;
+      const auto errors = validate_with_absent(fx.tree, departed);
+      ASSERT_TRUE(errors.empty())
+          << departed.size() << " departed: " << errors[0];
+      // f-resilience of the repaired tree: losing any single survivor
+      // must not disconnect anyone.
+      std::vector<NodeId> absent = departed;
+      absent.push_back(victim);  // placeholder, overwritten below
+      for (NodeId extra : remaining) {
+        if (extra == victim) continue;
+        absent.back() = extra;
+        ASSERT_TRUE(survives_removal(fx.tree, absent))
+            << departed.size() << " departed; removing survivor " << extra
+            << " disconnects the repaired tree";
+      }
+      break;  // re-randomize the victim order each round
+    }
+  }
+  // Local repair must carry the overlay through at least half its
+  // population before refusing (refusals hand over to a full rebuild).
+  EXPECT_GE(departed.size(), kN / 2);
+}
+
 TEST(LocalRepair, TinyOverlaySucceedsByPromotion) {
   // Removing an entry from a 3-node overlay is repairable: the only child
   // is promoted into the entry set and nothing is left needing

@@ -122,6 +122,82 @@ TEST(Network, CrashMidFlightSuppressesDelivery) {
   EXPECT_TRUE(fx.nodes[1]->received.empty());
 }
 
+TEST(Network, RecoveredNodeReceivesAgain) {
+  NetworkFixture fx;
+  fx.net_.set_crashed(1, true);
+  EXPECT_FALSE(fx.net_.send(make_msg(0, 1)).has_value());
+  fx.engine.run();
+  ASSERT_TRUE(fx.nodes[1]->received.empty());
+  // Recovery is forward-only: the message dropped while down stays lost,
+  // but traffic sent after set_crashed(id, false) flows normally.
+  fx.net_.set_crashed(1, false);
+  EXPECT_TRUE(fx.net_.send(make_msg(0, 1)).has_value());
+  fx.net_.send(make_msg(1, 2));  // recovered node can send too
+  fx.engine.run();
+  EXPECT_EQ(fx.nodes[1]->received.size(), 1u);
+  EXPECT_EQ(fx.nodes[2]->received.size(), 1u);
+  EXPECT_EQ(fx.net_.dropped_messages(), 1u);
+}
+
+TEST(Network, LinkFlapDropsOnlyDuringWindow) {
+  NetworkFixture fx;
+  fx.net_.add_link_flap(0, 1, 10.0, 20.0);
+  EXPECT_FALSE(fx.net_.link_down(0, 1, 5.0));
+  EXPECT_TRUE(fx.net_.link_down(0, 1, 10.0));
+  EXPECT_TRUE(fx.net_.link_down(1, 0, 15.0));  // undirected
+  EXPECT_FALSE(fx.net_.link_down(0, 1, 20.0));  // half-open window
+  EXPECT_FALSE(fx.net_.link_down(0, 2, 15.0));  // other links unaffected
+
+  // A send attempted inside the window is silently charged as a drop.
+  fx.net_.add_link_flap(0, 1, 0.0, 1.0);
+  EXPECT_FALSE(fx.net_.send(make_msg(0, 1)).has_value());
+  EXPECT_EQ(fx.net_.dropped_messages(), 1u);
+  // Other destinations still flow while (0, 1) is down.
+  EXPECT_TRUE(fx.net_.send(make_msg(0, 2)).has_value());
+  fx.engine.run();
+  EXPECT_TRUE(fx.nodes[1]->received.empty());
+  EXPECT_EQ(fx.nodes[2]->received.size(), 1u);
+}
+
+TEST(Network, LinkFlapWindowsCompose) {
+  NetworkFixture fx;
+  fx.net_.add_link_flap(2, 3, 10.0, 20.0);
+  fx.net_.add_link_flap(2, 3, 40.0, 50.0);
+  EXPECT_TRUE(fx.net_.link_down(2, 3, 15.0));
+  EXPECT_FALSE(fx.net_.link_down(2, 3, 30.0));
+  EXPECT_TRUE(fx.net_.link_down(3, 2, 45.0));
+}
+
+TEST(Network, ProcessingMultiplierDelaysReceiver) {
+  NetworkFixture plain;
+  NetworkFixture slow;
+  slow.net_.set_processing_multiplier(1, 10.0);
+  EXPECT_DOUBLE_EQ(slow.net_.processing_multiplier(1), 10.0);
+  EXPECT_DOUBLE_EQ(slow.net_.processing_multiplier(2), 1.0);
+  plain.net_.send(make_msg(0, 1));
+  slow.net_.send(make_msg(0, 1));
+  plain.engine.run();
+  slow.engine.run();
+  ASSERT_EQ(plain.nodes[1]->received.size(), 1u);
+  ASSERT_EQ(slow.nodes[1]->received.size(), 1u);
+  // The straggler's delivery lags by exactly the extra processing time.
+  const double extra = 9.0 * NetworkParams{}.processing_delay_ms;
+  EXPECT_NEAR(slow.nodes[1]->received_at[0],
+              plain.nodes[1]->received_at[0] + extra, 1e-9);
+  // Receivers other than the straggler keep the baseline latency. The two
+  // engines' clocks have drifted apart by `extra`, so compare transit
+  // times, not absolute timestamps.
+  const double plain_now = plain.engine.now();
+  const double slow_now = slow.engine.now();
+  plain.net_.send(make_msg(0, 2));
+  slow.net_.send(make_msg(0, 2));
+  plain.engine.run();
+  slow.engine.run();
+  ASSERT_EQ(slow.nodes[2]->received.size(), 1u);
+  EXPECT_DOUBLE_EQ(slow.nodes[2]->received_at[0] - slow_now,
+                   plain.nodes[2]->received_at[0] - plain_now);
+}
+
 TEST(Network, DropProbabilityOneDropsAll) {
   Engine engine;
   const net::Topology topo = small_topology();

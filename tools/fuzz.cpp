@@ -14,11 +14,16 @@
 //   fuzz --hash-batch N [--seed-base S]
 //       print "seed trace-hash sends" for N generated scenarios; diffing
 //       two such listings across an engine change proves (or refutes)
-//       trace equivalence of the rewrite.
+//       trace equivalence of the rewrite. Uses the legacy (non-extended)
+//       generator so the listing stays comparable across corpus growth.
 //   fuzz --paper-scale N
 //       scale the first benign HERMES scenario to N nodes and run it once
 //       (nightly large-N smoke on the event engine; fails on any
 //       invariant violation).
+//   fuzz --recovery
+//       self-healing smoke: crash f nodes mid-dissemination in an
+//       otherwise benign HERMES scenario with the healing loop on; the
+//       recovery-liveness and repair-convergence checkers must pass.
 
 #include <chrono>
 #include <cstdint>
@@ -29,6 +34,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 
 #include "fuzz/runner.hpp"
 #include "fuzz/scenario.hpp"
@@ -47,7 +53,8 @@ int usage() {
                "       fuzz --print SEED\n"
                "       fuzz --replay-file PATH [--mutate NAME]\n"
                "       fuzz --hash-batch N [--seed-base S]\n"
-               "       fuzz --paper-scale NODES\n");
+               "       fuzz --paper-scale NODES\n"
+               "       fuzz --recovery\n");
   return 2;
 }
 
@@ -140,7 +147,9 @@ int run_batch(std::uint64_t runs, std::uint64_t seed_base,
 int hash_batch(std::uint64_t runs, std::uint64_t seed_base) {
   for (std::uint64_t i = 0; i < runs; ++i) {
     const std::uint64_t seed = seed_base + i;
-    const RunResult r = run_scenario(generate_scenario(seed));
+    // Legacy sampling: the listing is a long-lived trace-equivalence
+    // baseline, so new fault modes must not perturb it.
+    const RunResult r = run_scenario(generate_scenario(seed, false));
     std::printf("%llu %s %zu\n", static_cast<unsigned long long>(seed),
                 r.trace_hash.c_str(), r.sends);
   }
@@ -175,6 +184,41 @@ int paper_scale(std::uint64_t nodes) {
   return 0;
 }
 
+// Deterministic self-healing smoke: take the first benign HERMES scenario
+// with the fallback on, switch the healing loop on, and crash f
+// non-committee non-sender nodes right after the first injection. With the
+// honest core connected, the recovery-liveness checker then demands that
+// every certified transaction reaches every surviving honest node.
+int recovery_smoke() {
+  std::uint64_t seed = 1;
+  Scenario s = generate_scenario(seed, false);
+  while (!(s.hermes() && s.benign() && s.enable_fallback)) {
+    s = generate_scenario(++seed, false);
+  }
+  s.self_healing = true;
+  std::unordered_set<net::NodeId> exempt(s.committee.begin(),
+                                         s.committee.end());
+  for (const Injection& inj : s.injections) exempt.insert(inj.sender);
+  ChurnEvent crash;
+  crash.at_ms = s.injections.front().at_ms + 5.0;
+  for (net::NodeId v = 0; v < s.nodes && crash.nodes.size() < s.f; ++v) {
+    if (exempt.count(v) == 0) crash.nodes.push_back(v);
+  }
+  s.churn.push_back(std::move(crash));
+  s.drain_ms = std::max(s.drain_ms, 12000.0);
+  std::printf("recovery smoke: seed %llu\n%s\n",
+              static_cast<unsigned long long>(seed), describe(s).c_str());
+  const RunResult r = run_scenario(s);
+  std::printf("trace %s (%zu sends, %.0f ms)\n", r.trace_hash.c_str(),
+              r.sends, r.sim_end_ms);
+  if (!r.ok()) {
+    print_failures(r);
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +231,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> hash_batch_runs;
   std::optional<std::uint64_t> paper_scale_nodes;
   std::string replay_file;
+  bool recovery = false;
   Mutation mutation = Mutation::kNone;
 
   for (int i = 1; i < argc; ++i) {
@@ -235,6 +280,8 @@ int main(int argc, char** argv) {
       if (value == nullptr) return usage();
       replay_file = value;
       ++i;
+    } else if (arg == "--recovery") {
+      recovery = true;
     } else if (arg == "--mutate") {
       if (value == nullptr) return usage();
       const auto m = mutation_from(value);
@@ -251,6 +298,9 @@ int main(int argc, char** argv) {
 
   if (hash_batch_runs) {
     return hash_batch(*hash_batch_runs, seed_base);
+  }
+  if (recovery) {
+    return recovery_smoke();
   }
   if (paper_scale_nodes) {
     return paper_scale(*paper_scale_nodes);

@@ -97,7 +97,7 @@ run_sim() {
   local out="$ROOT/BENCH_sim.json"
   local tmp
   tmp="$(mktemp)"
-  local filter='BM_Engine|BM_Network|BM_HermesDissemination|BM_GossipDissemination'
+  local filter='BM_Engine|BM_Network|BM_HermesDissemination|BM_GossipDissemination|BM_DegradedDissemination'
   if [[ $QUICK -eq 1 ]]; then
     filter='BM_EngineScheduleDrain/1024$|BM_NetworkRandomSends'
   fi
