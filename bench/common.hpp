@@ -101,19 +101,18 @@ struct RunSpec {
 
 inline RunResult run_experiment(protocols::Protocol& protocol,
                                 const RunSpec& spec) {
-  using namespace protocols;
-  ExperimentContext ctx(make_bench_topology(spec.nodes, spec.seed),
-                        spec.net_params, spec.seed ^ 0x5eedULL);
+  protocols::ExperimentContext ctx(make_bench_topology(spec.nodes, spec.seed),
+                                   spec.net_params, spec.seed ^ 0x5eedULL);
   if (spec.byzantine_fraction > 0.0) {
     ctx.assign_behaviors(spec.byzantine_fraction, spec.byzantine_behavior);
   }
   ctx.attack_enabled = spec.attack;
-  populate(ctx, protocol);
+  protocols::populate(ctx, protocol);
 
   Rng workload(spec.seed ^ 0x770a1cULL);
-  std::vector<Transaction> txs;
+  std::vector<mempool::Transaction> txs;
   for (std::size_t i = 0; i < spec.txs; ++i) {
-    txs.push_back(inject_tx(ctx, ctx.random_honest(workload)));
+    txs.push_back(protocols::inject_tx(ctx, ctx.random_honest(workload)));
     ctx.engine.run_until(ctx.engine.now() + spec.inter_tx_gap_ms);
   }
   ctx.engine.run_until(ctx.engine.now() + spec.drain_ms);
@@ -124,11 +123,12 @@ inline RunResult run_experiment(protocols::Protocol& protocol,
   Rng judge(spec.seed ^ 0x1d93eULL);
   for (const auto& tx : txs) {
     for (double l : ctx.tracker.latencies(tx.id)) result.latencies.push_back(l);
-    result.mean_coverage += honest_coverage(ctx, tx);
-    const AttackOutcome outcome = front_run_outcome(ctx, tx, judge);
-    if (outcome != AttackOutcome::kNoAttack) {
+    result.mean_coverage += protocols::honest_coverage(ctx, tx);
+    const protocols::AttackOutcome outcome =
+        protocols::front_run_outcome(ctx, tx, judge);
+    if (outcome != protocols::AttackOutcome::kNoAttack) {
       ++attacked;
-      if (outcome == AttackOutcome::kSucceeded) ++succeeded;
+      if (outcome == protocols::AttackOutcome::kSucceeded) ++succeeded;
     }
   }
   result.mean_coverage /= static_cast<double>(txs.size());

@@ -230,11 +230,8 @@ void InvariantSuite::check_duplicates(std::vector<Failure>& out) const {
 
 void InvariantSuite::check_sequences(std::vector<Failure>& out) const {
   const std::size_t before = out.size();
-  // Deterministic iteration order for reporting.
-  std::vector<std::uint64_t> ids(honest_delivered_.begin(),
-                                 honest_delivered_.end());
-  std::sort(ids.begin(), ids.end());
-  for (std::uint64_t id : ids) {
+  // honest_delivered_ is ordered: reports enumerate ids ascending.
+  for (std::uint64_t id : honest_delivered_) {
     const std::uint64_t origin = id >> 32;
     if (origin >= scenario_.nodes) {
       std::ostringstream detail;

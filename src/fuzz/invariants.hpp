@@ -44,9 +44,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "fuzz/scenario.hpp"
@@ -139,7 +139,9 @@ class InvariantSuite {
   // Delivery stream.
   std::vector<DeliveryObs> honest_duplicates_;
   std::optional<DeliveryObs> first_honest_delivery_;
-  std::unordered_set<std::uint64_t> honest_delivered_;
+  // Ordered so the sequence-integrity report enumerates ids ascending
+  // without a sort at report time.
+  std::set<std::uint64_t> honest_delivered_;
 
   // Send stream (honest sources only).
   std::vector<CertifiedSend> certified_sends_;

@@ -794,19 +794,15 @@ void HermesNode::note_sequence_delivered(net::NodeId origin,
 void HermesNode::health_tick() {
   if (!healing_enabled()) return;
   const double now_ms = now();
-  // Feed the monitor a per-origin progress snapshot. Origins are sorted so
-  // everything downstream (pulls, digests) emits in reproducible order.
-  std::vector<net::NodeId> origins;
-  origins.reserve(max_seen_seq_.size());
-  for (const auto& [origin, seq] : max_seen_seq_) origins.push_back(origin);
-  std::sort(origins.begin(), origins.end());
-  for (net::NodeId origin : origins) {
+  // Feed the monitor a per-origin progress snapshot. max_seen_seq_ is an
+  // ordered map, so everything downstream (pulls, digests) emits in
+  // ascending-origin order by construction.
+  for (const auto& [origin, max_seen] : max_seen_seq_) {
     const auto d = delivered_seq_.find(origin);
     const std::uint64_t contiguous =
         d == delivered_seq_.end() ? 0 : d->second;
     monitor_.observe_progress(origin, contiguous,
-                              std::max(contiguous, max_seen_seq_[origin]),
-                              now_ms);
+                              std::max(contiguous, max_seen), now_ms);
   }
   pull_gaps(now_ms);
   send_seq_digest();
@@ -864,12 +860,10 @@ void HermesNode::send_seq_digest() {
   if (nbrs.empty()) return;
   auto body = std::make_shared<SeqDigestBody>();
   body->max_seen.reserve(max_seen_seq_.size());
-  std::vector<net::NodeId> origins;
-  origins.reserve(max_seen_seq_.size());
-  for (const auto& [origin, seq] : max_seen_seq_) origins.push_back(origin);
-  std::sort(origins.begin(), origins.end());
-  for (net::NodeId origin : origins) {
-    body->max_seen.emplace_back(origin, max_seen_seq_[origin]);
+  // Ordered map: the digest lists origins in ascending order, so the
+  // bytes on the wire are reproducible across stdlib implementations.
+  for (const auto& [origin, seq] : max_seen_seq_) {
+    body->max_seen.emplace_back(origin, seq);
   }
   const std::size_t wire = 8 + 12 * body->max_seen.size();
   const std::size_t pick =

@@ -371,14 +371,19 @@ class HermesNode final : public ProtocolNode {
   // overlays whenever removed_ changes (pure function of both).
   std::unordered_map<std::size_t, overlay::Overlay> repaired_;
   // Highest sequence this node has evidence of, per origin (gap ceiling).
-  std::unordered_map<net::NodeId, std::uint64_t> max_seen_seq_;
+  // Ordered: the health tick and the seq-digest gossip iterate it, and
+  // both feed the wire, so origin order must not depend on hash order.
+  std::map<net::NodeId, std::uint64_t> max_seen_seq_;
   // Out-of-order delivered sequences ahead of the contiguous frontier.
   std::unordered_map<net::NodeId, std::set<std::uint64_t>> ahead_seq_;
   // overlay index -> predecessor -> last time it fed us on that overlay.
-  std::unordered_map<std::size_t, std::unordered_map<net::NodeId, double>>
+  // The inner map is iterated by the silent-predecessor scan; ordered so
+  // suspect selection never inherits stdlib hash order.
+  std::unordered_map<std::size_t, std::map<net::NodeId, double>>
       overlay_recv_;
-  // Consecutive silent health ticks per suspect predecessor.
-  std::unordered_map<net::NodeId, std::size_t> silence_count_;
+  // Consecutive silent health ticks per suspect predecessor. Ordered for
+  // a reproducible strike/report sequence.
+  std::map<net::NodeId, std::size_t> silence_count_;
   std::unordered_set<net::NodeId> departure_reported_;  // by this node
   std::unordered_set<std::string> seen_departures_;     // flood dedup
   std::unordered_map<net::NodeId, std::unordered_set<net::NodeId>>

@@ -14,6 +14,7 @@
 // repair).
 #pragma once
 
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -50,8 +51,10 @@ class BrbNode final : public ProtocolNode {
 
  private:
   struct Instance {
-    std::unordered_set<net::NodeId> echoes;
-    std::unordered_set<net::NodeId> readies;
+    // Ordered: the payload-pull path walks `echoes` and sends fetches to
+    // the first f+1 entries, so membership order reaches the wire.
+    std::set<net::NodeId> echoes;
+    std::set<net::NodeId> readies;
     bool echoed = false;
     bool readied = false;
     bool delivered = false;

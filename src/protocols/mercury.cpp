@@ -113,6 +113,7 @@ void MercuryNode::schedule_vcs_tick() {
   ctx_.engine.schedule(phase, [this] {
     const auto tick = [this](auto&& self) -> void {
       if (relays()) {
+        // hermeslint: allow(tag-exhaustive) signal-only body: receivers bill bandwidth on arrival and never read a payload
         struct VcsBody final : sim::Body<VcsBody> {};
         for (net::NodeId p : dir_->intra_peers[id()]) {
           send_to(p, kMsgVcsUpdate, params_.vcs_update_bytes,

@@ -1,6 +1,36 @@
 #include "sim/delivery.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace hermes::sim {
+
+namespace {
+
+// The tracker's storage is unordered (the per-delivery path is hot); the
+// reporting accessors below snapshot and sort before iterating, so summary
+// vectors and floating-point accumulation never inherit stdlib hash order.
+std::vector<std::pair<net::NodeId, SimTime>> sorted_deliveries(
+    const std::unordered_map<net::NodeId, SimTime>& deliveries) {
+  std::vector<std::pair<net::NodeId, SimTime>> out(
+      deliveries.begin(),  // hermeslint: allow(unordered-iter) snapshot is sorted on the next line
+      deliveries.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <typename Record>
+std::vector<std::uint64_t> sorted_keys(
+    const std::unordered_map<std::uint64_t, Record>& created) {
+  std::vector<std::uint64_t> out;
+  out.reserve(created.size());
+  // hermeslint: allow(unordered-iter) key snapshot is sorted before use
+  for (const auto& [item, rec] : created) out.push_back(item);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
 
 void DeliveryTracker::on_created(std::uint64_t item, SimTime when) {
   auto [it, inserted] = created_.try_emplace(item);
@@ -11,6 +41,7 @@ void DeliveryTracker::restamp_created(std::uint64_t item, SimTime when) {
   const auto it = created_.find(item);
   if (it == created_.end() || when <= it->second.created) return;
   it->second.created = when;
+  // hermeslint: allow(unordered-iter) order-insensitive: independent per-value clamp
   for (auto& [node, time] : it->second.deliveries) {
     if (time < when) time = when;
   }
@@ -49,7 +80,7 @@ std::vector<double> DeliveryTracker::latencies(std::uint64_t item) const {
   const auto it = created_.find(item);
   if (it == created_.end()) return out;
   out.reserve(it->second.deliveries.size());
-  for (const auto& [node, when] : it->second.deliveries) {
+  for (const auto& [node, when] : sorted_deliveries(it->second.deliveries)) {
     out.push_back(when - it->second.created);
   }
   return out;
@@ -57,8 +88,9 @@ std::vector<double> DeliveryTracker::latencies(std::uint64_t item) const {
 
 std::vector<double> DeliveryTracker::all_latencies() const {
   std::vector<double> out;
-  for (const auto& [item, rec] : created_) {
-    for (const auto& [node, when] : rec.deliveries) {
+  for (std::uint64_t item : sorted_keys(created_)) {
+    const ItemRecord& rec = created_.at(item);
+    for (const auto& [node, when] : sorted_deliveries(rec.deliveries)) {
       out.push_back(when - rec.created);
     }
   }
@@ -76,7 +108,9 @@ double DeliveryTracker::coverage(std::uint64_t item, std::size_t universe) const
 double DeliveryTracker::mean_coverage(std::size_t universe) const {
   if (created_.empty()) return 0.0;
   double total = 0.0;
-  for (const auto& [item, rec] : created_) {
+  // Ascending-key accumulation: float addition is order-sensitive, so the
+  // mean must not depend on hash iteration order.
+  for (std::uint64_t item : sorted_keys(created_)) {
     total += coverage(item, universe);
   }
   return total / static_cast<double>(created_.size());

@@ -59,8 +59,9 @@ class EventFn {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = &InlineOps<Fn>::ops;
     } else {
-      ::new (static_cast<void*>(storage_))
-          Fn*(new Fn(std::forward<F>(f)));
+      ::new (static_cast<void*>(storage_)) Fn*(
+          // hermeslint: allow(raw-owning-new) pool internals: SBO overflow slot owns the heap Fn; HeapOps::destroy frees it
+          new Fn(std::forward<F>(f)));
       ops_ = &HeapOps<Fn>::ops;
     }
   }
@@ -118,6 +119,7 @@ class EventFn {
     static void relocate(void* dst, void* src) {
       ::new (dst) Fn*(slot(src));
     }
+    // hermeslint: allow(raw-owning-new) pool internals: releases the SBO overflow slot allocated in EventFn's ctor
     static void destroy(void* p) { delete slot(p); }
     static constexpr Ops ops{&invoke, &relocate, &destroy};
   };

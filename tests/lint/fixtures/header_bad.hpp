@@ -1,0 +1,6 @@
+// Fixture: include-hygiene rule — no '#pragma once' anywhere in here.
+#include <vector>
+
+using namespace std;  // line 4: banned in headers
+
+inline vector<int> three() { return {1, 2, 3}; }

@@ -1,0 +1,6 @@
+// Fixture: include-hygiene rule — fully clean header.
+#pragma once
+
+#include <vector>
+
+inline std::vector<int> three() { return {1, 2, 3}; }

@@ -1,0 +1,25 @@
+// Fixture: raw-owning-new rule.
+#include <new>
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;             // '= delete': allowed
+  Widget& operator=(const Widget&) = delete;  // '= delete': allowed
+};
+
+alignas(Widget) static unsigned char storage[sizeof(Widget)];
+
+Widget* violations() {
+  Widget* w = new Widget();                   // line 13: owning new
+  delete w;                                   // line 14: delete
+  return new Widget();                        // line 15: owning new
+}
+
+Widget* placement_ok() {
+  return ::new (static_cast<void*>(storage)) Widget();  // placement: allowed
+}
+
+Widget* suppressed() {
+  // hermeslint: allow(raw-owning-new) fixture: pool internals own this allocation
+  return new Widget();
+}

@@ -1,0 +1,20 @@
+// Fixture: tag-exhaustive rule. Linted under a virtual src/ path.
+namespace sim {
+template <typename T>
+struct Body {};
+struct Message {
+  template <typename T> const T& as() const;
+  template <typename T> const T* try_as() const;
+};
+}  // namespace sim
+
+struct HandledBody final : sim::Body<HandledBody> {};    // dispatched below
+struct SnoopedBody final : sim::Body<SnoopedBody> {};    // try_as below
+struct OrphanBody final : sim::Body<OrphanBody> {};      // line 13: no dispatch
+// hermeslint: allow(tag-exhaustive) fixture: signal-only body, arrival is the payload
+struct SignalBody final : sim::Body<SignalBody> {};
+
+void dispatch(const sim::Message& msg) {
+  (void)msg.as<HandledBody>();
+  (void)msg.try_as<SnoopedBody>();
+}

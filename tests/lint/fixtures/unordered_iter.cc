@@ -1,0 +1,40 @@
+// Fixture: unordered-iter rule. Linted under a virtual src/ path.
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::unordered_map<int, double> scores_;
+std::unordered_set<int> members_;
+std::unordered_map<int, std::unordered_map<int, double>> nested_;
+std::map<int, double> ordered_;
+
+double violations() {
+  double sum = 0.0;
+  for (const auto& [k, v] : scores_) sum += v;          // line 15: range-for
+  for (int m : members_) sum += m;                      // line 16: range-for
+  for (auto it = scores_.begin(); it != scores_.end(); ++it) {  // line 17: begin()
+    sum += it->second;
+  }
+  std::vector<int> copy(members_.begin(), members_.end());  // line 20: begin()
+  auto inner = nested_.find(1);
+  for (const auto& [k, v] : inner->second) sum += v;    // line 22: nested map
+  return sum + copy.size();
+}
+
+double clean() {
+  double sum = 0.0;
+  for (const auto& [k, v] : ordered_) sum += v;  // std::map: ordered
+  sum += scores_.count(3);                       // lookup, no iteration
+  std::vector<std::pair<int, double>> snap;
+  // hermeslint: allow(unordered-iter) fixture: snapshot is sorted before use
+  for (const auto& [k, v] : scores_) snap.emplace_back(k, v);
+  return sum + snap.size();
+}
+
+void unused_suppression() {
+  // hermeslint: allow(unordered-iter) fixture: nothing to suppress here
+  int x = 0;
+  (void)x;
+}

@@ -1,0 +1,35 @@
+// Fixture: no-wallclock rule. Linted under a virtual src/sim/ path so the
+// directory-scoped rule applies. Line numbers are asserted by the
+// self-test; append new cases at the end.
+#include <chrono>
+
+void violations() {
+  auto a = std::chrono::system_clock::now();               // line 7: banned
+  auto b = std::chrono::steady_clock::now();               // line 8: banned
+  auto c = time(nullptr);                                  // line 9: banned
+  auto d = std::time(nullptr);                             // line 10: banned
+  int e = rand();                                          // line 11: banned
+  std::random_device rd;                                   // line 12: banned
+  (void)a; (void)b; (void)c; (void)d; (void)e; (void)rd;
+}
+
+struct Engine {
+  double time() const { return 0.0; }
+  static double clock() { return 0.0; }
+};
+
+void clean(Engine& engine) {
+  double t = engine.time();       // member call: not libc time()
+  double u = Engine::clock();     // class-qualified: not libc clock()
+  (void)t; (void)u;
+}
+
+void suppressed() {
+  int x = rand();  // hermeslint: allow(no-wallclock) fixture: demonstrates a reasoned suppression
+  (void)x;
+}
+
+void reasonless() {
+  int y = rand();  // hermeslint: allow(no-wallclock)
+  (void)y;
+}

@@ -1,0 +1,164 @@
+// Self-test for the hermeslint rule engine. Drives hermeslint::run()
+// in-process against the checked-in fixtures under tests/lint/fixtures/,
+// using virtual repo-relative paths so the directory-scoped rules fire.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using hermeslint::Finding;
+using hermeslint::LintResult;
+using hermeslint::SourceFile;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+LintResult lint_one(const std::string& fixture, const std::string& virtual_path,
+                    const std::vector<std::string>& baseline = {}) {
+  return hermeslint::run({{virtual_path, read_fixture(fixture)}}, baseline);
+}
+
+std::vector<int> lines_for_rule(const LintResult& r, const std::string& rule) {
+  std::vector<int> lines;
+  for (const Finding& f : r.findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+TEST(Hermeslint, WallclockFindsBannedCallsInScopedDirs) {
+  const LintResult r = lint_one("wallclock.cc", "src/sim/wallclock.cc");
+  EXPECT_EQ(lines_for_rule(r, "no-wallclock"),
+            (std::vector<int>{7, 8, 9, 10, 11, 12, 33}));
+  // Line 28's allow() carries a reason and silences its finding; line 33's
+  // does not, so the finding stays AND the allow itself is flagged.
+  EXPECT_EQ(lines_for_rule(r, "suppression"), (std::vector<int>{33}));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Hermeslint, WallclockRuleIsScopedToSimFacingDirs) {
+  const LintResult r = lint_one("wallclock.cc", "bench/wallclock.cc");
+  EXPECT_TRUE(lines_for_rule(r, "no-wallclock").empty());
+  // With no findings to match, both allow() comments are now unused.
+  EXPECT_EQ(lines_for_rule(r, "suppression").size(), 2u);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(Hermeslint, UnorderedIterFlagsRangeForAndIteratorEscapes) {
+  const LintResult r = lint_one("unordered_iter.cc", "src/unordered_iter.cc");
+  EXPECT_EQ(lines_for_rule(r, "unordered-iter"),
+            (std::vector<int>{15, 16, 17, 20, 22}));
+  EXPECT_EQ(r.suppressed, 1u);  // line 32, sorted-snapshot idiom
+  EXPECT_EQ(lines_for_rule(r, "suppression"),
+            (std::vector<int>{37}));  // allow() that matched nothing
+}
+
+TEST(Hermeslint, UnorderedIterIsScopedToSrcAndTools) {
+  const LintResult r = lint_one("unordered_iter.cc", "docs/unordered_iter.cc");
+  EXPECT_TRUE(lines_for_rule(r, "unordered-iter").empty());
+}
+
+TEST(Hermeslint, TagExhaustiveFlagsUndispatchedBodies) {
+  const LintResult r = lint_one("tags.cc", "src/tags.cc");
+  const std::vector<int> lines = lines_for_rule(r, "tag-exhaustive");
+  ASSERT_EQ(lines, (std::vector<int>{13}));
+  bool names_orphan = false;
+  for (const Finding& f : r.findings) {
+    if (f.rule == "tag-exhaustive" &&
+        f.message.find("OrphanBody") != std::string::npos) {
+      names_orphan = true;
+    }
+  }
+  EXPECT_TRUE(names_orphan);
+  EXPECT_EQ(r.suppressed, 1u);  // SignalBody, reasoned allow on line 14
+}
+
+TEST(Hermeslint, RawOwningNewAllowsPlacementAndDeletedFunctions) {
+  const LintResult r = lint_one("raw_new.cc", "src/raw_new.cc");
+  EXPECT_EQ(lines_for_rule(r, "raw-owning-new"),
+            (std::vector<int>{13, 14, 15}));
+  EXPECT_EQ(r.suppressed, 1u);  // line 24, pool-internals allow
+}
+
+TEST(Hermeslint, IncludeHygieneChecksHeadersOnly) {
+  const LintResult bad = lint_one("header_bad.hpp", "src/header_bad.hpp");
+  EXPECT_EQ(lines_for_rule(bad, "include-hygiene"), (std::vector<int>{1, 4}));
+
+  const LintResult clean = lint_one("header_clean.hpp", "src/header_clean.hpp");
+  EXPECT_TRUE(clean.findings.empty());
+}
+
+TEST(Hermeslint, BaselineSilencesGrandfatheredFindings) {
+  const LintResult first = lint_one("wallclock.cc", "src/sim/wallclock.cc");
+  ASSERT_FALSE(first.findings.empty());
+
+  std::vector<std::string> baseline;
+  baseline.push_back("# comment lines and blanks are ignored");
+  baseline.push_back("");
+  for (const Finding& f : first.findings) {
+    baseline.push_back(hermeslint::baseline_entry(f));
+  }
+  baseline.push_back("no-wallclock|src/sim/other.cc|stale entry");
+
+  const LintResult second =
+      lint_one("wallclock.cc", "src/sim/wallclock.cc", baseline);
+  EXPECT_TRUE(second.findings.empty());
+  EXPECT_EQ(second.baselined, first.findings.size());
+  EXPECT_EQ(second.stale_baseline, 1u);
+}
+
+TEST(Hermeslint, OutputIsDeterministicAndInputOrderIndependent) {
+  const std::vector<std::pair<std::string, std::string>> fixtures = {
+      {"wallclock.cc", "src/sim/wallclock.cc"},
+      {"unordered_iter.cc", "src/unordered_iter.cc"},
+      {"tags.cc", "src/tags.cc"},
+      {"raw_new.cc", "src/raw_new.cc"},
+      {"header_bad.hpp", "src/header_bad.hpp"},
+      {"header_clean.hpp", "src/header_clean.hpp"},
+  };
+  std::vector<SourceFile> files;
+  for (const auto& [fixture, path] : fixtures) {
+    files.push_back({path, read_fixture(fixture)});
+  }
+
+  const LintResult forward = hermeslint::run(files, {});
+  const std::string forward_text = hermeslint::render(forward.findings);
+
+  std::vector<SourceFile> reversed(files.rbegin(), files.rend());
+  const LintResult backward = hermeslint::run(reversed, {});
+
+  EXPECT_EQ(forward_text, hermeslint::render(backward.findings));
+  EXPECT_EQ(forward.suppressed, backward.suppressed);
+  EXPECT_TRUE(std::is_sorted(forward.findings.begin(), forward.findings.end(),
+                             hermeslint::finding_less));
+  EXPECT_FALSE(forward_text.empty());
+}
+
+TEST(Hermeslint, RuleCatalogueIsSortedAndComplete) {
+  const auto& rules = hermeslint::rule_catalogue();
+  std::vector<std::string> ids;
+  for (const auto& r : rules) {
+    ids.push_back(r.id);
+    EXPECT_FALSE(r.summary.empty()) << r.id;
+  }
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  const std::vector<std::string> expected = {
+      "include-hygiene", "no-wallclock",   "raw-owning-new",
+      "suppression",     "tag-exhaustive", "unordered-iter"};
+  EXPECT_EQ(ids, expected);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace hermeslint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Two-character punctuators the rules care about. Everything else is
+// emitted one character at a time; in particular `<`, `>` stay single so
+// template-argument scanning can balance them without worrying about
+// `>>` closing two levels at once.
+bool two_char_punct(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>');
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  // Tracks whether anything other than whitespace has been seen on the
+  // current line, so comments can be classified as own-line.
+  bool line_has_code = false;
+
+  auto advance_line = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      advance_line();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = !line_has_code;
+      i += 2;
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      cm.text = std::string(src.substr(start, i - start));
+      out.comments.push_back(std::move(cm));
+      continue;  // newline handled by the main loop
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = !line_has_code;
+      i += 2;
+      const std::size_t start = i;
+      std::size_t end = n;
+      while (i < n) {
+        if (src[i] == '*' && i + 1 < n && src[i + 1] == '/') {
+          end = i;
+          i += 2;
+          break;
+        }
+        if (src[i] == '\n') advance_line();
+        ++i;
+      }
+      cm.text = std::string(src.substr(start, (end > start ? end - start : 0)));
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+    line_has_code = true;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t close = src.find(closer, j);
+      if (close == std::string_view::npos) {
+        i = n;  // unterminated: swallow the rest
+        continue;
+      }
+      for (std::size_t k = i; k < close + closer.size(); ++k) {
+        if (src[k] == '\n') advance_line();
+      }
+      i = close + closer.size();
+      continue;
+    }
+    // String / char literal (handles escapes; content is dropped).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        } else if (src[i] == '\n') {
+          advance_line();  // unterminated on this line; keep scanning
+        }
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && is_ident_char(src[i])) ++i;
+      std::string word(src.substr(start, i - start));
+      // `#include <path>`: the path is a literal, not tokens (otherwise
+      // `#include <new>` would look like a `new` expression).
+      if (word == "include" && !out.tokens.empty() &&
+          out.tokens.back().text == "#") {
+        while (i < n && src[i] != '\n') ++i;
+        out.tokens.push_back({std::move(word), line, Token::Kind::Identifier});
+        continue;
+      }
+      out.tokens.push_back(
+          {std::move(word), line, Token::Kind::Identifier});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      // Good enough for rule matching: digits plus the usual suffix and
+      // separator characters (also swallows 0x..., 1e-3, 1'000'000).
+      while (i < n && (is_ident_char(src[i]) || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')) ||
+                       src[i] == '.')) {
+        ++i;
+      }
+      out.tokens.push_back({std::string(src.substr(start, i - start)), line,
+                            Token::Kind::Number});
+      continue;
+    }
+    if (i + 1 < n && two_char_punct(c, src[i + 1])) {
+      out.tokens.push_back(
+          {std::string(src.substr(i, 2)), line, Token::Kind::Punct});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(
+        {std::string(1, c), line, Token::Kind::Punct});
+    ++i;
+  }
+
+  // `#pragma once` detection over the token stream: `#` `pragma` `once`.
+  for (std::size_t t = 0; t + 2 < out.tokens.size(); ++t) {
+    if (out.tokens[t].text == "#" && out.tokens[t + 1].text == "pragma" &&
+        out.tokens[t + 2].text == "once") {
+      out.has_pragma_once = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hermeslint

@@ -1,0 +1,45 @@
+// Minimal C++ lexer for hermeslint.
+//
+// Not a full C++ front end: it strips comments and string/char literals
+// (so rule patterns never match inside them), splits the rest into
+// identifier / number / punctuation tokens with line numbers, and keeps
+// the stripped comments around so the suppression syntax
+// (`// hermeslint: allow(<rule>) <reason>`) can be recovered.
+//
+// The token-level view is deliberately coarse: hermeslint's rules are
+// repo-specific pattern checks, not type analysis, and every rule comes
+// with an inline-suppression escape hatch for the cases the lexer cannot
+// judge.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermeslint {
+
+struct Token {
+  enum class Kind { Identifier, Number, Punct };
+  std::string text;
+  int line = 0;
+  Kind kind = Kind::Punct;
+};
+
+struct Comment {
+  int line = 0;           // line the comment starts on
+  std::string text;       // contents without the // or /* */ markers
+  bool own_line = false;  // nothing but whitespace precedes it on its line
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  bool has_pragma_once = false;
+};
+
+// Lexes a translation unit. Never fails: unterminated literals/comments
+// simply swallow the rest of the file, which is the least-surprising
+// behaviour for a linter.
+LexedFile lex(std::string_view source);
+
+}  // namespace hermeslint

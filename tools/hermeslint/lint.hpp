@@ -1,0 +1,89 @@
+// hermeslint rule engine.
+//
+// Repo-specific determinism and protocol-safety checks for the HERMES
+// reproduction. The engine is deliberately compile-free: it works on the
+// token stream produced by lexer.hpp, so it runs on the source tree in
+// milliseconds and needs no compilation database or libclang.
+//
+// Rules (stable IDs — used in suppressions and the baseline file):
+//
+//   no-wallclock     wall-clock / ambient-entropy calls are banned in the
+//                    simulation-facing directories (src/sim, src/hermes,
+//                    src/protocols, src/overlay, src/fuzz). Reproducible
+//                    trace hashes require SimTime and seeded RNGs only.
+//   unordered-iter   any range-for / iterator escape over an
+//                    unordered_map/unordered_set in src/ or tools/.
+//                    Iteration order is stdlib-specific and can leak into
+//                    send order, event scheduling or digest construction.
+//   tag-exhaustive   every message body type (struct X : sim::Body<X>)
+//                    must have at least one as<X>()/try_as<X>() dispatch
+//                    site in the scanned tree; an unhandled tag means a
+//                    message nobody can decode (accountability blind spot).
+//   raw-owning-new   raw owning `new` / `delete` anywhere (placement new
+//                    and `= delete` are fine). Pools/slabs suppress with
+//                    a reason.
+//   include-hygiene  headers must have `#pragma once` and must not
+//                    contain `using namespace`.
+//   suppression      meta-rule: malformed suppressions (missing reason,
+//                    unknown rule id) and suppressions that matched no
+//                    finding. Cannot itself be suppressed.
+//
+// Suppression syntax (single-line comments only):
+//   code();  // hermeslint: allow(rule-id) why this is safe
+// or, on the line immediately above the finding:
+//   // hermeslint: allow(rule-id,other-rule) why this is safe
+//   code();
+// The reason is mandatory; a reason-less allow() is itself a finding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hermeslint {
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+// Stable, sorted rule catalogue (drives --list-rules and suppression
+// validation).
+const std::vector<RuleInfo>& rule_catalogue();
+
+struct SourceFile {
+  std::string path;     // repo-relative, forward slashes; drives rule scoping
+  std::string content;  // full file text
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Deterministic ordering: (file, line, rule, message).
+bool finding_less(const Finding& a, const Finding& b);
+
+struct LintResult {
+  std::vector<Finding> findings;   // unsuppressed, non-baselined, sorted
+  std::size_t suppressed = 0;      // findings silenced by a valid allow()
+  std::size_t baselined = 0;       // findings silenced by the baseline
+  std::size_t stale_baseline = 0;  // baseline entries that matched nothing
+};
+
+// Runs every rule over `files`. `baseline_lines` holds entries in
+// baseline_entry() format ('#'-comments and blank lines ignored); each
+// entry silences one matching finding instance.
+LintResult run(const std::vector<SourceFile>& files,
+               const std::vector<std::string>& baseline_lines);
+
+// Line-number-free fingerprint used by the baseline file, so grandfathered
+// findings survive unrelated edits above them: "rule|file|message".
+std::string baseline_entry(const Finding& f);
+
+// "file:line: [rule] message\n" per finding, in finding_less order.
+std::string render(const std::vector<Finding>& findings);
+
+}  // namespace hermeslint

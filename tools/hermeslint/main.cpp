@@ -1,0 +1,217 @@
+// hermeslint CLI.
+//
+//   hermeslint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//              [--exclude SUBSTR]... [--list-rules] [paths...]
+//
+// Paths (files or directories, default: the root) are resolved relative
+// to --root (default: current directory) and findings are printed with
+// root-relative paths, so output and baseline entries are stable across
+// checkouts. Directories are walked recursively for .cpp/.cc/.hpp/.h;
+// build trees, dot-directories and lint fixture corpora are skipped.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+// Paths skipped by default: anything we never want rule findings from.
+// Fixture corpora contain deliberate violations exercised by the
+// self-test; build trees contain generated/vendored sources.
+bool default_excluded(const std::string& rel) {
+  if (rel.find("fixtures/") != std::string::npos) return true;
+  std::stringstream ss(rel);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (part.rfind("build", 0) == 0) return true;
+    if (!part.empty() && part[0] == '.') return true;
+  }
+  return false;
+}
+
+std::string to_rel(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec ? p : rel).generic_string();
+  // Keep paths stable when the user passes "./src" style arguments.
+  while (s.rfind("./", 0) == 0) s = s.substr(2);
+  return s;
+}
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--root DIR] [--baseline FILE] [--write-baseline FILE]\n"
+      "          [--exclude SUBSTR]... [--list-rules] [paths...]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> excludes;
+  std::vector<std::string> inputs;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      std::string v;
+      if (!next(&v)) return usage(argv[0]);
+      root = fs::path(v);
+    } else if (arg == "--baseline") {
+      if (!next(&baseline_path)) return usage(argv[0]);
+    } else if (arg == "--write-baseline") {
+      if (!next(&write_baseline_path)) return usage(argv[0]);
+    } else if (arg == "--exclude") {
+      std::string v;
+      if (!next(&v)) return usage(argv[0]);
+      excludes.push_back(v);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const hermeslint::RuleInfo& r : hermeslint::rule_catalogue()) {
+      std::printf("%-16s %s\n", r.id.c_str(), r.summary.c_str());
+    }
+    return 0;
+  }
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "hermeslint: bad --root: %s\n", ec.message().c_str());
+    return 2;
+  }
+  if (inputs.empty()) inputs.push_back(".");
+
+  // Collect candidate files (sorted, deduplicated by relative path).
+  std::set<std::string> rel_paths;
+  for (const std::string& input : inputs) {
+    fs::path p = fs::path(input).is_absolute() ? fs::path(input)
+                                               : root / input;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file(ec) || !has_source_extension(it->path())) {
+          continue;
+        }
+        rel_paths.insert(to_rel(it->path(), root));
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      rel_paths.insert(to_rel(p, root));
+    } else {
+      std::fprintf(stderr, "hermeslint: no such path: %s\n", input.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<hermeslint::SourceFile> files;
+  for (const std::string& rel : rel_paths) {
+    if (default_excluded(rel)) continue;
+    bool skip = false;
+    for (const std::string& ex : excludes) {
+      if (rel.find(ex) != std::string::npos) skip = true;
+    }
+    if (skip) continue;
+    hermeslint::SourceFile f;
+    f.path = rel;
+    if (!read_file(root / rel, &f.content)) {
+      std::fprintf(stderr, "hermeslint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  std::vector<std::string> baseline_lines;
+  if (!baseline_path.empty()) {
+    std::ifstream in(root / baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "hermeslint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) baseline_lines.push_back(line);
+  }
+
+  const hermeslint::LintResult result = hermeslint::run(files, baseline_lines);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(root / write_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "hermeslint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << "# hermeslint baseline: grandfathered findings, one per line.\n"
+        << "# Regenerate with: hermeslint --write-baseline <this file>\n"
+        << "# The goal is for this file to stay empty.\n";
+    for (const hermeslint::Finding& f : result.findings) {
+      out << hermeslint::baseline_entry(f) << "\n";
+    }
+    std::fprintf(stderr, "hermeslint: wrote %zu baseline entries to %s\n",
+                 result.findings.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::fputs(hermeslint::render(result.findings).c_str(), stdout);
+  std::fprintf(stderr,
+               "hermeslint: %zu file(s), %zu finding(s), %zu suppressed, "
+               "%zu baselined%s\n",
+               files.size(), result.findings.size(), result.suppressed,
+               result.baselined,
+               result.stale_baseline != 0 ? " (stale baseline entries!)"
+                                          : "");
+  if (result.stale_baseline != 0) {
+    std::fprintf(stderr,
+                 "hermeslint: %zu stale baseline entr%s matched nothing; "
+                 "regenerate the baseline\n",
+                 result.stale_baseline,
+                 result.stale_baseline == 1 ? "y" : "ies");
+  }
+  return result.findings.empty() ? 0 : 1;
+}
