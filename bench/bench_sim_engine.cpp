@@ -160,16 +160,22 @@ BENCHMARK(BM_NetworkRandomSends)->Unit(benchmark::kMillisecond);
 // Full protocol runs, timed over injection + drain only (world construction
 // and overlay build excluded via manual timing). The events_per_sec counter
 // is the headline sim-throughput number BENCH_sim.json tracks.
+// `workers` drives the region-sharded engine; the simulated trace (sends,
+// events, delivery times) is identical for every value, only wall time
+// changes — which is exactly what the workers sweep measures.
 template <typename MakeProtocol>
 void dissemination_bench(benchmark::State& state, std::size_t nodes,
                          MakeProtocol&& make_protocol, std::size_t txs,
-                         double gap_ms, double drain_ms) {
+                         double gap_ms, double drain_ms,
+                         std::size_t workers = 1) {
   std::uint64_t total_events = 0;
   std::uint64_t total_sends = 0;
   for (auto _ : state) {
     auto protocol = make_protocol();
+    sim::NetworkParams np;
+    np.workers = workers;
     protocols::ExperimentContext ctx(bench::make_bench_topology(nodes, 42),
-                                     sim::NetworkParams{}, 42 ^ 0x5eedULL);
+                                     np, 42 ^ 0x5eedULL);
     protocols::populate(ctx, *protocol);
     Rng workload(42 ^ 0x770a1cULL);
 
@@ -398,10 +404,15 @@ BENCHMARK(BM_GossipDissemination)
 
 // Custom main, mirroring bench_overlay_build: --benchmark_* flags pass
 // through; --nodes N registers the paper-scale dissemination runs (HERMES
-// and gossip) at that N on top of the CI-friendly defaults.
+// and gossip) at that N on top of the CI-friendly defaults. The HERMES run
+// is registered as a workers sweep (1/2/4/8 engine worker threads over the
+// region-sharded engine); --workers W restricts the sweep to that single
+// value. The CI-default registrations above stay single-threaded so the
+// committed baseline numbers remain comparable.
 int main(int argc, char** argv) {
   std::vector<char*> filtered{argv[0]};
   std::size_t custom_nodes = 0;
+  std::size_t custom_workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
       filtered.push_back(argv[i]);
@@ -414,33 +425,51 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      custom_workers = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || custom_workers == 0) {
+        std::fprintf(stderr,
+                     "error: --workers expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
     }
   }
   if (custom_nodes > 0) {
-    benchmark::RegisterBenchmark(
-        ("BM_HermesDissemination/" + std::to_string(custom_nodes)).c_str(),
-        [custom_nodes](benchmark::State& state) {
-          dissemination_bench(
-              state, custom_nodes,
-              [] {
-                return std::make_unique<hermes_proto::HermesProtocol>(
-                    scale_hermes_config());
-              },
-              /*txs=*/5, /*gap_ms=*/100.0, /*drain_ms=*/2000.0);
-        })
-        ->UseManualTime()
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
+    const std::vector<std::size_t> sweep =
+        custom_workers > 0 ? std::vector<std::size_t>{custom_workers}
+                           : std::vector<std::size_t>{1, 2, 4, 8};
+    for (const std::size_t w : sweep) {
+      benchmark::RegisterBenchmark(
+          ("BM_HermesDissemination/" + std::to_string(custom_nodes) +
+           "/workers:" + std::to_string(w))
+              .c_str(),
+          [custom_nodes, w](benchmark::State& state) {
+            dissemination_bench(
+                state, custom_nodes,
+                [] {
+                  return std::make_unique<hermes_proto::HermesProtocol>(
+                      scale_hermes_config());
+                },
+                /*txs=*/5, /*gap_ms=*/100.0, /*drain_ms=*/2000.0,
+                /*workers=*/w);
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
     benchmark::RegisterBenchmark(
         ("BM_GossipDissemination/" + std::to_string(custom_nodes)).c_str(),
-        [custom_nodes](benchmark::State& state) {
+        [custom_nodes, custom_workers](benchmark::State& state) {
           dissemination_bench(
               state, custom_nodes,
               [] {
                 return std::make_unique<protocols::GossipProtocol>(
                     protocols::GossipParams{});
               },
-              /*txs=*/5, /*gap_ms=*/100.0, /*drain_ms=*/2000.0);
+              /*txs=*/5, /*gap_ms=*/100.0, /*drain_ms=*/2000.0,
+              /*workers=*/custom_workers > 0 ? custom_workers : 1);
         })
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond)

@@ -55,6 +55,7 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
   sim::NetworkParams np;
   np.drop_probability = s.drop_probability;
   np.jitter_stddev_ms = s.jitter_stddev_ms;
+  np.workers = opts.workers;
 
   std::unique_ptr<protocols::Protocol> protocol;
   HermesProtocol* hermes = nullptr;
@@ -145,6 +146,10 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
         suite.note_injected(tx.id, true);
         txs.push_back(tx);
       }
+      // Batch injection bypasses inject_tx, so it scopes the sender's
+      // shard itself: dissemination timers belong to the sender's lane.
+      sim::Engine::ShardScope scope(world.ctx->engine,
+                                    world.ctx->shard_of(inj.sender));
       auto* hn = dynamic_cast<HermesNode*>(&world.ctx->node(inj.sender));
       if (hn != nullptr) {
         hn->submit_batch(std::move(txs));

@@ -17,6 +17,10 @@ struct RunOptions {
   Mutation mutation = Mutation::kNone;
   // Also produce TraceCollector::canonical_dump() for byte-level diffing.
   bool collect_trace_dump = false;
+  // Worker threads driving the region-sharded engine. The trace hash is
+  // identical for every value — that is the determinism contract the
+  // cross-worker suite enforces. 0 = hardware concurrency.
+  std::size_t workers = 1;
 };
 
 struct RunResult {

@@ -28,7 +28,10 @@ World::World(const net::TopologyParams& topology_params,
 }
 
 void World::at(double at_ms, std::function<void(World&)> fn) {
-  ctx->engine.schedule_at(at_ms, [this, fn = std::move(fn)] { fn(*this); });
+  // Scenario steps mutate global state (faults, partitions, injections):
+  // run them as control events at the window barrier, never inside a lane.
+  ctx->engine.schedule_global_at(at_ms,
+                                 [this, fn = std::move(fn)] { fn(*this); });
 }
 
 }  // namespace hermes::fuzz

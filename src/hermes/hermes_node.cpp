@@ -1280,20 +1280,24 @@ std::unique_ptr<ProtocolNode> HermesProtocol::make_node(ExperimentContext& ctx,
       // Bridge from committee health votes back to the epoch machinery.
       // The advance is deferred one event: advance_epoch swaps the shared
       // state under every node, and doing that inside a message handler
-      // that is still reading it invites reentrancy bugs.
+      // that is still reading it invites reentrancy bugs. On a sharded
+      // engine the deferral doubles as the synchronization point — requests
+      // fire on committee lanes, so the cooldown/counter mutation moves
+      // inside the global (barrier-serialized) event, with only the cheap
+      // stale-epoch test left inline.
       auto control = std::make_shared<ViewChangeControl>();
       ExperimentContext* ctx_ptr = &ctx;
       control->request = [this, ctx_ptr](std::uint64_t from_epoch) {
         if (!shared_ || shared_->epoch != from_epoch) return;
-        const double now_ms = ctx_ptr->engine.now();
-        if (now_ms - last_auto_advance_ms_ <
-            config_.view_change_cooldown_ms) {
-          return;  // anti-flapping cooldown
-        }
-        last_auto_advance_ms_ = now_ms;
-        ++auto_advances_;
-        ctx_ptr->engine.schedule(0.0, [this, ctx_ptr, from_epoch] {
+        ctx_ptr->engine.schedule_global(0.0, [this, ctx_ptr, from_epoch] {
           if (!shared_ || shared_->epoch != from_epoch) return;
+          const double now_ms = ctx_ptr->engine.now();
+          if (now_ms - last_auto_advance_ms_ <
+              config_.view_change_cooldown_ms) {
+            return;  // anti-flapping cooldown
+          }
+          last_auto_advance_ms_ = now_ms;
+          ++auto_advances_;
           advance_epoch(*ctx_ptr, 0x5e1f11a9ULL ^ (from_epoch + 1));
         });
       };

@@ -13,7 +13,12 @@ ExperimentContext::ExperimentContext(net::Topology topo,
       network(engine, topology, net_params, Rng(seed).fork(1)),
       tracker(topology.graph.node_count()),
       rng(Rng(seed).fork(2)),
-      behaviors(topology.graph.node_count(), Behavior::kHonest) {}
+      behaviors(topology.graph.node_count(), Behavior::kHonest) {
+  // The network constructor (above, by member order) already configured the
+  // engine's shards; the tracker only needs the binding to defer mutations
+  // that arrive from draining lanes.
+  tracker.bind_engine(&engine);
+}
 
 std::vector<net::NodeId> ExperimentContext::honest_nodes() const {
   std::vector<net::NodeId> out;
@@ -66,9 +71,21 @@ void ProtocolNode::maybe_front_run(const Transaction& victim) {
   if (!ctx_.attack_enabled) return;
   if (behavior() != Behavior::kFrontRunner) return;
   if (victim.adversarial) return;
-  // Only the first malicious observer attacks (Section VIII-F).
+  // Only the first malicious observer attacks (Section VIII-F). The check
+  // runs twice: here against committed state, and again inside the deferred
+  // block — within one window several observers can pass the first check,
+  // and the barrier replay (deterministic (when, seq, idx) order, i.e.
+  // delivery order) lets exactly the earliest one through.
   if (ctx_.adversarial_of.count(victim.id) > 0) return;
+  ctx_.engine.defer([this, victim] { launch_front_run(victim); });
+}
 
+void ProtocolNode::launch_front_run(const Transaction& victim) {
+  if (ctx_.adversarial_of.count(victim.id) > 0) return;
+  // The attack fans out from the attacker's node, possibly in a different
+  // region than the observing delivery: route its timers into the
+  // attacker's own lane.
+  sim::Engine::ShardScope scope(ctx_.engine, ctx_.shard_of(id()));
   Transaction attack;
   attack.sender = id();
   attack.sender_seq = allocate_seq();
@@ -89,39 +106,47 @@ void populate(ExperimentContext& ctx, Protocol& protocol) {
   for (net::NodeId v = 0; v < ctx.node_count(); ++v) {
     ctx.nodes.push_back(protocol.make_node(ctx, v));
   }
-  for (auto& node : ctx.nodes) node->on_start();
+  for (net::NodeId v = 0; v < ctx.node_count(); ++v) {
+    // Timers each node arms in on_start must live in the node's own lane.
+    sim::Engine::ShardScope scope(ctx.engine, ctx.shard_of(v));
+    ctx.nodes[v]->on_start();
+  }
 }
 
 void enable_transit_faults(ExperimentContext& ctx) {
-  // Per-source BFS parent trees, computed lazily and shared by the filter.
-  struct PathCache {
-    std::unordered_map<net::NodeId, std::vector<net::NodeId>> parents;
-  };
-  auto cache = std::make_shared<PathCache>();
-  ctx.network.set_send_tap(nullptr);  // taps are orthogonal; keep as-is
-  ctx.network.set_relay_filter([&ctx, cache](const sim::Message& msg) {
-    if (ctx.topology.graph.has_edge(msg.src, msg.dst)) return true;
-    auto it = cache->parents.find(msg.src);
-    if (it == cache->parents.end()) {
-      // BFS parent array from src over the physical graph.
-      std::vector<net::NodeId> parent(ctx.node_count(), msg.src);
-      std::vector<bool> seen(ctx.node_count(), false);
-      std::vector<net::NodeId> queue{msg.src};
-      seen[msg.src] = true;
-      for (std::size_t head = 0; head < queue.size(); ++head) {
-        const net::NodeId v = queue[head];
-        for (const net::Edge& e : ctx.topology.graph.neighbors(v)) {
-          if (!seen[e.to]) {
-            seen[e.to] = true;
-            parent[e.to] = v;
-            queue.push_back(e.to);
+  // Per-source BFS parent trees over the physical graph, precomputed
+  // eagerly: the relay filter runs on the sending lane's thread, so it must
+  // be a pure read of shared state (the previous lazy fill-in mutated a
+  // shared cache mid-window).
+  const std::size_t n = ctx.node_count();
+  auto parents =
+      std::make_shared<const std::vector<std::vector<net::NodeId>>>([&] {
+        std::vector<std::vector<net::NodeId>> all;
+        all.reserve(n);
+        for (net::NodeId src = 0; src < n; ++src) {
+          std::vector<net::NodeId> parent(n, src);
+          std::vector<bool> seen(n, false);
+          std::vector<net::NodeId> queue{src};
+          seen[src] = true;
+          for (std::size_t head = 0; head < queue.size(); ++head) {
+            const net::NodeId v = queue[head];
+            for (const net::Edge& e : ctx.topology.graph.neighbors(v)) {
+              if (!seen[e.to]) {
+                seen[e.to] = true;
+                parent[e.to] = v;
+                queue.push_back(e.to);
+              }
+            }
           }
+          all.push_back(std::move(parent));
         }
-      }
-      it = cache->parents.emplace(msg.src, std::move(parent)).first;
-    }
+        return all;
+      }());
+  ctx.network.set_send_tap(nullptr);  // taps are orthogonal; keep as-is
+  ctx.network.set_relay_filter([&ctx, parents](const sim::Message& msg) {
+    if (ctx.topology.graph.has_edge(msg.src, msg.dst)) return true;
     // Walk dst -> src; every intermediate must be non-dropping.
-    const auto& parent = it->second;
+    const std::vector<net::NodeId>& parent = (*parents)[msg.src];
     net::NodeId hop = parent[msg.dst];
     while (hop != msg.src) {
       if (ctx.behaviors[hop] == Behavior::kDropper) return false;
@@ -141,7 +166,12 @@ Transaction inject_tx(ExperimentContext& ctx, net::NodeId sender,
   tx.created_at = ctx.engine.now();
   tx.payload_bytes = payload_bytes;
   ctx.tracker.on_created(tx.id, tx.created_at);
-  ctx.node(sender).submit(tx);
+  {
+    // Submission enters the simulation from outside any lane; scope it to
+    // the sender's shard so the dissemination timers start in its lane.
+    sim::Engine::ShardScope scope(ctx.engine, ctx.shard_of(sender));
+    ctx.node(sender).submit(tx);
+  }
   return tx;
 }
 

@@ -55,6 +55,11 @@ struct ExperimentContext {
   bool attack_enabled = false;
 
   std::size_t node_count() const { return topology.graph.node_count(); }
+  // Engine shard (region lane) of a node; 0 on an unsharded engine. Entry
+  // points that call into a node from outside the simulation (populate,
+  // inject_tx) open a ShardScope on this so node timers land in the node's
+  // own lane.
+  std::uint32_t shard_of(net::NodeId v) const { return network.shard_of(v); }
   bool is_honest(net::NodeId v) const {
     return behaviors[v] == Behavior::kHonest;
   }
@@ -139,6 +144,11 @@ class ProtocolNode : public sim::Node {
 
  private:
   void maybe_front_run(const Transaction& victim);
+  // The deferred body of maybe_front_run: runs at a quiescent point (window
+  // barrier on a sharded engine, inline otherwise) because the attack
+  // mutates cross-shard state (adversarial_of, the attacker's own mempool
+  // and uplink, possibly in another region).
+  void launch_front_run(const Transaction& victim);
 
   std::uint64_t last_seq_ = 0;
 };

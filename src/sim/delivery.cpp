@@ -32,12 +32,42 @@ std::vector<std::uint64_t> sorted_keys(
 
 }  // namespace
 
+// Each mutator splits into a routing shell (defer out of a draining shard,
+// execute immediately otherwise) and the _now body holding the original
+// logic; the shells keep the tracker shardsafe without touching the digest.
 void DeliveryTracker::on_created(std::uint64_t item, SimTime when) {
+  if (engine_ != nullptr && engine_->in_shard_drain()) {
+    engine_->defer([this, item, when] { on_created_now(item, when); });
+    return;
+  }
+  on_created_now(item, when);
+}
+
+void DeliveryTracker::restamp_created(std::uint64_t item, SimTime when) {
+  if (engine_ != nullptr && engine_->in_shard_drain()) {
+    engine_->defer([this, item, when] { restamp_created_now(item, when); });
+    return;
+  }
+  restamp_created_now(item, when);
+}
+
+void DeliveryTracker::on_delivered(std::uint64_t item, net::NodeId node,
+                                   SimTime when) {
+  if (engine_ != nullptr && engine_->in_shard_drain()) {
+    engine_->defer([this, item, node, when] {
+      on_delivered_now(item, node, when);
+    });
+    return;
+  }
+  on_delivered_now(item, node, when);
+}
+
+void DeliveryTracker::on_created_now(std::uint64_t item, SimTime when) {
   auto [it, inserted] = created_.try_emplace(item);
   if (inserted) it->second.created = when;
 }
 
-void DeliveryTracker::restamp_created(std::uint64_t item, SimTime when) {
+void DeliveryTracker::restamp_created_now(std::uint64_t item, SimTime when) {
   const auto it = created_.find(item);
   if (it == created_.end() || when <= it->second.created) return;
   it->second.created = when;
@@ -47,8 +77,8 @@ void DeliveryTracker::restamp_created(std::uint64_t item, SimTime when) {
   }
 }
 
-void DeliveryTracker::on_delivered(std::uint64_t item, net::NodeId node,
-                                   SimTime when) {
+void DeliveryTracker::on_delivered_now(std::uint64_t item, net::NodeId node,
+                                       SimTime when) {
   auto it = created_.find(item);
   if (it == created_.end()) {
     // Deliveries of unknown items are ignored by the digest but still

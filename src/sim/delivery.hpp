@@ -27,6 +27,14 @@ class DeliveryTracker {
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  // Binds the tracker to a (possibly sharded) engine: mutators called from
+  // a draining shard are deferred to the window barrier (Engine::defer) and
+  // replayed in deterministic (when, seq, idx) order, so the digest and the
+  // observer stream are independent of lane interleaving. Readers must only
+  // run at quiescent points (between runs, control events), which is where
+  // every report in the repo already reads.
+  void bind_engine(Engine* engine) { engine_ = engine; }
+
   // Records that `item` (a transaction/message id) originated at `when`.
   void on_created(std::uint64_t item, SimTime when);
   // Moves the creation timestamp forward to `when` — used when a protocol
@@ -58,9 +66,14 @@ class DeliveryTracker {
     SimTime created = 0.0;
     std::unordered_map<net::NodeId, SimTime> deliveries;
   };
+  void on_created_now(std::uint64_t item, SimTime when);
+  void restamp_created_now(std::uint64_t item, SimTime when);
+  void on_delivered_now(std::uint64_t item, net::NodeId node, SimTime when);
+
   std::size_t node_count_;
   std::unordered_map<std::uint64_t, ItemRecord> created_;
   Observer observer_;
+  Engine* engine_ = nullptr;
 };
 
 }  // namespace hermes::sim

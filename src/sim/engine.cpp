@@ -1,11 +1,17 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <thread>
 #include <utility>
+
+#include "support/thread_pool.hpp"
 
 namespace hermes::sim {
 
 namespace {
+
+constexpr SimTime kInfTime = std::numeric_limits<SimTime>::infinity();
 
 // Below this many overflow events a spread degenerates to one heapified
 // run: bucketing overhead would exceed the heap operations it saves.
@@ -17,17 +23,11 @@ constexpr std::size_t kMaxRungs = 4096;
 
 }  // namespace
 
-void Engine::schedule(SimTime delay, EventFn fn) {
-  HERMES_REQUIRE(delay >= 0.0);
-  schedule_at(now_ + delay, std::move(fn));
-}
+// ---------------------------------------------------------------------------
+// Lane: the per-shard event ladder (see header comment for the design).
+// ---------------------------------------------------------------------------
 
-void Engine::schedule_at(SimTime when, EventFn fn) {
-  HERMES_REQUIRE(when >= now_);
-  enqueue(when, std::move(fn));
-}
-
-std::size_t Engine::rung_index(SimTime when) const {
+std::size_t Engine::Lane::rung_index(SimTime when) const {
   // The same formula routes spread-time distribution and later insertions.
   // It is monotone in `when` (subtraction, positive division, floor and
   // clamp all are), and a fixed `when` always maps to a fixed rung; both
@@ -39,7 +39,7 @@ std::size_t Engine::rung_index(SimTime when) const {
   return static_cast<std::size_t>(rel);
 }
 
-void Engine::heap_push(const EventRef& ref) {
+void Engine::Lane::heap_push(const EventRef& ref) {
   bottom_.push_back(ref);
   std::push_heap(bottom_.begin(), bottom_.end(),
                  [](const EventRef& a, const EventRef& b) {
@@ -47,7 +47,7 @@ void Engine::heap_push(const EventRef& ref) {
                  });
 }
 
-void Engine::enqueue(SimTime when, EventFn fn) {
+void Engine::Lane::enqueue(SimTime when, std::uint64_t seq, EventFn fn) {
   std::uint32_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -57,10 +57,10 @@ void Engine::enqueue(SimTime when, EventFn fn) {
     slot = static_cast<std::uint32_t>(pool_.size());
     pool_.push_back(std::move(fn));
   }
-  const EventRef ref{when, next_seq_++, slot};
-  ++size_;
+  const EventRef ref{when, seq, slot};
+  ++size;
 
-  if (size_ == 1) {
+  if (size == 1) {
     // Empty-queue fast path: every tier is empty; the single event is the
     // heap, and its own (when, seq) is the heap's upper edge.
     bottom_.push_back(ref);
@@ -91,7 +91,7 @@ void Engine::enqueue(SimTime when, EventFn fn) {
   }
 }
 
-void Engine::spread_top() {
+void Engine::Lane::spread_top() {
   const std::size_t n = top_.size();
   SimTime tmin = top_[0].when;
   SimTime tmax = top_[0].when;
@@ -129,7 +129,7 @@ void Engine::spread_top() {
   // a larger seq, so parking it in top_ preserves FIFO.
 }
 
-void Engine::refill_bottom() {
+void Engine::Lane::refill_bottom() {
   for (;;) {
     if (rungs_active_) {
       while (cur_rung_ < rungs_in_use_) {
@@ -150,14 +150,14 @@ void Engine::refill_bottom() {
   }
 }
 
-Engine::EventRef Engine::extract_min(EventFn& fn_out) {
+Engine::EventRef Engine::Lane::extract_min(EventFn& fn_out) {
   std::pop_heap(bottom_.begin(), bottom_.end(),
                 [](const EventRef& a, const EventRef& b) {
                   return ref_less(b, a);
                 });
   const EventRef ref = bottom_.back();
   bottom_.pop_back();
-  --size_;
+  --size;
   fn_out = std::move(pool_[ref.slot]);
   free_.push_back(ref.slot);
   // Restore the invariant before the callback runs so nested schedule()
@@ -166,34 +166,7 @@ Engine::EventRef Engine::extract_min(EventFn& fn_out) {
   return ref;
 }
 
-std::size_t Engine::run(std::size_t max_events) {
-  std::size_t executed = 0;
-  EventFn fn;
-  while (size_ > 0 && executed < max_events) {
-    const EventRef ref = extract_min(fn);
-    now_ = ref.when;
-    fn();
-    fn.reset();
-    ++executed;
-  }
-  return executed;
-}
-
-std::size_t Engine::run_until(SimTime deadline) {
-  std::size_t executed = 0;
-  EventFn fn;
-  while (size_ > 0 && bottom_.front().when <= deadline) {
-    const EventRef ref = extract_min(fn);
-    now_ = ref.when;
-    fn();
-    fn.reset();
-    ++executed;
-  }
-  if (now_ < deadline) now_ = deadline;
-  return executed;
-}
-
-void Engine::clear() {
+void Engine::Lane::clear_events() {
   const auto release = [this](const EventRef& e) {
     pool_[e.slot].reset();
     free_.push_back(e.slot);
@@ -209,13 +182,371 @@ void Engine::clear() {
   rungs_active_ = false;
   for (const EventRef& e : top_) release(e);
   top_.clear();
-  size_ = 0;
+  size = 0;
+  for (auto& box : outbox) box.clear();
+  deferred.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine() { lanes_.resize(1); }
+Engine::~Engine() = default;
+
+Engine::ExecContext& Engine::tls() {
+  static thread_local ExecContext ctx;
+  return ctx;
+}
+
+SimTime Engine::now() const {
+  const ExecContext& c = tls();
+  if (sharded_ && c.engine == this && c.draining) return lanes_[c.shard].now;
+  return now_;
+}
+
+bool Engine::in_shard_drain() const {
+  const ExecContext& c = tls();
+  return sharded_ && c.engine == this && c.draining;
+}
+
+std::uint32_t Engine::context_shard() const {
+  const ExecContext& c = tls();
+  return c.engine == this ? c.shard : kNoShard;
+}
+
+void Engine::configure_shards(std::size_t shards, double lookahead_ms) {
+  HERMES_REQUIRE(!sharded_);
+  HERMES_REQUIRE(shards >= 1 && lookahead_ms > 0.0);
+  HERMES_REQUIRE(pending() == 0 && lanes_[0].next_local_ == 0);
+  sharded_ = true;
+  lookahead_ = lookahead_ms;
+  lanes_.resize(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    lanes_[i].seq_tag = static_cast<std::uint64_t>(i) << kSeqShardShift;
+    lanes_[i].outbox.resize(shards + 1);  // + control slot
+  }
+  control_tag_ = static_cast<std::uint64_t>(shards) << kSeqShardShift;
+}
+
+void Engine::set_workers(std::size_t workers) {
+  if (!sharded_) return;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_ = std::min(workers, region_lane_count());
+  pool_ = workers_ > 1 ? std::make_unique<ThreadPool>(workers_ - 1) : nullptr;
+}
+
+void Engine::schedule(SimTime delay, EventFn fn) {
+  HERMES_REQUIRE(delay >= 0.0);
+  schedule_at(now() + delay, std::move(fn));
+}
+
+void Engine::schedule_at(SimTime when, EventFn fn) {
+  if (!sharded_) {
+    HERMES_REQUIRE(when >= now_);
+    Lane& ln = lanes_[0];
+    ln.enqueue(when, ln.next_seq(), std::move(fn));
+    return;
+  }
+  const ExecContext& c = tls();
+  if (c.engine == this && c.shard != kNoShard) {
+    Lane& ln = lanes_[c.shard];
+    if (c.draining) {
+      HERMES_REQUIRE(when >= ln.now);
+      ln.enqueue(when, ln.next_seq(), std::move(fn));
+    } else {
+      // Quiescent ShardScope (setup, control events, deferred replay): the
+      // lane clock may sit past the caller's clock inside the last window;
+      // clamping keeps the insert legal and is deterministic (the lane
+      // clock is itself a function of simulation content only).
+      HERMES_REQUIRE(when >= now_);
+      ln.enqueue(std::max(when, ln.now), ln.next_seq(), std::move(fn));
+    }
+    return;
+  }
+  HERMES_REQUIRE(when >= now_);
+  push_control(when, control_tag_ | control_next_++, std::move(fn));
+}
+
+void Engine::schedule_cross(std::uint32_t shard, SimTime when, EventFn fn) {
+  HERMES_REQUIRE(shard < region_lane_count());
+  if (!sharded_) {
+    schedule_at(when, std::move(fn));
+    return;
+  }
+  const ExecContext& c = tls();
+  if (c.engine == this && c.draining) {
+    Lane& src = lanes_[c.shard];
+    if (shard == c.shard) {
+      HERMES_REQUIRE(when >= src.now);
+      src.enqueue(when, src.next_seq(), std::move(fn));
+      return;
+    }
+    HERMES_REQUIRE(when >= src.now + lookahead_ &&
+                   "cross-shard event below the lookahead horizon");
+    src.outbox[shard].push_back({when, src.next_seq(), std::move(fn)});
+    return;
+  }
+  // Quiescent context: direct insert. The seq comes from the context shard
+  // when one is active (ShardScope), the control counter otherwise.
+  Lane& dst = lanes_[shard];
+  const std::uint64_t seq = (c.engine == this && c.shard != kNoShard)
+                                ? lanes_[c.shard].next_seq()
+                                : (control_tag_ | control_next_++);
+  dst.enqueue(std::max(when, dst.now), seq, std::move(fn));
+}
+
+void Engine::schedule_global(SimTime delay, EventFn fn) {
+  HERMES_REQUIRE(delay >= 0.0);
+  schedule_global_at(now() + delay, std::move(fn));
+}
+
+void Engine::schedule_global_at(SimTime when, EventFn fn) {
+  if (!sharded_) {
+    schedule_at(when, std::move(fn));
+    return;
+  }
+  const ExecContext& c = tls();
+  if (c.engine == this && c.draining) {
+    // The earliest quiescent point is the current window bound; deferring
+    // to it is deterministic (the bound is a function of event content).
+    Lane& ln = lanes_[c.shard];
+    const SimTime w = std::max(when, window_bound_);
+    ln.outbox[region_lane_count()].push_back({w, ln.next_seq(), std::move(fn)});
+    return;
+  }
+  HERMES_REQUIRE(when >= now_);
+  push_control(when, control_tag_ | control_next_++, std::move(fn));
+}
+
+void Engine::defer(EventFn fn) {
+  const ExecContext& c = tls();
+  if (sharded_ && c.engine == this && c.draining) {
+    Lane& ln = lanes_[c.shard];
+    ln.deferred.push_back({ln.now, ln.cur_seq, ln.fx_idx++, std::move(fn)});
+    return;
+  }
+  fn();
+}
+
+Engine::ShardScope::ShardScope(Engine& engine, std::uint32_t shard) {
+  HERMES_REQUIRE(shard < engine.shard_count());
+  ExecContext& c = tls();
+  prev_engine_ = c.engine;
+  prev_shard_ = c.shard;
+  prev_draining_ = c.draining;
+  c = ExecContext{&engine, shard, false};
+}
+
+Engine::ShardScope::~ShardScope() {
+  tls() = ExecContext{prev_engine_, prev_shard_, prev_draining_};
+}
+
+void Engine::push_control(SimTime when, std::uint64_t seq, EventFn fn) {
+  control_.push_back(ControlEvent{when, seq, std::move(fn)});
+  std::push_heap(control_.begin(), control_.end(),
+                 [](const ControlEvent& a, const ControlEvent& b) {
+                   if (a.when != b.when) return a.when > b.when;
+                   return a.seq > b.seq;  // min-(when, seq) at the front
+                 });
+}
+
+void Engine::pop_control(ControlEvent& out) {
+  std::pop_heap(control_.begin(), control_.end(),
+                [](const ControlEvent& a, const ControlEvent& b) {
+                  if (a.when != b.when) return a.when > b.when;
+                  return a.seq > b.seq;
+                });
+  out = std::move(control_.back());
+  control_.pop_back();
+}
+
+SimTime Engine::control_peek() const {
+  return control_.empty() ? kInfTime : control_.front().when;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  if (sharded_) return run_windows(kInfTime, max_events);
+  Lane& ln = lanes_[0];
+  std::size_t executed = 0;
+  EventFn fn;
+  while (ln.size > 0 && executed < max_events) {
+    const EventRef ref = ln.extract_min(fn);
+    now_ = ref.when;
+    ln.now = ref.when;
+    fn();
+    fn.reset();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Engine::run_until(SimTime deadline) {
+  if (sharded_) return run_windows(deadline, SIZE_MAX);
+  Lane& ln = lanes_[0];
+  std::size_t executed = 0;
+  EventFn fn;
+  while (ln.size > 0 && ln.peek_when() <= deadline) {
+    const EventRef ref = ln.extract_min(fn);
+    now_ = ref.when;
+    ln.now = ref.when;
+    fn();
+    fn.reset();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  ln.now = now_;
+  return executed;
+}
+
+std::size_t Engine::run_windows(SimTime deadline, std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events) {
+    SimTime t0 = kInfTime;
+    for (const Lane& ln : lanes_) {
+      if (ln.size > 0 && ln.peek_when() < t0) t0 = ln.peek_when();
+    }
+    const SimTime g = control_peek();
+    const SimTime start = std::min(t0, g);
+    if (start == kInfTime || start > deadline) break;
+    const SimTime bound = std::min({t0 + lookahead_, g, deadline});
+    window_bound_ = bound;
+
+    // Parallel drain + mailbox merge, to a fixpoint: a merged cross event
+    // can land inside the window only when its latency equals the
+    // lookahead exactly, and events it spawns land strictly later, so the
+    // loop runs at most a couple of rounds.
+    do {
+      drain_lanes(bound);
+    } while (flush_outboxes(bound));
+    flush_deferred();
+    for (Lane& ln : lanes_) {
+      executed += ln.executed;
+      ln.executed = 0;
+    }
+    now_ = bound;
+
+    if (control_peek() <= bound) {
+      ControlEvent ev;
+      pop_control(ev);
+      now_ = ev.when;
+      ev.fn();
+      ev.fn.reset();
+      ++executed;
+      now_ = bound;
+    }
+  }
+  if (deadline != kInfTime && now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+void Engine::drain_lanes(SimTime bound) {
+  const auto drain_one = [this, bound](std::size_t i) {
+    Lane& ln = lanes_[i];
+    if (ln.size == 0 || ln.peek_when() > bound) return;
+    ExecContext& c = tls();
+    const ExecContext prev = c;
+    c = ExecContext{this, static_cast<std::uint32_t>(i), true};
+    EventFn fn;
+    while (ln.size > 0 && ln.peek_when() <= bound) {
+      const EventRef ref = ln.extract_min(fn);
+      ln.now = ref.when;
+      ln.cur_seq = ref.seq;
+      ln.fx_idx = 0;
+      fn();
+      fn.reset();
+      ++ln.executed;
+    }
+    c = prev;
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(region_lane_count(), drain_one);
+  } else {
+    for (std::size_t i = 0; i < region_lane_count(); ++i) drain_one(i);
+  }
+}
+
+bool Engine::flush_outboxes(SimTime bound) {
+  bool redrain = false;
+  const std::size_t R = region_lane_count();
+  for (std::size_t src = 0; src < R; ++src) {
+    Lane& s = lanes_[src];
+    if (s.outbox.empty()) continue;
+    for (std::size_t dst = 0; dst < R; ++dst) {
+      std::vector<CrossEvent>& box = s.outbox[dst];
+      if (box.empty()) continue;
+      Lane& d = lanes_[dst];
+      for (CrossEvent& ev : box) {
+        HERMES_DCHECK(ev.when >= d.now);
+        if (ev.when <= bound) redrain = true;
+        d.enqueue(ev.when, ev.seq, std::move(ev.fn));
+      }
+      box.clear();
+    }
+    std::vector<CrossEvent>& gbox = s.outbox[R];
+    for (CrossEvent& ev : gbox) push_control(ev.when, ev.seq, std::move(ev.fn));
+    gbox.clear();
+  }
+  return redrain;
+}
+
+void Engine::flush_deferred() {
+  fx_scratch_.clear();
+  for (Lane& ln : lanes_) {
+    for (DeferredFx& fx : ln.deferred) fx_scratch_.push_back(std::move(fx));
+    ln.deferred.clear();
+  }
+  if (fx_scratch_.empty()) return;
+  // (when, seq) is the recording event (unique), idx its observation
+  // counter: the sort key reproduces the observation order of a sequential
+  // (when, seq) execution.
+  std::sort(fx_scratch_.begin(), fx_scratch_.end(),
+            [](const DeferredFx& a, const DeferredFx& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.idx < b.idx;
+            });
+  const SimTime saved = now_;
+  for (DeferredFx& fx : fx_scratch_) {
+    now_ = fx.when;
+    fx.fn();
+    fx.fn.reset();
+  }
+  now_ = saved;
+  fx_scratch_.clear();
+}
+
+std::size_t Engine::pending() const {
+  std::size_t total = control_.size();
+  for (const Lane& ln : lanes_) total += ln.size;
+  return total;
+}
+
+std::size_t Engine::pool_capacity() const {
+  std::size_t total = 0;
+  for (const Lane& ln : lanes_) total += ln.pool_.size();
+  return total;
+}
+
+void Engine::clear() {
+  for (Lane& ln : lanes_) ln.clear_events();
+  control_.clear();
 }
 
 void Engine::reset() {
   clear();
   now_ = 0.0;
-  next_seq_ = 0;
+  window_bound_ = 0.0;
+  control_next_ = 0;
+  for (Lane& ln : lanes_) {
+    ln.next_local_ = 0;
+    ln.now = 0.0;
+    ln.cur_seq = 0;
+    ln.fx_idx = 0;
+    ln.executed = 0;
+  }
 }
 
 }  // namespace hermes::sim

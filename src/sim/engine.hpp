@@ -1,18 +1,77 @@
-// Deterministic discrete-event simulation engine.
+// Deterministic discrete-event simulation engine, optionally sharded by
+// region for parallel execution.
 //
 // All protocol evaluation in this repository runs on this engine: time is
 // virtual (milliseconds as double), events execute in (time, insertion
 // sequence) order, and every random choice comes from seeded Rng streams,
 // so a run is a pure function of its seed.
 //
+// ---------------------------------------------------------------------------
+// The (when, seq) total order
+// ---------------------------------------------------------------------------
+// Every event carries a 64-bit sequence number and executes in ascending
+// (when, seq) order. Sequence numbers are *shard-stable*: the high
+// kSeqShardBits bits are the id of the shard (lane) that allocated the
+// event, the low bits a per-shard counter:
+//
+//     seq = (lane_id << kSeqShardShift) | per_lane_counter
+//
+// so a seq never depends on how many workers ran or how lanes interleaved
+// — only on the allocating shard and that shard's own scheduling order,
+// both of which are functions of the simulation content alone. Among
+// same-time events this makes the tie-break deterministic across worker
+// counts: same-shard events keep FIFO scheduling order (counter), events
+// from different shards order by shard id, and control events (allocated
+// by the control lane, which has the highest lane id) order after all
+// shard events at the same timestamp. An unsharded engine has exactly one
+// lane with id 0, so seqs degenerate to the classic global FIFO counter.
+//
+// ---------------------------------------------------------------------------
+// Sharded (parallel) mode
+// ---------------------------------------------------------------------------
+// configure_shards(S, L) splits the engine into S region lanes plus one
+// control lane. Each lane owns a private event ladder, slab pool, clock
+// and seq counter; run_until() then advances the simulation in conservative
+// lookahead windows:
+//
+//   1. T0    = earliest pending timestamp across all lanes,
+//      bound = min(T0 + L, next control event, deadline).
+//   2. Every lane drains its events with when <= bound — in parallel on the
+//      support/thread_pool when workers > 1, sequentially otherwise. The
+//      executed events are identical either way; only wall-clock differs.
+//   3. Cross-shard sends enqueued during (2) were parked in per-(src,dst)
+//      outboxes (single-producer by phase separation: lanes write only
+//      their own outboxes during a drain, and outboxes are flushed only
+//      between drains). They are now merged into the destination ladders,
+//      ordered by (when, seq) with the *source*-assigned seq, and lanes
+//      re-drain if any merged event lands inside the window (possible only
+//      when a cross latency equals L exactly; L > 0 bounds the fixpoint).
+//   4. Deferred global effects (see defer()) recorded during (2) replay in
+//      merged (when, seq, idx) order — the order a sequential (when, seq)
+//      execution would have observed them in.
+//   5. If the next control event sits exactly at the window bound, exactly
+//      one control event runs with all lanes quiescent. Control events
+//      (schedule_global / schedule() outside any shard context) may touch
+//      any cross-shard state: crash flags, partitions, epoch advances.
+//
+// Cross-shard inserts below the lookahead horizon are a correctness error
+// (they could reorder against events a peer lane already executed) and trip
+// a HERMES_REQUIRE instead of silently reordering.
+//
+// Because every step above is a function of simulation content only, the
+// executed event sequence — and therefore every trace, hash and counter —
+// is bit-identical for any worker count, including workers == 1, which
+// runs the same windowed schedule on the calling thread alone.
+//
 // Hot-path design (the engine executes hundreds of millions of events in a
 // paper-scale run):
 //   - Callbacks are EventFn records with a small-buffer optimization: a
-//     capture up to kInlineBytes (enough for a full Network delivery
-//     closure) lives inline in a slab slot, so steady-state scheduling
-//     performs no heap allocation. Slots are pooled and recycled through a
-//     free list; clear() keeps the pool warm for the next repetition.
-//   - Ordering uses a tiered ladder/bucket queue over POD
+//     capture up to kInlineBytes (enough for a full Network delivery or
+//     deferred-tap closure) lives inline in a slab slot, so steady-state
+//     scheduling performs no heap allocation. Slots are pooled and
+//     recycled through a free list; clear() keeps the pool warm for the
+//     next repetition.
+//   - Per-lane ordering uses a tiered ladder/bucket queue over POD
 //     (when, seq, slot) records: a small binary min-heap (`bottom`) over
 //     the near horizon being drained, an array of bucket rungs covering
 //     the current time window, and an unsorted far-future overflow that
@@ -22,16 +81,25 @@
 //     a single global heap produces — FIFO among same-time events
 //     included — while keeping the heap small (one rung) so pops stay
 //     cache-resident at paper scale.
+//   - The control lane is a plain binary heap: control events are rare and
+//     a heap gives the exact (when, seq) order for any insertion order,
+//     which the ladder's overflow tier only guarantees for same-time
+//     events arriving in ascending seq order.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
+
+namespace hermes {
+class ThreadPool;
+}  // namespace hermes
 
 namespace hermes::sim {
 
@@ -42,9 +110,9 @@ using SimTime = double;  // milliseconds
 // a programming error.
 class EventFn {
  public:
-  // Sized for the Network delivery closure (Network* + Message) plus
-  // headroom for the protocol timer lambdas.
-  static constexpr std::size_t kInlineBytes = 56;
+  // Sized for the deferred send-tap closure (Network* + Message + SimTime)
+  // plus headroom for the protocol timer lambdas.
+  static constexpr std::size_t kInlineBytes = 64;
 
   EventFn() = default;
 
@@ -140,42 +208,123 @@ class Engine {
  public:
   using Callback = EventFn;
 
-  SimTime now() const { return now_; }
+  static constexpr std::uint32_t kNoShard = 0xffffffffu;
+  // Seq layout: high bits carry the allocating lane id (see file comment).
+  static constexpr unsigned kSeqShardShift = 48;
 
-  // Schedules `fn` to run `delay` ms from now (delay >= 0).
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Current simulation time: the executing lane's clock while that lane is
+  // draining a window, the global clock otherwise.
+  SimTime now() const;
+
+  // Schedules `fn` to run `delay` ms from now (delay >= 0). On a sharded
+  // engine the event lands in the context shard (the lane executing the
+  // caller, or the active ShardScope); without any shard context it lands
+  // in the control lane and runs with all lanes quiescent.
   void schedule(SimTime delay, EventFn fn);
   void schedule_at(SimTime when, EventFn fn);
 
-  // Runs events until the queue drains or `max_events` fire.
-  // Returns the number of events executed.
+  // --- Sharded mode -------------------------------------------------------
+
+  // Splits the engine into `shards` region lanes plus a control lane, with
+  // conservative lookahead `lookahead_ms` (> 0): a cross-shard insert must
+  // land at least lookahead_ms after the sending lane's clock. Must be
+  // called once, on an empty engine, before anything is scheduled.
+  void configure_shards(std::size_t shards, double lookahead_ms);
+  bool sharded() const { return sharded_; }
+  std::size_t shard_count() const { return sharded_ ? lanes_.size() : 1; }
+  double lookahead_ms() const { return lookahead_; }
+
+  // Worker threads for the parallel drain. 1 (default) drains the windows
+  // sequentially on the calling thread — the legacy no-threads path — with
+  // a result bit-identical to any other count; 0 resolves to the hardware
+  // concurrency. No-op on an unsharded engine.
+  void set_workers(std::size_t workers);
+  std::size_t workers() const { return workers_; }
+
+  // Schedules into an explicit shard at absolute time `when`. From a lane
+  // currently draining, a cross-shard destination must respect the
+  // lookahead horizon (when >= lane now + lookahead_ms) — violations trip
+  // HERMES_REQUIRE rather than silently reordering — and the event is
+  // parked in the lane's outbox until the window barrier. From control or
+  // idle context the insert is direct (lanes are quiescent) and `when` is
+  // clamped to the destination lane's clock.
+  void schedule_cross(std::uint32_t shard, SimTime when, EventFn fn);
+
+  // Schedules a control event: it executes with every lane quiescent and
+  // may touch cross-shard state. From a draining lane the event is
+  // deferred to at least the current window bound (the earliest quiescent
+  // point); `delay` is measured from the caller's clock.
+  void schedule_global(SimTime delay, EventFn fn);
+  void schedule_global_at(SimTime when, EventFn fn);
+
+  // Defers a global side effect (trace taps, tracker updates, shared-map
+  // writes) out of the parallel drain: from a draining lane, `fn` is
+  // recorded with the executing event's (when, seq) plus a per-event
+  // observation index and replayed at the window barrier in merged
+  // (when, seq, idx) order — the observation order of the sequential
+  // execution; from any other context `fn` runs immediately.
+  void defer(EventFn fn);
+
+  // True while the calling thread is draining a lane's window (parallel or
+  // sequential); global side effects must be deferred in this state.
+  bool in_shard_drain() const;
+  // The context shard: the draining lane or the active ShardScope on this
+  // thread, kNoShard otherwise.
+  std::uint32_t context_shard() const;
+
+  // Routes schedule() calls on the current thread to a fixed shard while
+  // the engine is quiescent — used to run node entry points (on_start,
+  // submit) from control/setup code so their timers land in the node's own
+  // lane. Restores the previous context on destruction.
+  class ShardScope {
+   public:
+    ShardScope(Engine& engine, std::uint32_t shard);
+    ~ShardScope();
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+   private:
+    Engine* prev_engine_;
+    std::uint32_t prev_shard_;
+    bool prev_draining_;
+  };
+
+  // Runs events until the queue drains or `max_events` fire. Returns the
+  // number of events executed. Sharded engines check the cap only at
+  // window barriers, so a window may finish past it.
   std::size_t run(std::size_t max_events = SIZE_MAX);
   // Runs events with timestamp <= deadline.
   std::size_t run_until(SimTime deadline);
 
-  bool empty() const { return size_ == 0; }
-  std::size_t pending() const { return size_; }
+  bool empty() const { return pending() == 0; }
+  std::size_t pending() const;
 
-  // Drops all pending events. The clock and the FIFO sequence counter are
+  // Drops all pending events. The clock and the FIFO sequence counters are
   // deliberately NOT rewound: events scheduled after a clear() still order
   // behind everything scheduled before it, and now() stays monotonic, so a
   // clear() mid-run cannot reorder a subsequently shared schedule. The
-  // event pool is retained for reuse. Benchmark repetitions that want a
+  // event pools are retained for reuse. Benchmark repetitions that want a
   // fresh, seed-deterministic engine should call reset().
   void clear();
 
-  // clear() plus rewinding now() to 0 and the sequence counter to its
+  // clear() plus rewinding now() to 0 and the sequence counters to their
   // initial state: the engine becomes indistinguishable from a freshly
-  // constructed one, except that the warmed event pool is kept.
+  // configured one, except that the warmed event pools are kept.
   void reset();
 
-  // Number of slab slots ever allocated (regression hook: repetitions over
-  // a bounded-pending workload must not grow the pool).
-  std::size_t pool_capacity() const { return pool_.size(); }
+  // Number of slab slots ever allocated across lanes (regression hook:
+  // repetitions over a bounded-pending workload must not grow the pool).
+  std::size_t pool_capacity() const;
 
  private:
   struct EventRef {
     SimTime when;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::uint64_t seq;  // shard-stable tie-breaker, see file comment
     std::uint32_t slot;
   };
   static bool ref_less(const EventRef& a, const EventRef& b) {
@@ -183,46 +332,106 @@ class Engine {
     return a.seq < b.seq;
   }
 
-  void enqueue(SimTime when, EventFn fn);
-  // Pops the globally minimal (when, seq) event; caller owns the returned
-  // callback. Maintains the "bottom_ non-empty while size_ > 0" invariant.
-  EventRef extract_min(EventFn& fn_out);
-  void refill_bottom();
-  void spread_top();
-  void heap_push(const EventRef& ref);
-  std::size_t rung_index(SimTime when) const;
+  // A cross-shard event in flight between a drain and the window barrier.
+  struct CrossEvent {
+    SimTime when;
+    std::uint64_t seq;  // allocated by the source lane
+    EventFn fn;
+  };
 
+  // A deferred global effect: (when, seq) of the event that recorded it
+  // plus the per-event observation index.
+  struct DeferredFx {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t idx;
+    EventFn fn;
+  };
+
+  // A control event; the control lane is a plain (when, seq) binary heap.
+  struct ControlEvent {
+    SimTime when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  // One shard: a private event ladder, slab pool, clock and seq counter.
+  struct Lane {
+    // --- identity / clocks ---
+    std::uint64_t seq_tag = 0;    // lane_id << kSeqShardShift
+    std::uint64_t next_local_ = 0;
+    SimTime now = 0.0;
+    std::uint64_t cur_seq = 0;    // seq of the event currently executing
+    std::uint32_t fx_idx = 0;     // per-event defer() counter
+    std::size_t executed = 0;     // events run in the current drain phase
+
+    // --- cross-window buffers (written only by this lane's drain) ---
+    std::vector<std::vector<CrossEvent>> outbox;  // per destination lane
+    std::vector<DeferredFx> deferred;
+
+    // --- event ladder (see file comment) ---
+    std::size_t size = 0;
+    std::vector<EventRef> bottom_;
+    EventRef bottom_limit_{0.0, 0, 0};
+    bool rungs_active_ = false;
+    std::vector<std::vector<EventRef>> rungs_;
+    std::size_t rungs_in_use_ = 0;
+    std::size_t cur_rung_ = 0;
+    SimTime spread_start_ = 0.0;
+    SimTime spread_end_ = 0.0;
+    double rung_width_ = 0.0;
+    std::vector<EventRef> top_;
+    std::vector<EventFn> pool_;
+    std::vector<std::uint32_t> free_;
+
+    std::uint64_t next_seq() { return seq_tag | next_local_++; }
+    SimTime peek_when() const { return bottom_.front().when; }
+    void enqueue(SimTime when, std::uint64_t seq, EventFn fn);
+    EventRef extract_min(EventFn& fn_out);
+    void clear_events();
+
+   private:
+    void heap_push(const EventRef& ref);
+    void refill_bottom();
+    void spread_top();
+    std::size_t rung_index(SimTime when) const;
+  };
+
+  struct ExecContext {
+    Engine* engine = nullptr;
+    std::uint32_t shard = kNoShard;
+    bool draining = false;
+  };
+  static ExecContext& tls();
+
+  std::size_t region_lane_count() const { return lanes_.size(); }
+  void push_control(SimTime when, std::uint64_t seq, EventFn fn);
+  void pop_control(ControlEvent& out);
+  SimTime control_peek() const;
+
+  std::size_t run_windows(SimTime deadline, std::size_t max_events);
+  void drain_lanes(SimTime bound);
+  bool flush_outboxes(SimTime bound);
+  void flush_deferred();
+
+  bool sharded_ = false;
+  double lookahead_ = 0.0;
+  std::size_t workers_ = 1;
   SimTime now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::size_t size_ = 0;
+  SimTime window_bound_ = 0.0;  // current window's bound during a drain
 
-  // Tier 1: binary min-heap (by (when, seq)) over the events currently
-  // being drained. While rungs are active this holds the contents of rung
-  // cur_rung_ - 1; new events that order before the remaining rungs are
-  // pushed here. While no spread is active, events ordering before
-  // bottom_limit_ (the heap's upper edge at fill time) are pushed here
-  // and everything else overflows to top_.
-  std::vector<EventRef> bottom_;
-  EventRef bottom_limit_{0.0, 0, 0};
+  // Region lanes; unsharded engines have exactly one (id 0) and skip the
+  // window machinery entirely, preserving the classic sequential path.
+  std::vector<Lane> lanes_;
 
-  // Tier 2: bucket rungs of the current spread, covering
-  // [spread_start_, spread_end_). rungs_[i] holds events whose rung_index
-  // is i; rungs below cur_rung_ have been consumed.
-  bool rungs_active_ = false;
-  std::vector<std::vector<EventRef>> rungs_;
-  std::size_t rungs_in_use_ = 0;
-  std::size_t cur_rung_ = 0;
-  SimTime spread_start_ = 0.0;
-  SimTime spread_end_ = 0.0;
-  double rung_width_ = 0.0;
+  // Control lane: heap of (when, seq) + its own counter, tagged with the
+  // highest lane id so control orders after shard events at equal times.
+  std::vector<ControlEvent> control_;
+  std::uint64_t control_tag_ = 0;
+  std::uint64_t control_next_ = 0;
 
-  // Tier 3: unsorted overflow beyond the current spread (or beyond the
-  // sorted bottom run when no spread is active).
-  std::vector<EventRef> top_;
-
-  // Event slab: slot-indexed callbacks plus the recycled-slot free list.
-  std::vector<EventFn> pool_;
-  std::vector<std::uint32_t> free_;
+  std::vector<DeferredFx> fx_scratch_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace hermes::sim

@@ -10,6 +10,7 @@
 // inheritance graph for every received message.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -23,8 +24,11 @@ using BodyTag = std::uint32_t;
 namespace detail {
 
 inline BodyTag allocate_body_tag() {
-  static BodyTag next = 0;
-  return next++;
+  // Atomic: with a sharded engine two lanes can first-use distinct body
+  // types concurrently (each T's magic static is separately thread-safe,
+  // but the shared counter behind them is not).
+  static std::atomic<BodyTag> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 // One tag per distinct body type, assigned on first use. Tags never cross

@@ -2,8 +2,23 @@
 // per-message jitter, stochastic message loss, and per-node bandwidth
 // accounting. Latency between overlay neighbors follows the physical graph
 // edge label; latency between non-adjacent pairs (protocols that assume a
-// connected topology, e.g. Narwhal) is sampled once from the region model
-// and cached so a pair behaves like a stable path.
+// connected topology, e.g. Narwhal) is a pure keyed function of the network
+// seed and the pair — equivalent to sampling once and caching — so a pair
+// behaves like a stable path and the value is independent of which engine
+// shard evaluates it first.
+//
+// Sharding: unless NetworkParams::shard_by_region is off, construction
+// splits the engine into one lane per geographic region (the shard of a
+// node is its region) with the conservative lookahead derived from the
+// latency model: cross-region latency is never below
+// min(min inter-region edge label, inter_mean - 8 * inter_stddev), and the
+// engine asserts that bound on every cross-shard delivery. All mutable
+// per-send state (rng streams, aggregate counters, pair caches) is kept
+// per shard; per-node counters are written only by the node's own lane
+// (sends by the source lane, receipts by the destination lane at delivery).
+// Global fault switches (crash, partition, flaps, stragglers) may only be
+// flipped while the engine is quiescent — control events, setup, or
+// between runs — which the setters assert.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +45,15 @@ struct NetworkParams {
   // uplink at this rate. This is what makes O(n) fan-outs (Narwhal's
   // all-to-all) pay for their breadth as n grows. 0 disables the model.
   double link_bandwidth_mbps = 200.0;
+  // Engine worker threads for the region-sharded driver. 1 = sequential
+  // (the legacy no-threads path, bit-identical to any other count);
+  // 0 = hardware concurrency.
+  std::size_t workers = 1;
+  // Partition the engine into one lane per region (see file comment).
+  // Off = classic single-lane engine; traces are then NOT comparable with
+  // sharded runs (same-time cross-region ties break differently), so every
+  // configuration that hashes traces keeps this on.
+  bool shard_by_region = true;
 };
 
 struct BandwidthCounters {
@@ -48,6 +72,9 @@ class Network {
   const net::Topology& topology() const { return topology_; }
   std::size_t node_count() const { return topology_.graph.node_count(); }
 
+  // The engine shard (= region lane) a node lives on; 0 when unsharded.
+  std::uint32_t shard_of(net::NodeId id) const { return shard_of_[id]; }
+
   // Nodes register themselves at construction (see sim::Node).
   void attach(net::NodeId id, Node* node);
 
@@ -56,14 +83,16 @@ class Network {
   // filter, or stochastic loss).
   std::optional<SimTime> send(const Message& msg);
 
-  // Stable latency for the (a, b) pair (graph edge label or cached sample).
+  // Stable latency for the (a, b) pair (graph edge label or keyed sample).
   double pair_latency(net::NodeId a, net::NodeId b);
 
   const BandwidthCounters& counters(net::NodeId id) const {
     return counters_[id];
   }
-  const BandwidthCounters& total() const { return total_; }
-  std::uint64_t dropped_messages() const { return dropped_; }
+  // Aggregate counters, summed over the per-shard slices. Meaningful at
+  // quiescent points (between runs / from control events).
+  BandwidthCounters total() const;
+  std::uint64_t dropped_messages() const;
   void reset_counters();
 
   // Marks a node as crashed: all deliveries to/from it are suppressed.
@@ -72,15 +101,19 @@ class Network {
 
   // Observation tap: invoked for every send() after accounting (even for
   // messages that are then dropped), before delivery is scheduled. Used by
-  // sim::TraceCollector; nullptr disables.
+  // sim::TraceCollector; nullptr disables. While a shard is draining, the
+  // invocation is deferred to the window barrier (Engine::defer), so the
+  // tap always observes sends in the deterministic (when, seq) order and
+  // may touch global state freely.
   using SendTap = std::function<void(const Message&, SimTime now)>;
-  void set_send_tap(SendTap tap) { send_tap_ = std::move(tap); }
+  void set_send_tap(SendTap tap);
 
   // Transit filter: return false to drop the message in transit (e.g. a
   // Byzantine intermediary on the underlay path). Checked after crash and
-  // partition suppression; charged as a drop.
+  // partition suppression; charged as a drop. Runs on the sending lane's
+  // thread, so it must only read state that is frozen during a window.
   using RelayFilter = std::function<bool(const Message&)>;
-  void set_relay_filter(RelayFilter filter) { relay_filter_ = std::move(filter); }
+  void set_relay_filter(RelayFilter filter);
 
   // Network partition: assigns every node a partition id; messages only
   // cross between nodes in the same partition. heal_partition() restores
@@ -133,20 +166,38 @@ class Network {
     std::size_t used_ = 0;
   };
 
+  // Mutable per-send state, sliced per engine shard so concurrent lanes
+  // never share a cache line of it. The extra trailing slice serves
+  // contexts outside any shard (setup code, control events).
+  struct ShardState {
+    explicit ShardState(std::uint64_t seed, std::size_t node_count)
+        : rng(seed), cache(node_count) {}
+    Rng rng;  // drop / jitter draws, consumed in per-lane event order
+    BandwidthCounters total;
+    std::uint64_t dropped = 0;
+    PairCache cache;
+  };
+
+  // The ShardState slice for the calling context.
+  ShardState& state();
+  double derive_lookahead() const;
+  void require_quiescent() const;
+
   Engine& engine_;
   const net::Topology& topology_;
   NetworkParams params_;
   Rng rng_;
   net::LatencyModel model_;
+  // Keyed-sampling seed: pair latency = f(pair_seed_, packed pair key).
+  std::uint64_t pair_seed_ = 0;
+  std::vector<std::uint32_t> shard_of_;
+  std::vector<ShardState> shards_;
   std::vector<Node*> nodes_;
   std::vector<BandwidthCounters> counters_;
   std::vector<bool> crashed_;
   std::vector<int> partition_of_;  // empty = no partition
   SendTap send_tap_;
   RelayFilter relay_filter_;
-  BandwidthCounters total_;
-  std::uint64_t dropped_ = 0;
-  PairCache pair_cache_;
   // Down intervals per packed undirected pair key (min << 32 | max).
   // Empty in the common case; send() skips the lookup entirely then.
   std::unordered_map<std::uint64_t, std::vector<std::pair<SimTime, SimTime>>>
@@ -154,7 +205,8 @@ class Network {
   // Per-node processing-delay multipliers; empty until the first
   // set_processing_multiplier call (identity).
   std::vector<double> proc_mult_;
-  // Per-node uplink availability time (serialization model).
+  // Per-node uplink availability time (serialization model); written only
+  // by the owning node's lane.
   std::vector<SimTime> uplink_free_at_;
 };
 

@@ -1,0 +1,84 @@
+// Cross-worker determinism suite: the trace hash of every fuzz-corpus
+// scenario must be byte-identical for any engine worker count. This is the
+// acceptance contract of the region-sharded parallel engine — parallelism
+// may only change wall-clock time, never the simulation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace hermes::fuzz {
+namespace {
+
+constexpr std::uint64_t kCorpusSeeds = 24;
+const std::size_t kWorkerCounts[] = {2, 4, 8};
+
+// Full corpus x {1, 2, 4, 8} workers, hashes compared byte for byte. The
+// whole product runs in well under a second; no sampling needed.
+TEST(WorkersDeterminism, CorpusTraceHashesIdenticalAcrossWorkerCounts) {
+  for (std::uint64_t seed = 1; seed <= kCorpusSeeds; ++seed) {
+    // Legacy (non-extended) generation, matching fuzz --hash-batch: this
+    // suite doubles as the long-lived trace-equivalence baseline.
+    const Scenario s = generate_scenario(seed, false);
+    RunOptions opts;
+    opts.workers = 1;
+    const RunResult base = run_scenario(s, opts);
+    ASSERT_FALSE(base.trace_hash.empty()) << "seed " << seed;
+    for (const std::size_t workers : kWorkerCounts) {
+      opts.workers = workers;
+      const RunResult r = run_scenario(s, opts);
+      EXPECT_EQ(r.trace_hash, base.trace_hash)
+          << "seed " << seed << " diverged at workers=" << workers;
+      EXPECT_EQ(r.sends, base.sends)
+          << "seed " << seed << " send count diverged at workers=" << workers;
+    }
+  }
+}
+
+// Same contract on the byte-level canonical trace dump (not just its
+// hash), for one representative scenario per protocol family.
+TEST(WorkersDeterminism, CanonicalDumpsIdenticalAcrossWorkerCounts) {
+  std::vector<std::uint64_t> picked;
+  bool have_hermes = false;
+  bool have_gossip = false;
+  for (std::uint64_t seed = 1; seed <= kCorpusSeeds; ++seed) {
+    const Scenario s = generate_scenario(seed, false);
+    if (s.hermes() && !have_hermes) {
+      have_hermes = true;
+      picked.push_back(seed);
+    } else if (!s.hermes() && !have_gossip) {
+      have_gossip = true;
+      picked.push_back(seed);
+    }
+  }
+  ASSERT_FALSE(picked.empty());
+  for (const std::uint64_t seed : picked) {
+    const Scenario s = generate_scenario(seed, false);
+    RunOptions opts;
+    opts.collect_trace_dump = true;
+    opts.workers = 1;
+    const std::string base = run_scenario(s, opts).trace_dump;
+    ASSERT_FALSE(base.empty()) << "seed " << seed;
+    for (const std::size_t workers : kWorkerCounts) {
+      opts.workers = workers;
+      EXPECT_EQ(run_scenario(s, opts).trace_dump, base)
+          << "seed " << seed << " dump diverged at workers=" << workers;
+    }
+  }
+}
+
+// workers = 0 (auto, hardware concurrency) is also on the contract.
+TEST(WorkersDeterminism, AutoWorkersMatchesSingleThread) {
+  const Scenario s = generate_scenario(1, false);
+  RunOptions opts;
+  opts.workers = 1;
+  const std::string base = run_scenario(s, opts).trace_hash;
+  opts.workers = 0;
+  EXPECT_EQ(run_scenario(s, opts).trace_hash, base);
+}
+
+}  // namespace
+}  // namespace hermes::fuzz

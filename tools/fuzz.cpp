@@ -54,7 +54,10 @@ int usage() {
                "       fuzz --replay-file PATH [--mutate NAME]\n"
                "       fuzz --hash-batch N [--seed-base S]\n"
                "       fuzz --paper-scale NODES\n"
-               "       fuzz --recovery\n");
+               "       fuzz --recovery\n"
+               "options: --workers N   engine worker threads (0 = hardware\n"
+               "                       concurrency; default 1). The trace\n"
+               "                       hash is worker-count invariant.\n");
   return 2;
 }
 
@@ -72,9 +75,11 @@ void print_failures(const RunResult& r) {
   }
 }
 
-int replay_scenario(const Scenario& s, Mutation mutation) {
+int replay_scenario(const Scenario& s, Mutation mutation,
+                    std::size_t workers) {
   RunOptions opts;
   opts.mutation = mutation;
+  opts.workers = workers;
   std::printf("%s\n", describe(s).c_str());
   const RunResult first = run_scenario(s, opts);
   const RunResult second = run_scenario(s, opts);
@@ -95,9 +100,10 @@ int replay_scenario(const Scenario& s, Mutation mutation) {
 
 int run_batch(std::uint64_t runs, std::uint64_t seed_base,
               std::uint64_t budget_ms, const std::string& corpus_path,
-              Mutation mutation) {
+              Mutation mutation, std::size_t workers) {
   RunOptions opts;
   opts.mutation = mutation;
+  opts.workers = workers;
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t executed = 0;
   std::uint64_t failed = 0;
@@ -144,12 +150,15 @@ int run_batch(std::uint64_t runs, std::uint64_t seed_base,
 // Prints one "seed trace-hash sends" line per generated scenario. Two
 // listings taken before and after an engine change must be byte-identical
 // for the change to count as trace-preserving.
-int hash_batch(std::uint64_t runs, std::uint64_t seed_base) {
+int hash_batch(std::uint64_t runs, std::uint64_t seed_base,
+               std::size_t workers) {
+  RunOptions opts;
+  opts.workers = workers;
   for (std::uint64_t i = 0; i < runs; ++i) {
     const std::uint64_t seed = seed_base + i;
     // Legacy sampling: the listing is a long-lived trace-equivalence
     // baseline, so new fault modes must not perturb it.
-    const RunResult r = run_scenario(generate_scenario(seed, false));
+    const RunResult r = run_scenario(generate_scenario(seed, false), opts);
     std::printf("%llu %s %zu\n", static_cast<unsigned long long>(seed),
                 r.trace_hash.c_str(), r.sends);
   }
@@ -160,7 +169,7 @@ int hash_batch(std::uint64_t runs, std::uint64_t seed_base) {
 // participants and runs it once. Node-indexed scenario fields (committee,
 // injection senders, churn targets) were drawn below the generator's small
 // node count, so they stay valid when the world only grows.
-int paper_scale(std::uint64_t nodes) {
+int paper_scale(std::uint64_t nodes, std::size_t workers) {
   std::uint64_t seed = 1;
   Scenario s = generate_scenario(seed);
   while (!(s.hermes() && s.benign())) s = generate_scenario(++seed);
@@ -168,8 +177,10 @@ int paper_scale(std::uint64_t nodes) {
   std::printf("paper-scale: seed %llu scaled to %zu nodes\n%s",
               static_cast<unsigned long long>(seed), s.nodes,
               describe(s).c_str());
+  RunOptions opts;
+  opts.workers = workers;
   const auto start = std::chrono::steady_clock::now();
-  const RunResult r = run_scenario(s);
+  const RunResult r = run_scenario(s, opts);
   const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::steady_clock::now() - start)
                            .count();
@@ -189,7 +200,7 @@ int paper_scale(std::uint64_t nodes) {
 // non-committee non-sender nodes right after the first injection. With the
 // honest core connected, the recovery-liveness checker then demands that
 // every certified transaction reaches every surviving honest node.
-int recovery_smoke() {
+int recovery_smoke(std::size_t workers) {
   std::uint64_t seed = 1;
   Scenario s = generate_scenario(seed, false);
   while (!(s.hermes() && s.benign() && s.enable_fallback)) {
@@ -208,7 +219,9 @@ int recovery_smoke() {
   s.drain_ms = std::max(s.drain_ms, 12000.0);
   std::printf("recovery smoke: seed %llu\n%s\n",
               static_cast<unsigned long long>(seed), describe(s).c_str());
-  const RunResult r = run_scenario(s);
+  RunOptions opts;
+  opts.workers = workers;
+  const RunResult r = run_scenario(s, opts);
   std::printf("trace %s (%zu sends, %.0f ms)\n", r.trace_hash.c_str(),
               r.sends, r.sim_end_ms);
   if (!r.ok()) {
@@ -233,6 +246,7 @@ int main(int argc, char** argv) {
   std::string replay_file;
   bool recovery = false;
   Mutation mutation = Mutation::kNone;
+  std::size_t workers = 1;  // 0 = hardware concurrency (engine resolves)
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -282,6 +296,11 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--recovery") {
       recovery = true;
+    } else if (arg == "--workers") {
+      const auto v = parse_u64(value);
+      if (!v) return usage();
+      workers = static_cast<std::size_t>(*v);
+      ++i;
     } else if (arg == "--mutate") {
       if (value == nullptr) return usage();
       const auto m = mutation_from(value);
@@ -297,13 +316,13 @@ int main(int argc, char** argv) {
   }
 
   if (hash_batch_runs) {
-    return hash_batch(*hash_batch_runs, seed_base);
+    return hash_batch(*hash_batch_runs, seed_base, workers);
   }
   if (recovery) {
-    return recovery_smoke();
+    return recovery_smoke(workers);
   }
   if (paper_scale_nodes) {
-    return paper_scale(*paper_scale_nodes);
+    return paper_scale(*paper_scale_nodes, workers);
   }
   if (print_seed) {
     const Scenario s = generate_scenario(*print_seed);
@@ -311,7 +330,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (replay_seed) {
-    return replay_scenario(generate_scenario(*replay_seed), mutation);
+    return replay_scenario(generate_scenario(*replay_seed), mutation, workers);
   }
   if (!replay_file.empty()) {
     std::ifstream in(replay_file);
@@ -326,10 +345,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "malformed scenario file %s\n", replay_file.c_str());
       return 2;
     }
-    return replay_scenario(*s, mutation);
+    return replay_scenario(*s, mutation, workers);
   }
   if (runs > 0) {
-    return run_batch(runs, seed_base, budget_ms, corpus_path, mutation);
+    return run_batch(runs, seed_base, budget_ms, corpus_path, mutation,
+                     workers);
   }
   return usage();
 }

@@ -6,12 +6,17 @@
 # artifact per suite.
 #
 # Usage: tools/run_benches.sh [--quick] [--only overlay|sim] [--nodes N]
+#                             [--workers W]
 #   BUILD_DIR=<dir>  build tree to use (default: <repo>/build)
 #   --quick          smoke mode for CI: tiny subset, 1 repetition, still
-#                    emits the JSON artifacts
+#                    emits the JSON artifacts (includes a --workers 2
+#                    sharded-engine dissemination smoke)
 #   --only SUITE     run just one suite (overlay or sim)
 #   --nodes N        additionally run the paper-scale configs at N nodes
-#                    (forwarded to both suites; e.g. 2000 or 10000)
+#                    (forwarded to both suites; e.g. 2000 or 10000). The
+#                    sim suite runs the HERMES dissemination at N as a
+#                    workers sweep (1/2/4/8) over the sharded engine.
+#   --workers W      restrict that sweep to a single worker count
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,6 +25,7 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 QUICK=0
 ONLY=""
 NODES=""
+WORKERS=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) QUICK=1 ;;
@@ -31,8 +37,12 @@ while [[ $# -gt 0 ]]; do
       NODES="$2"
       shift
       ;;
+    --workers)
+      WORKERS="$2"
+      shift
+      ;;
     *)
-      echo "usage: tools/run_benches.sh [--quick] [--only overlay|sim] [--nodes N]" >&2
+      echo "usage: tools/run_benches.sh [--quick] [--only overlay|sim] [--nodes N] [--workers W]" >&2
       exit 2
       ;;
   esac
@@ -103,6 +113,7 @@ run_sim() {
   fi
   local extra=()
   [[ -n $NODES ]] && extra+=(--nodes "$NODES")
+  [[ -n $WORKERS ]] && extra+=(--workers "$WORKERS")
   "$bin" \
     --benchmark_filter="$filter" \
     --benchmark_repetitions="$REPS" \
@@ -110,6 +121,14 @@ run_sim() {
     --benchmark_out="$tmp" \
     --benchmark_out_format=json \
     "${extra[@]}"
+
+  if [[ $QUICK -eq 1 ]]; then
+    # Sharded-engine smoke: a small dissemination run on 2 worker threads.
+    # Output is informational (not merged into the JSON artifact); the run
+    # failing is what the smoke guards against.
+    "$bin" --nodes 300 --workers 2 \
+      --benchmark_filter='BM_HermesDissemination/300/workers:2'
+  fi
 
   # Baseline: seed revision (std::function callbacks in a binary-heap
   # priority_queue, RTTI dynamic_cast message dispatch, unordered_map
