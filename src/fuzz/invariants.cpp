@@ -52,6 +52,8 @@ const char* mutation_name(Mutation m) {
       return "repair-divergence";
     case Mutation::kLostRecovery:
       return "lost-recovery";
+    case Mutation::kPhantomEviction:
+      return "phantom-eviction";
   }
   return "?";
 }
@@ -61,7 +63,8 @@ std::optional<Mutation> mutation_from(const std::string& name) {
        {Mutation::kNone, Mutation::kDuplicateDelivery,
         Mutation::kSequenceFabrication, Mutation::kWrongOverlay,
         Mutation::kFalseAccusation, Mutation::kOverlayDeficit,
-        Mutation::kRepairDivergence, Mutation::kLostRecovery}) {
+        Mutation::kRepairDivergence, Mutation::kLostRecovery,
+        Mutation::kPhantomEviction}) {
     if (name == mutation_name(m)) return m;
   }
   return std::nullopt;
@@ -140,6 +143,10 @@ void InvariantSuite::note_injected(std::uint64_t tx_id, bool batch_member) {
   injected_[tx_id] = batch_member;
 }
 
+void InvariantSuite::note_load(std::uint64_t tx_id) {
+  load_injected_.insert(tx_id);
+}
+
 void InvariantSuite::add_generation(
     const std::shared_ptr<const hermes_proto::HermesShared>& shared) {
   if (!shared) return;
@@ -213,6 +220,12 @@ void InvariantSuite::apply_mutation(Mutation m) {
       } else {
         synthetic_lost_.push_back(mempool::Transaction::make_id(0, 1));
       }
+      break;
+    }
+    case Mutation::kPhantomEviction: {
+      // Pretend a mempool logged an eviction where the incoming tx did NOT
+      // outrank the evicted one — a broken admission rule.
+      synthetic_phantom_eviction_ = true;
       break;
     }
   }
@@ -611,6 +624,87 @@ void InvariantSuite::check_recovery_liveness(std::vector<Failure>& out) const {
   }
 }
 
+void InvariantSuite::check_mempool_pressure(std::vector<Failure>& out) const {
+  const std::size_t before = out.size();
+  if (synthetic_phantom_eviction_) {
+    add_failure(out, before, "mempool-pressure",
+                "eviction log records incoming tx 2 (fee 5) displacing tx 1 "
+                "(fee 100): incoming does not outrank evicted (mutation)");
+  }
+  // The (fee, id) priority order the mempool admits/evicts by.
+  const auto outranks = [](std::uint64_t fee_a, std::uint64_t id_a,
+                           std::uint64_t fee_b, std::uint64_t id_b) {
+    if (fee_a != fee_b) return fee_a > fee_b;
+    return id_a > id_b;
+  };
+  for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+    if (!honest(v)) continue;
+    const mempool::Mempool& pool = ctx_.node(v).pool();
+    // Capacity bound: the resident set never exceeds the configured cap.
+    if (pool.capacity() > 0 && pool.size() > pool.capacity()) {
+      std::ostringstream detail;
+      detail << "node " << v << " holds " << pool.size()
+             << " resident txs over capacity " << pool.capacity();
+      add_failure(out, before, "mempool-pressure", detail.str());
+    }
+    // Conservation: every admitted tx is still resident, was evicted, or
+    // was committed — delivered-or-evicted, nothing vanishes silently.
+    if (pool.admitted_total() !=
+        pool.size() + pool.evicted_total() + pool.committed_total()) {
+      std::ostringstream detail;
+      detail << "node " << v << " admission accounting broken: admitted "
+             << pool.admitted_total() << " != resident " << pool.size()
+             << " + evicted " << pool.evicted_total() << " + committed "
+             << pool.committed_total();
+      add_failure(out, before, "mempool-pressure", detail.str());
+    }
+    // Eviction log: every record is fee-lawful and final.
+    for (const mempool::Eviction& ev : pool.eviction_log()) {
+      if (!outranks(ev.incoming_fee, ev.incoming_id, ev.evicted_fee,
+                    ev.evicted_id)) {
+        std::ostringstream detail;
+        detail << "node " << v << " evicted tx " << ev.evicted_id << " (fee "
+               << ev.evicted_fee << ") for incoming tx " << ev.incoming_id
+               << " (fee " << ev.incoming_fee
+               << ") which does not outrank it";
+        add_failure(out, before, "mempool-pressure", detail.str());
+      }
+      if (pool.contains(ev.evicted_id)) {
+        std::ostringstream detail;
+        detail << "node " << v << " resurrected evicted tx " << ev.evicted_id
+               << " into the resident set";
+        add_failure(out, before, "mempool-pressure", detail.str());
+      }
+    }
+    // Arrival log integrity: one entry per id ever (an evicted or committed
+    // id re-offered must not re-enter the log), and the sustained-load
+    // stream of each origin arrives at that origin in sequence order — the
+    // driver submits it in seq order, so an inversion means cross-tx
+    // interleaving inside the submission path.
+    std::unordered_set<std::uint64_t> seen_ids;
+    std::uint64_t last_own_load_seq = 0;
+    for (std::uint64_t id : pool.arrival_order()) {
+      if (!seen_ids.insert(id).second) {
+        std::ostringstream detail;
+        detail << "node " << v << " arrival log lists tx " << id << " twice";
+        add_failure(out, before, "mempool-pressure", detail.str());
+      }
+      if (static_cast<net::NodeId>(id >> 32) == v &&
+          load_injected_.count(id) > 0) {
+        const std::uint64_t seq = id & 0xffffffffULL;
+        if (seq <= last_own_load_seq) {
+          std::ostringstream detail;
+          detail << "origin " << v << " arrival log interleaves its load "
+                 << "stream: seq " << seq << " after seq "
+                 << last_own_load_seq;
+          add_failure(out, before, "mempool-pressure", detail.str());
+        }
+        last_own_load_seq = seq;
+      }
+    }
+  }
+}
+
 std::vector<Failure> InvariantSuite::finish() {
   std::vector<Failure> out;
   check_duplicates(out);
@@ -622,6 +716,7 @@ std::vector<Failure> InvariantSuite::finish() {
   check_coverage(out);
   check_repair_convergence(out);
   check_recovery_liveness(out);
+  check_mempool_pressure(out);
   return out;
 }
 

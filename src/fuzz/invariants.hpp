@@ -33,6 +33,16 @@
 //                           transaction reaches *every* eligible honest
 //                           node — the repair loop closes the holes the
 //                           coverage allowance would otherwise tolerate
+//   mempool-pressure        under sustained load every honest mempool
+//                           respects its capacity bound, accounts for
+//                           every admitted transaction (resident, evicted
+//                           or committed — nothing vanishes), logs only
+//                           fee-lawful evictions (incoming strictly
+//                           outranks the evicted minimum), never
+//                           resurrects an evicted or committed id into
+//                           the arrival log, and keeps each origin's
+//                           sustained-load stream in sequence order
+//                           (no cross-tx interleaving at the origin)
 //
 // Mutations corrupt the *observation streams* just before the verdict —
 // they simulate a protocol that broke the corresponding property, proving
@@ -65,6 +75,7 @@ enum class Mutation : std::uint8_t {
   kOverlayDeficit,
   kRepairDivergence,
   kLostRecovery,
+  kPhantomEviction,
 };
 
 const char* mutation_name(Mutation m);
@@ -84,6 +95,9 @@ class InvariantSuite {
   void on_delivery(std::uint64_t item, net::NodeId node, sim::SimTime when,
                    bool duplicate);
   void note_injected(std::uint64_t tx_id, bool batch_member);
+  // Marks an injected tx as part of the sustained-load stream (stricter
+  // per-origin sequencing rules apply to those).
+  void note_load(std::uint64_t tx_id);
   void add_generation(
       const std::shared_ptr<const hermes_proto::HermesShared>& shared);
   // Number of health-triggered (automatic) view changes during the run;
@@ -127,6 +141,7 @@ class InvariantSuite {
   // honest node in regimes where recovery is decidable.
   void check_repair_convergence(std::vector<Failure>& out) const;
   void check_recovery_liveness(std::vector<Failure>& out) const;
+  void check_mempool_pressure(std::vector<Failure>& out) const;
   // True when the physical graph restricted to honest, never-crashed nodes
   // is connected — the precondition for fallback-driven repair.
   bool honest_subgraph_connected() const;
@@ -151,6 +166,8 @@ class InvariantSuite {
 
   // Injections, in id order for deterministic reporting.
   std::map<std::uint64_t, bool> injected_;  // id -> batch member
+  // Subset of injected_ that belongs to the sustained-load stream.
+  std::set<std::uint64_t> load_injected_;
 
   // Certified overlay generations (copied so mutations may corrupt them).
   std::vector<std::vector<overlay::Overlay>> generations_;
@@ -161,6 +178,7 @@ class InvariantSuite {
   std::vector<std::pair<net::NodeId, net::NodeId>> synthetic_accusations_;
   bool synthetic_repair_divergence_ = false;
   std::vector<std::uint64_t> synthetic_lost_;
+  bool synthetic_phantom_eviction_ = false;
 };
 
 }  // namespace hermes::fuzz

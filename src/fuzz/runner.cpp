@@ -10,6 +10,7 @@
 #include "protocols/gossip.hpp"
 #include "sim/trace.hpp"
 #include "support/bytes.hpp"
+#include "workload/driver.hpp"
 
 namespace hermes::fuzz {
 
@@ -93,6 +94,9 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
     w.ctx->network.set_processing_multiplier(st.node, st.multiplier);
   }
 
+  // Mempool capacity is fixed at node construction, so it must precede
+  // start() (which runs populate()).
+  w.ctx->mempool_capacity = s.mempool_capacity;
   w.start();
 
   InvariantSuite suite(s, *w.ctx);
@@ -159,6 +163,32 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
     });
   }
 
+  // --- schedule: sustained load (extended scenarios). The arrival process
+  // is re-derived from the scenario fields, so a replayed scenario streams
+  // the byte-identical schedule.
+  double load_end_ms = 0.0;
+  if (s.has_load()) {
+    std::vector<net::NodeId> honest_senders;
+    for (net::NodeId v = 0; v < w.ctx->node_count(); ++v) {
+      if (w.ctx->is_honest(v)) honest_senders.push_back(v);
+    }
+    workload::WorkloadParams wp;
+    wp.kind = workload::ArrivalKind::kPoisson;
+    wp.duration_ms = s.load_duration_ms;
+    wp.rate_hz = s.load_rate_hz;
+    wp.seed = s.load_seed;
+    std::vector<workload::Arrival> arrivals =
+        workload::generate_arrivals(wp, honest_senders);
+    for (workload::Arrival& a : arrivals) a.at_ms += s.load_start_ms;
+    const workload::ScheduleResult sched =
+        workload::schedule_arrivals(*w.ctx, arrivals);
+    for (const Transaction& tx : sched.txs) {
+      suite.note_injected(tx.id, /*batch_member=*/false);
+      suite.note_load(tx.id);
+    }
+    load_end_ms = sched.horizon_ms;
+  }
+
   // --- schedule: churn (crash/recover + optional view change)
   for (const ChurnEvent& ev : s.churn) {
     w.at(ev.at_ms, [&suite, hermes, ev](World& world) {
@@ -191,7 +221,7 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
     w.at(pw.end_ms, [](World& world) { world.ctx->network.heal_partition(); });
   }
 
-  double horizon = 0.0;
+  double horizon = load_end_ms;
   for (const Injection& inj : s.injections) horizon = std::max(horizon, inj.at_ms);
   for (const ChurnEvent& ev : s.churn) horizon = std::max(horizon, ev.at_ms);
   for (const PartitionWindow& pw : s.partitions) {

@@ -21,9 +21,11 @@ bool Scenario::has_front_runner() const {
 }
 
 bool Scenario::benign() const {
+  // Fee-priority eviction pressure is not the benign regime: an evicted
+  // body legitimately never reaches full coverage.
   return byzantine.empty() && !transit_faults && drop_probability == 0.0 &&
          churn.empty() && partitions.empty() && link_flaps.empty() &&
-         stragglers.empty();
+         stragglers.empty() && mempool_capacity == 0;
 }
 
 std::size_t Scenario::max_concurrent_crashes() const {
@@ -228,6 +230,21 @@ Scenario generate_scenario(std::uint64_t seed, bool extended) {
   if (!s.link_flaps.empty() || !s.stragglers.empty()) {
     s.drain_ms = std::max(s.drain_ms, 12000.0 + rng.uniform_real(0.0, 2000.0));
   }
+  // Sustained load: stream a Poisson workload over the run, half the time
+  // under a mempool bound tight enough to force fee evictions. Drawn last
+  // so earlier extended corpora replay unchanged up to this feature.
+  if (rng.bernoulli(0.3)) {
+    s.load_rate_hz = 10.0 + rng.uniform_real(0.0, 40.0);  // 10..50 tx/s
+    s.load_duration_ms = 800.0 + rng.uniform_real(0.0, 1600.0);
+    s.load_start_ms = 50.0 + rng.uniform_real(0.0, 200.0);
+    s.load_seed = rng.next_u64();
+    if (rng.bernoulli(0.5)) {
+      s.mempool_capacity = 8 + rng.uniform_u64(57);  // 8..64 resident txs
+    }
+    // Capacity pressure is a non-benign regime (system model: >= 12 s).
+    s.drain_ms =
+        std::max(s.drain_ms, s.mempool_capacity > 0 ? 12000.0 : 10000.0);
+  }
   return s;
 }
 
@@ -307,6 +324,8 @@ std::string describe(const Scenario& s) {
   if (!s.link_flaps.empty()) out << " flaps=" << s.link_flaps.size();
   if (!s.stragglers.empty()) out << " strag=" << s.stragglers.size();
   if (s.self_healing) out << " healing";
+  if (s.has_load()) out << " load=" << s.load_rate_hz << "hz";
+  if (s.mempool_capacity > 0) out << " cap=" << s.mempool_capacity;
   if (s.hermes() && !s.enable_fallback) out << " nofallback";
   out << " drain=" << s.drain_ms;
   return out.str();
@@ -334,6 +353,17 @@ std::string serialize(const Scenario& s) {
   out << "annealing_workers=" << s.annealing_workers << "\n";
   out << "self_healing=" << (s.self_healing ? 1 : 0) << "\n";
   out << "drain_ms=" << fmt_double(s.drain_ms) << "\n";
+  // Load keys are emitted only when the feature is on, so historical
+  // corpus files round-trip byte-identically.
+  if (s.has_load()) {
+    out << "load_rate_hz=" << fmt_double(s.load_rate_hz) << "\n";
+    out << "load_duration_ms=" << fmt_double(s.load_duration_ms) << "\n";
+    out << "load_start_ms=" << fmt_double(s.load_start_ms) << "\n";
+    out << "load_seed=" << s.load_seed << "\n";
+  }
+  if (s.mempool_capacity > 0) {
+    out << "mempool_capacity=" << s.mempool_capacity << "\n";
+  }
   if (!s.committee.empty()) {
     out << "committee=";
     for (std::size_t i = 0; i < s.committee.size(); ++i) {
@@ -492,6 +522,11 @@ std::optional<Scenario> parse_scenario(const std::string& text) {
       else if (key == "annealing_workers") s.annealing_workers = to_u64(value);
       else if (key == "self_healing") s.self_healing = to_u64(value) != 0;
       else if (key == "drain_ms") s.drain_ms = to_double(value);
+      else if (key == "load_rate_hz") s.load_rate_hz = to_double(value);
+      else if (key == "load_duration_ms") s.load_duration_ms = to_double(value);
+      else if (key == "load_start_ms") s.load_start_ms = to_double(value);
+      else if (key == "load_seed") s.load_seed = to_u64(value);
+      else if (key == "mempool_capacity") s.mempool_capacity = to_u64(value);
       else if (key == "committee") {
         for (const std::string& part : split(value, ',')) {
           if (part.empty()) return std::nullopt;

@@ -108,7 +108,20 @@ struct Scenario {
   std::vector<Straggler> stragglers;
   double drain_ms = 6000.0;
 
+  // Sustained multi-tx load (extended mode): a seeded Poisson workload
+  // streamed on top of the discrete injections, optionally under
+  // fee-priority mempool pressure. The runner re-derives the arrival
+  // schedule from (load_seed, load_rate_hz, load_duration_ms) via
+  // workload::generate_arrivals, so the scenario stays a pure function of
+  // its fields. load_rate_hz == 0 disables the feature entirely.
+  double load_rate_hz = 0.0;       // mean arrivals per simulated second
+  double load_duration_ms = 0.0;   // workload window length
+  double load_start_ms = 0.0;      // offset of the window start
+  std::uint64_t load_seed = 0;     // arrival-process seed
+  std::size_t mempool_capacity = 0;  // per-node bound; 0 = unbounded
+
   bool hermes() const { return protocol == ProtocolKind::kHermes; }
+  bool has_load() const { return load_rate_hz > 0.0; }
   bool has_front_runner() const;
   // No Byzantine nodes, no message faults, no churn, no partitions: the
   // regime where exact invariants (full coverage, zero fallback pulls)

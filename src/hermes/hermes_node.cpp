@@ -662,7 +662,8 @@ void HermesNode::schedule_fallback(std::uint64_t tx_id, int round) {
 
 void HermesNode::on_fallback_offer(const sim::Message& msg) {
   const std::uint64_t tx_id = msg.as<FallbackOfferBody>().tx_id;
-  if (pool_.contains(tx_id)) return;
+  // seen(), not contains(): a fee-evicted body must not be re-pulled.
+  if (pool_.seen(tx_id)) return;
   auto body = std::make_shared<FallbackRequestBody>();
   body->tx_id = tx_id;
   send_to(msg.src, kMsgFallbackRequest, 16, std::move(body));
@@ -697,7 +698,7 @@ void HermesNode::on_fallback(const sim::Message& msg) {
   }
   // Fallback rides gossip: no predecessor requirement, but the certificate
   // requirement keeps unauthorized transactions out.
-  if (healing_enabled() && !pool_.contains(d.tx.id)) {
+  if (healing_enabled() && !pool_.seen(d.tx.id)) {
     // The assigned overlay under-delivered: this copy had to come in
     // through the repair path.
     monitor_.note_overlay_shortfall(d.overlay_index);
@@ -840,7 +841,7 @@ void HermesNode::pull_gaps(sim::SimTime now_ms) {
     for (std::uint64_t seq = gap.next_seq;
          seq <= gap.max_seen && asked < 8; ++seq) {
       const std::uint64_t tx_id = Transaction::make_id(gap.origin, seq);
-      if (pool_.contains(tx_id)) continue;
+      if (pool_.seen(tx_id)) continue;
       ++asked;
       for (std::size_t i : rng_.sample_indices(nbrs.size(), fanout)) {
         auto body = std::make_shared<FallbackRequestBody>();

@@ -18,6 +18,7 @@ crypto::Digest Transaction::hash() const {
 Bytes serialize_batch(std::span<const Transaction> txs) {
   Bytes out;
   put_varint(out, txs.size());
+  bool any_fee = false;
   for (const Transaction& tx : txs) {
     put_u64_be(out, tx.id);
     put_u32_be(out, tx.sender);
@@ -29,6 +30,14 @@ Bytes serialize_batch(std::span<const Transaction> txs) {
     // payload so the batch hash covers payload-sized content.
     const crypto::Digest filler = tx.hash();
     append(out, BytesView(filler.data(), filler.size()));
+    any_fee = any_fee || tx.fee != 0;
+  }
+  // Fee appendix: present only when some member pays a fee, so fee-less
+  // batches (the whole historical corpus) keep their exact byte encoding,
+  // batch hash and overlay selection.
+  if (any_fee) {
+    out.push_back(1);
+    for (const Transaction& tx : txs) put_varint(out, tx.fee);
   }
   return out;
 }
@@ -60,13 +69,30 @@ std::optional<std::vector<Transaction>> deserialize_batch(BytesView bytes) {
     off += crypto::kSha256DigestSize;  // skip filler
     out.push_back(tx);
   }
+  if (off == bytes.size()) return out;  // legacy fee-less encoding
+  if (bytes[off++] != 1) return std::nullopt;
+  for (Transaction& tx : out) {
+    std::uint64_t fee = 0;
+    if (!get_varint(bytes, &off, &fee)) return std::nullopt;
+    tx.fee = fee;
+  }
   if (off != bytes.size()) return std::nullopt;
   return out;
 }
 
 std::size_t batch_wire_size(std::span<const Transaction> txs) {
   std::size_t total = 8;
-  for (const Transaction& tx : txs) total += tx.payload_bytes + 29;
+  bool any_fee = false;
+  for (const Transaction& tx : txs) {
+    total += tx.payload_bytes + 29;
+    any_fee = any_fee || tx.fee != 0;
+  }
+  if (any_fee) {
+    Bytes fees;
+    fees.push_back(1);
+    for (const Transaction& tx : txs) put_varint(fees, tx.fee);
+    total += fees.size();
+  }
   return total;
 }
 
@@ -74,21 +100,75 @@ crypto::Digest batch_hash(std::span<const Transaction> txs) {
   return crypto::sha256(serialize_batch(txs));
 }
 
+void Mempool::admit(Entry& entry) {
+  fee_index_.insert({entry.tx.fee, entry.tx.id});
+  entry.state = Admission::kResident;
+  ++resident_count_;
+  ++admitted_total_;
+}
+
 bool Mempool::insert(const Transaction& tx, sim::SimTime now) {
-  const auto [it, inserted] =
+  const auto [it, fresh] =
       entries_.try_emplace(tx.id, Entry{tx, now, arrival_order_.size()});
-  if (inserted) arrival_order_.push_back(tx.id);
-  return inserted;
+  if (!fresh) return false;
+  arrival_order_.push_back(tx.id);
+
+  Entry& entry = it->second;
+  if (capacity_ == 0 || resident_count_ < capacity_) {
+    admit(entry);
+    return true;
+  }
+  // Full: fee-priority admission. The incoming transaction must outrank the
+  // resident (fee, id) minimum to displace it; ties and lower fees bounce.
+  HERMES_DCHECK(!fee_index_.empty());
+  const auto [min_fee, min_id] = *fee_index_.begin();
+  if (!outranks(tx.fee, tx.id, min_fee, min_id)) {
+    entry.state = Admission::kRejected;
+    ++rejected_total_;
+    return true;
+  }
+  fee_index_.erase(fee_index_.begin());
+  auto victim = entries_.find(min_id);
+  HERMES_DCHECK(victim != entries_.end());
+  victim->second.state = Admission::kEvicted;
+  --resident_count_;
+  evictions_.push_back(Eviction{min_id, min_fee, tx.id, tx.fee, now});
+  admit(entry);
+  return true;
 }
 
 bool Mempool::contains(std::uint64_t tx_id) const {
+  const auto it = entries_.find(tx_id);
+  return it != entries_.end() && it->second.state == Admission::kResident;
+}
+
+bool Mempool::seen(std::uint64_t tx_id) const {
   return entries_.count(tx_id) > 0;
 }
 
 std::optional<Transaction> Mempool::get(std::uint64_t tx_id) const {
   const auto it = entries_.find(tx_id);
-  if (it == entries_.end()) return std::nullopt;
+  if (it == entries_.end() || it->second.state != Admission::kResident) {
+    return std::nullopt;
+  }
   return it->second.tx;
+}
+
+bool Mempool::mark_committed(std::uint64_t tx_id) {
+  const auto it = entries_.find(tx_id);
+  if (it == entries_.end() || it->second.state != Admission::kResident) {
+    return false;
+  }
+  fee_index_.erase({it->second.tx.fee, tx_id});
+  it->second.state = Admission::kCommitted;
+  --resident_count_;
+  ++committed_total_;
+  return true;
+}
+
+Mempool::Admission Mempool::admission_of(std::uint64_t tx_id) const {
+  const auto it = entries_.find(tx_id);
+  return it == entries_.end() ? Admission::kNeverSeen : it->second.state;
 }
 
 sim::SimTime Mempool::arrival_time(std::uint64_t tx_id) const {
@@ -98,7 +178,10 @@ sim::SimTime Mempool::arrival_time(std::uint64_t tx_id) const {
 
 std::size_t Mempool::arrival_position(std::uint64_t tx_id) const {
   const auto it = entries_.find(tx_id);
-  return it == entries_.end() ? SIZE_MAX : it->second.position;
+  if (it == entries_.end() || it->second.state != Admission::kResident) {
+    return SIZE_MAX;
+  }
+  return it->second.position;
 }
 
 void Mempool::add_commitment(const Commitment& c) {
@@ -120,7 +203,11 @@ std::size_t Mempool::commitment_position(const crypto::Digest& tx_hash) const {
 }
 
 std::vector<std::uint64_t> Mempool::digest() const {
-  std::vector<std::uint64_t> ids = arrival_order_;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(resident_count_);
+  for (std::uint64_t id : arrival_order_) {
+    if (contains(id)) ids.push_back(id);
+  }
   std::sort(ids.begin(), ids.end());
   return ids;
 }

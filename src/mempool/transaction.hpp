@@ -23,6 +23,11 @@ struct Transaction {
   std::uint64_t sender_seq = 0;  // sender-local sequence number
   sim::SimTime created_at = 0.0;
   std::size_t payload_bytes = kDefaultTxBytes;
+  // Priority fee bid for mempool admission under bounded capacity (0 =
+  // fee-less legacy workloads). Deliberately excluded from hash(): the
+  // fee is an admission bid the sender may rebroadcast higher, not part of
+  // the committed transaction content the TRS/commitments bind.
+  std::uint64_t fee = 0;
   // Adversarial transactions mark the victim they try to front-run.
   bool adversarial = false;
   std::uint64_t victim_id = 0;
@@ -39,7 +44,9 @@ struct Transaction {
 // Wire encoding of transaction batches (used by the erasure-coded batch
 // dissemination of Section VIII-D). The payload bytes themselves are
 // synthetic in the simulator; the encoding carries the metadata and charges
-// the declared payload size.
+// the declared payload size. Fees ride in a trailing appendix emitted only
+// when some member pays a nonzero fee, so fee-less batches keep the
+// historical byte encoding (and therefore batch hash and corpus traces).
 Bytes serialize_batch(std::span<const Transaction> txs);
 std::optional<std::vector<Transaction>> deserialize_batch(BytesView bytes);
 // Total wire size a batch of these transactions occupies.

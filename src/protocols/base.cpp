@@ -44,15 +44,19 @@ void ExperimentContext::assign_behaviors(double fraction, Behavior behavior) {
 }
 
 ProtocolNode::ProtocolNode(ExperimentContext& ctx, net::NodeId id)
-    : sim::Node(ctx.network, id), ctx_(ctx) {}
+    : sim::Node(ctx.network, id), ctx_(ctx) {
+  pool_.set_capacity(ctx.mempool_capacity);
+}
 
 mempool::Block ProtocolNode::propose_block(std::uint64_t height,
                                            std::size_t max_txs) const {
   std::vector<mempool::OrderedCandidate> candidates;
   candidates.reserve(pool_.size());
   for (std::uint64_t tx_id : pool_.arrival_order()) {
+    // Evicted/rejected/committed entries stay in the arrival log for
+    // position stability but are not proposable.
     const auto tx = pool_.get(tx_id);
-    HERMES_DCHECK(tx.has_value());
+    if (!tx.has_value()) continue;
     candidates.push_back(
         mempool::OrderedCandidate{tx_id, ordering_position(*tx)});
   }
@@ -92,6 +96,9 @@ void ProtocolNode::launch_front_run(const Transaction& victim) {
   attack.id = Transaction::make_id(id(), attack.sender_seq);
   attack.created_at = now();
   attack.payload_bytes = victim.payload_bytes;
+  // Minimal outbid: under fee-priority admission the attack must outrank
+  // the victim at every contended mempool, and the margin is pure cost.
+  attack.fee = victim.fee + 1;
   attack.adversarial = true;
   attack.victim_id = victim.id;
   ctx_.adversarial_of.emplace(victim.id, attack);

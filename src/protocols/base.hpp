@@ -54,6 +54,12 @@ struct ExperimentContext {
   std::unordered_map<std::uint64_t, Transaction> adversarial_of;
   bool attack_enabled = false;
 
+  // Per-node mempool capacity applied at node construction (populate());
+  // 0 = unbounded (the historical behaviour). Under a bound, admission is
+  // fee-priority with min-(fee, id) eviction — every protocol runs the
+  // identical admission rule, so sustained-load comparisons stay fair.
+  std::size_t mempool_capacity = 0;
+
   std::size_t node_count() const { return topology.graph.node_count(); }
   // Engine shard (region lane) of a node; 0 on an unsharded engine. Entry
   // points that call into a node from outside the simulation (populate,

@@ -68,7 +68,8 @@ void GossipNode::on_message(const sim::Message& msg) {
     }
     case kMsgIHave: {
       const std::uint64_t tx_id = msg.as<TxIdBody>().tx_id;
-      if (pool_.contains(tx_id)) return;
+      // seen(), not contains(): a fee-evicted body must not be re-pulled.
+      if (pool_.seen(tx_id)) return;
       auto body = std::make_shared<TxIdBody>();
       body->tx_id = tx_id;
       send_to(msg.src, kMsgIWant, 16, std::move(body));

@@ -136,7 +136,8 @@ void L0Node::on_message(const sim::Message& msg) {
       // Pull what we are missing.
       std::vector<std::uint64_t> wanted;
       for (std::uint64_t peer_id : peer_ids) {
-        if (!pool_.contains(peer_id)) wanted.push_back(peer_id);
+        // seen(), not contains(): evicted bodies are not re-pulled.
+        if (!pool_.seen(peer_id)) wanted.push_back(peer_id);
         if (wanted.size() >= 32) break;
       }
       if (!wanted.empty()) {

@@ -112,7 +112,7 @@ void NarwhalNode::fast_submit(const Transaction& tx) {
 void NarwhalNode::request_repair(std::uint64_t tx_id,
                                  std::vector<net::NodeId> signers, int round) {
   constexpr int kMaxRounds = 3;
-  if (round >= kMaxRounds || pool_.contains(tx_id)) return;
+  if (round >= kMaxRounds || pool_.seen(tx_id)) return;
   rng_.shuffle(signers);
   std::size_t asked = 0;
   for (net::NodeId s : signers) {
@@ -181,7 +181,7 @@ void NarwhalNode::on_message(const sim::Message& msg) {
       const bool fresh = cert_position_.count(cert.tx_id) == 0;
       record_certificate(cert.tx_id);
       if (fresh && relays()) flood_neighbors_cert(cert, msg.src);
-      if (pool_.contains(cert.tx_id)) return;
+      if (pool_.seen(cert.tx_id)) return;
       // Hole: the flood missed us but the certificate proves availability.
       // Pull from signers, re-trying fresh ones until the payload lands.
       request_repair(cert.tx_id, cert.signers, /*round=*/0);

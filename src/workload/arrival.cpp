@@ -1,0 +1,92 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace hermes::workload {
+
+namespace {
+
+std::uint64_t draw_fee(Rng& rng, const FeeModel& fee) {
+  const double tip = fee.tip_mean > 0.0 ? rng.exponential(1.0 / fee.tip_mean)
+                                        : 0.0;
+  return fee.base_fee + static_cast<std::uint64_t>(tip);
+}
+
+net::NodeId draw_sender(Rng& rng, const WorkloadParams& p,
+                        std::span<const net::NodeId> senders) {
+  if (p.kind == ArrivalKind::kHotspot && p.hotspot_origins > 0) {
+    const std::size_t hot = std::min(p.hotspot_origins, senders.size());
+    if (rng.bernoulli(p.hotspot_weight)) {
+      return senders[rng.uniform_u64(hot)];
+    }
+  }
+  return senders[rng.uniform_u64(senders.size())];
+}
+
+}  // namespace
+
+std::vector<Arrival> generate_arrivals(const WorkloadParams& p,
+                                       std::span<const net::NodeId> senders) {
+  HERMES_REQUIRE(!senders.empty());
+  HERMES_REQUIRE(p.rate_hz > 0.0);
+  std::vector<Arrival> out;
+  Rng rng = Rng(p.seed).fork(0x3a7710adULL);
+
+  const double gap_rate = p.rate_hz / 1000.0;  // arrivals per ms
+  const bool bursty = p.kind == ArrivalKind::kBursty;
+  double t = 0.0;
+  // kBursty alternates exponential ON/OFF phases; the other kinds are one
+  // infinite ON phase. Phase boundaries are drawn lazily as time advances
+  // so the draw sequence is a pure function of the parameters.
+  bool on = true;
+  double phase_end = bursty ? rng.exponential(1.0 / p.on_ms) : p.duration_ms;
+  while (true) {
+    if (bursty) {
+      // Advance through phases until `t` lands inside an ON phase.
+      while (true) {
+        if (t >= phase_end) {
+          on = !on;
+          phase_end +=
+              rng.exponential(1.0 / (on ? p.on_ms : p.off_ms));
+          continue;
+        }
+        if (!on) {
+          t = phase_end;  // silent until the OFF phase ends
+          continue;
+        }
+        break;
+      }
+    }
+    t += rng.exponential(gap_rate);
+    if (t >= p.duration_ms) break;
+    Arrival a;
+    a.at_ms = t;
+    a.sender = draw_sender(rng, p, senders);
+    a.fee = draw_fee(rng, p.fee);
+    a.payload_bytes = p.payload_bytes;
+    out.push_back(a);
+  }
+  return out;
+}
+
+Bytes serialize_arrivals(std::span<const Arrival> arrivals) {
+  Bytes out;
+  out.reserve(arrivals.size() * 28 + 8);
+  put_u64_be(out, arrivals.size());
+  for (const Arrival& a : arrivals) {
+    std::uint64_t time_bits = 0;
+    static_assert(sizeof(time_bits) == sizeof(a.at_ms));
+    std::memcpy(&time_bits, &a.at_ms, sizeof(time_bits));
+    put_u64_be(out, time_bits);
+    put_u32_be(out, a.sender);
+    put_u64_be(out, a.fee);
+    put_u64_be(out, a.payload_bytes);
+  }
+  return out;
+}
+
+}  // namespace hermes::workload

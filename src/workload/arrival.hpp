@@ -1,0 +1,79 @@
+// Seeded arrival-process generation for heavy-traffic workloads.
+//
+// A workload is a pure function of (WorkloadParams, sender set): the same
+// seed yields the byte-identical arrival schedule on every platform and
+// worker count, which is what lets the cross-worker determinism tests and
+// the fuzzer replay sustained load exactly. All draws come from a private
+// Rng stream forked from the seed; nothing here touches the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mempool/transaction.hpp"
+#include "net/graph.hpp"
+#include "support/bytes.hpp"
+
+namespace hermes::workload {
+
+// Arrival process shapes exercised by the load experiments.
+enum class ArrivalKind : std::uint8_t {
+  // Homogeneous Poisson process at rate_hz, senders uniform.
+  kPoisson,
+  // ON/OFF (interrupted Poisson): rate_hz while ON, silent while OFF, with
+  // exponentially distributed phase lengths of mean on_ms / off_ms.
+  kBursty,
+  // Poisson arrivals whose senders concentrate on a small hotspot set:
+  // with probability hotspot_weight the sender is one of the first
+  // hotspot_origins senders, uniform otherwise.
+  kHotspot,
+  // Poisson honest arrivals with the front-running reaction machinery
+  // armed: adversarial transactions are NOT pre-scheduled here — they are
+  // emitted by Behavior::kFrontRunner observers keyed off the victim sends
+  // they actually deliver (protocols/base.hpp, maybe_front_run). The
+  // generator itself produces the same schedule as kPoisson.
+  kAdversarial,
+};
+
+// Priority-fee model: every transaction bids base_fee plus an
+// exponentially distributed tip (mean tip_mean, floored to an integer).
+struct FeeModel {
+  std::uint64_t base_fee = 10;
+  double tip_mean = 20.0;
+};
+
+struct WorkloadParams {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double duration_ms = 2000.0;
+  double rate_hz = 50.0;  // mean arrivals per simulated second (while ON)
+  double on_ms = 200.0;   // kBursty: mean ON phase length
+  double off_ms = 300.0;  // kBursty: mean OFF phase length
+  std::size_t hotspot_origins = 4;   // kHotspot: size of the hot set
+  double hotspot_weight = 0.8;       // kHotspot: P(sender in hot set)
+  std::size_t payload_bytes = mempool::kDefaultTxBytes;
+  FeeModel fee;
+  std::uint64_t seed = 1;
+};
+
+// One client arrival: a transaction enters the system at `at_ms` from
+// `sender`, bidding `fee`.
+struct Arrival {
+  double at_ms = 0.0;
+  net::NodeId sender = 0;
+  std::uint64_t fee = 0;
+  std::size_t payload_bytes = mempool::kDefaultTxBytes;
+};
+
+// Generates the full arrival schedule, sorted by at_ms (ties keep draw
+// order). `senders` is the candidate origin set (typically the honest
+// nodes); it must be non-empty. Pure: same inputs, same output bytes.
+std::vector<Arrival> generate_arrivals(const WorkloadParams& params,
+                                       std::span<const net::NodeId> senders);
+
+// Canonical byte encoding of a schedule (time bits, sender, fee, payload
+// per arrival). Two schedules are identical iff their serializations
+// compare equal — the determinism tests diff these.
+Bytes serialize_arrivals(std::span<const Arrival> arrivals);
+
+}  // namespace hermes::workload

@@ -1,0 +1,117 @@
+#include "workload/economics.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hermes::workload {
+
+namespace {
+
+// BFS hop distances from `src` over the physical graph.
+std::vector<std::size_t> hop_distances(const net::Topology& topo,
+                                       net::NodeId src) {
+  const std::size_t n = topo.graph.node_count();
+  std::vector<std::size_t> dist(n, SIZE_MAX);
+  std::vector<net::NodeId> queue{src};
+  dist[src] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const net::NodeId v = queue[head];
+    for (const net::Edge& e : topo.graph.neighbors(v)) {
+      if (dist[e.to] == SIZE_MAX) {
+        dist[e.to] = dist[v] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+EconomicsReport analyze_attacks(
+    const protocols::ExperimentContext& ctx,
+    std::span<const mempool::Transaction> victims) {
+  EconomicsReport report;
+  report.by_distance.resize(kMaxDistanceBucket + 1);
+
+  const std::vector<net::NodeId> honest = ctx.honest_nodes();
+  // Distance fields are per victim origin; cache BFS per origin (indexed
+  // lookups only — no iteration over the unordered cache).
+  std::unordered_map<net::NodeId, std::vector<std::size_t>> dist_cache;
+
+  for (const mempool::Transaction& victim : victims) {
+    const auto it = ctx.adversarial_of.find(victim.id);
+    if (it == ctx.adversarial_of.end()) continue;
+    const mempool::Transaction& attack = it->second;
+
+    AttackRecord rec;
+    rec.victim_id = victim.id;
+    rec.attack_id = attack.id;
+    rec.victim_fee = victim.fee;
+    rec.attack_fee = attack.fee;
+    rec.attacker = attack.sender;
+    rec.victim_sender = victim.sender;
+
+    auto cached = dist_cache.find(victim.sender);
+    if (cached == dist_cache.end()) {
+      cached = dist_cache
+                   .emplace(victim.sender,
+                            hop_distances(ctx.topology, victim.sender))
+                   .first;
+    }
+    rec.hop_distance = cached->second[attack.sender];
+
+    // Deterministic verdict: poll every honest proposer. The single-judge
+    // Figure 5a verdict samples this same distribution; here the full
+    // poll makes success a majority property, stable across seeds.
+    std::size_t wins = 0;
+    std::size_t sandwich_wins = 0;
+    for (net::NodeId p : honest) {
+      const protocols::ProtocolNode& node = *ctx.nodes[p];
+      const std::size_t apos = node.ordering_position(attack);
+      if (apos == SIZE_MAX) continue;  // attack never reached the proposer
+      const std::size_t vpos = node.ordering_position(victim);
+      if (vpos == SIZE_MAX) {
+        ++wins;  // victim censored entirely: the attack trades unopposed
+        continue;
+      }
+      if (apos < vpos) {
+        ++wins;
+        ++sandwich_wins;  // both present, attack ahead: bracketable
+      }
+    }
+    rec.insertion_success = 2 * wins > honest.size();
+    rec.sandwich_success = 2 * sandwich_wins > honest.size();
+
+    const std::int64_t fee_cost = static_cast<std::int64_t>(attack.fee);
+    const std::int64_t extraction =
+        static_cast<std::int64_t>(victim.fee * kMevMultiple);
+    if (rec.sandwich_success) {
+      rec.profit = extraction - fee_cost;
+    } else if (rec.insertion_success) {
+      rec.profit = extraction / 2 - fee_cost;
+    } else {
+      rec.profit = -fee_cost;
+    }
+
+    ++report.attacked;
+    if (rec.insertion_success) ++report.insertions;
+    if (rec.sandwich_success) ++report.sandwiches;
+    report.total_profit += rec.profit;
+    const std::size_t bucket =
+        std::min(rec.hop_distance, kMaxDistanceBucket);
+    PositionBucket& pb = report.by_distance[bucket];
+    ++pb.attacks;
+    if (rec.insertion_success) ++pb.successes;
+    pb.profit += rec.profit;
+    report.attacks.push_back(rec);
+  }
+
+  std::sort(report.attacks.begin(), report.attacks.end(),
+            [](const AttackRecord& a, const AttackRecord& b) {
+              return a.victim_id < b.victim_id;
+            });
+  return report;
+}
+
+}  // namespace hermes::workload

@@ -1,0 +1,84 @@
+// Attacker economics under load (extends the Figure 5a front-running
+// verdict): instead of one sampled proposer, every attack is judged
+// against ALL honest proposers — deterministically, no judge RNG — and
+// priced with the fee model, yielding sandwich/insertion success rates and
+// attacker profit, bucketed by the attacker's position (physical hop
+// distance from the victim's origin).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "protocols/base.hpp"
+
+namespace hermes::workload {
+
+// Value the attacker extracts from a landed attack, as a multiple of the
+// victim's fee (the victim's fee bid proxies the value of its trade).
+inline constexpr std::uint64_t kMevMultiple = 10;
+// Hop distances >= this all land in the last bucket.
+inline constexpr std::size_t kMaxDistanceBucket = 8;
+
+struct AttackRecord {
+  std::uint64_t victim_id = 0;
+  std::uint64_t attack_id = 0;
+  std::uint64_t victim_fee = 0;
+  std::uint64_t attack_fee = 0;
+  net::NodeId attacker = 0;
+  net::NodeId victim_sender = 0;
+  // Physical hop distance attacker -> victim origin (SIZE_MAX when
+  // disconnected): the attacker's overlay position relative to the victim.
+  std::size_t hop_distance = 0;
+  // Majority of honest proposers order the attack before the victim
+  // (victim missing from a proposer's pool counts as the attack winning
+  // there, as in front_run_outcome).
+  bool insertion_success = false;
+  // Insertion with the victim also present at the proposer: the attack
+  // brackets the victim's trade instead of merely displacing it.
+  bool sandwich_success = false;
+  // Sandwich: victim_fee * kMevMultiple - attack_fee. Bare insertion:
+  // half the extraction. Failure: the attack fee is burned.
+  std::int64_t profit = 0;
+};
+
+struct PositionBucket {
+  std::size_t attacks = 0;
+  std::size_t successes = 0;  // insertion successes
+  std::int64_t profit = 0;
+};
+
+struct EconomicsReport {
+  std::vector<AttackRecord> attacks;  // sorted by victim_id
+  std::size_t attacked = 0;
+  std::size_t insertions = 0;
+  std::size_t sandwiches = 0;
+  std::int64_t total_profit = 0;
+  // Index = min(hop distance, kMaxDistanceBucket).
+  std::vector<PositionBucket> by_distance;
+
+  double insertion_rate() const {
+    return attacked == 0 ? 0.0
+                         : static_cast<double>(insertions) /
+                               static_cast<double>(attacked);
+  }
+  double sandwich_rate() const {
+    return attacked == 0 ? 0.0
+                         : static_cast<double>(sandwiches) /
+                               static_cast<double>(attacked);
+  }
+  double mean_profit() const {
+    return attacked == 0 ? 0.0
+                         : static_cast<double>(total_profit) /
+                               static_cast<double>(attacked);
+  }
+};
+
+// Judges every attack launched against `victims` (ctx.adversarial_of).
+// Pure read of post-run state; byte-identical across worker counts
+// because it only consumes the deterministic simulation outcome.
+EconomicsReport analyze_attacks(
+    const protocols::ExperimentContext& ctx,
+    std::span<const mempool::Transaction> victims);
+
+}  // namespace hermes::workload

@@ -119,7 +119,8 @@ INSTANTIATE_TEST_SUITE_P(
         MutationCase{Mutation::kFalseAccusation, "no-false-accusation"},
         MutationCase{Mutation::kOverlayDeficit, "overlay-connectivity"},
         MutationCase{Mutation::kRepairDivergence, "repair-convergence"},
-        MutationCase{Mutation::kLostRecovery, "recovery-liveness"}),
+        MutationCase{Mutation::kLostRecovery, "recovery-liveness"},
+        MutationCase{Mutation::kPhantomEviction, "mempool-pressure"}),
     [](const ::testing::TestParamInfo<MutationCase>& info) {
       std::string name = mutation_name(info.param.mutation);
       for (char& c : name) {
@@ -133,7 +134,8 @@ TEST(Invariants, MutationNamesRoundTrip) {
        {Mutation::kNone, Mutation::kDuplicateDelivery,
         Mutation::kSequenceFabrication, Mutation::kWrongOverlay,
         Mutation::kFalseAccusation, Mutation::kOverlayDeficit,
-        Mutation::kRepairDivergence, Mutation::kLostRecovery}) {
+        Mutation::kRepairDivergence, Mutation::kLostRecovery,
+        Mutation::kPhantomEviction}) {
     const auto back = mutation_from(mutation_name(m));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, m);

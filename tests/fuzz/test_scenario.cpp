@@ -152,23 +152,33 @@ TEST(Scenario, SampledScenariosSatisfySystemModel) {
 // is the one exception — extended modes stretch it.
 TEST(Scenario, LegacyModeIsAPrefixOfExtended) {
   bool saw_extended_faults = false;
+  bool saw_load = false;
   for (std::uint64_t seed = 1; seed <= 120; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const Scenario legacy = generate_scenario(seed, false);
     EXPECT_TRUE(legacy.link_flaps.empty());
     EXPECT_TRUE(legacy.stragglers.empty());
     EXPECT_FALSE(legacy.self_healing);
+    EXPECT_FALSE(legacy.has_load());
+    EXPECT_EQ(legacy.mempool_capacity, 0u);
 
     Scenario ext = generate_scenario(seed);
     saw_extended_faults |= !ext.link_flaps.empty() ||
                            !ext.stragglers.empty() || ext.self_healing;
+    saw_load |= ext.has_load();
     ext.link_flaps.clear();
     ext.stragglers.clear();
     ext.self_healing = false;
+    ext.load_rate_hz = 0.0;
+    ext.load_duration_ms = 0.0;
+    ext.load_start_ms = 0.0;
+    ext.load_seed = 0;
+    ext.mempool_capacity = 0;
     ext.drain_ms = legacy.drain_ms;
     EXPECT_EQ(serialize(ext), serialize(legacy));
   }
   EXPECT_TRUE(saw_extended_faults) << "extended sampler never fired";
+  EXPECT_TRUE(saw_load) << "load sampler never fired";
 }
 
 TEST(Scenario, ExtendedFieldsRoundTrip) {
@@ -191,6 +201,33 @@ TEST(Scenario, ExtendedFieldsRoundTrip) {
   EXPECT_EQ(parsed->stragglers[0].node, 6u);
   EXPECT_DOUBLE_EQ(parsed->stragglers[0].multiplier, 150.75);
   EXPECT_TRUE(parsed->self_healing);
+}
+
+TEST(Scenario, LoadFieldsRoundTripAndGateTheirKeys) {
+  Scenario s;
+  s.seed = 100;
+  s.load_rate_hz = 24.5;
+  s.load_duration_ms = 1200.0;
+  s.load_start_ms = 75.5;
+  s.load_seed = 0xfeedULL;
+  s.mempool_capacity = 32;
+  EXPECT_TRUE(s.has_load());
+  const std::string text = serialize(s);
+  const auto parsed = parse_scenario(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(serialize(*parsed), text);
+  EXPECT_DOUBLE_EQ(parsed->load_rate_hz, 24.5);
+  EXPECT_DOUBLE_EQ(parsed->load_duration_ms, 1200.0);
+  EXPECT_DOUBLE_EQ(parsed->load_start_ms, 75.5);
+  EXPECT_EQ(parsed->load_seed, 0xfeedULL);
+  EXPECT_EQ(parsed->mempool_capacity, 32u);
+
+  // Off means absent: historical corpus files must not grow new keys.
+  Scenario off;
+  off.seed = 100;
+  const std::string off_text = serialize(off);
+  EXPECT_EQ(off_text.find("load_"), std::string::npos);
+  EXPECT_EQ(off_text.find("mempool_capacity"), std::string::npos);
 }
 
 TEST(Scenario, BenignPredicateMatchesDefinition) {

@@ -80,5 +80,29 @@ TEST(WorkersDeterminism, AutoWorkersMatchesSingleThread) {
   EXPECT_EQ(run_scenario(s, opts).trace_hash, base);
 }
 
+// Extended scenarios carrying sustained multi-tx load (and usually
+// mempool pressure) are on the same contract: hundreds of in-flight
+// transactions across shards must not open a worker-visible race.
+TEST(WorkersDeterminism, LoadedScenariosIdenticalAcrossWorkerCounts) {
+  std::size_t checked = 0;
+  for (std::uint64_t seed = 1; seed <= 16 && checked < 2; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    if (!s.has_load()) continue;
+    ++checked;
+    RunOptions opts;
+    opts.workers = 1;
+    const RunResult base = run_scenario(s, opts);
+    ASSERT_FALSE(base.trace_hash.empty()) << "seed " << seed;
+    for (const std::size_t workers : {2, 4}) {
+      opts.workers = workers;
+      const RunResult r = run_scenario(s, opts);
+      EXPECT_EQ(r.trace_hash, base.trace_hash)
+          << "loaded seed " << seed << " diverged at workers=" << workers;
+      EXPECT_EQ(r.sends, base.sends) << "loaded seed " << seed;
+    }
+  }
+  EXPECT_GE(checked, 1u) << "no loaded scenario in the sampled range";
+}
+
 }  // namespace
 }  // namespace hermes::fuzz

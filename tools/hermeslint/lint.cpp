@@ -36,7 +36,8 @@ bool ends_with(const std::string& s, const char* suffix) {
 bool wallclock_restricted(const std::string& path) {
   return starts_with(path, "src/sim/") || starts_with(path, "src/hermes/") ||
          starts_with(path, "src/protocols/") ||
-         starts_with(path, "src/overlay/") || starts_with(path, "src/fuzz/");
+         starts_with(path, "src/overlay/") || starts_with(path, "src/fuzz/") ||
+         starts_with(path, "src/workload/");
 }
 
 // Iteration-order discipline applies to all production code and the
@@ -529,7 +530,8 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "headers need #pragma once and must not contain 'using namespace'"},
       {kNoWallclock,
        "no wall-clock or ambient-entropy calls in sim-facing directories "
-       "(src/sim, src/hermes, src/protocols, src/overlay, src/fuzz)"},
+       "(src/sim, src/hermes, src/protocols, src/overlay, src/fuzz, "
+       "src/workload)"},
       {kRawOwningNew,
        "no raw owning new/delete (placement new and '= delete' are fine)"},
       {kSuppression,

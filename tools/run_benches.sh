@@ -5,8 +5,13 @@
 # pre-rewrite baseline numbers, so before/after is recorded in one
 # artifact per suite.
 #
-# Usage: tools/run_benches.sh [--quick] [--only overlay|sim] [--nodes N]
-#                             [--workers W]
+# Also runs the workload-economics bench (bench_workload) and writes
+# BENCH_workload.json: per-protocol attacker sandwich/insertion success
+# rates and profit-by-overlay-position under identical Poisson and
+# adversarial load with fee-priority mempool pressure.
+#
+# Usage: tools/run_benches.sh [--quick] [--only overlay|sim|workload]
+#                             [--nodes N] [--workers W]
 #   BUILD_DIR=<dir>  build tree to use (default: <repo>/build)
 #   --quick          smoke mode for CI: tiny subset, 1 repetition, still
 #                    emits the JSON artifacts (includes a --workers 2
@@ -42,7 +47,7 @@ while [[ $# -gt 0 ]]; do
       shift
       ;;
     *)
-      echo "usage: tools/run_benches.sh [--quick] [--only overlay|sim] [--nodes N] [--workers W]" >&2
+      echo "usage: tools/run_benches.sh [--quick] [--only overlay|sim|workload] [--nodes N] [--workers W]" >&2
       exit 2
       ;;
   esac
@@ -153,15 +158,52 @@ EOF
   echo "wrote $out"
 }
 
+run_workload() {
+  local bin="$BUILD/bench/bench_workload"
+  need_bin "$bin"
+  local out="$ROOT/BENCH_workload.json"
+  local tmp
+  tmp="$(mktemp)"
+  local extra=()
+  if [[ $QUICK -eq 1 ]]; then
+    # Smoke: small network, short load window — still all four protocols,
+    # both the Poisson baseline and the adversarial pass.
+    extra+=(--nodes 60 --rate 20 --duration 500)
+  elif [[ -n $NODES ]]; then
+    extra+=(--nodes "$NODES")
+  fi
+  "$bin" --json "$tmp" "${extra[@]}"
+
+  # Baseline: the Figure 5a single-tx judgement (one sampled proposer per
+  # victim, no fee model, no mempool pressure), recorded when the workload
+  # engine landed so the load-vs-idle attack surface stays comparable.
+  cat > "$out" <<EOF
+{
+  "baseline_fig5a_single_judge": {
+    "note": "pre-workload seed (bench_fig5a --nodes 60 --reps 2 --txs 8): one tx in flight at a time, single sampled proposer per verdict, unbounded mempool, no fees",
+    "hermes_success_rate_at_15pct": 0.000,
+    "l0_success_rate_at_15pct": 0.062,
+    "narwhal_success_rate_at_15pct": 0.312,
+    "mercury_success_rate_at_15pct": 0.312
+  },
+  "current": $(cat "$tmp")
+}
+EOF
+  rm -f "$tmp"
+  echo "wrote $out"
+}
+
 case "$ONLY" in
   "")
     run_overlay
     run_sim
+    run_workload
     ;;
   overlay) run_overlay ;;
   sim) run_sim ;;
+  workload) run_workload ;;
   *)
-    echo "error: --only expects 'overlay' or 'sim'" >&2
+    echo "error: --only expects 'overlay', 'sim' or 'workload'" >&2
     exit 2
     ;;
 esac
