@@ -203,6 +203,13 @@ void dissemination_bench(benchmark::State& state, std::size_t nodes,
       static_cast<double>(state.iterations()));
 }
 
+// --signer real switches the TRS committee from the HMAC simulation scheme
+// to genuine Shoup threshold RSA (key size --rsa-bits); key generation
+// happens during protocol construction, outside the manually-timed region,
+// so the measured delta is pure per-transaction signing/verify/combine cost.
+bool g_real_signer = false;
+std::size_t g_signer_rsa_bits = 1024;
+
 // HERMES configured like the fuzzer: k = 3 overlays and a short annealing
 // schedule so overlay construction stays a fixed small prologue and the
 // measurement tracks the dissemination hot path.
@@ -212,6 +219,8 @@ hermes_proto::HermesConfig scale_hermes_config() {
   cfg.builder.annealing.min_temperature = 1.0;
   cfg.builder.annealing.cooling_rate = 0.8;
   cfg.builder.annealing.moves_per_temperature = 4;
+  cfg.use_real_threshold_crypto = g_real_signer;
+  cfg.real_threshold_rsa_bits = g_signer_rsa_bits;
   return cfg;
 }
 
@@ -408,7 +417,8 @@ BENCHMARK(BM_GossipDissemination)
 // is registered as a workers sweep (1/2/4/8 engine worker threads over the
 // region-sharded engine); --workers W restricts the sweep to that single
 // value. The CI-default registrations above stay single-threaded so the
-// committed baseline numbers remain comparable.
+// committed baseline numbers remain comparable. --signer {sim,real} picks
+// the TRS backend (default sim) and --rsa-bits N the real key size.
 int main(int argc, char** argv) {
   std::vector<char*> filtered{argv[0]};
   std::size_t custom_nodes = 0;
@@ -416,6 +426,24 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
       filtered.push_back(argv[i]);
+    } else if (std::strcmp(argv[i], "--signer") == 0 && i + 1 < argc) {
+      ++i;
+      if (std::strcmp(argv[i], "real") == 0) {
+        g_real_signer = true;
+      } else if (std::strcmp(argv[i], "sim") != 0) {
+        std::fprintf(stderr, "error: --signer expects sim|real, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--rsa-bits") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      g_signer_rsa_bits = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || g_signer_rsa_bits < 128) {
+        std::fprintf(stderr,
+                     "error: --rsa-bits expects an integer >= 128, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       char* end = nullptr;
       custom_nodes = std::strtoul(argv[++i], &end, 10);

@@ -37,6 +37,10 @@ struct WorkloadOptions {
   double batch_window_ms = 0.0;
   std::size_t capacity = 48;
   double frontrunner_fraction = 0.15;
+  // --signer real runs HERMES's TRS committee on genuine Shoup threshold
+  // RSA (--rsa-bits key size) instead of the HMAC simulation scheme.
+  bool real_signer = false;
+  std::size_t rsa_bits = 1024;
   std::string json_path;
 
   static WorkloadOptions parse(int argc, char** argv) {
@@ -54,6 +58,8 @@ struct WorkloadOptions {
       else if (const char* v6 = grab("--frac")) opt.frontrunner_fraction = std::stod(v6);
       else if (const char* v7 = grab("--batch-window")) opt.batch_window_ms = std::stod(v7);
       else if (const char* v8 = grab("--json")) opt.json_path = v8;
+      else if (const char* v9 = grab("--signer")) opt.real_signer = std::strcmp(v9, "real") == 0;
+      else if (const char* v10 = grab("--rsa-bits")) opt.rsa_bits = std::stoul(v10);
     }
     return opt;
   }
@@ -146,9 +152,9 @@ void print_json(std::FILE* f, const WorkloadOptions& opt,
   std::fprintf(f,
                "  \"params\": {\"nodes\": %zu, \"seed\": %" PRIu64
                ", \"rate_hz\": %.3f, \"duration_ms\": %.1f, \"capacity\": "
-               "%zu, \"frontrunner_fraction\": %.3f},\n",
+               "%zu, \"frontrunner_fraction\": %.3f, \"signer\": \"%s\"},\n",
                opt.nodes, opt.seed, opt.rate_hz, opt.duration_ms, opt.capacity,
-               opt.frontrunner_fraction);
+               opt.frontrunner_fraction, opt.real_signer ? "real" : "sim");
   std::fprintf(f, "  \"protocols\": {\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const LoadStats& p = poisson[i].load;
@@ -194,9 +200,11 @@ int main(int argc, char** argv) {
 
   const Entry entries[] = {
       {"hermes",
-       [] {
-         return std::make_unique<hermes_proto::HermesProtocol>(
-             bench::bench_hermes_config());
+       [&opt] {
+         hermes_proto::HermesConfig cfg = bench::bench_hermes_config();
+         cfg.use_real_threshold_crypto = opt.real_signer;
+         cfg.real_threshold_rsa_bits = opt.rsa_bits;
+         return std::make_unique<hermes_proto::HermesProtocol>(cfg);
        }},
       {"l0", [] { return std::make_unique<protocols::L0Protocol>(); }},
       {"narwhal", [] { return std::make_unique<protocols::NarwhalProtocol>(); }},
@@ -206,9 +214,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Workload economics — N=%zu, %.0f Hz Poisson x %.0f ms, mempool "
-      "capacity %zu, %.0f%% front-runners, seed %" PRIu64 "\n",
+      "capacity %zu, %.0f%% front-runners, seed %" PRIu64 ", signer %s\n",
       opt.nodes, opt.rate_hz, opt.duration_ms, opt.capacity,
-      opt.frontrunner_fraction * 100.0, opt.seed);
+      opt.frontrunner_fraction * 100.0, opt.seed,
+      opt.real_signer ? "real" : "sim");
 
   std::vector<ProtocolRun> poisson(kProtocols);
   std::vector<ProtocolRun> adversarial(kProtocols);

@@ -1,19 +1,328 @@
 #include "crypto/bignum.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/assert.hpp"
 
 namespace hermes::crypto {
 
-namespace {
-constexpr std::uint64_t kLimbBase = 1ULL << 32;
+// ---------------------------------------------------------------------------
+// LimbBuf
+
+LimbBuf& LimbBuf::operator=(const LimbBuf& o) {
+  if (this == &o) return *this;
+  if (o.size_ > cap_) {
+    heap_ = std::make_unique<Limb[]>(o.size_);
+    cap_ = o.size_;
+  }
+  size_ = o.size_;
+  std::copy(o.data(), o.data() + size_, data());
+  return *this;
 }
+
+LimbBuf& LimbBuf::operator=(LimbBuf&& o) noexcept {
+  if (this == &o) return *this;
+  if (o.heap_) {
+    heap_ = std::move(o.heap_);
+    cap_ = o.cap_;
+    size_ = o.size_;
+  } else {
+    heap_.reset();
+    cap_ = kInlineLimbs;
+    size_ = o.size_;
+    std::copy(o.inline_, o.inline_ + o.size_, inline_);
+  }
+  o.size_ = 0;
+  o.cap_ = kInlineLimbs;
+  return *this;
+}
+
+void LimbBuf::grow(std::size_t need) {
+  std::size_t new_cap = cap_;
+  while (new_cap < need) new_cap *= 2;
+  auto block = std::make_unique<Limb[]>(new_cap);
+  std::copy(data(), data() + size_, block.get());
+  heap_ = std::move(block);
+  cap_ = new_cap;
+}
+
+void LimbBuf::resize(std::size_t n) {
+  if (n > cap_) grow(n);
+  if (n > size_) std::fill(data() + size_, data() + n, Limb{0});
+  size_ = n;
+}
+
+void LimbBuf::assign(std::size_t n, Limb v) {
+  if (n > cap_) grow(n);
+  size_ = n;
+  std::fill(data(), data() + n, v);
+}
+
+void LimbBuf::push_back(Limb v) {
+  if (size_ == cap_) grow(size_ + 1);
+  data()[size_++] = v;
+}
+
+// ---------------------------------------------------------------------------
+// Raw limb-span kernels (little-endian, lengths in limbs)
+
+namespace {
+
+std::size_t trimmed_size(const Limb* p, std::size_t n) {
+  while (n > 0 && p[n - 1] == 0) --n;
+  return n;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HERMES_BIGNUM_ADX 1
+
+// True once at startup if the CPU has MULX (BMI2) and ADCX/ADOX (ADX).
+bool have_addmul_adx() {
+  static const bool v =
+      __builtin_cpu_supports("bmi2") && __builtin_cpu_supports("adx");
+  return v;
+}
+
+// r[0 .. n) += y * x[0 .. n); returns the carry limb. The mpn addmul_1
+// idiom: MULX leaves flags alone, so the product-high handoff (CF via ADCX)
+// and the r[] accumulation (OF via ADOX) run as two independent flag chains
+// inside each 4-limb block. Both chains fold into `carry` at block end,
+// leaving flags dead across the C loop control. Bit-exact with the portable
+// schoolbook row, just faster.
+__attribute__((target("bmi2,adx"))) Limb addmul_1_adx(Limb* __restrict r,
+                                                      const Limb* __restrict x,
+                                                      std::size_t n, Limb y) {
+  Limb carry = 0;
+  std::size_t blocks = n / 4;
+  if (blocks) {
+    Limb t0, t1;
+    do {
+      __asm__(
+          "xorl %k[t0], %k[t0]\n\t"  // CF = OF = 0
+          "mulxq (%[x]), %[t0], %[t1]\n\t"
+          "adcxq %[carry], %[t0]\n\t"
+          "adoxq (%[r]), %[t0]\n\t"
+          "movq %[t0], (%[r])\n\t"
+          "mulxq 8(%[x]), %[t0], %[carry]\n\t"
+          "adcxq %[t1], %[t0]\n\t"
+          "adoxq 8(%[r]), %[t0]\n\t"
+          "movq %[t0], 8(%[r])\n\t"
+          "mulxq 16(%[x]), %[t0], %[t1]\n\t"
+          "adcxq %[carry], %[t0]\n\t"
+          "adoxq 16(%[r]), %[t0]\n\t"
+          "movq %[t0], 16(%[r])\n\t"
+          "mulxq 24(%[x]), %[t0], %[carry]\n\t"
+          "adcxq %[t1], %[t0]\n\t"
+          "adoxq 24(%[r]), %[t0]\n\t"
+          "movq %[t0], 24(%[r])\n\t"
+          "movl $0, %k[t0]\n\t"  // zero without touching flags
+          "adcxq %[t0], %[carry]\n\t"
+          "adoxq %[t0], %[carry]\n\t"
+          : [carry] "+&r"(carry), [t0] "=&r"(t0), [t1] "=&r"(t1)
+          : [r] "r"(r), [x] "r"(x), "d"(y)
+          : "cc", "memory");
+      r += 4;
+      x += 4;
+    } while (--blocks);
+  }
+  DLimb c = carry;
+  for (std::size_t j = 0; j < n % 4; ++j) {
+    const DLimb cur =
+        r[j] + static_cast<DLimb>(y) * x[j] + static_cast<Limb>(c);
+    r[j] = static_cast<Limb>(cur);
+    c = cur >> 64;
+  }
+  return static_cast<Limb>(c);
+}
+#endif  // x86-64
+
+// r[0 .. an+bn) = a * b. r must be zero-initialized; an, bn >= 1.
+void mul_basecase(const Limb* __restrict a, std::size_t an,
+                  const Limb* __restrict b, std::size_t bn,
+                  Limb* __restrict r) {
+#ifdef HERMES_BIGNUM_ADX
+  if (have_addmul_adx()) {
+    for (std::size_t i = 0; i < an; ++i) {
+      r[i + bn] = addmul_1_adx(r + i, b, bn, a[i]);
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < an; ++i) {
+    DLimb carry = 0;
+    const DLimb ai = a[i];
+    for (std::size_t j = 0; j < bn; ++j) {
+      const DLimb cur = r[i + j] + ai * b[j] + carry;
+      r[i + j] = static_cast<Limb>(cur);
+      carry = cur >> 64;
+    }
+    r[i + bn] = static_cast<Limb>(carry);
+  }
+}
+
+// r[0 .. 2n) = a^2. r must be zero-initialized. Computes the cross-term
+// triangle once, doubles it with a single shift pass, then adds the
+// diagonal — ~half the limb products of mul_basecase(a, a).
+void sqr_basecase(const Limb* __restrict a, std::size_t n, Limb* __restrict r) {
+#ifdef HERMES_BIGNUM_ADX
+  if (have_addmul_adx()) {
+    // Row i of the triangle: r[2i+1 ..] += a[i] * a[i+1 .. n).
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      r[i + n] = addmul_1_adx(r + 2 * i + 1, a + i + 1, n - i - 1, a[i]);
+    }
+  } else
+#endif
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    DLimb carry = 0;
+    const DLimb ai = a[i];
+#pragma GCC unroll 8
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const DLimb cur = r[i + j] + ai * a[j] + carry;
+      r[i + j] = static_cast<Limb>(cur);
+      carry = cur >> 64;
+    }
+    r[i + n] = static_cast<Limb>(carry);
+  }
+  // Double the triangle and add the diagonal a[i]^2 in one fused pass
+  // (limb pair 2i, 2i+1 per step) instead of a shift pass plus an add pass.
+  Limb shifted_out = 0;
+  DLimb carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Limb lo = r[2 * i];
+    const Limb hi = r[2 * i + 1];
+    const Limb d0 = (lo << 1) | shifted_out;
+    const Limb d1 = (hi << 1) | (lo >> 63);
+    shifted_out = hi >> 63;
+    const DLimb sq = static_cast<DLimb>(a[i]) * a[i];
+    const DLimb cur = static_cast<DLimb>(d0) + static_cast<Limb>(sq) +
+                      static_cast<Limb>(carry);
+    r[2 * i] = static_cast<Limb>(cur);
+    const DLimb cur2 = static_cast<DLimb>(d1) + static_cast<Limb>(sq >> 64) +
+                       static_cast<Limb>(cur >> 64);
+    r[2 * i + 1] = static_cast<Limb>(cur2);
+    carry = cur2 >> 64;
+  }
+  HERMES_DCHECK(carry == 0 && shifted_out == 0);
+}
+
+// c[0 .. max(an,bn)+1) = a + b; returns the used length.
+std::size_t add_limbs(const Limb* a, std::size_t an, const Limb* b,
+                      std::size_t bn, Limb* c) {
+  const std::size_t n = std::max(an, bn);
+  DLimb carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    DLimb sum = carry;
+    if (i < an) sum += a[i];
+    if (i < bn) sum += b[i];
+    c[i] = static_cast<Limb>(sum);
+    carry = sum >> 64;
+  }
+  if (carry) {
+    c[n] = static_cast<Limb>(carry);
+    return n + 1;
+  }
+  return n;
+}
+
+// a -= b in place; requires value(a) >= value(b).
+void sub_limbs_in_place(Limb* a, std::size_t an, const Limb* b,
+                        std::size_t bn) {
+  bn = trimmed_size(b, bn);
+  HERMES_DCHECK(bn <= an);
+  Limb borrow = 0;
+  for (std::size_t i = 0; i < an; ++i) {
+    const Limb bi = i < bn ? b[i] : 0;
+    const Limb d = a[i] - bi;
+    Limb next = a[i] < bi ? 1 : 0;
+    const Limb d2 = d - borrow;
+    if (d < borrow) next = 1;
+    a[i] = d2;
+    borrow = next;
+    if (i >= bn && borrow == 0) break;
+  }
+  HERMES_DCHECK(borrow == 0);
+}
+
+// r[off ..] += z, carry-propagating inside r[0 .. rn).
+void add_at(Limb* r, [[maybe_unused]] std::size_t rn, std::size_t off,
+            const Limb* z, std::size_t zn) {
+  DLimb carry = 0;
+  std::size_t i = 0;
+  for (; i < zn; ++i) {
+    const DLimb cur = r[off + i] + static_cast<DLimb>(z[i]) + carry;
+    r[off + i] = static_cast<Limb>(cur);
+    carry = cur >> 64;
+  }
+  while (carry) {
+    HERMES_DCHECK(off + i < rn);
+    const DLimb cur = r[off + i] + carry;
+    r[off + i] = static_cast<Limb>(cur);
+    carry = cur >> 64;
+    ++i;
+  }
+}
+
+// r[0 .. an+bn) = a * b (r zero-initialized): Karatsuba above the limb
+// threshold, schoolbook below. Handles unbalanced operands by letting the
+// high part of the shorter one be empty (z2 = 0 degenerates gracefully).
+void mul_rec(const Limb* a, std::size_t an, const Limb* b, std::size_t bn,
+             Limb* r) {
+  if (an == 0 || bn == 0) return;
+  if (std::min(an, bn) < kKaratsubaThresholdLimbs) {
+    mul_basecase(a, an, b, bn, r);
+    return;
+  }
+  const std::size_t h = (std::max(an, bn) + 1) / 2;
+  const std::size_t a0n = std::min(an, h), a1n = an - a0n;
+  const std::size_t b0n = std::min(bn, h), b1n = bn - b0n;
+
+  // z0 = a0*b0 at offset 0; z2 = a1*b1 at offset 2h (regions are disjoint).
+  mul_rec(a, a0n, b, b0n, r);
+  if (a1n > 0 && b1n > 0) mul_rec(a + a0n, a1n, b + b0n, b1n, r + 2 * h);
+
+  // z1 = (a0+a1)*(b0+b1) - z0 - z2, added at offset h.
+  std::vector<Limb> sa(std::max(a0n, a1n) + 1), sb(std::max(b0n, b1n) + 1);
+  const std::size_t san = add_limbs(a, a0n, a + a0n, a1n, sa.data());
+  const std::size_t sbn = add_limbs(b, b0n, b + b0n, b1n, sb.data());
+  std::vector<Limb> z1(san + sbn, 0);
+  mul_rec(sa.data(), san, sb.data(), sbn, z1.data());
+  sub_limbs_in_place(z1.data(), z1.size(), r, a0n + b0n);
+  if (a1n > 0 && b1n > 0) {
+    sub_limbs_in_place(z1.data(), z1.size(), r + 2 * h, a1n + b1n);
+  }
+  add_at(r, an + bn, h, z1.data(), trimmed_size(z1.data(), z1.size()));
+}
+
+// r[0 .. 2n) = a^2 (r zero-initialized), Karatsuba split on the square.
+void sqr_rec(const Limb* a, std::size_t n, Limb* r) {
+  if (n == 0) return;
+  if (n < kKaratsubaThresholdLimbs) {
+    sqr_basecase(a, n, r);
+    return;
+  }
+  const std::size_t h = (n + 1) / 2;
+  const std::size_t a0n = h, a1n = n - h;
+  sqr_rec(a, a0n, r);
+  sqr_rec(a + h, a1n, r + 2 * h);
+  // Middle term 2*a0*a1 added twice (cheaper than materializing the shift).
+  std::vector<Limb> mid(a0n + a1n, 0);
+  mul_rec(a, a0n, a + h, a1n, mid.data());
+  const std::size_t midn = trimmed_size(mid.data(), mid.size());
+  add_at(r, 2 * n, h, mid.data(), midn);
+  add_at(r, 2 * n, h, mid.data(), midn);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BigUint
+
+BigUint::BigUint() = default;
 
 BigUint::BigUint(std::uint64_t v) {
   if (v == 0) return;
-  limbs_.push_back(static_cast<std::uint32_t>(v));
-  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  limbs_.push_back(v);
 }
 
 void BigUint::trim() {
@@ -22,37 +331,64 @@ void BigUint::trim() {
 
 BigUint BigUint::from_hex(std::string_view hex) {
   BigUint out;
-  for (char c : hex) {
-    int nib;
-    if (c >= '0' && c <= '9') nib = c - '0';
-    else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
-    else if (c >= 'A' && c <= 'F') nib = c - 'A' + 10;
+  if (hex.empty()) return out;
+  out.limbs_.resize((hex.size() + 15) / 16);
+  std::size_t limb = 0, shift = 0;
+  for (std::size_t i = hex.size(); i-- > 0;) {
+    const char c = hex[i];
+    Limb nib;
+    if (c >= '0' && c <= '9') nib = static_cast<Limb>(c - '0');
+    else if (c >= 'a' && c <= 'f') nib = static_cast<Limb>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') nib = static_cast<Limb>(c - 'A' + 10);
     else { HERMES_REQUIRE(false && "invalid hex"); return out; }
-    out = (out << 4) + BigUint(static_cast<std::uint64_t>(nib));
+    out.limbs_[limb] |= nib << shift;
+    shift += 4;
+    if (shift == 64) {
+      shift = 0;
+      ++limb;
+    }
   }
+  out.trim();
   return out;
 }
 
 BigUint BigUint::from_bytes_be(BytesView bytes) {
   BigUint out;
-  for (std::uint8_t b : bytes) {
-    out = (out << 8) + BigUint(b);
+  if (bytes.empty()) return out;
+  out.limbs_.resize((bytes.size() + 7) / 8);
+  std::size_t limb = 0, shift = 0;
+  for (std::size_t i = bytes.size(); i-- > 0;) {
+    out.limbs_[limb] |= static_cast<Limb>(bytes[i]) << shift;
+    shift += 8;
+    if (shift == 64) {
+      shift = 0;
+      ++limb;
+    }
   }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::from_limbs(std::span<const Limb> limbs) {
+  BigUint out;
+  out.limbs_.resize(limbs.size());
+  std::copy(limbs.begin(), limbs.end(), out.limbs_.begin());
+  out.trim();
   return out;
 }
 
 BigUint BigUint::random_bits(Rng& rng, std::size_t bits) {
   HERMES_REQUIRE(bits > 0);
   BigUint out;
-  const std::size_t nlimbs = (bits + 31) / 32;
+  const std::size_t nlimbs = (bits + 63) / 64;
   out.limbs_.resize(nlimbs);
-  for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng.next_u64());
+  for (auto& l : out.limbs_) l = rng.next_u64();
   // Mask excess bits, then set the top bit so the width is exact.
-  const std::size_t top_bits = bits % 32 == 0 ? 32 : bits % 32;
-  if (top_bits < 32) {
-    out.limbs_.back() &= (1u << top_bits) - 1;
+  const std::size_t top_bits = bits % 64 == 0 ? 64 : bits % 64;
+  if (top_bits < 64) {
+    out.limbs_.back() &= (Limb{1} << top_bits) - 1;
   }
-  out.limbs_.back() |= 1u << (top_bits - 1);
+  out.limbs_.back() |= Limb{1} << (top_bits - 1);
   out.trim();
   return out;
 }
@@ -60,13 +396,13 @@ BigUint BigUint::random_bits(Rng& rng, std::size_t bits) {
 BigUint BigUint::random_below(Rng& rng, const BigUint& bound) {
   HERMES_REQUIRE(!bound.is_zero());
   const std::size_t bits = bound.bit_length();
-  const std::size_t nlimbs = (bits + 31) / 32;
-  const std::size_t top_bits = bits % 32 == 0 ? 32 : bits % 32;
+  const std::size_t nlimbs = (bits + 63) / 64;
+  const std::size_t top_bits = bits % 64 == 0 ? 64 : bits % 64;
   for (;;) {
     BigUint out;
     out.limbs_.resize(nlimbs);
-    for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng.next_u64());
-    if (top_bits < 32) out.limbs_.back() &= (1u << top_bits) - 1;
+    for (auto& l : out.limbs_) l = rng.next_u64();
+    if (top_bits < 64) out.limbs_.back() &= (Limb{1} << top_bits) - 1;
     out.trim();
     if (out < bound) return out;
   }
@@ -74,26 +410,18 @@ BigUint BigUint::random_below(Rng& rng, const BigUint& bound) {
 
 std::size_t BigUint::bit_length() const {
   if (limbs_.empty()) return 0;
-  std::size_t bits = (limbs_.size() - 1) * 32;
-  std::uint32_t top = limbs_.back();
-  while (top) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
+  return limbs_.size() * 64 -
+         static_cast<std::size_t>(std::countl_zero(limbs_.back()));
 }
 
 bool BigUint::bit(std::size_t i) const {
-  const std::size_t limb = i / 32;
+  const std::size_t limb = i / 64;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1;
+  return (limbs_[limb] >> (i % 64)) & 1;
 }
 
 std::uint64_t BigUint::to_u64() const {
-  std::uint64_t v = 0;
-  if (!limbs_.empty()) v = limbs_[0];
-  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  return v;
+  return limbs_.empty() ? 0 : limbs_[0];
 }
 
 std::string BigUint::to_hex() const {
@@ -101,7 +429,7 @@ std::string BigUint::to_hex() const {
   static const char* digits = "0123456789abcdef";
   std::string out;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
-    for (int shift = 28; shift >= 0; shift -= 4) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
       out.push_back(digits[(limbs_[i] >> shift) & 0xf]);
     }
   }
@@ -112,12 +440,11 @@ std::string BigUint::to_hex() const {
 Bytes BigUint::to_bytes_be() const {
   if (limbs_.empty()) return {0};
   Bytes out;
-  out.reserve(limbs_.size() * 4);
+  out.reserve(limbs_.size() * 8);
   for (std::size_t i = limbs_.size(); i-- > 0;) {
-    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 24));
-    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 16));
-    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 8));
-    out.push_back(static_cast<std::uint8_t>(limbs_[i]));
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out.push_back(static_cast<std::uint8_t>(limbs_[i] >> shift));
+    }
   }
   const auto first = std::find_if(out.begin(), out.end(),
                                   [](std::uint8_t b) { return b != 0; });
@@ -147,16 +474,9 @@ int BigUint::compare(const BigUint& a, const BigUint& b) {
 BigUint BigUint::operator+(const BigUint& o) const {
   BigUint out;
   const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
-  out.limbs_.resize(n);
-  std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t sum = carry;
-    if (i < limbs_.size()) sum += limbs_[i];
-    if (i < o.limbs_.size()) sum += o.limbs_[i];
-    out.limbs_[i] = static_cast<std::uint32_t>(sum);
-    carry = sum >> 32;
-  }
-  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  out.limbs_.resize(n + 1);
+  out.limbs_.resize(add_limbs(limbs_.data(), limbs_.size(), o.limbs_.data(),
+                              o.limbs_.size(), out.limbs_.data()));
   return out;
 }
 
@@ -164,17 +484,16 @@ BigUint BigUint::operator-(const BigUint& o) const {
   HERMES_REQUIRE(*this >= o);
   BigUint out;
   out.limbs_.resize(limbs_.size());
-  std::int64_t borrow = 0;
+  Limb borrow = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
-    if (i < o.limbs_.size()) diff -= static_cast<std::int64_t>(o.limbs_[i]);
-    if (diff < 0) {
-      diff += static_cast<std::int64_t>(kLimbBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+    const Limb ai = limbs_[i];
+    const Limb bi = i < o.limbs_.size() ? o.limbs_[i] : 0;
+    const Limb d = ai - bi;
+    Limb next = ai < bi ? 1 : 0;
+    const Limb d2 = d - borrow;
+    if (d < borrow) next = 1;
+    out.limbs_[i] = d2;
+    borrow = next;
   }
   HERMES_REQUIRE(borrow == 0);
   out.trim();
@@ -185,53 +504,48 @@ BigUint BigUint::operator*(const BigUint& o) const {
   if (is_zero() || o.is_zero()) return BigUint();
   BigUint out;
   out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::uint64_t carry = 0;
-    const std::uint64_t a = limbs_[i];
-    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
-      std::uint64_t cur = out.limbs_[i + j] + a * o.limbs_[j] + carry;
-      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    std::size_t k = i + o.limbs_.size();
-    while (carry) {
-      std::uint64_t cur = out.limbs_[k] + carry;
-      out.limbs_[k] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-      ++k;
-    }
-  }
+  mul_rec(limbs_.data(), limbs_.size(), o.limbs_.data(), o.limbs_.size(),
+          out.limbs_.data());
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::sqr(const BigUint& x) {
+  if (x.is_zero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(2 * x.limbs_.size(), 0);
+  sqr_rec(x.limbs_.data(), x.limbs_.size(), out.limbs_.data());
   out.trim();
   return out;
 }
 
 BigUint BigUint::operator<<(std::size_t bits) const {
   if (is_zero() || bits == 0) return *this;
-  const std::size_t limb_shift = bits / 32;
-  const std::size_t bit_shift = bits % 32;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
   BigUint out;
   out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
-    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
-    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    const DLimb v = static_cast<DLimb>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<Limb>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<Limb>(v >> 64);
   }
   out.trim();
   return out;
 }
 
 BigUint BigUint::operator>>(std::size_t bits) const {
-  const std::size_t limb_shift = bits / 32;
+  const std::size_t limb_shift = bits / 64;
   if (limb_shift >= limbs_.size()) return BigUint();
-  const std::size_t bit_shift = bits % 32;
+  const std::size_t bit_shift = bits % 64;
   BigUint out;
   out.limbs_.assign(limbs_.size() - limb_shift, 0);
   for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
-    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    Limb v = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
-      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+      v |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
     }
-    out.limbs_[i] = static_cast<std::uint32_t>(v);
+    out.limbs_[i] = v;
   }
   out.trim();
   return out;
@@ -246,37 +560,94 @@ BigUintDivMod BigUint::divmod(const BigUint& a, const BigUint& b) {
   }
   if (b.limbs_.size() == 1) {
     // Fast path: single-limb divisor.
-    const std::uint64_t d = b.limbs_[0];
+    const Limb d = b.limbs_[0];
     BigUint q;
     q.limbs_.resize(a.limbs_.size());
-    std::uint64_t rem = 0;
+    DLimb rem = 0;
     for (std::size_t i = a.limbs_.size(); i-- > 0;) {
-      const std::uint64_t cur = (rem << 32) | a.limbs_[i];
-      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      const DLimb cur = (rem << 64) | a.limbs_[i];
+      q.limbs_[i] = static_cast<Limb>(cur / d);
       rem = cur % d;
     }
     q.trim();
     result.quotient = std::move(q);
-    result.remainder = BigUint(rem);
+    result.remainder = BigUint(static_cast<Limb>(rem));
     return result;
   }
 
-  // Binary long division: shift divisor up, subtract greedily. O(n^2) in
-  // limbs which is fine at our modulus sizes.
-  const std::size_t shift = a.bit_length() - b.bit_length();
-  BigUint divisor = b << shift;
-  BigUint rem = a;
-  BigUint quotient;
-  quotient.limbs_.assign((shift / 32) + 1, 0);
-  for (std::size_t i = shift + 1; i-- > 0;) {
-    if (rem >= divisor) {
-      rem = rem - divisor;
-      quotient.limbs_[i / 32] |= 1u << (i % 32);
-    }
-    divisor = divisor >> 1;
+  // Knuth Algorithm D (TAOCP 4.3.1) with 128/64-bit trial quotients.
+  const std::size_t n = b.limbs_.size();
+  const std::size_t m = a.limbs_.size() - n;
+  const int s = std::countl_zero(b.limbs_.back());
+
+  // Normalize: v = b << s (top bit of v[n-1] set), u = a << s with one
+  // extra high limb.
+  std::vector<Limb> v(n), u(a.limbs_.size() + 1, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    v[i] = b.limbs_[i] << s;
+    if (s && i > 0) v[i] |= b.limbs_[i - 1] >> (64 - s);
   }
-  quotient.trim();
-  result.quotient = std::move(quotient);
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    const DLimb x = static_cast<DLimb>(a.limbs_[i]) << s;
+    u[i] |= static_cast<Limb>(x);
+    u[i + 1] |= static_cast<Limb>(x >> 64);
+  }
+
+  BigUint q;
+  q.limbs_.resize(m + 1);
+  constexpr DLimb kBase = static_cast<DLimb>(1) << 64;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const DLimb num = (static_cast<DLimb>(u[j + n]) << 64) | u[j + n - 1];
+    DLimb qhat = num / v[n - 1];
+    DLimb rhat = num % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-subtract u[j .. j+n] -= qhat * v.
+    const Limb ql = static_cast<Limb>(qhat);
+    DLimb borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const DLimb p = static_cast<DLimb>(ql) * v[i];
+      const __int128 t = static_cast<__int128>(u[i + j]) -
+                         static_cast<__int128>(borrow) -
+                         static_cast<__int128>(static_cast<Limb>(p));
+      u[i + j] = static_cast<Limb>(t);
+      borrow = (p >> 64) - static_cast<DLimb>(t >> 64);
+    }
+    const __int128 top =
+        static_cast<__int128>(u[j + n]) - static_cast<__int128>(borrow);
+    u[j + n] = static_cast<Limb>(top);
+
+    Limb qj = ql;
+    if (top < 0) {
+      // qhat was one too large: add v back.
+      --qj;
+      DLimb carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const DLimb sum = static_cast<DLimb>(u[i + j]) + v[i] + carry;
+        u[i + j] = static_cast<Limb>(sum);
+        carry = sum >> 64;
+      }
+      u[j + n] += static_cast<Limb>(carry);
+    }
+    q.limbs_[j] = qj;
+  }
+  q.trim();
+  result.quotient = std::move(q);
+
+  // Denormalize the remainder: u[0 .. n) >> s.
+  BigUint rem;
+  rem.limbs_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Limb x = u[i] >> s;
+    if (s && i + 1 < n) x |= u[i + 1] << (64 - s);
+    rem.limbs_[i] = x;
+  }
+  rem.trim();
   result.remainder = std::move(rem);
   return result;
 }
@@ -285,141 +656,278 @@ BigUint BigUint::mulmod(const BigUint& a, const BigUint& b, const BigUint& m) {
   return (a * b) % m;
 }
 
+// ---------------------------------------------------------------------------
+// MontgomeryCtx
+
 namespace {
 
-// Montgomery (CIOS) context for an odd modulus. Residues are held in
-// Montgomery form (x * R mod n, R = 2^(32*k)); one CIOS pass computes
-// a*b*R^{-1} mod n without any division.
-class MontgomeryCtx {
- public:
-  explicit MontgomeryCtx(const BigUint& n) : n_(n), k_(n.limbs().size()) {
-    HERMES_REQUIRE(n.is_odd());
-    // n' = -n^{-1} mod 2^32 via Newton iteration on the lowest limb.
-    const std::uint32_t n0 = n.limbs()[0];
-    std::uint32_t inv = 1;
-    for (int i = 0; i < 5; ++i) inv *= 2 - n0 * inv;  // inv = n0^{-1} mod 2^32
-    n_prime_ = ~inv + 1;                              // -n0^{-1} mod 2^32
-    // R^2 mod n, for conversion into Montgomery form.
-    r2_ = (BigUint(1) << (64 * k_)) % n;
-  }
-
-  // CIOS: returns a * b * R^{-1} mod n. Inputs/outputs are k_-limb vectors.
-  std::vector<std::uint32_t> mul(const std::vector<std::uint32_t>& a,
-                                 const std::vector<std::uint32_t>& b) const {
-    const auto& nl = n_.limbs();
-    std::vector<std::uint32_t> t(k_ + 2, 0);
-    for (std::size_t i = 0; i < k_; ++i) {
-      // t += a[i] * b
-      std::uint64_t carry = 0;
-      const std::uint64_t ai = a[i];
-      for (std::size_t j = 0; j < k_; ++j) {
-        const std::uint64_t cur = t[j] + ai * b[j] + carry;
-        t[j] = static_cast<std::uint32_t>(cur);
-        carry = cur >> 32;
-      }
-      std::uint64_t cur = t[k_] + carry;
-      t[k_] = static_cast<std::uint32_t>(cur);
-      t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
-
-      // m = t[0] * n' mod 2^32; t += m * n; t >>= 32
-      const std::uint64_t mfac = static_cast<std::uint32_t>(t[0] * n_prime_);
-      carry = 0;
-      {
-        const std::uint64_t c0 = t[0] + mfac * nl[0];
-        carry = c0 >> 32;  // low 32 bits are zero by construction
-      }
-      for (std::size_t j = 1; j < k_; ++j) {
-        const std::uint64_t cj = t[j] + mfac * nl[j] + carry;
-        t[j - 1] = static_cast<std::uint32_t>(cj);
-        carry = cj >> 32;
-      }
-      cur = t[k_] + carry;
-      t[k_ - 1] = static_cast<std::uint32_t>(cur);
-      t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
-      t[k_ + 1] = 0;
-    }
-    // Conditional subtraction: t may be in [0, 2n).
-    std::vector<std::uint32_t> out(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
-    bool ge = t[k_] != 0;
-    if (!ge) {
-      ge = true;
-      for (std::size_t j = k_; j-- > 0;) {
-        if (out[j] != nl[j]) {
-          ge = out[j] > nl[j];
-          break;
-        }
+// acc holds a (k+1)-limb value in [0, 2n); writes the fully reduced k-limb
+// result to out.
+void mont_cond_sub(const Limb* nl, std::size_t k, const Limb* acc, Limb* out) {
+  bool ge = acc[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t j = k; j-- > 0;) {
+      if (acc[j] != nl[j]) {
+        ge = acc[j] > nl[j];
+        break;
       }
     }
-    if (ge) {
-      std::int64_t borrow = 0;
-      for (std::size_t j = 0; j < k_; ++j) {
-        std::int64_t diff = static_cast<std::int64_t>(out[j]) -
-                            static_cast<std::int64_t>(nl[j]) - borrow;
-        if (diff < 0) {
-          diff += 1LL << 32;
-          borrow = 1;
-        } else {
-          borrow = 0;
-        }
-        out[j] = static_cast<std::uint32_t>(diff);
-      }
+  }
+  if (ge) {
+    Limb borrow = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const Limb aj = acc[j];
+      const Limb d = aj - nl[j];
+      Limb next = aj < nl[j] ? 1 : 0;
+      const Limb d2 = d - borrow;
+      if (d < borrow) next = 1;
+      out[j] = d2;
+      borrow = next;
     }
-    return out;
+  } else {
+    std::copy(acc, acc + k, out);
   }
+}
 
-  std::vector<std::uint32_t> to_mont(const BigUint& x) const {
-    return mul(pad(x), pad(r2_));
-  }
-
-  BigUint from_mont(const std::vector<std::uint32_t>& x) const {
-    std::vector<std::uint32_t> one(k_, 0);
-    one[0] = 1;
-    const auto reduced = mul(x, one);
-    return BigUint::from_bytes_be(limbs_to_be(reduced));
-  }
-
-  std::vector<std::uint32_t> pad(const BigUint& x) const {
-    std::vector<std::uint32_t> out(k_, 0);
-    const auto& limbs = x.limbs();
-    HERMES_REQUIRE(limbs.size() <= k_);
-    std::copy(limbs.begin(), limbs.end(), out.begin());
-    return out;
-  }
-
- private:
-  static Bytes limbs_to_be(const std::vector<std::uint32_t>& limbs) {
-    Bytes out;
-    for (std::size_t i = limbs.size(); i-- > 0;) {
-      out.push_back(static_cast<std::uint8_t>(limbs[i] >> 24));
-      out.push_back(static_cast<std::uint8_t>(limbs[i] >> 16));
-      out.push_back(static_cast<std::uint8_t>(limbs[i] >> 8));
-      out.push_back(static_cast<std::uint8_t>(limbs[i]));
+// k Montgomery reduction rounds over the 2k-limb value in t; the (k+1)-limb
+// pre-subtraction result lands at t[k .. 2k]. t must be 2k+1 limbs.
+// Reduction rounds are interleaved in pairs: rounds i and i+1 share one pass
+// over n with independent carry chains (c0, c1), so the multiplies
+// pipeline instead of serializing on a single chain per round.
+void mont_reduce(const Limb* __restrict nl, std::size_t k, Limb n_prime,
+                 Limb* __restrict t) {
+  std::size_t i = 0;
+  for (; i + 1 < k; i += 2) {
+    const DLimb m0 = static_cast<Limb>(t[i] * n_prime);
+    DLimb p = t[i] + m0 * nl[0];  // low 64 bits are zero
+    DLimb c0 = p >> 64;
+    p = t[i + 1] + m0 * nl[1] + c0;
+    const DLimb m1 = static_cast<Limb>(static_cast<Limb>(p) * n_prime);
+    DLimb q = m1 * nl[0] + static_cast<Limb>(p);  // low 64 bits are zero
+    c0 = p >> 64;
+    DLimb c1 = q >> 64;
+#pragma GCC unroll 8
+    for (std::size_t j = 2; j < k; ++j) {
+      p = t[i + j] + m0 * nl[j] + c0;
+      c0 = p >> 64;
+      q = m1 * nl[j - 1] + static_cast<Limb>(p) + c1;
+      t[i + j] = static_cast<Limb>(q);
+      c1 = q >> 64;
     }
-    return out;
+    // Column i+k: round i's chain ends (carry only), round i+1 contributes
+    // its nl[k-1] product. Sequential steps keep every 128-bit sum to one
+    // product plus two 64-bit terms, so nothing can reach 2^128.
+    p = t[i + k] + c0;
+    const DLimb cp = p >> 64;
+    q = m1 * nl[k - 1] + static_cast<Limb>(p) + c1;
+    t[i + k] = static_cast<Limb>(q);
+    DLimb carry = (q >> 64) + cp;
+    for (std::size_t idx = i + k + 1; carry != 0; ++idx) {
+      const DLimb cur = t[idx] + carry;
+      t[idx] = static_cast<Limb>(cur);
+      carry = cur >> 64;
+    }
   }
+  for (; i < k; ++i) {  // odd tail (and k == 1)
+    const DLimb m = static_cast<Limb>(t[i] * n_prime);
+    DLimb carry = 0;
+#pragma GCC unroll 8
+    for (std::size_t j = 0; j < k; ++j) {
+      const DLimb cur = t[i + j] + m * nl[j] + carry;
+      t[i + j] = static_cast<Limb>(cur);
+      carry = cur >> 64;
+    }
+    for (std::size_t idx = i + k; carry != 0; ++idx) {
+      const DLimb cur = t[idx] + carry;
+      t[idx] = static_cast<Limb>(cur);
+      carry = cur >> 64;
+    }
+  }
+}
 
-  BigUint n_;
-  BigUint r2_;
-  std::size_t k_;
-  std::uint32_t n_prime_;
-};
+// out = a^2 * R^{-1} mod n, square-then-reduce (SOS): the halved cross-term
+// squaring produces a^2, then k Montgomery rounds fold it back to k+1 limbs.
+// Roughly 1.5k^2 limb products vs the fused CIOS multiply's 2k^2, and the
+// exponentiation ladder is ~5 squarings per multiply, so this is the hot
+// kernel. `a` must be reduced below n; t is 2k+1 limbs of scratch.
+void mont_sqr(const Limb* __restrict nl, std::size_t k, Limb n_prime,
+              const Limb* __restrict a, Limb* out, Limb* __restrict t) {
+  std::fill(t, t + 2 * k + 1, Limb{0});
+  sqr_basecase(a, k, t);
+  mont_reduce(nl, k, n_prime, t);
+  // a < n gives a^2 + (reduction multiples)*n < 2n*R: t[k..2k] is the
+  // (k+1)-limb pre-subtraction result.
+  mont_cond_sub(nl, k, t + k, out);
+}
 
 }  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigUint& n) : n_(n), k_(n.limbs_.size()) {
+  HERMES_REQUIRE(n.is_odd());
+  // n' = -n^{-1} mod 2^64 via Newton iteration on the lowest limb.
+  const Limb n0 = n.limbs_[0];
+  Limb inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;  // inv = n0^{-1} mod 2^64
+  n_prime_ = ~inv + 1;                              // -n0^{-1} mod 2^64
+  // R^2 mod n, for conversion into Montgomery form.
+  r2_ = (BigUint(1) << (128 * k_)) % n;
+}
+
+// out = a * b * R^{-1} mod n. a, b, out are k_-limb arrays (out must not
+// alias a or b); acc is a 2k_+2 limb scratch area. Requires at least one of
+// a, b reduced below n; the result is fully reduced. On ADX hardware this
+// runs as product-then-reduce over the addmul_1 rows; elsewhere as a fused
+// CIOS pass. Both compute the same exact integers limb for limb.
+void MontgomeryCtx::mont_mul(const Limb* __restrict a, const Limb* __restrict b,
+                             Limb* __restrict out, Limb* __restrict acc) const {
+  const Limb* __restrict nl = n_.limbs_.data();
+#ifdef HERMES_BIGNUM_ADX
+  if (have_addmul_adx()) {
+    std::fill(acc, acc + 2 * k_ + 1, Limb{0});
+    mul_basecase(a, k_, b, k_, acc);
+    mont_reduce(nl, k_, n_prime_, acc);
+    mont_cond_sub(nl, k_, acc + k_, out);
+    return;
+  }
+#endif
+  std::fill(acc, acc + k_ + 1, Limb{0});
+  for (std::size_t i = 0; i < k_; ++i) {
+    // Fused CIOS round: one pass over j accumulates both a[i]*b and the
+    // reduction multiple m*n, on two independent carry chains (c1, c2) so
+    // the multiplies pipeline instead of serializing on a single chain.
+    const DLimb ai = a[i];
+    DLimb p = acc[0] + ai * b[0];
+    const DLimb m = static_cast<Limb>(static_cast<Limb>(p) * n_prime_);
+    DLimb q = m * nl[0] + static_cast<Limb>(p);  // low 64 bits are zero
+    DLimb c1 = p >> 64;
+    DLimb c2 = q >> 64;
+#pragma GCC unroll 8
+    for (std::size_t j = 1; j < k_; ++j) {
+      p = acc[j] + ai * b[j] + c1;
+      c1 = p >> 64;
+      q = m * nl[j] + static_cast<Limb>(p) + c2;
+      acc[j - 1] = static_cast<Limb>(q);
+      c2 = q >> 64;
+    }
+    // With one operand < n the running value stays below 2n < 2^{64k} + n,
+    // so the top limb is at most 1 and this add cannot overflow.
+    const DLimb top = acc[k_] + c1 + c2;
+    acc[k_ - 1] = static_cast<Limb>(top);
+    acc[k_] = static_cast<Limb>(top >> 64);
+  }
+  // Conditional subtraction: acc may be in [0, 2n).
+  mont_cond_sub(nl, k_, acc, out);
+}
+
+// scratch: 2k_ limbs (padded operand plus staged r2); the multiply
+// accumulator is allocated locally.
+void MontgomeryCtx::to_mont(const BigUint& x, Limb* out, Limb* scratch) const {
+  HERMES_DCHECK(x.limbs_.size() <= k_);
+  Limb* pad = scratch;
+  Limb* acc = scratch + k_;
+  std::fill(pad, pad + k_, Limb{0});
+  std::copy(x.limbs_.begin(), x.limbs_.end(), pad);
+  Limb* r2pad = acc;  // reuse the accumulator slot to stage r2 first
+  std::fill(r2pad, r2pad + k_, Limb{0});
+  std::copy(r2_.limbs_.begin(), r2_.limbs_.end(), r2pad);
+  std::vector<Limb> acc2(2 * k_ + 2);
+  mont_mul(pad, r2pad, out, acc2.data());
+}
+
+// scratch: 3k_+2 limbs (k_ for the staged operand, 2k_+2 accumulator).
+BigUint MontgomeryCtx::from_mont(const Limb* x, Limb* scratch) const {
+  Limb* one = scratch;
+  Limb* acc = scratch + k_;
+  std::fill(one, one + k_, Limb{0});
+  one[0] = 1;
+  std::vector<Limb> out(k_);
+  mont_mul(x, one, out.data(), acc);
+  return BigUint::from_limbs(out);
+}
+
+BigUint MontgomeryCtx::mulmod(const BigUint& a, const BigUint& b) const {
+  if (a.is_zero() || b.is_zero()) return BigUint();
+  if (a.limbs_.size() > k_) return mulmod(a % n_, b);
+  if (b.limbs_.size() > k_) return mulmod(a, b % n_);
+  std::vector<Limb> scratch(2 * k_ + 2), am(k_), bpad(k_, 0), out(k_);
+  to_mont(a, am.data(), scratch.data());  // am = a*R mod n, fully reduced
+  std::copy(b.limbs_.begin(), b.limbs_.end(), bpad.begin());
+  mont_mul(am.data(), bpad.data(), out.data(), scratch.data());
+  return BigUint::from_limbs(out);
+}
+
+BigUint MontgomeryCtx::powmod(const BigUint& base, const BigUint& exp) const {
+  if (k_ == 1 && n_.limbs_[0] == 1) return BigUint();  // everything mod 1
+  if (exp.is_zero()) return BigUint(1);
+  const BigUint reduced = base.limbs_.size() > k_ ? base % n_ : base;
+  if (reduced.is_zero()) return BigUint();
+
+  const std::size_t ebits = exp.bit_length();
+  // Window width: 2^(w-1) precomputed odd powers against ebits/w fewer
+  // multiplies; crossover points follow the usual table-vs-exponent balance.
+  const std::size_t w = ebits >= 768 ? 5 : ebits >= 160 ? 4 : ebits >= 24 ? 3 : 2;
+  const std::size_t table_size = std::size_t{1} << (w - 1);
+
+  std::vector<Limb> scratch(3 * k_ + 2);
+  std::vector<Limb> table(table_size * k_);
+  std::vector<Limb> b2(k_), acc(k_), tmp(k_);
+
+  // table[i] = base^(2i+1) in Montgomery form.
+  to_mont(reduced, table.data(), scratch.data());
+  if (table_size > 1) {
+    mont_sqr(n_.limbs_.data(), k_, n_prime_, table.data(), b2.data(),
+             scratch.data());
+    for (std::size_t i = 1; i < table_size; ++i) {
+      mont_mul(table.data() + (i - 1) * k_, b2.data(), table.data() + i * k_,
+               scratch.data());
+    }
+  }
+
+  to_mont(BigUint(1), acc.data(), scratch.data());  // acc = R mod n
+  Limb* cur = acc.data();
+  Limb* spare = tmp.data();
+  const auto mont_step = [&](const Limb* other) {
+    mont_mul(cur, other, spare, scratch.data());
+    std::swap(cur, spare);
+  };
+  const auto mont_square = [&] {
+    mont_sqr(n_.limbs_.data(), k_, n_prime_, cur, spare, scratch.data());
+    std::swap(cur, spare);
+  };
+
+  // Left-to-right windowed scan: squarings for every bit, one table
+  // multiply per (odd) window.
+  std::size_t i = ebits;
+  while (i > 0) {
+    if (!exp.bit(i - 1)) {
+      mont_square();
+      --i;
+      continue;
+    }
+    // Window [l-1, i-1] ending at a set bit.
+    std::size_t l = i >= w ? i - w + 1 : 1;
+    while (!exp.bit(l - 1)) ++l;
+    std::size_t window = 0;
+    for (std::size_t j = i; j-- >= l && j + 1 >= l;) {
+      window = (window << 1) | (exp.bit(j) ? 1 : 0);
+      if (j == l - 1 || j == 0) break;
+    }
+    for (std::size_t j = 0; j < i - l + 1; ++j) mont_square();
+    mont_step(table.data() + ((window - 1) >> 1) * k_);
+    i = l - 1;
+  }
+  return from_mont(cur, scratch.data());
+}
 
 BigUint BigUint::powmod(const BigUint& base, const BigUint& exp, const BigUint& m) {
   HERMES_REQUIRE(!m.is_zero());
   if (m == BigUint(1)) return BigUint();
   if (exp.is_zero()) return BigUint(1) % m;
 
-  if (m.is_odd() && m.limbs().size() >= 2) {
+  if (m.is_odd()) {
     const MontgomeryCtx ctx(m);
-    auto result = ctx.to_mont(BigUint(1));
-    const auto b = ctx.to_mont(base % m);
-    for (std::size_t i = exp.bit_length(); i-- > 0;) {
-      result = ctx.mul(result, result);
-      if (exp.bit(i)) result = ctx.mul(result, b);
-    }
-    return ctx.from_mont(result);
+    return ctx.powmod(base, exp);
   }
 
   BigUint result(1);
@@ -463,6 +971,9 @@ bool BigUint::is_probable_prime(const BigUint& n, Rng& rng, int rounds) {
     if (n == bp) return true;
     if ((n % bp).is_zero()) return false;
   }
+  // n is odd (2 was trial-divided): share one Montgomery context across all
+  // rounds and the squaring chains.
+  const MontgomeryCtx ctx(n);
   // Write n-1 = d * 2^r.
   const BigUint n_minus_1 = n - BigUint(1);
   BigUint d = n_minus_1;
@@ -475,11 +986,11 @@ bool BigUint::is_probable_prime(const BigUint& n, Rng& rng, int rounds) {
   const BigUint n_minus_3 = n - BigUint(3);
   for (int round = 0; round < rounds; ++round) {
     const BigUint a = random_below(rng, n_minus_3) + two;  // in [2, n-2]
-    BigUint x = powmod(a, d, n);
+    BigUint x = ctx.powmod(a, d);
     if (x == BigUint(1) || x == n_minus_1) continue;
     bool composite = true;
     for (std::size_t i = 0; i + 1 < r; ++i) {
-      x = mulmod(x, x, n);
+      x = ctx.mulmod(x, x);
       if (x == n_minus_1) {
         composite = false;
         break;
@@ -501,6 +1012,8 @@ BigUint BigUint::random_prime(Rng& rng, std::size_t bits, int mr_rounds) {
 
 // ---------------------------------------------------------------------------
 // BigInt
+
+BigInt::BigInt() = default;
 
 BigInt::BigInt(std::int64_t v) {
   if (v < 0) {

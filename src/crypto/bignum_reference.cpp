@@ -1,0 +1,322 @@
+#include "crypto/bignum_reference.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace hermes::crypto::ref {
+
+// The pre-rewrite representation: little-endian 32-bit limbs in a plain
+// vector, trimmed of high zeros. All kernels below are verbatim ports of
+// the replaced bignum.cpp, only re-based onto this local type.
+namespace {
+
+using U32 = std::vector<std::uint32_t>;
+
+void trim(U32& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+U32 to_u32(const BigUint& x) {
+  U32 out;
+  out.reserve(x.limb_count() * 2);
+  for (std::size_t i = 0; i < x.limb_count(); ++i) {
+    const std::uint64_t l = x.limb(i);
+    out.push_back(static_cast<std::uint32_t>(l));
+    out.push_back(static_cast<std::uint32_t>(l >> 32));
+  }
+  trim(out);
+  return out;
+}
+
+BigUint to_big(const U32& v) {
+  std::vector<Limb> limbs((v.size() + 1) / 2, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    limbs[i / 2] |= static_cast<Limb>(v[i]) << (32 * (i % 2));
+  }
+  return BigUint::from_limbs(limbs);
+}
+
+int compare(const U32& a, const U32& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::size_t bit_length(const U32& v) {
+  if (v.empty()) return 0;
+  std::size_t bits = (v.size() - 1) * 32;
+  std::uint32_t top = v.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool bit(const U32& v, std::size_t i) {
+  const std::size_t limb = i / 32;
+  if (limb >= v.size()) return false;
+  return (v[limb] >> (i % 32)) & 1;
+}
+
+U32 sub(const U32& a, const U32& b) {
+  U32 out(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= static_cast<std::int64_t>(b[i]);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(1ULL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<std::uint32_t>(diff);
+  }
+  HERMES_REQUIRE(borrow == 0);
+  trim(out);
+  return out;
+}
+
+U32 shl(const U32& v, std::size_t bits) {
+  if (v.empty() || bits == 0) return v;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  U32 out(v.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::uint64_t x = static_cast<std::uint64_t>(v[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<std::uint32_t>(x);
+    out[i + limb_shift + 1] |= static_cast<std::uint32_t>(x >> 32);
+  }
+  trim(out);
+  return out;
+}
+
+U32 shr1(const U32& v) {
+  if (v.empty()) return v;
+  U32 out(v.size(), 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t x = static_cast<std::uint64_t>(v[i]) >> 1;
+    if (i + 1 < v.size()) {
+      x |= static_cast<std::uint64_t>(v[i + 1]) << 31;
+    }
+    out[i] = static_cast<std::uint32_t>(x);
+  }
+  trim(out);
+  return out;
+}
+
+// Schoolbook multiplication, quadratic in limb count.
+U32 mul_u32(const U32& a, const U32& b) {
+  if (a.empty() || b.empty()) return {};
+  U32 out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      const std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  trim(out);
+  return out;
+}
+
+struct DivModU32 {
+  U32 quotient;
+  U32 remainder;
+};
+
+// Binary long division: shift divisor up, subtract greedily. O(bits * limbs).
+DivModU32 divmod_u32(const U32& a, const U32& b) {
+  HERMES_REQUIRE(!b.empty());
+  DivModU32 result;
+  if (compare(a, b) < 0) {
+    result.remainder = a;
+    return result;
+  }
+  if (b.size() == 1) {
+    const std::uint64_t d = b[0];
+    U32 q(a.size());
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | a[i];
+      q[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    trim(q);
+    result.quotient = std::move(q);
+    if (rem) result.remainder = {static_cast<std::uint32_t>(rem)};
+    return result;
+  }
+
+  const std::size_t shift = bit_length(a) - bit_length(b);
+  U32 divisor = shl(b, shift);
+  U32 rem = a;
+  U32 quotient((shift / 32) + 1, 0);
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (compare(rem, divisor) >= 0) {
+      rem = sub(rem, divisor);
+      quotient[i / 32] |= 1u << (i % 32);
+    }
+    divisor = shr1(divisor);
+  }
+  trim(quotient);
+  result.quotient = std::move(quotient);
+  result.remainder = std::move(rem);
+  return result;
+}
+
+U32 mod_u32(const U32& a, const U32& b) { return divmod_u32(a, b).remainder; }
+
+// Montgomery (CIOS) context over 32-bit limbs, one per powmod call —
+// exactly the shape the old powmod used.
+class MontgomeryCtx32 {
+ public:
+  explicit MontgomeryCtx32(const U32& n) : n_(n), k_(n.size()) {
+    HERMES_REQUIRE(!n.empty() && (n[0] & 1));
+    const std::uint32_t n0 = n[0];
+    std::uint32_t inv = 1;
+    for (int i = 0; i < 5; ++i) inv *= 2 - n0 * inv;
+    n_prime_ = ~inv + 1;
+    r2_ = mod_u32(shl({1}, 64 * k_), n);
+  }
+
+  // CIOS: a * b * R^{-1} mod n on k_-limb vectors.
+  U32 mul(const U32& a, const U32& b) const {
+    U32 t(k_ + 2, 0);
+    for (std::size_t i = 0; i < k_; ++i) {
+      std::uint64_t carry = 0;
+      const std::uint64_t ai = a[i];
+      for (std::size_t j = 0; j < k_; ++j) {
+        const std::uint64_t cur = t[j] + ai * b[j] + carry;
+        t[j] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = t[k_] + carry;
+      t[k_] = static_cast<std::uint32_t>(cur);
+      t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+      const std::uint64_t mfac = static_cast<std::uint32_t>(t[0] * n_prime_);
+      {
+        const std::uint64_t c0 = t[0] + mfac * n_[0];
+        carry = c0 >> 32;
+      }
+      for (std::size_t j = 1; j < k_; ++j) {
+        const std::uint64_t cj = t[j] + mfac * n_[j] + carry;
+        t[j - 1] = static_cast<std::uint32_t>(cj);
+        carry = cj >> 32;
+      }
+      cur = t[k_] + carry;
+      t[k_ - 1] = static_cast<std::uint32_t>(cur);
+      t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+      t[k_ + 1] = 0;
+    }
+    U32 out(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+    bool ge = t[k_] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t j = k_; j-- > 0;) {
+        if (out[j] != n_[j]) {
+          ge = out[j] > n_[j];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t j = 0; j < k_; ++j) {
+        std::int64_t diff = static_cast<std::int64_t>(out[j]) -
+                            static_cast<std::int64_t>(n_[j]) - borrow;
+        if (diff < 0) {
+          diff += 1LL << 32;
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        out[j] = static_cast<std::uint32_t>(diff);
+      }
+    }
+    return out;
+  }
+
+  U32 to_mont(const U32& x) const { return mul(pad(x), pad(r2_)); }
+
+  U32 from_mont(const U32& x) const {
+    U32 one(k_, 0);
+    one[0] = 1;
+    U32 reduced = mul(x, one);
+    trim(reduced);
+    return reduced;
+  }
+
+  U32 pad(const U32& x) const {
+    HERMES_REQUIRE(x.size() <= k_);
+    U32 out(k_, 0);
+    std::copy(x.begin(), x.end(), out.begin());
+    return out;
+  }
+
+ private:
+  U32 n_;
+  U32 r2_;
+  std::size_t k_;
+  std::uint32_t n_prime_;
+};
+
+}  // namespace
+
+BigUint mul(const BigUint& a, const BigUint& b) {
+  return to_big(mul_u32(to_u32(a), to_u32(b)));
+}
+
+BigUintDivMod divmod(const BigUint& a, const BigUint& b) {
+  DivModU32 dm = divmod_u32(to_u32(a), to_u32(b));
+  BigUintDivMod out;
+  out.quotient = to_big(dm.quotient);
+  out.remainder = to_big(dm.remainder);
+  return out;
+}
+
+BigUint powmod(const BigUint& base, const BigUint& exp, const BigUint& m) {
+  const U32 mu = to_u32(m);
+  HERMES_REQUIRE(!mu.empty());
+  if (mu.size() == 1 && mu[0] == 1) return BigUint();
+  const U32 e = to_u32(exp);
+  if (e.empty()) return BigUint(1);
+
+  if ((mu[0] & 1) && mu.size() >= 2) {
+    // Bit-at-a-time square-and-multiply over the 32-bit CIOS context.
+    const MontgomeryCtx32 ctx(mu);
+    U32 result = ctx.to_mont({1});
+    const U32 b = ctx.to_mont(mod_u32(to_u32(base), mu));
+    for (std::size_t i = bit_length(e); i-- > 0;) {
+      result = ctx.mul(result, result);
+      if (bit(e, i)) result = ctx.mul(result, b);
+    }
+    return to_big(ctx.from_mont(result));
+  }
+
+  U32 result{1};
+  U32 b = mod_u32(to_u32(base), mu);
+  for (std::size_t i = bit_length(e); i-- > 0;) {
+    result = mod_u32(mul_u32(result, result), mu);
+    if (bit(e, i)) result = mod_u32(mul_u32(result, b), mu);
+  }
+  return to_big(result);
+}
+
+}  // namespace hermes::crypto::ref

@@ -67,16 +67,28 @@ RsaKeyPair rsa_generate(Rng& rng, std::size_t bits, bool safe_primes) {
 }
 
 Bytes rsa_sign(const RsaKeyPair& key, BytesView message) {
-  const BigUint h = fdh_encode(message, key.pub.n);
-  const BigUint s = BigUint::powmod(h, key.d, key.pub.n);
-  return s.to_bytes_be_padded(key.pub.modulus_bytes());
+  return rsa_sign(key, message, MontgomeryCtx(key.pub.n));
 }
 
 bool rsa_verify(const RsaPublicKey& pub, BytesView message, BytesView signature) {
+  return rsa_verify(pub, message, signature, MontgomeryCtx(pub.n));
+}
+
+Bytes rsa_sign(const RsaKeyPair& key, BytesView message,
+               const MontgomeryCtx& mont) {
+  HERMES_DCHECK(mont.modulus() == key.pub.n);
+  const BigUint h = fdh_encode(message, key.pub.n);
+  const BigUint s = mont.powmod(h, key.d);
+  return s.to_bytes_be_padded(key.pub.modulus_bytes());
+}
+
+bool rsa_verify(const RsaPublicKey& pub, BytesView message, BytesView signature,
+                const MontgomeryCtx& mont) {
+  HERMES_DCHECK(mont.modulus() == pub.n);
   if (signature.size() != pub.modulus_bytes()) return false;
   const BigUint s = BigUint::from_bytes_be(signature);
   if (s >= pub.n) return false;
-  const BigUint recovered = BigUint::powmod(s, pub.e, pub.n);
+  const BigUint recovered = mont.powmod(s, pub.e);
   return recovered == fdh_encode(message, pub.n);
 }
 

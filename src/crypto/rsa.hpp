@@ -46,6 +46,14 @@ RsaKeyPair rsa_generate(Rng& rng, std::size_t bits, bool safe_primes = false);
 Bytes rsa_sign(const RsaKeyPair& key, BytesView message);
 bool rsa_verify(const RsaPublicKey& pub, BytesView message, BytesView signature);
 
+// Hot-path variants taking a caller-held Montgomery context for the key's
+// modulus, skipping the per-call R^2 division. `mont.modulus()` must equal
+// the key's n.
+Bytes rsa_sign(const RsaKeyPair& key, BytesView message,
+               const MontgomeryCtx& mont);
+bool rsa_verify(const RsaPublicKey& pub, BytesView message, BytesView signature,
+                const MontgomeryCtx& mont);
+
 // Safe-prime search helper (exposed for tests).
 BigUint random_safe_prime(Rng& rng, std::size_t bits);
 

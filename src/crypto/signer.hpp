@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "support/bytes.hpp"
 
@@ -44,8 +45,28 @@ class ThresholdScheme {
                                         BytesView message) const = 0;
   virtual bool verify_partial(BytesView message,
                               const PartialSignature& partial) const = 0;
+  // Batch form over one round's partials: out[i] == 1 iff partials[i]
+  // verifies, with verdicts identical to verify_partial. Backends that can
+  // share per-message precomputation (e.g. the Fiat-Shamir bases in Shoup
+  // RSA) override this; the default just loops.
+  virtual std::vector<std::uint8_t> verify_partials(
+      BytesView message, std::span<const PartialSignature> partials) const {
+    std::vector<std::uint8_t> out(partials.size(), 0);
+    for (std::size_t i = 0; i < partials.size(); ++i) {
+      out[i] = verify_partial(message, partials[i]) ? 1 : 0;
+    }
+    return out;
+  }
   virtual std::optional<Bytes> combine(
       BytesView message, std::span<const PartialSignature> partials) const = 0;
+  // Combine partials the caller has already verified individually (e.g. a
+  // collector that checks each partial as it arrives): backends may skip
+  // re-verification. Output is identical to combine() on all-valid input;
+  // the default just delegates.
+  virtual std::optional<Bytes> combine_verified(
+      BytesView message, std::span<const PartialSignature> partials) const {
+    return combine(message, partials);
+  }
   virtual bool verify_combined(BytesView message, BytesView signature) const = 0;
 };
 

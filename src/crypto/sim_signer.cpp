@@ -88,12 +88,15 @@ bool SimThresholdScheme::verify_combined(BytesView message,
 // ---------------------------------------------------------------------------
 // RsaSigner
 
-RsaSigner::RsaSigner(RsaKeyPair key) : key_(std::move(key)) {}
+RsaSigner::RsaSigner(RsaKeyPair key)
+    : key_(std::move(key)), mont_(key_.pub.n) {}
 
-Bytes RsaSigner::sign(BytesView message) const { return rsa_sign(key_, message); }
+Bytes RsaSigner::sign(BytesView message) const {
+  return rsa_sign(key_, message, mont_);
+}
 
 bool RsaSigner::verify(BytesView message, BytesView signature) const {
-  return rsa_verify(key_.pub, message, signature);
+  return rsa_verify(key_.pub, message, signature, mont_);
 }
 
 Bytes RsaSigner::key_id() const {
@@ -103,13 +106,14 @@ Bytes RsaSigner::key_id() const {
 // ---------------------------------------------------------------------------
 // RsaThresholdScheme
 
-RsaThresholdScheme::RsaThresholdScheme(ThresholdRsaKey key) : key_(std::move(key)) {}
+RsaThresholdScheme::RsaThresholdScheme(ThresholdRsaKey key)
+    : key_(std::move(key)), ctx_(key_.pub) {}
 
 PartialSignature RsaThresholdScheme::partial_sign(std::size_t signer_index,
                                                   BytesView message) const {
   HERMES_REQUIRE(signer_index >= 1 && signer_index <= key_.pub.players);
   const ThresholdPartial partial =
-      threshold_partial_sign(key_.pub, key_.shares[signer_index - 1], message);
+      threshold_partial_sign(ctx_, key_.shares[signer_index - 1], message);
   return PartialSignature{signer_index, partial.encode()};
 }
 
@@ -117,7 +121,30 @@ bool RsaThresholdScheme::verify_partial(BytesView message,
                                         const PartialSignature& partial) const {
   const auto decoded = ThresholdPartial::decode(partial.bytes);
   if (!decoded || decoded->signer_index != partial.signer_index) return false;
-  return threshold_verify_partial(key_.pub, message, *decoded);
+  return threshold_verify_partial(ctx_, message, *decoded);
+}
+
+std::vector<std::uint8_t> RsaThresholdScheme::verify_partials(
+    BytesView message, std::span<const PartialSignature> partials) const {
+  // Decode first, then verify the survivors in one batch so the Fiat-Shamir
+  // bases are computed once for the round.
+  std::vector<ThresholdPartial> decoded;
+  std::vector<std::size_t> positions;
+  decoded.reserve(partials.size());
+  positions.reserve(partials.size());
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    auto d = ThresholdPartial::decode(partials[i].bytes);
+    if (!d || d->signer_index != partials[i].signer_index) continue;
+    decoded.push_back(std::move(*d));
+    positions.push_back(i);
+  }
+  std::vector<std::uint8_t> out(partials.size(), 0);
+  const std::vector<std::uint8_t> verdicts =
+      threshold_verify_partials(ctx_, message, decoded);
+  for (std::size_t j = 0; j < verdicts.size(); ++j) {
+    out[positions[j]] = verdicts[j];
+  }
+  return out;
 }
 
 std::optional<Bytes> RsaThresholdScheme::combine(
@@ -127,15 +154,37 @@ std::optional<Bytes> RsaThresholdScheme::combine(
   for (const auto& p : partials) {
     auto d = ThresholdPartial::decode(p.bytes);
     if (!d || d->signer_index != p.signer_index) continue;
-    if (!threshold_verify_partial(key_.pub, message, *d)) continue;
     decoded.push_back(std::move(*d));
   }
-  return threshold_combine(key_.pub, message, decoded);
+  // Batched verification shares the per-message bases across the round.
+  const std::vector<std::uint8_t> ok =
+      threshold_verify_partials(ctx_, message, decoded);
+  std::vector<ThresholdPartial> valid;
+  valid.reserve(decoded.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (ok[i]) valid.push_back(std::move(decoded[i]));
+  }
+  return threshold_combine(ctx_, message, valid);
+}
+
+std::optional<Bytes> RsaThresholdScheme::combine_verified(
+    BytesView message, std::span<const PartialSignature> partials) const {
+  std::vector<ThresholdPartial> decoded;
+  decoded.reserve(partials.size());
+  for (const auto& p : partials) {
+    auto d = ThresholdPartial::decode(p.bytes);
+    if (!d || d->signer_index != p.signer_index) continue;
+    decoded.push_back(std::move(*d));
+  }
+  // No proof re-check: the caller verified each partial on arrival, and
+  // threshold_combine still self-checks the final signature (a bad input
+  // yields nullopt, never a wrong signature).
+  return threshold_combine(ctx_, message, decoded);
 }
 
 bool RsaThresholdScheme::verify_combined(BytesView message,
                                          BytesView signature) const {
-  return threshold_verify(key_.pub, message, signature);
+  return threshold_verify(ctx_, message, signature);
 }
 
 }  // namespace hermes::crypto

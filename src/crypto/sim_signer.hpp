@@ -49,7 +49,8 @@ class SimThresholdScheme final : public ThresholdScheme {
   std::size_t threshold_;
 };
 
-// Real RSA-FDH Signer backend.
+// Real RSA-FDH Signer backend. Holds a Montgomery context for the modulus
+// so per-signature work is division-free.
 class RsaSigner final : public Signer {
  public:
   explicit RsaSigner(RsaKeyPair key);
@@ -59,10 +60,15 @@ class RsaSigner final : public Signer {
 
  private:
   RsaKeyPair key_;
+  MontgomeryCtx mont_;  // for key_.pub.n
 };
 
 // Real Shoup threshold RSA backend. Holds all shares (the simulator plays
 // every committee member); a deployment would give each node one share.
+// The warm ThresholdRsaContext (Montgomery state, Bezout pair, Lagrange
+// coefficient cache) lives for the scheme's lifetime — the sim keeps the
+// scheme across committee epochs, so coefficients cached for one epoch's
+// index subsets stay warm after a view change.
 class RsaThresholdScheme final : public ThresholdScheme {
  public:
   explicit RsaThresholdScheme(ThresholdRsaKey key);
@@ -73,14 +79,23 @@ class RsaThresholdScheme final : public ThresholdScheme {
                                 BytesView message) const override;
   bool verify_partial(BytesView message,
                       const PartialSignature& partial) const override;
+  std::vector<std::uint8_t> verify_partials(
+      BytesView message,
+      std::span<const PartialSignature> partials) const override;
   std::optional<Bytes> combine(
+      BytesView message, std::span<const PartialSignature> partials) const override;
+  // Skips the proof re-verification pass: the collector has already
+  // checked every partial as it arrived.
+  std::optional<Bytes> combine_verified(
       BytesView message, std::span<const PartialSignature> partials) const override;
   bool verify_combined(BytesView message, BytesView signature) const override;
 
   const ThresholdRsaPublic& public_params() const { return key_.pub; }
+  const ThresholdRsaContext& context() const { return ctx_; }
 
  private:
   ThresholdRsaKey key_;
+  ThresholdRsaContext ctx_;  // borrows key_.pub; declared after key_
 };
 
 }  // namespace hermes::crypto

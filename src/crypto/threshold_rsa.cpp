@@ -40,15 +40,62 @@ BigUint challenge_hash(std::initializer_list<const BigUint*> elems) {
 }
 
 // x^exp mod n where exp may be negative (uses inverse; requires gcd(x,n)=1).
-std::optional<BigUint> powmod_signed(const BigUint& x, const BigInt& exp,
-                                     const BigUint& n) {
-  if (!exp.negative()) return BigUint::powmod(x, exp.magnitude(), n);
+std::optional<BigUint> powmod_signed(const MontgomeryCtx& mont, const BigUint& x,
+                                     const BigInt& exp) {
+  if (!exp.negative()) return mont.powmod(x, exp.magnitude());
   BigUint inv;
-  if (!BigUint::modinv(x, n, &inv)) return std::nullopt;
-  return BigUint::powmod(inv, exp.magnitude(), n);
+  if (!BigUint::modinv(x, mont.modulus(), &inv)) return std::nullopt;
+  return mont.powmod(inv, exp.magnitude());
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// ThresholdRsaContext
+
+ThresholdRsaContext::ThresholdRsaContext(const ThresholdRsaPublic& pub)
+    : pub_(&pub),
+      mont_(pub.rsa.n),
+      delta_(factorial_big(pub.players)),
+      e_prime_((delta_ * delta_) << 2),
+      bezout_(extended_gcd(e_prime_, pub.rsa.e)) {}
+
+std::shared_ptr<const std::map<std::size_t, BigInt>>
+ThresholdRsaContext::lagrange_coeffs(
+    const std::vector<std::size_t>& indices) const {
+  {
+    const std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = lagrange_cache_.find(indices);
+    if (it != lagrange_cache_.end()) return it->second;
+  }
+  // Compute outside the lock: identical inputs give identical coefficients,
+  // so a racing double-compute is wasted work, never wrong results.
+  const BigInt delta = BigInt::from_biguint(delta_);
+  auto coeffs = std::make_shared<std::map<std::size_t, BigInt>>();
+  for (const std::size_t idx : indices) {
+    BigInt num = 1;
+    BigInt den = 1;
+    const BigInt i(static_cast<std::int64_t>(idx));
+    for (const std::size_t jdx : indices) {
+      if (jdx == idx) continue;
+      const BigInt j(static_cast<std::int64_t>(jdx));
+      num = num * (-j);
+      den = den * (i - j);
+    }
+    // Delta * num / den is an integer (den divides Delta * num).
+    const BigInt lambda = (delta * num) / den;
+    HERMES_DCHECK((delta * num) % den == BigInt(0));
+    coeffs->emplace(idx, lambda + lambda);  // 2 * lambda'_i
+  }
+  const std::lock_guard<std::mutex> lock(cache_mu_);
+  return lagrange_cache_.try_emplace(indices, std::move(coeffs))
+      .first->second;
+}
+
+std::size_t ThresholdRsaContext::lagrange_cache_size() const {
+  const std::lock_guard<std::mutex> lock(cache_mu_);
+  return lagrange_cache_.size();
+}
 
 BigUint factorial_big(std::size_t l) {
   BigUint out(1);
@@ -124,20 +171,22 @@ ThresholdRsaKey threshold_rsa_generate(Rng& rng, std::size_t bits,
   return key;
 }
 
-ThresholdPartial threshold_partial_sign(const ThresholdRsaPublic& pub,
+ThresholdPartial threshold_partial_sign(const ThresholdRsaContext& ctx,
                                         const ThresholdRsaShare& share,
                                         BytesView message) {
+  const ThresholdRsaPublic& pub = ctx.pub();
+  const MontgomeryCtx& mont = ctx.mont();
   const BigUint& n = pub.rsa.n;
   const BigUint x = fdh_encode(message, n);
-  const BigUint delta = factorial_big(pub.players);
+  const BigUint& delta = ctx.delta();
   const BigUint exponent = (delta << 1) * share.s;  // 2 * Delta * s_i
   ThresholdPartial partial;
   partial.signer_index = share.index;
-  partial.value = BigUint::powmod(x, exponent, n);
+  partial.value = mont.powmod(x, exponent);
 
   // Fiat-Shamir proof of log_v(v_i) == log_{x~}(x_i^2), x~ = x^{4*Delta}.
-  const BigUint x_tilde = BigUint::powmod(x, delta << 2, n);
-  const BigUint x_i_sq = BigUint::mulmod(partial.value, partial.value, n);
+  const BigUint x_tilde = mont.powmod(x, delta << 2);
+  const BigUint x_i_sq = mont.mulmod(partial.value, partial.value);
   const BigUint& v_i = pub.verification_keys[share.index - 1];
 
   // Deterministic nonce: PRF(share, message) stretched past |n| + 512 bits,
@@ -156,45 +205,70 @@ ThresholdPartial threshold_partial_sign(const ThresholdRsaPublic& pub,
   nonce_material.resize(nonce_bytes);
   const BigUint r = BigUint::from_bytes_be(nonce_material);
 
-  const BigUint v_r = BigUint::powmod(pub.v, r, n);
-  const BigUint x_r = BigUint::powmod(x_tilde, r, n);
+  const BigUint v_r = mont.powmod(pub.v, r);
+  const BigUint x_r = mont.powmod(x_tilde, r);
   partial.proof_c =
       challenge_hash({&pub.v, &x_tilde, &v_i, &x_i_sq, &v_r, &x_r});
   partial.proof_z = share.s * partial.proof_c + r;
   return partial;
 }
 
-bool threshold_verify_partial(const ThresholdRsaPublic& pub, BytesView message,
-                              const ThresholdPartial& partial) {
+namespace {
+
+// Single-partial proof check against precomputed Fiat-Shamir bases.
+bool verify_partial_with_bases(const ThresholdRsaContext& ctx,
+                               const BigUint& x_tilde,
+                               const ThresholdPartial& partial) {
+  const ThresholdRsaPublic& pub = ctx.pub();
+  const MontgomeryCtx& mont = ctx.mont();
+  const BigUint& n = pub.rsa.n;
   if (partial.signer_index < 1 || partial.signer_index > pub.players) {
     return false;
   }
-  const BigUint& n = pub.rsa.n;
   if (partial.value.is_zero() || partial.value >= n) return false;
-  const BigUint x = fdh_encode(message, n);
-  const BigUint delta = factorial_big(pub.players);
-  const BigUint x_tilde = BigUint::powmod(x, delta << 2, n);
-  const BigUint x_i_sq = BigUint::mulmod(partial.value, partial.value, n);
+  const BigUint x_i_sq = mont.mulmod(partial.value, partial.value);
   const BigUint& v_i = pub.verification_keys[partial.signer_index - 1];
 
   // Recover the commitments: v' = v^z * v_i^{-c}, x' = x~^z * (x_i^2)^{-c}.
   BigUint v_i_inv, x_sq_inv;
   if (!BigUint::modinv(v_i, n, &v_i_inv)) return false;
   if (!BigUint::modinv(x_i_sq, n, &x_sq_inv)) return false;
-  const BigUint v_prime =
-      BigUint::mulmod(BigUint::powmod(pub.v, partial.proof_z, n),
-                      BigUint::powmod(v_i_inv, partial.proof_c, n), n);
-  const BigUint x_prime =
-      BigUint::mulmod(BigUint::powmod(x_tilde, partial.proof_z, n),
-                      BigUint::powmod(x_sq_inv, partial.proof_c, n), n);
+  const BigUint v_prime = mont.mulmod(mont.powmod(pub.v, partial.proof_z),
+                                      mont.powmod(v_i_inv, partial.proof_c));
+  const BigUint x_prime = mont.mulmod(mont.powmod(x_tilde, partial.proof_z),
+                                      mont.powmod(x_sq_inv, partial.proof_c));
   const BigUint expected =
       challenge_hash({&pub.v, &x_tilde, &v_i, &x_i_sq, &v_prime, &x_prime});
   return expected == partial.proof_c;
 }
 
-std::optional<Bytes> threshold_combine(const ThresholdRsaPublic& pub,
+}  // namespace
+
+bool threshold_verify_partial(const ThresholdRsaContext& ctx, BytesView message,
+                              const ThresholdPartial& partial) {
+  const BigUint x = fdh_encode(message, ctx.pub().rsa.n);
+  const BigUint x_tilde = ctx.mont().powmod(x, ctx.delta() << 2);
+  return verify_partial_with_bases(ctx, x_tilde, partial);
+}
+
+std::vector<std::uint8_t> threshold_verify_partials(
+    const ThresholdRsaContext& ctx, BytesView message,
+    std::span<const ThresholdPartial> partials) {
+  std::vector<std::uint8_t> out(partials.size(), 0);
+  if (partials.empty()) return out;
+  // One FDH encode and one x^{4*Delta} for the whole round's partials.
+  const BigUint x = fdh_encode(message, ctx.pub().rsa.n);
+  const BigUint x_tilde = ctx.mont().powmod(x, ctx.delta() << 2);
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    out[i] = verify_partial_with_bases(ctx, x_tilde, partials[i]) ? 1 : 0;
+  }
+  return out;
+}
+
+std::optional<Bytes> threshold_combine(const ThresholdRsaContext& ctx,
                                        BytesView message,
                                        std::span<const ThresholdPartial> partials) {
+  const ThresholdRsaPublic& pub = ctx.pub();
   if (partials.size() < pub.threshold) return std::nullopt;
   // Use the first `threshold` distinct indices.
   std::vector<const ThresholdPartial*> subset;
@@ -208,44 +282,66 @@ std::optional<Bytes> threshold_combine(const ThresholdRsaPublic& pub,
   }
   if (subset.size() < pub.threshold) return std::nullopt;
 
+  const MontgomeryCtx& mont = ctx.mont();
   const BigUint& n = pub.rsa.n;
   const BigUint x = fdh_encode(message, n);
-  const BigInt delta = BigInt::from_biguint(factorial_big(pub.players));
 
   // w = prod x_i^{2 * lambda'_i}, lambda'_i = Delta * prod_{j!=i} (0-j)/(i-j).
+  // The coefficient set depends only on the participating index subset, so
+  // it is fetched from (or inserted into) the per-context cache.
+  std::vector<std::size_t> indices;
+  indices.reserve(subset.size());
+  for (const ThresholdPartial* pi : subset) indices.push_back(pi->signer_index);
+  std::sort(indices.begin(), indices.end());
+  const auto coeffs = ctx.lagrange_coeffs(indices);
+
   BigUint w(1);
   for (const ThresholdPartial* pi : subset) {
-    BigInt num = 1;
-    BigInt den = 1;
-    const BigInt i(static_cast<std::int64_t>(pi->signer_index));
-    for (const ThresholdPartial* pj : subset) {
-      if (pj == pi) continue;
-      const BigInt j(static_cast<std::int64_t>(pj->signer_index));
-      num = num * (-j);
-      den = den * (i - j);
-    }
-    // Delta * num / den is an integer (den divides Delta * num).
-    const BigInt lambda = (delta * num) / den;
-    HERMES_DCHECK((delta * num) % den == BigInt(0));
-    const BigInt exp2 = lambda + lambda;  // 2 * lambda'
-    const auto term = powmod_signed(pi->value, exp2, n);
+    const BigInt& exp2 = coeffs->at(pi->signer_index);  // 2 * lambda'
+    const auto term = powmod_signed(mont, pi->value, exp2);
     if (!term) return std::nullopt;
-    w = BigUint::mulmod(w, *term, n);
+    w = mont.mulmod(w, *term);
   }
 
-  // e' = 4 * Delta^2; find a, b with a*e' + b*e = 1, y = w^a * x^b.
-  const BigUint delta_u = factorial_big(pub.players);
-  const BigUint e_prime = (delta_u * delta_u) << 2;
-  const ExtendedGcd eg = extended_gcd(e_prime, pub.rsa.e);
+  // e' = 4 * Delta^2; a, b with a*e' + b*e = 1 (cached), y = w^a * x^b.
+  const ExtendedGcd& eg = ctx.bezout();
   if (eg.g != BigUint(1)) return std::nullopt;
-  const auto wa = powmod_signed(w, eg.x, n);
-  const auto xb = powmod_signed(x, eg.y, n);
+  const auto wa = powmod_signed(mont, w, eg.x);
+  const auto xb = powmod_signed(mont, x, eg.y);
   if (!wa || !xb) return std::nullopt;
-  const BigUint y = BigUint::mulmod(*wa, *xb, n);
+  const BigUint y = mont.mulmod(*wa, *xb);
 
   Bytes sig = y.to_bytes_be_padded(pub.rsa.modulus_bytes());
-  if (!threshold_verify(pub, message, sig)) return std::nullopt;
+  if (!threshold_verify(ctx, message, sig)) return std::nullopt;
   return sig;
+}
+
+// ---------------------------------------------------------------------------
+// Transient-context wrappers (the cache-cold path).
+
+ThresholdPartial threshold_partial_sign(const ThresholdRsaPublic& pub,
+                                        const ThresholdRsaShare& share,
+                                        BytesView message) {
+  const ThresholdRsaContext ctx(pub);
+  return threshold_partial_sign(ctx, share, message);
+}
+
+bool threshold_verify_partial(const ThresholdRsaPublic& pub, BytesView message,
+                              const ThresholdPartial& partial) {
+  const ThresholdRsaContext ctx(pub);
+  return threshold_verify_partial(ctx, message, partial);
+}
+
+std::optional<Bytes> threshold_combine(const ThresholdRsaPublic& pub,
+                                       BytesView message,
+                                       std::span<const ThresholdPartial> partials) {
+  const ThresholdRsaContext ctx(pub);
+  return threshold_combine(ctx, message, partials);
+}
+
+bool threshold_verify(const ThresholdRsaContext& ctx, BytesView message,
+                      BytesView signature) {
+  return rsa_verify(ctx.pub().rsa, message, signature, ctx.mont());
 }
 
 bool threshold_verify(const ThresholdRsaPublic& pub, BytesView message,

@@ -26,6 +26,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -73,25 +76,93 @@ ThresholdRsaKey threshold_rsa_generate(Rng& rng, std::size_t bits,
                                        std::size_t players,
                                        std::size_t threshold);
 
+// Precomputed per-key state shared across every sign/verify/combine on the
+// same public parameters: the Montgomery context for n (one division at
+// construction, division-free modular arithmetic after), Delta = l!, the
+// Bezout pair for e' = 4*Delta^2, and a cache of integer Lagrange
+// coefficient sets keyed by the participating index subset. A committee
+// epoch reuses one context for its whole lifetime (the scheme object
+// survives view changes, so warm coefficients carry across epochs that
+// re-elect the same index subset); the coefficient cache is mutex-guarded
+// because the region-sharded simulation may verify/combine from worker
+// threads.
+//
+// The context borrows `pub` — it must outlive the context (the owning
+// RsaThresholdScheme keeps both).
+class ThresholdRsaContext {
+ public:
+  explicit ThresholdRsaContext(const ThresholdRsaPublic& pub);
+
+  const ThresholdRsaPublic& pub() const { return *pub_; }
+  const MontgomeryCtx& mont() const { return mont_; }
+  const BigUint& delta() const { return delta_; }
+  // a, b with a*e' + b*e = 1 (x = a, y = b in ExtendedGcd terms).
+  const ExtendedGcd& bezout() const { return bezout_; }
+
+  // 2*lambda'_i for every i in `indices` (sorted, distinct, 1-based),
+  // computed once per distinct subset and cached. The shared_ptr keeps a
+  // returned set valid even if another thread inserts concurrently.
+  std::shared_ptr<const std::map<std::size_t, BigInt>> lagrange_coeffs(
+      const std::vector<std::size_t>& indices) const;
+
+  // Number of distinct index subsets currently cached (test hook).
+  std::size_t lagrange_cache_size() const;
+
+ private:
+  const ThresholdRsaPublic* pub_;
+  MontgomeryCtx mont_;
+  BigUint delta_;
+  BigUint e_prime_;
+  ExtendedGcd bezout_;
+  mutable std::mutex cache_mu_;
+  mutable std::map<std::vector<std::size_t>,
+                   std::shared_ptr<const std::map<std::size_t, BigInt>>>
+      lagrange_cache_;
+};
+
 // Produces player `share.index`'s partial signature with its proof. The
 // proof nonce is derived deterministically from (share, message) so the
 // whole system stays reproducible.
-ThresholdPartial threshold_partial_sign(const ThresholdRsaPublic& pub,
+ThresholdPartial threshold_partial_sign(const ThresholdRsaContext& ctx,
                                         const ThresholdRsaShare& share,
                                         BytesView message);
 
 // Checks the Fiat-Shamir discrete-log-equality proof of a partial.
-bool threshold_verify_partial(const ThresholdRsaPublic& pub, BytesView message,
+bool threshold_verify_partial(const ThresholdRsaContext& ctx, BytesView message,
                               const ThresholdPartial& partial);
+
+// Batched proof verification for partials over the same message: the
+// Fiat-Shamir bases x = FDH(msg) and x~ = x^{4*Delta} are computed once and
+// shared across the whole round's partials. out[i] == 1 iff partials[i]
+// verifies; identical verdicts to per-partial threshold_verify_partial.
+std::vector<std::uint8_t> threshold_verify_partials(
+    const ThresholdRsaContext& ctx, BytesView message,
+    std::span<const ThresholdPartial> partials);
 
 // Combines >= threshold verified partials into the final RSA signature.
 // Returns nullopt if indices repeat, fewer than threshold partials are
 // given, or a non-invertible element is met (negligible probability).
+std::optional<Bytes> threshold_combine(const ThresholdRsaContext& ctx,
+                                       BytesView message,
+                                       std::span<const ThresholdPartial> partials);
+
+// Transient-context conveniences: build a fresh ThresholdRsaContext per
+// call (the "cache cold" path — one extra division plus Lagrange
+// recomputation). Hot callers hold a context instead.
+ThresholdPartial threshold_partial_sign(const ThresholdRsaPublic& pub,
+                                        const ThresholdRsaShare& share,
+                                        BytesView message);
+bool threshold_verify_partial(const ThresholdRsaPublic& pub, BytesView message,
+                              const ThresholdPartial& partial);
 std::optional<Bytes> threshold_combine(const ThresholdRsaPublic& pub,
                                        BytesView message,
                                        std::span<const ThresholdPartial> partials);
 
-// Final signatures verify as ordinary RSA-FDH signatures.
+// Final signatures verify as ordinary RSA-FDH signatures. The context
+// overload reuses the warm Montgomery state — it is the hot path for
+// dissemination (every relayed message carries a certificate to check).
+bool threshold_verify(const ThresholdRsaContext& ctx, BytesView message,
+                      BytesView signature);
 bool threshold_verify(const ThresholdRsaPublic& pub, BytesView message,
                       BytesView signature);
 

@@ -244,6 +244,23 @@ void HermesNode::absorb_chunk(const BatchChunkBody& chunk) {
   note_sequence_delivered(chunk.trs.origin, chunk.trs.seq);
 }
 
+bool HermesNode::certificate_valid(const HermesShared& shared,
+                                   const Bytes& message,
+                                   const Bytes& certificate) {
+  Bytes key;
+  key.reserve(16 + message.size() + certificate.size());
+  put_u64_be(key, shared.epoch);
+  put_varint(key, message.size());
+  key.insert(key.end(), message.begin(), message.end());
+  key.insert(key.end(), certificate.begin(), certificate.end());
+  const auto it = cert_verdicts_.find(key);
+  if (it != cert_verdicts_.end()) return it->second;
+  const bool ok = shared.scheme->verify_combined(message, certificate);
+  if (cert_verdicts_.size() >= kCertVerdictCap) cert_verdicts_.clear();
+  cert_verdicts_.emplace(std::move(key), ok);
+  return ok;
+}
+
 void HermesNode::on_batch_chunk(const sim::Message& msg) {
   const auto& chunk = msg.as<BatchChunkBody>();
   if (excluded(msg.src)) return;
@@ -256,7 +273,7 @@ void HermesNode::on_batch_chunk(const sim::Message& msg) {
     return;
   }
   const Bytes message = chunk.trs.signed_message();
-  if (!shared->scheme->verify_combined(message, chunk.certificate)) {
+  if (!certificate_valid(*shared, message, chunk.certificate)) {
     record_violation(ViolationKind::kBadCertificate, msg.src, 0);
     return;
   }
@@ -546,7 +563,7 @@ void HermesNode::on_data(const sim::Message& msg) {
     return;
   }
   const Bytes message = d.trs.signed_message();
-  if (!shared->scheme->verify_combined(message, d.certificate)) {
+  if (!certificate_valid(*shared, message, d.certificate)) {
     record_violation(ViolationKind::kBadCertificate, msg.src, d.tx.id);
     return;
   }
@@ -692,7 +709,7 @@ void HermesNode::on_fallback(const sim::Message& msg) {
   const HermesShared* shared = shared_for_epoch(d.epoch);
   if (shared == nullptr) return;  // stale generation
   const Bytes message = d.trs.signed_message();
-  if (!shared->scheme->verify_combined(message, d.certificate)) {
+  if (!certificate_valid(*shared, message, d.certificate)) {
     record_violation(ViolationKind::kBadCertificate, msg.src, d.tx.id);
     return;
   }

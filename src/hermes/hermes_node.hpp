@@ -261,6 +261,12 @@ class HermesNode final : public ProtocolNode {
   void on_fallback(const sim::Message& msg);
   void on_fallback_offer(const sim::Message& msg);
   void on_fallback_request(const sim::Message& msg);
+  // Certificate check with a per-node verdict memo: dissemination delivers
+  // the same (message, certificate) pair along every overlay, chunk and
+  // relay path, and the RSA-FDH verification is pure — each distinct pair
+  // is verified once per node, then served from the memo.
+  bool certificate_valid(const HermesShared& shared, const Bytes& message,
+                         const Bytes& certificate);
   void accept_and_forward(const HermesShared& shared, const Transaction& tx,
                           const TrsId& trs, const Bytes& certificate,
                           std::size_t overlay_index);
@@ -331,6 +337,12 @@ class HermesNode final : public ProtocolNode {
     std::uint64_t epoch = 0;
   };
   std::unordered_map<std::uint64_t, StoredCert> cert_store_;
+  // Memoized certificate verdicts, keyed by epoch + signed message +
+  // certificate bytes (ordered map: lookup-only, no iteration). Bounded:
+  // cleared wholesale when it reaches kCertVerdictCap — a pure cache, so
+  // clearing only costs re-verification.
+  static constexpr std::size_t kCertVerdictCap = 8192;
+  std::map<Bytes, bool> cert_verdicts_;
   // Transactions this node has already forwarded into the overlay.
   std::unordered_set<std::uint64_t> forwarded_;
   std::size_t fallback_pushes_ = 0;

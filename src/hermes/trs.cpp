@@ -88,7 +88,9 @@ std::optional<Bytes> TrsCollector::add_partial(
   }
   list.push_back(partial);
   if (list.size() < scheme_.threshold()) return std::nullopt;
-  auto combined = scheme_.combine(message, list);
+  // Every partial in `list` passed verify_partial on arrival; the
+  // verified-combine path skips the redundant proof re-check.
+  auto combined = scheme_.combine_verified(message, list);
   if (!combined) return std::nullopt;
   combined_.insert(key);
   partials_.erase(key);

@@ -149,6 +149,137 @@ TEST(ThresholdRsa, DecodeRejectsTrailingGarbage) {
   EXPECT_FALSE(ThresholdPartial::decode(enc).has_value());
 }
 
+TEST(ThresholdRsaContextCache, ColdVsWarmCombineByteIdentical) {
+  // Same context, same subset: the first combine computes the Lagrange
+  // coefficient set, the second hits the cache. Both byte streams — and
+  // the transient-context (always-cold) path — must be identical.
+  const auto& key = test_key();
+  const ThresholdRsaContext ctx(key.pub);
+  const Bytes msg = to_bytes("epoch 3 seed");
+  std::vector<ThresholdPartial> subset{
+      threshold_partial_sign(ctx, key.shares[0], msg),
+      threshold_partial_sign(ctx, key.shares[1], msg),
+      threshold_partial_sign(ctx, key.shares[2], msg)};
+  EXPECT_EQ(ctx.lagrange_cache_size(), 0u);
+  const auto cold = threshold_combine(ctx, msg, subset);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_EQ(ctx.lagrange_cache_size(), 1u);
+  const auto warm = threshold_combine(ctx, msg, subset);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(ctx.lagrange_cache_size(), 1u);
+  EXPECT_EQ(*cold, *warm);
+  const auto transient = threshold_combine(key.pub, msg, subset);
+  ASSERT_TRUE(transient.has_value());
+  EXPECT_EQ(*cold, *transient);
+}
+
+TEST(ThresholdRsaContextCache, DistinctSubsetsAcrossViewChange) {
+  // A view change rotates the responsive committee subset. The context
+  // survives the rotation: epoch A combines over {1,2,3}, epoch B over
+  // {2,3,4} — two cached coefficient sets, and (RSA-FDH uniqueness) the
+  // same final signature from either subset. Re-electing epoch A's subset
+  // later must not grow the cache.
+  const auto& key = test_key();
+  const ThresholdRsaContext ctx(key.pub);
+  const Bytes msg = to_bytes("cross-epoch message");
+  std::vector<ThresholdPartial> all;
+  for (const auto& share : key.shares) {
+    all.push_back(threshold_partial_sign(ctx, share, msg));
+  }
+  const std::vector<ThresholdPartial> epoch_a{all[0], all[1], all[2]};
+  const std::vector<ThresholdPartial> epoch_b{all[1], all[2], all[3]};
+  const auto sig_a = threshold_combine(ctx, msg, epoch_a);
+  ASSERT_TRUE(sig_a.has_value());
+  EXPECT_EQ(ctx.lagrange_cache_size(), 1u);
+  const auto sig_b = threshold_combine(ctx, msg, epoch_b);
+  ASSERT_TRUE(sig_b.has_value());
+  EXPECT_EQ(ctx.lagrange_cache_size(), 2u);
+  EXPECT_EQ(*sig_a, *sig_b);
+  const auto sig_a2 = threshold_combine(ctx, msg, epoch_a);
+  ASSERT_TRUE(sig_a2.has_value());
+  EXPECT_EQ(ctx.lagrange_cache_size(), 2u);
+  EXPECT_EQ(*sig_a, *sig_a2);
+}
+
+TEST(ThresholdRsaContextCache, CacheKeyedBySortedIndices) {
+  // Partial order within a round is delivery order, not index order; the
+  // cache must key on the index *set*, so a permuted subset is a hit.
+  const auto& key = test_key();
+  const ThresholdRsaContext ctx(key.pub);
+  const Bytes msg = to_bytes("permuted");
+  std::vector<ThresholdPartial> fwd{
+      threshold_partial_sign(ctx, key.shares[0], msg),
+      threshold_partial_sign(ctx, key.shares[1], msg),
+      threshold_partial_sign(ctx, key.shares[3], msg)};
+  std::vector<ThresholdPartial> rev{fwd[2], fwd[0], fwd[1]};
+  const auto a = threshold_combine(ctx, msg, fwd);
+  const auto b = threshold_combine(ctx, msg, rev);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(ctx.lagrange_cache_size(), 1u);
+}
+
+TEST(ThresholdRsaContextCache, ContextCombineErrorPaths) {
+  // The cached-context combine must reject the same inputs the transient
+  // path does: repeated indices, fewer than threshold partials — and must
+  // not pollute the coefficient cache when it rejects.
+  const auto& key = test_key();
+  const ThresholdRsaContext ctx(key.pub);
+  const Bytes msg = to_bytes("bad sets");
+  const auto p0 = threshold_partial_sign(ctx, key.shares[0], msg);
+  const auto p1 = threshold_partial_sign(ctx, key.shares[1], msg);
+  const auto p2 = threshold_partial_sign(ctx, key.shares[2], msg);
+  const std::vector<ThresholdPartial> dup{p0, p1, p0};
+  EXPECT_FALSE(threshold_combine(ctx, msg, dup).has_value());
+  const std::vector<ThresholdPartial> below{p0, p1};
+  EXPECT_FALSE(threshold_combine(ctx, msg, below).has_value());
+  const std::vector<ThresholdPartial> empty;
+  EXPECT_FALSE(threshold_combine(ctx, msg, empty).has_value());
+  EXPECT_EQ(ctx.lagrange_cache_size(), 0u);
+  const std::vector<ThresholdPartial> good{p0, p1, p2};
+  EXPECT_TRUE(threshold_combine(ctx, msg, good).has_value());
+}
+
+TEST(ThresholdRsaBatch, BatchedVerdictsMatchSingles) {
+  // One good partial per player, plus a tampered value, a tampered proof,
+  // and an out-of-range index mixed in: the batched verifier must return
+  // exactly the per-partial verdicts, in order.
+  const auto& key = test_key();
+  const ThresholdRsaContext ctx(key.pub);
+  const Bytes msg = to_bytes("batch round");
+  std::vector<ThresholdPartial> batch;
+  for (const auto& share : key.shares) {
+    batch.push_back(threshold_partial_sign(ctx, share, msg));
+  }
+  ThresholdPartial bad_value = batch[0];
+  bad_value.value = bad_value.value + BigUint(1);
+  ThresholdPartial bad_proof = batch[1];
+  bad_proof.proof_z = bad_proof.proof_z + BigUint(1);
+  ThresholdPartial bad_index = batch[2];
+  bad_index.signer_index = key.pub.players + 5;
+  batch.push_back(bad_value);
+  batch.push_back(bad_proof);
+  batch.push_back(bad_index);
+  const std::vector<std::uint8_t> verdicts =
+      threshold_verify_partials(ctx, msg, batch);
+  ASSERT_EQ(verdicts.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(verdicts[i] != 0, threshold_verify_partial(ctx, msg, batch[i]))
+        << "partial " << i;
+  }
+  EXPECT_EQ(verdicts[batch.size() - 3], 0u);
+  EXPECT_EQ(verdicts[batch.size() - 2], 0u);
+  EXPECT_EQ(verdicts[batch.size() - 1], 0u);
+}
+
+TEST(ThresholdRsaBatch, EmptyBatch) {
+  const auto& key = test_key();
+  const ThresholdRsaContext ctx(key.pub);
+  EXPECT_TRUE(
+      threshold_verify_partials(ctx, to_bytes("nothing"), {}).empty());
+}
+
 TEST(ThresholdRsa, LargerCommittee) {
   // f = 2: 7 players, threshold 5 — exercises Lagrange over a wider set.
   Rng rng(555);

@@ -37,7 +37,7 @@ bool wallclock_restricted(const std::string& path) {
   return starts_with(path, "src/sim/") || starts_with(path, "src/hermes/") ||
          starts_with(path, "src/protocols/") ||
          starts_with(path, "src/overlay/") || starts_with(path, "src/fuzz/") ||
-         starts_with(path, "src/workload/");
+         starts_with(path, "src/workload/") || starts_with(path, "src/crypto/");
 }
 
 // Iteration-order discipline applies to all production code and the
@@ -531,7 +531,7 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {kNoWallclock,
        "no wall-clock or ambient-entropy calls in sim-facing directories "
        "(src/sim, src/hermes, src/protocols, src/overlay, src/fuzz, "
-       "src/workload)"},
+       "src/workload, src/crypto)"},
       {kRawOwningNew,
        "no raw owning new/delete (placement new and '= delete' are fine)"},
       {kSuppression,

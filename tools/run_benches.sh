@@ -10,7 +10,13 @@
 # rates and profit-by-overlay-position under identical Poisson and
 # adversarial load with fee-priority mempool pressure.
 #
-# Usage: tools/run_benches.sh [--quick] [--only overlay|sim|workload]
+# The crypto suite (bench_crypto) writes BENCH_crypto.json: bignum kernel
+# curves (mul/sqr vs operand size), Montgomery modexp vs the frozen pre-PR
+# reference kernel — the headline modexp_2048_speedup_vs_legacy ratio is
+# computed from the same run — plus threshold-RSA sign/verify/combine
+# throughput.
+#
+# Usage: tools/run_benches.sh [--quick] [--only overlay|sim|workload|crypto]
 #                             [--nodes N] [--workers W]
 #   BUILD_DIR=<dir>  build tree to use (default: <repo>/build)
 #   --quick          smoke mode for CI: tiny subset, 1 repetition, still
@@ -47,7 +53,7 @@ while [[ $# -gt 0 ]]; do
       shift
       ;;
     *)
-      echo "usage: tools/run_benches.sh [--quick] [--only overlay|sim|workload] [--nodes N] [--workers W]" >&2
+      echo "usage: tools/run_benches.sh [--quick] [--only overlay|sim|workload|crypto] [--nodes N] [--workers W]" >&2
       exit 2
       ;;
   esac
@@ -193,17 +199,76 @@ EOF
   echo "wrote $out"
 }
 
+run_crypto() {
+  local bin="$BUILD/bench/bench_crypto"
+  need_bin "$bin"
+  local out="$ROOT/BENCH_crypto.json"
+  local tmp
+  tmp="$(mktemp)"
+  # The modexp 2048 pair (new Montgomery kernel vs the frozen pre-PR
+  # schoolbook reference) stays in every mode so the headline speedup is
+  # always measured within a single process run.
+  local filter='.'
+  if [[ $QUICK -eq 1 ]]; then
+    filter='BM_ModExp(Legacy)?/2048|BM_MulNew/32|BM_SqrNew/32|BM_Threshold|BM_RsaFdh'
+  fi
+  "$bin" \
+    --benchmark_filter="$filter" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only="$AGG" \
+    --benchmark_out="$tmp" \
+    --benchmark_out_format=json
+
+  local speedup
+  speedup="$(python3 - "$tmp" <<'PY'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+def real_time(name):
+    direct = None
+    for b in d.get("benchmarks", []):
+        if b["name"] == name + "_median":
+            return b["real_time"]
+        if b["name"] == name:
+            direct = b["real_time"]
+    return direct
+
+new = real_time("BM_ModExp/2048")
+legacy = real_time("BM_ModExpLegacy/2048")
+print(f"{legacy / new:.2f}" if new and legacy else "null")
+PY
+)"
+
+  # Baseline: seed revision kernels (32-bit limb schoolbook multiply,
+  # bit-at-a-time square-and-multiply powmod) — frozen verbatim in
+  # src/crypto/bignum_reference.cpp and re-measured as the BM_*Legacy
+  # benches of the same run, so the ratio below never goes stale.
+  cat > "$out" <<EOF
+{
+  "baseline_schoolbook_kernels": {
+    "note": "pre-PR seed kernels live on as crypto::ref (bignum_reference.cpp) and run as BM_MulLegacy/BM_ModExpLegacy in this same report",
+    "modexp_2048_speedup_vs_legacy": $speedup
+  },
+  "current": $(cat "$tmp")
+}
+EOF
+  rm -f "$tmp"
+  echo "wrote $out (modexp 2048 speedup vs legacy: ${speedup}x)"
+}
+
 case "$ONLY" in
   "")
     run_overlay
     run_sim
     run_workload
+    run_crypto
     ;;
   overlay) run_overlay ;;
   sim) run_sim ;;
   workload) run_workload ;;
+  crypto) run_crypto ;;
   *)
-    echo "error: --only expects 'overlay', 'sim' or 'workload'" >&2
+    echo "error: --only expects 'overlay', 'sim', 'workload' or 'crypto'" >&2
     exit 2
     ;;
 esac
