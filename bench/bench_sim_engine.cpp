@@ -390,6 +390,166 @@ BENCHMARK(BM_DegradedDissemination)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
+// Permissionless churn: two leave/rejoin waves roll through the network
+// while transactions keep flowing. Arg(0) = stop-the-world recovery (the
+// health layer's view change rebuilds all k trees from scratch on the
+// serving path as soon as the wave's departures convict); Arg(1) = the
+// pipelined epoch transition (epoch e keeps serving while e+1 warm-anneals
+// in the background; joins are admitted incrementally, zero scratch
+// rebuilds). Counters:
+//   recovery_ms       mean sim-time from injection to the LAST live honest
+//                     node holding the tx, over txs injected mid-churn
+//   epochs_pipelined  background (pipelined) epoch installs
+//   epochs_stw        stop-the-world scratch rebuilds
+//   missing           measured txs that never covered the live honest set
+//   sends             total messages per iteration
+void BM_ChurnedDissemination(benchmark::State& state) {
+  const bool pipelined = state.range(0) != 0;
+  const std::size_t nodes = 150;
+  constexpr std::size_t kWaves = 2;
+  constexpr std::size_t kChurn = 2;  // nodes leaving/rejoining per wave
+  double total_recovery = 0.0;
+  std::size_t recovered = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t total_sends = 0;
+  std::uint64_t epochs_pipelined = 0;
+  std::uint64_t epochs_stw = 0;
+  for (auto _ : state) {
+    hermes_proto::HermesConfig cfg = scale_hermes_config();
+    cfg.enable_self_healing = true;
+    cfg.enable_join_admission = true;
+    cfg.health_tick_ms = 500.0;
+    if (pipelined) {
+      cfg.enable_epoch_pipeline = true;
+      cfg.reanneal_hysteresis = 2;
+      cfg.pipeline_anneal_ms = 250.0;
+      // Churn is the pipeline's job: keep the view-change layer for real
+      // degradation only.
+      cfg.view_change_threshold = 100.0;
+    } else {
+      // Classic reaction: a wave's departures trip the health vote and the
+      // epoch rebuilds from scratch while traffic waits on the old trees.
+      cfg.view_change_threshold = static_cast<double>(kChurn);
+      cfg.view_change_cooldown_ms = 1000.0;
+    }
+    auto protocol = std::make_unique<hermes_proto::HermesProtocol>(cfg);
+    protocols::ExperimentContext ctx(bench::make_bench_topology(nodes, 42),
+                                     sim::NetworkParams{}, 42 ^ 0x5eedULL);
+    protocols::populate(ctx, *protocol);
+    const auto shared = protocol->shared();
+
+    // Victims: non-committee relays; the same set leaves and rejoins every
+    // wave (the sustained-churn shape: flaky members, not fresh ones).
+    std::vector<net::NodeId> victims;
+    for (net::NodeId v = 0; v < nodes && victims.size() < kChurn; ++v) {
+      if (shared->is_committee_member(v)) continue;
+      for (const auto& ov : shared->overlays) {
+        if (!ov.successors(v).empty()) {
+          victims.push_back(v);
+          break;
+        }
+      }
+    }
+    std::vector<net::NodeId> senders;
+    for (net::NodeId v = 0; v < nodes && senders.size() < 8; ++v) {
+      if (shared->is_committee_member(v) ||
+          std::find(victims.begin(), victims.end(), v) != victims.end()) {
+        continue;
+      }
+      senders.push_back(v);
+    }
+    std::size_t next_sender = 0;
+    const auto pick_sender = [&] {
+      const net::NodeId s = senders[next_sender];
+      next_sender = (next_sender + 1) % senders.size();
+      return s;
+    };
+
+    struct Measured {
+      std::uint64_t tx_id;
+      net::NodeId origin;
+      double injected_at;
+    };
+    std::vector<Measured> measured;
+    bool counting = false;
+    const auto warm = [&](int steps) {
+      for (int i = 0; i < steps; ++i) {
+        const net::NodeId origin = pick_sender();
+        const auto tx = protocols::inject_tx(ctx, origin);
+        if (counting) {
+          measured.push_back(Measured{tx.id, origin, ctx.engine.now()});
+        }
+        ctx.engine.run_until(ctx.engine.now() + 250.0);
+      }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    warm(6);
+    counting = true;
+    for (std::size_t wave = 0; wave < kWaves; ++wave) {
+      for (net::NodeId victim : victims) ctx.network.set_crashed(victim, true);
+      warm(8);  // keepalive traffic: silence strikes need flowing data
+      for (net::NodeId victim : victims) {
+        ctx.network.set_crashed(victim, false);
+        ctx.engine.schedule(0.0, [&ctx, victim] {
+          if (auto* hn = dynamic_cast<hermes_proto::HermesNode*>(
+                  &ctx.node(victim))) {
+            hn->begin_join();
+          }
+        });
+      }
+      warm(8);
+    }
+    ctx.engine.run_until(ctx.engine.now() + 6000.0);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+
+    for (const auto& [tx_id, origin, injected_at] : measured) {
+      double last = injected_at;
+      bool complete = true;
+      for (net::NodeId v = 0; v < nodes; ++v) {
+        if (v == origin || !ctx.is_honest(v) || ctx.network.is_crashed(v)) {
+          continue;
+        }
+        if (!ctx.tracker.delivered(tx_id, v)) {
+          complete = false;
+          break;
+        }
+        last = std::max(last, ctx.tracker.delivery_time(tx_id, v));
+      }
+      if (complete) {
+        total_recovery += last - injected_at;
+        ++recovered;
+      } else {
+        ++missing;
+      }
+    }
+    total_sends += ctx.network.total().messages_sent;
+    epochs_pipelined += protocol->pipelined_advances();
+    epochs_stw += protocol->stop_the_world_advances();
+  }
+  state.counters["recovery_ms"] = benchmark::Counter(
+      recovered == 0 ? 0.0
+                     : total_recovery / static_cast<double>(recovered));
+  state.counters["epochs_pipelined"] = benchmark::Counter(
+      static_cast<double>(epochs_pipelined) /
+      static_cast<double>(state.iterations()));
+  state.counters["epochs_stw"] = benchmark::Counter(
+      static_cast<double>(epochs_stw) /
+      static_cast<double>(state.iterations()));
+  state.counters["missing"] =
+      benchmark::Counter(static_cast<double>(missing));
+  state.counters["sends"] = benchmark::Counter(
+      static_cast<double>(total_sends) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ChurnedDissemination)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
 // Push-gossip at the same sizes: no overlay build, so this is the purest
 // large-N event-engine stress (fanout 8 floods generate ~n * fanout sends
 // per transaction).

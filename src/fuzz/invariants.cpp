@@ -6,6 +6,7 @@
 #include "hermes/trs.hpp"
 #include "overlay/encoding.hpp"
 #include "overlay/overlay.hpp"
+#include "overlay/repair.hpp"
 #include "support/rng.hpp"
 
 namespace hermes::fuzz {
@@ -54,6 +55,10 @@ const char* mutation_name(Mutation m) {
       return "lost-recovery";
     case Mutation::kPhantomEviction:
       return "phantom-eviction";
+    case Mutation::kEpochSkew:
+      return "epoch-skew";
+    case Mutation::kTransitionCut:
+      return "transition-cut";
   }
   return "?";
 }
@@ -64,7 +69,8 @@ std::optional<Mutation> mutation_from(const std::string& name) {
         Mutation::kSequenceFabrication, Mutation::kWrongOverlay,
         Mutation::kFalseAccusation, Mutation::kOverlayDeficit,
         Mutation::kRepairDivergence, Mutation::kLostRecovery,
-        Mutation::kPhantomEviction}) {
+        Mutation::kPhantomEviction, Mutation::kEpochSkew,
+        Mutation::kTransitionCut}) {
     if (name == mutation_name(m)) return m;
   }
   return std::nullopt;
@@ -81,7 +87,7 @@ InvariantSuite::InvariantSuite(const Scenario& scenario,
   }
 }
 
-void InvariantSuite::on_send(sim::SimTime, const sim::Message& msg) {
+void InvariantSuite::on_send(sim::SimTime at, const sim::Message& msg) {
   if (!scenario_.hermes()) return;
   if (msg.src >= ctx_.behaviors.size() || !honest(msg.src)) return;
   switch (msg.type) {
@@ -93,6 +99,9 @@ void InvariantSuite::on_send(sim::SimTime, const sim::Message& msg) {
       rec.item_key = std::to_string(d->tx.id);
       rec.overlay_index = d->overlay_index;
       rec.certificate = d->certificate;
+      rec.msg_type = msg.type;
+      rec.epoch = d->epoch;
+      rec.when = at;
       certified_sends_.push_back(std::move(rec));
       break;
     }
@@ -104,6 +113,9 @@ void InvariantSuite::on_send(sim::SimTime, const sim::Message& msg) {
       rec.item_key = c->trs.key();
       rec.overlay_index = c->base_overlay;
       rec.certificate = c->certificate;
+      rec.msg_type = msg.type;
+      rec.epoch = c->epoch;
+      rec.when = at;
       certified_sends_.push_back(std::move(rec));
       break;
     }
@@ -116,6 +128,9 @@ void InvariantSuite::on_send(sim::SimTime, const sim::Message& msg) {
       rec.item_key = std::to_string(fb->tx.id);
       rec.overlay_index = fb->overlay_index;
       rec.certificate = fb->certificate;
+      rec.msg_type = msg.type;
+      rec.epoch = fb->epoch;
+      rec.when = at;
       certified_sends_.push_back(std::move(rec));
       break;
     }
@@ -155,6 +170,10 @@ void InvariantSuite::add_generation(
   if (shared.get() == last_generation_) return;
   last_generation_ = shared.get();
   generations_.push_back(shared->overlays);
+}
+
+void InvariantSuite::note_install(std::uint64_t epoch, double at_ms) {
+  installs_.emplace_back(at_ms, epoch);
 }
 
 void InvariantSuite::apply_mutation(Mutation m) {
@@ -226,6 +245,30 @@ void InvariantSuite::apply_mutation(Mutation m) {
       // Pretend a mempool logged an eviction where the incoming tx did NOT
       // outrank the evicted one — a broken admission rule.
       synthetic_phantom_eviction_ = true;
+      break;
+    }
+    case Mutation::kEpochSkew: {
+      // Pretend one tree send claimed an epoch far beyond any installed
+      // generation — a message riding a view no handoff ever produced.
+      for (CertifiedSend& rec : certified_sends_) {
+        if (rec.msg_type == HermesNode::kMsgFallback) continue;
+        rec.epoch += 1000;
+        break;
+      }
+      if (certified_sends_.empty()) {
+        CertifiedSend rec;
+        rec.src = first_honest(0);
+        rec.item_key = "0";
+        rec.msg_type = HermesNode::kMsgData;
+        rec.epoch = 1000;
+        certified_sends_.push_back(std::move(rec));
+      }
+      break;
+    }
+    case Mutation::kTransitionCut: {
+      // Pretend a post-transition repaired routing view lost its f+1
+      // connectivity on some honest node.
+      synthetic_transition_cut_ = true;
       break;
     }
   }
@@ -624,6 +667,80 @@ void InvariantSuite::check_recovery_liveness(std::vector<Failure>& out) const {
   }
 }
 
+void InvariantSuite::check_epoch_transition_safety(
+    std::vector<Failure>& out) const {
+  if (!scenario_.hermes()) return;
+  const std::size_t before = out.size();
+  for (const CertifiedSend& rec : certified_sends_) {
+    // Tree traffic only: the gossip fallback lawfully re-pushes older
+    // certified transactions after the overlay moved on.
+    if (rec.msg_type != HermesNode::kMsgData &&
+        rec.msg_type != HermesNode::kMsgBatchChunk) {
+      continue;
+    }
+    // Installed epoch at the send's sim time. installs_ is in event order
+    // with ascending epochs, so the last install at-or-before the send
+    // wins; a send in the same event as an install may still lawfully use
+    // the predecessor view.
+    std::uint64_t current = 0;
+    for (const auto& [at_ms, epoch] : installs_) {
+      if (at_ms > rec.when) break;
+      current = epoch;
+    }
+    const std::uint64_t previous = current > 0 ? current - 1 : 0;
+    if (rec.epoch != current && rec.epoch != previous) {
+      std::ostringstream detail;
+      detail << "honest node " << rec.src << " sent item " << rec.item_key
+             << " at t=" << rec.when << "ms claiming epoch " << rec.epoch
+             << " while the installed view was epoch " << current
+             << " (window {" << previous << "," << current << "})";
+      add_failure(out, before, "epoch-transition-safety", detail.str());
+    }
+  }
+}
+
+void InvariantSuite::check_transition_connectivity(
+    std::vector<Failure>& out) const {
+  if (!scenario_.hermes() || !scenario_.self_healing) return;
+  const std::size_t before = out.size();
+  if (synthetic_transition_cut_) {
+    add_failure(out, before, "transition-connectivity",
+                "synthetic post-transition routing cut (mutation)");
+  }
+  // Every honest never-crashed node whose local repairs all succeeded must
+  // hold routing views that remain valid f+1-connected trees once its
+  // removed set is treated as absent, with every admitted joiner placed.
+  // Nodes with recorded repair failures are excluded: a failed local
+  // repair already downgrades that node to fallback-only routing by
+  // design, which the coverage/recovery checkers account for.
+  for (net::NodeId v = 0; v < ctx_.node_count(); ++v) {
+    if (!honest(v) || ever_crashed_[v]) continue;
+    const auto* hn = dynamic_cast<const HermesNode*>(&ctx_.node(v));
+    if (hn == nullptr || hn->repair_failures() > 0) continue;
+    const std::vector<net::NodeId> absent(hn->removed_nodes().begin(),
+                                          hn->removed_nodes().end());
+    for (std::size_t idx = 0; idx < scenario_.k; ++idx) {
+      const overlay::Overlay* o = hn->repaired_overlay(idx);
+      if (o == nullptr) continue;  // pristine view; overlay-connectivity owns it
+      for (const std::string& violation :
+           overlay::validate_with_absent(*o, absent)) {
+        std::ostringstream detail;
+        detail << "node " << v << " routing view for overlay " << idx
+               << " broken after transition: " << violation;
+        add_failure(out, before, "transition-connectivity", detail.str());
+      }
+      for (net::NodeId joiner : hn->rejoined_nodes()) {
+        if (joiner < o->node_count() && o->depth(joiner) == 0) {
+          std::ostringstream detail;
+          detail << "node " << v << " admitted joiner " << joiner
+                 << " but left it unplaced in overlay " << idx;
+          add_failure(out, before, "transition-connectivity", detail.str());
+        }
+      }
+    }
+  }
+}
+
 void InvariantSuite::check_mempool_pressure(std::vector<Failure>& out) const {
   const std::size_t before = out.size();
   if (synthetic_phantom_eviction_) {
@@ -716,6 +833,8 @@ std::vector<Failure> InvariantSuite::finish() {
   check_coverage(out);
   check_repair_convergence(out);
   check_recovery_liveness(out);
+  check_epoch_transition_safety(out);
+  check_transition_connectivity(out);
   check_mempool_pressure(out);
   return out;
 }

@@ -33,6 +33,18 @@
 //                           transaction reaches *every* eligible honest
 //                           node — the repair loop closes the holes the
 //                           coverage allowance would otherwise tolerate
+//   epoch-transition-safety every honest Data/BatchChunk send claims an
+//                           epoch that was the installed generation (or
+//                           its immediate predecessor, which nodes may
+//                           lawfully still serve) at the send's sim time —
+//                           no message rides a mixed-epoch overlay view
+//                           across a pipelined or stop-the-world handoff
+//   transition-connectivity with self-healing on, every honest
+//                           never-crashed node whose local repairs all
+//                           succeeded holds routing trees that stay valid
+//                           f+1-connected views with its removed set
+//                           absent, and every admitted joiner is placed —
+//                           connectivity survives join/leave transitions
 //   mempool-pressure        under sustained load every honest mempool
 //                           respects its capacity bound, accounts for
 //                           every admitted transaction (resident, evicted
@@ -76,6 +88,8 @@ enum class Mutation : std::uint8_t {
   kRepairDivergence,
   kLostRecovery,
   kPhantomEviction,
+  kEpochSkew,
+  kTransitionCut,
 };
 
 const char* mutation_name(Mutation m);
@@ -100,6 +114,11 @@ class InvariantSuite {
   void note_load(std::uint64_t tx_id);
   void add_generation(
       const std::shared_ptr<const hermes_proto::HermesShared>& shared);
+  // Records that generation `epoch` became the installed view at `at_ms`
+  // (initial build, manual view change, health vote, pipelined handoff).
+  // The epoch-transition-safety checker resolves each send against this
+  // timeline.
+  void note_install(std::uint64_t epoch, double at_ms);
   // Number of health-triggered (automatic) view changes during the run;
   // folded into the epoch-advance budget of the coverage oracle.
   void set_auto_epoch_advances(std::uint64_t n) { auto_epoch_advances_ = n; }
@@ -122,6 +141,9 @@ class InvariantSuite {
     std::string item_key;
     std::uint32_t overlay_index = 0;
     Bytes certificate;
+    std::uint32_t msg_type = 0;
+    std::uint64_t epoch = 0;
+    sim::SimTime when = 0.0;
   };
 
   bool honest(net::NodeId v) const {
@@ -141,6 +163,11 @@ class InvariantSuite {
   // honest node in regimes where recovery is decidable.
   void check_repair_convergence(std::vector<Failure>& out) const;
   void check_recovery_liveness(std::vector<Failure>& out) const;
+  // Churn-resilience checks: tree sends never straddle more than the
+  // two-generation install window, and locally repaired routing views stay
+  // f+1-connected (with admitted joiners placed) across transitions.
+  void check_epoch_transition_safety(std::vector<Failure>& out) const;
+  void check_transition_connectivity(std::vector<Failure>& out) const;
   void check_mempool_pressure(std::vector<Failure>& out) const;
   // True when the physical graph restricted to honest, never-crashed nodes
   // is connected — the precondition for fallback-driven repair.
@@ -173,12 +200,17 @@ class InvariantSuite {
   std::vector<std::vector<overlay::Overlay>> generations_;
   const void* last_generation_ = nullptr;  // dedup repeated add_generation
 
+  // Install timeline: (sim time, epoch) per generation install, in event
+  // order (epochs ascend because install_shared rejects stale generations).
+  std::vector<std::pair<double, std::uint64_t>> installs_;
+
   std::uint64_t auto_epoch_advances_ = 0;
 
   std::vector<std::pair<net::NodeId, net::NodeId>> synthetic_accusations_;
   bool synthetic_repair_divergence_ = false;
   std::vector<std::uint64_t> synthetic_lost_;
   bool synthetic_phantom_eviction_ = false;
+  bool synthetic_transition_cut_ = false;
 };
 
 }  // namespace hermes::fuzz

@@ -32,6 +32,15 @@ HermesConfig hermes_config(const Scenario& s) {
   cfg.adversary_blind_blast = s.blind_blast;
   cfg.direct_entry_injection = s.direct_injection;
   cfg.enable_self_healing = s.self_healing;
+  cfg.enable_join_admission = s.join_admission;
+  cfg.enable_epoch_pipeline = s.epoch_pipeline;
+  if (s.epoch_pipeline) {
+    // Pinned pipeline pacing: a short hysteresis so storm waves trigger
+    // background rebuilds inside fuzz horizons, and an anneal window brief
+    // enough that retries still land before the drain ends.
+    cfg.reanneal_hysteresis = 2;
+    cfg.pipeline_anneal_ms = 250.0;
+  }
   cfg.builder.f = s.f;
   cfg.builder.k = s.k;
   // Short annealing schedule: enough to exercise the optimizer (including
@@ -100,7 +109,19 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
   w.start();
 
   InvariantSuite suite(s, *w.ctx);
-  if (hermes != nullptr) suite.add_generation(hermes->shared());
+  if (hermes != nullptr) {
+    suite.add_generation(hermes->shared());
+    // The initial generation is installed inside start(); timestamp it at
+    // t=0 and observe every later install (manual view changes, health
+    // votes, pipelined handoffs) for the transition-safety checker.
+    suite.note_install(hermes->shared()->epoch, 0.0);
+    hermes->set_install_observer(
+        [&suite](std::shared_ptr<const hermes_proto::HermesShared> shared,
+                 double now_ms) {
+          suite.note_install(shared->epoch, now_ms);
+          suite.add_generation(shared);
+        });
+  }
 
   sim::TraceCollector collector;
   crypto::Sha256 hasher;
@@ -189,12 +210,24 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
     load_end_ms = sched.horizon_ms;
   }
 
-  // --- schedule: churn (crash/recover + optional view change)
+  // --- schedule: churn (crash/recover + optional view change or rejoin)
   for (const ChurnEvent& ev : s.churn) {
     w.at(ev.at_ms, [&suite, hermes, ev](World& world) {
       for (net::NodeId v : ev.nodes) {
         if (v < world.ctx->node_count()) {
           world.ctx->network.set_crashed(v, !ev.recover);
+        }
+      }
+      if (ev.rejoin && ev.recover && hermes != nullptr) {
+        // A rejoining node announces itself through the admission protocol
+        // instead of silently resuming: signed join request, f+1 witnesses,
+        // state catch-up. Its timers and sends belong to its own lane.
+        for (net::NodeId v : ev.nodes) {
+          if (v >= world.ctx->node_count()) continue;
+          sim::Engine::ShardScope scope(world.ctx->engine,
+                                        world.ctx->shard_of(v));
+          auto* hn = dynamic_cast<HermesNode*>(&world.ctx->node(v));
+          if (hn != nullptr) hn->begin_join();
         }
       }
       if (ev.advance_epoch && hermes != nullptr) {
@@ -234,10 +267,13 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
   w.run_ms(horizon);
 
   if (hermes != nullptr) {
-    // Health-triggered view changes install a new generation mid-run; the
-    // suite needs it for certificate/coverage decisions, plus the advance
-    // count so epoch accounting stays consistent.
-    suite.set_auto_epoch_advances(hermes->auto_advances());
+    // Health-triggered view changes and pipelined handoffs install new
+    // generations mid-run; the suite needs them for certificate/coverage
+    // decisions, plus the advance count so epoch accounting stays
+    // consistent (a pipelined install supersedes old certificates exactly
+    // like a stop-the-world one).
+    suite.set_auto_epoch_advances(hermes->auto_advances() +
+                                  hermes->pipelined_advances());
     suite.add_generation(hermes->shared());
   }
 
@@ -249,6 +285,12 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
   if (dump) result.trace_dump = collector.canonical_dump();
   result.sends = sends;
   result.sim_end_ms = horizon;
+  if (hermes != nullptr) {
+    result.pipelined_installs = hermes->pipelined_advances();
+    result.stop_the_world_advances = hermes->stop_the_world_advances();
+    result.pipeline_invalidations = hermes->pipeline_invalidations();
+    result.deltas_absorbed = hermes->deltas_absorbed_incrementally();
+  }
   return result;
 }
 

@@ -31,6 +31,12 @@ struct RunResult {
   std::string trace_dump;  // only when collect_trace_dump
   std::size_t sends = 0;
   double sim_end_ms = 0.0;
+  // Epoch-pipeline introspection (all zero unless the scenario enabled the
+  // pipeline): how churn was absorbed during the run.
+  std::uint64_t pipelined_installs = 0;
+  std::uint64_t stop_the_world_advances = 0;
+  std::uint64_t pipeline_invalidations = 0;
+  std::uint64_t deltas_absorbed = 0;
 
   bool ok() const { return failures.empty(); }
 };

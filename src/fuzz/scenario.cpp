@@ -245,6 +245,51 @@ Scenario generate_scenario(std::uint64_t seed, bool extended) {
     s.drain_ms =
         std::max(s.drain_ms, s.mempool_capacity > 0 ? 12000.0 : 10000.0);
   }
+  // Join/leave storms (churn-resilience layer). Drawn after every earlier
+  // extended feature so pre-storm corpora replay unchanged. Storms ride the
+  // self-healing stack and replace the legacy one-shot churn (sequential
+  // waves keep the concurrent-crash peak within f, so the invariant
+  // regime gates stay decidable): each wave is a mass departure of up to f
+  // nodes followed by a flash-crowd rejoin — every victim re-enters at
+  // once through the join admission protocol.
+  if (s.hermes() && s.self_healing && s.churn.empty() && rng.bernoulli(0.4)) {
+    std::unordered_set<net::NodeId> committee_set(s.committee.begin(),
+                                                  s.committee.end());
+    std::vector<net::NodeId> candidates;
+    for (net::NodeId v = 0; v < s.nodes; ++v) {
+      if (committee_set.count(v) == 0 && senders.count(v) == 0) {
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.size() >= s.f) {
+      s.join_admission = true;
+      s.epoch_pipeline = rng.bernoulli(0.7);
+      const std::size_t n_waves = 1 + rng.uniform_u64(3);  // 1..3 waves
+      double wt = last_inject + 200.0 + rng.uniform_real(0.0, 400.0);
+      for (std::size_t w = 0; w < n_waves; ++w) {
+        const std::size_t count =
+            std::min(candidates.size(), 1 + rng.uniform_u64(s.f));
+        ChurnEvent crash;
+        crash.at_ms = wt;
+        for (std::size_t idx : rng.sample_indices(candidates.size(), count)) {
+          crash.nodes.push_back(candidates[idx]);
+        }
+        std::sort(crash.nodes.begin(), crash.nodes.end());
+        ChurnEvent back;
+        // Leave room for silence detection (strikes x ticks) before the
+        // flash crowd returns.
+        back.at_ms = wt + rng.uniform_real(1500.0, 2800.0);
+        back.recover = true;
+        back.rejoin = true;
+        back.nodes = crash.nodes;
+        wt = back.at_ms + rng.uniform_real(400.0, 900.0);
+        s.churn.push_back(std::move(crash));
+        s.churn.push_back(std::move(back));
+      }
+      // Admission gossip + warm rebuilds + catch-up pulls stretch the tail.
+      s.drain_ms = std::max(s.drain_ms, 14000.0 + rng.uniform_real(0.0, 2000.0));
+    }
+  }
   return s;
 }
 
@@ -324,6 +369,8 @@ std::string describe(const Scenario& s) {
   if (!s.link_flaps.empty()) out << " flaps=" << s.link_flaps.size();
   if (!s.stragglers.empty()) out << " strag=" << s.stragglers.size();
   if (s.self_healing) out << " healing";
+  if (s.join_admission) out << " join";
+  if (s.epoch_pipeline) out << " pipeline";
   if (s.has_load()) out << " load=" << s.load_rate_hz << "hz";
   if (s.mempool_capacity > 0) out << " cap=" << s.mempool_capacity;
   if (s.hermes() && !s.enable_fallback) out << " nofallback";
@@ -352,6 +399,10 @@ std::string serialize(const Scenario& s) {
   out << "direct_injection=" << (s.direct_injection ? 1 : 0) << "\n";
   out << "annealing_workers=" << s.annealing_workers << "\n";
   out << "self_healing=" << (s.self_healing ? 1 : 0) << "\n";
+  // Churn-layer keys are emitted only when on, so historical corpus files
+  // round-trip byte-identically.
+  if (s.join_admission) out << "join_admission=1\n";
+  if (s.epoch_pipeline) out << "epoch_pipeline=1\n";
   out << "drain_ms=" << fmt_double(s.drain_ms) << "\n";
   // Load keys are emitted only when the feature is on, so historical
   // corpus files round-trip byte-identically.
@@ -390,7 +441,9 @@ std::string serialize(const Scenario& s) {
       out << (i ? "|" : "") << ev.nodes[i];
     }
     out << " epoch=" << (ev.advance_epoch ? 1 : 0)
-        << " epoch_seed=" << ev.epoch_seed << "\n";
+        << " epoch_seed=" << ev.epoch_seed;
+    if (ev.rejoin) out << " rejoin=1";
+    out << "\n";
   }
   for (const PartitionWindow& pw : s.partitions) {
     out << "partition start=" << fmt_double(pw.start_ms)
@@ -461,6 +514,7 @@ std::optional<Scenario> parse_scenario(const std::string& text) {
           }
         } else if (key == "epoch") ev.advance_epoch = to_u64(value) != 0;
         else if (key == "epoch_seed") ev.epoch_seed = to_u64(value);
+        else if (key == "rejoin") ev.rejoin = to_u64(value) != 0;
         else return std::nullopt;
       }
       s.churn.push_back(std::move(ev));
@@ -521,6 +575,8 @@ std::optional<Scenario> parse_scenario(const std::string& text) {
       else if (key == "direct_injection") s.direct_injection = to_u64(value) != 0;
       else if (key == "annealing_workers") s.annealing_workers = to_u64(value);
       else if (key == "self_healing") s.self_healing = to_u64(value) != 0;
+      else if (key == "join_admission") s.join_admission = to_u64(value) != 0;
+      else if (key == "epoch_pipeline") s.epoch_pipeline = to_u64(value) != 0;
       else if (key == "drain_ms") s.drain_ms = to_double(value);
       else if (key == "load_rate_hz") s.load_rate_hz = to_double(value);
       else if (key == "load_duration_ms") s.load_duration_ms = to_double(value);

@@ -36,13 +36,17 @@ struct Injection {
 };
 
 // Crash or recover a set of nodes, optionally followed by a view change
-// (HERMES rebuilds and re-certifies its overlays from epoch_seed).
+// (HERMES rebuilds and re-certifies its overlays from epoch_seed). A
+// recovery with `rejoin` set additionally puts the nodes through the join
+// admission protocol (signed request, f+1 witnesses, state catch-up)
+// instead of silently resuming.
 struct ChurnEvent {
   double at_ms = 0.0;
   bool recover = false;
   std::vector<net::NodeId> nodes;
   bool advance_epoch = false;
   std::uint64_t epoch_seed = 0;
+  bool rejoin = false;
 };
 
 // Two-sided network split active during [start_ms, end_ms); sides are
@@ -99,6 +103,12 @@ struct Scenario {
   // Self-healing loop (HermesConfig::enable_self_healing): health ticks,
   // gap pulls, local repair, health-triggered view changes.
   bool self_healing = false;
+  // Churn-resilience layer (requires self_healing): join admission
+  // (signed requests + f+1 witnesses) and the background epoch pipeline
+  // (incremental absorption + warm-started re-anneal of epoch e+1 while e
+  // serves traffic). Exercised by join/leave storm churn events.
+  bool join_admission = false;
+  bool epoch_pipeline = false;
 
   // Schedule.
   std::vector<Injection> injections;

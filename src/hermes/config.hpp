@@ -117,6 +117,49 @@ struct HermesConfig {
   // so it weighs more than a cleanly absorbed departure).
   double failed_repair_weight = 2.0;
 
+  // --- Join admission & epoch pipeline (permissionless churn) ---
+  // Master switches. Off by default: every knob below is inert and the
+  // protocol's message trace is bit-identical to the pre-churn
+  // implementation.
+  //
+  // enable_join_admission: a recovered node may call begin_join() to
+  // broadcast a signed JoinRequest; peers witness it (f+1 distinct signed
+  // witnesses admit the joiner everywhere, composing with PR 4's signed
+  // departure reports) and send the joiner a state catch-up (current
+  // epoch + per-origin sequence digests) so it rejoins dissemination
+  // without violating the invariant suite. Requires enable_self_healing.
+  bool enable_join_admission = false;
+
+  // enable_epoch_pipeline: membership changes (admitted joins, departures)
+  // feed a bounded delta queue; small deltas are absorbed incrementally
+  // (local repair + incremental join placement), and once the queue
+  // reaches reanneal_hysteresis a warm-started re-anneal of epoch e+1 runs
+  // in the background (modeled as pipeline_anneal_ms of sim time on the
+  // builder thread pool) while epoch e keeps serving traffic. If further
+  // churn lands mid-anneal the pipelined epoch is invalidated and retried
+  // with exponential backoff. Requires enable_join_admission.
+  bool enable_epoch_pipeline = false;
+
+  // Bounded membership-delta queue: deltas beyond the cap drop the oldest
+  // entry (counted; the dropped node is still covered by the next full
+  // re-anneal since membership state is absolute, not delta-encoded).
+  std::size_t membership_queue_cap = 64;
+
+  // Deltas absorbed incrementally before a background re-anneal triggers.
+  std::size_t reanneal_hysteresis = 4;
+
+  // Modeled wall-time of the background anneal (epoch e serves traffic for
+  // this long before e+1 is installed).
+  double pipeline_anneal_ms = 250.0;
+
+  // Invalidation retry: each retry waits pipeline_anneal_ms *
+  // pipeline_retry_backoff^retries, capped at pipeline_retry_max_ms; after
+  // pipeline_retry_max_attempts the pipeline installs anyway, folding
+  // whatever churn accumulated (the next delta starts a fresh cycle).
+  double pipeline_retry_backoff = 2.0;
+  double pipeline_retry_max_ms = 2000.0;
+  std::size_t pipeline_retry_max_attempts = 3;
+
   // Overlay construction knobs (offline phase).
   overlay::BuilderParams builder;
 

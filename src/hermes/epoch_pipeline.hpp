@@ -1,0 +1,89 @@
+// Background epoch pipeline (churn-resilience layer).
+//
+// Membership changes (admitted joins, f+1-witnessed departures) land here
+// as MembershipDeltas. Below the hysteresis threshold each delta is
+// absorbed incrementally — every node has already spliced it into its
+// routing trees via local repair / incremental join placement, so the
+// pipeline merely counts it. Once enough deltas accumulate, a warm-started
+// re-anneal of epoch e+1 is kicked off "in the background": the anneal is
+// modeled as `anneal_ms` of simulated wall-time during which epoch e keeps
+// serving traffic; when the timer fires the install callback builds the
+// new overlay set (on the builder thread pool) and performs the quiescent
+// handoff inside the same barrier-serialized control event, so sharded-sim
+// determinism holds. If further churn arrived mid-anneal the pipelined
+// epoch would be stale on arrival — it is invalidated and retried with
+// exponential backoff, up to a retry cap after which it installs anyway
+// and folds whatever accumulated (membership state is absolute, so nothing
+// is lost; the next delta starts a fresh cycle).
+//
+// The class consumes no randomness and no wall clock; every method runs
+// inside engine-global control events, so it needs no locking.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace hermes::hermes_proto {
+
+struct MembershipDelta {
+  net::NodeId node = 0;
+  bool join = false;  // false: departure
+};
+
+class EpochPipeline {
+ public:
+  struct Params {
+    std::size_t queue_cap = 64;
+    std::size_t hysteresis = 4;
+    double anneal_ms = 250.0;
+    double retry_backoff = 2.0;
+    double retry_max_ms = 2000.0;
+    std::size_t max_retries = 3;
+  };
+
+  // schedule(delay_ms, fn): run fn after delay_ms of sim time inside a
+  // barrier-serialized global control event (Engine::schedule_global).
+  // install(deltas): build + certify + install epoch e+1 from the folded
+  // deltas; called inside the scheduled control event.
+  using ScheduleFn = std::function<void(double, std::function<void()>)>;
+  using InstallFn = std::function<void(const std::vector<MembershipDelta>&)>;
+
+  EpochPipeline(Params params, ScheduleFn schedule, InstallFn install)
+      : params_(params),
+        schedule_(std::move(schedule)),
+        install_(std::move(install)) {}
+
+  // Must be called from inside a global control event.
+  void on_membership_change(const MembershipDelta& delta);
+
+  bool annealing() const { return annealing_; }
+  std::size_t queued() const { return queue_.size(); }
+  std::size_t pipelined_installs() const { return pipelined_installs_; }
+  std::size_t invalidations() const { return invalidations_; }
+  std::size_t absorbed_incrementally() const { return absorbed_; }
+  std::size_t dropped_deltas() const { return dropped_; }
+
+ private:
+  void start_anneal();
+  void on_anneal_done();
+
+  Params params_;
+  ScheduleFn schedule_;
+  InstallFn install_;
+
+  std::deque<MembershipDelta> queue_;
+  bool annealing_ = false;
+  std::size_t snapshot_size_ = 0;  // queue size when the anneal started
+  std::size_t retries_ = 0;
+
+  std::size_t pipelined_installs_ = 0;
+  std::size_t invalidations_ = 0;
+  std::size_t absorbed_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace hermes::hermes_proto

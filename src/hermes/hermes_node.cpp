@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/connectivity.hpp"
+#include "overlay/join.hpp"
 #include "overlay/repair.hpp"
 #include "support/assert.hpp"
 
@@ -743,6 +744,21 @@ void HermesNode::install_shared(std::shared_ptr<const HermesShared> next) {
   silence_count_.clear();
   view_change_votes_.clear();
   view_change_armed_ = true;
+  // Departure evidence is generation-scoped (the signed material binds the
+  // epoch): the acceptance dedup, per-suspect tallies, and this node's own
+  // reported set all re-arm so fresh churn can be re-detected and
+  // re-reported against the new trees.
+  seen_departures_.clear();
+  departure_reported_.clear();
+  departure_accusers_.clear();
+  // Join state is superseded: the new generation's trees place every node
+  // afresh (warm rebuilds fold the churn set in; scratch rebuilds place
+  // everyone anyway), and pending witness tallies referred to the old
+  // epoch's materials. Removals persist — departed peers stay departed.
+  rejoined_.clear();
+  join_witnesses_.clear();
+  seen_join_witnesses_.clear();
+  join_witnessed_.clear();
   monitor_.on_epoch_advanced();
   rebuild_repairs();
 }
@@ -935,11 +951,12 @@ void HermesNode::scan_for_silence(sim::SimTime now_ms) {
   }
 }
 
-Bytes HermesNode::departure_material(net::NodeId suspect,
-                                     net::NodeId reporter) {
-  Bytes out = to_bytes("hermes.depart.v1");
+Bytes HermesNode::departure_material(net::NodeId suspect, net::NodeId reporter,
+                                     std::uint64_t epoch) {
+  Bytes out = to_bytes("hermes.depart.v2");
   put_u32_be(out, suspect);
   put_u32_be(out, reporter);
+  put_u64_be(out, epoch);
   return out;
 }
 
@@ -949,7 +966,8 @@ void HermesNode::report_departure(net::NodeId suspect) {
   DepartureReportBody report;
   report.suspect = suspect;
   report.reporter = id();
-  const Bytes material = departure_material(suspect, id());
+  report.epoch = shared_->epoch;
+  const Bytes material = departure_material(suspect, id(), report.epoch);
   const crypto::SimSigner signer =
       crypto::SimSigner::derive(shared_->report_master_key, id());
   report.signature = signer.sign(material);
@@ -967,7 +985,7 @@ void HermesNode::gossip_departure(const DepartureReportBody& report) {
       std::min(shared_->config.report_fanout, nbrs.size());
   for (std::size_t i : rng_.sample_indices(nbrs.size(), fanout)) {
     auto body = std::make_shared<DepartureReportBody>(report);
-    send_to(nbrs[i].to, kMsgDepartureReport, 24, std::move(body));
+    send_to(nbrs[i].to, kMsgDepartureReport, 32, std::move(body));
   }
 }
 
@@ -979,8 +997,9 @@ void HermesNode::on_departure_report(const sim::Message& msg) {
       report.suspect == report.reporter || report.suspect == id()) {
     return;
   }
+  if (report.epoch != shared_->epoch) return;  // other-generation evidence
   const Bytes material =
-      departure_material(report.suspect, report.reporter);
+      departure_material(report.suspect, report.reporter, report.epoch);
   const crypto::SimSigner signer =
       crypto::SimSigner::derive(shared_->report_master_key, report.reporter);
   if (!signer.verify(material, report.signature)) return;
@@ -1006,23 +1025,38 @@ void HermesNode::on_departure_report(const sim::Message& msg) {
 void HermesNode::mark_removed(net::NodeId node) {
   if (!healing_enabled() || node == id()) return;
   if (!removed_.insert(node).second) return;
+  rejoined_.erase(node);  // a re-departed joiner is simply departed
+  // Reset the local witness/tally state so a later rejoin can be
+  // re-witnessed — but NOT the seen_join_witnesses_ acceptance dedup:
+  // each witness material is processed once per generation, which keeps
+  // the admission/removal gossip from re-accepting in-flight duplicates
+  // and chain-reacting (re-admission is an install-next-epoch affair).
+  join_witnessed_.erase(node);
+  join_witnesses_.erase(node);
   monitor_.note_removed();
   rebuild_repairs();
+  notify_membership(node, /*join=*/false);
 }
 
 void HermesNode::rebuild_repairs() {
-  // Canonical repair: start from the pristine certified trees and apply
-  // the removal set in ascending node-id order (std::set iteration). The
-  // repaired trees are thus a pure function of (pristine generation,
-  // removal set) — honest nodes that converge on the same removals hold
-  // byte-identical trees no matter the order they learned them in.
+  // Canonical repair: start from the pristine certified trees, detach the
+  // whole churn set (removed + rejoined) in ascending node-id order
+  // (std::set iteration), then re-attach the rejoined nodes, again
+  // ascending. The repaired trees are thus a pure function of (pristine
+  // generation, removed_, rejoined_) — honest nodes that converge on the
+  // same membership view hold byte-identical trees no matter the order
+  // they learned the changes in. Rejoined nodes deliberately get a fresh
+  // incremental placement rather than their pristine slot: their old
+  // position assumed a world before they departed.
   repaired_.clear();
   std::size_t failures = 0;
-  if (!removed_.empty()) {
+  if (!removed_.empty() || !rejoined_.empty()) {
+    std::set<net::NodeId> churned = removed_;
+    churned.insert(rejoined_.begin(), rejoined_.end());
     for (std::size_t idx = 0; idx < shared_->overlays.size(); ++idx) {
       overlay::Overlay repaired = shared_->overlays[idx];
       bool changed = false;
-      for (net::NodeId gone : removed_) {
+      for (net::NodeId gone : churned) {
         const auto result =
             overlay::remove_node_locally(repaired, gone, ctx_.topology.graph);
         if (result.ok) {
@@ -1031,10 +1065,170 @@ void HermesNode::rebuild_repairs() {
           ++failures;  // structurally beyond local surgery
         }
       }
+      for (net::NodeId back : rejoined_) {
+        const auto result =
+            overlay::attach_node_locally(repaired, back, ctx_.topology.graph);
+        if (result.ok) {
+          changed = true;
+        } else {
+          ++failures;
+        }
+      }
       if (changed) repaired_.emplace(idx, std::move(repaired));
     }
   }
   monitor_.set_failed_repairs(failures);
+}
+
+// ---------------------------------------------------------------------------
+// Join admission: signed request -> f+1 signed witnesses -> admission,
+// composing with the departure-report machinery above (admission undoes a
+// removal; a later removal undoes the admission).
+
+Bytes HermesNode::join_material(net::NodeId joiner, std::uint64_t epoch) {
+  Bytes out = to_bytes("hermes.join.v1");
+  put_u32_be(out, joiner);
+  put_u64_be(out, epoch);
+  return out;
+}
+
+Bytes HermesNode::join_witness_material(net::NodeId joiner, net::NodeId witness,
+                                        std::uint64_t epoch) {
+  Bytes out = to_bytes("hermes.joinwit.v1");
+  put_u32_be(out, joiner);
+  put_u32_be(out, witness);
+  put_u64_be(out, epoch);
+  return out;
+}
+
+void HermesNode::begin_join() {
+  if (!join_admission_enabled()) return;
+  JoinRequestBody req;
+  req.joiner = id();
+  req.epoch = shared_->epoch;
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, id());
+  req.signature = signer.sign(join_material(id(), req.epoch));
+  // The whole physical neighborhood is asked: admission needs f+1 distinct
+  // witnesses, and any subset of neighbors may be crashed or faulty.
+  for (const auto& edge : ctx_.topology.graph.neighbors(id())) {
+    auto body = std::make_shared<JoinRequestBody>(req);
+    send_to(edge.to, kMsgJoinRequest, 48, std::move(body));
+  }
+}
+
+void HermesNode::on_join_request(const sim::Message& msg) {
+  if (!join_admission_enabled()) return;
+  const auto& req = msg.as<JoinRequestBody>();
+  if (req.joiner >= ctx_.node_count() || req.joiner != msg.src ||
+      req.joiner == id()) {
+    return;
+  }
+  if (req.epoch != shared_->epoch) return;  // stale view: re-request
+  if (excluded(req.joiner)) return;  // accountability bans are not churn
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, req.joiner);
+  if (!signer.verify(join_material(req.joiner, req.epoch), req.signature)) {
+    return;
+  }
+  witness_join(req.joiner, req.epoch);
+  // State catch-up straight back to the joiner: current epoch plus this
+  // node's per-origin horizon, so the joiner's gap machinery can pull
+  // everything it missed while away.
+  auto body = std::make_shared<StateCatchUpBody>();
+  body->epoch = shared_->epoch;
+  body->max_seen.reserve(max_seen_seq_.size());
+  // Ordered map: origins in ascending order, reproducible wire bytes.
+  for (const auto& [origin, seq] : max_seen_seq_) {
+    body->max_seen.emplace_back(origin, seq);
+  }
+  const std::size_t wire = 16 + 12 * body->max_seen.size();
+  send_to(req.joiner, kMsgStateCatchUp, wire, std::move(body));
+}
+
+void HermesNode::witness_join(net::NodeId joiner, std::uint64_t epoch) {
+  if (!join_witnessed_.insert(joiner).second) return;  // one witness each
+  JoinWitnessBody witness;
+  witness.joiner = joiner;
+  witness.witness = id();
+  witness.epoch = epoch;
+  const Bytes material = join_witness_material(joiner, id(), epoch);
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, id());
+  witness.signature = signer.sign(material);
+  seen_join_witnesses_.insert(hex_encode(material));
+  count_join_witness(joiner, id());
+  gossip_join_witness(witness);
+}
+
+void HermesNode::gossip_join_witness(const JoinWitnessBody& witness) {
+  const auto& nbrs = ctx_.topology.graph.neighbors(id());
+  if (nbrs.empty()) return;
+  const std::size_t fanout =
+      std::min(shared_->config.report_fanout, nbrs.size());
+  for (std::size_t i : rng_.sample_indices(nbrs.size(), fanout)) {
+    auto body = std::make_shared<JoinWitnessBody>(witness);
+    send_to(nbrs[i].to, kMsgJoinWitness, 56, std::move(body));
+  }
+}
+
+void HermesNode::on_join_witness(const sim::Message& msg) {
+  if (!join_admission_enabled()) return;
+  const auto& witness = msg.as<JoinWitnessBody>();
+  if (witness.joiner >= ctx_.node_count() ||
+      witness.witness >= ctx_.node_count() ||
+      witness.joiner == witness.witness) {
+    return;
+  }
+  if (witness.epoch != shared_->epoch) return;  // stale generation
+  if (excluded(witness.joiner)) return;
+  const Bytes material =
+      join_witness_material(witness.joiner, witness.witness, witness.epoch);
+  const crypto::SimSigner signer =
+      crypto::SimSigner::derive(shared_->report_master_key, witness.witness);
+  if (!signer.verify(material, witness.signature)) return;
+  if (!seen_join_witnesses_.insert(hex_encode(material)).second) return;
+  count_join_witness(witness.joiner, witness.witness);
+  if (relays()) gossip_join_witness(witness);
+}
+
+void HermesNode::count_join_witness(net::NodeId joiner, net::NodeId witness) {
+  auto& witnesses = join_witnesses_[joiner];
+  witnesses.insert(witness);
+  // f+1 distinct witnesses cannot all be faulty: the joiner really asked.
+  if (witnesses.size() >= shared_->config.f + 1) admit_join(joiner);
+}
+
+void HermesNode::admit_join(net::NodeId joiner) {
+  if (!rejoined_.insert(joiner).second) return;
+  removed_.erase(joiner);
+  // The joiner starts a fresh churn life: old silence strikes and the
+  // accuser tally refer to its previous incarnation. The seen_departures_
+  // acceptance dedup deliberately stays — evidence is processed once per
+  // generation (see DepartureReportBody), so straggler reports of the old
+  // incarnation can neither re-convict nor re-flood; a genuine second
+  // departure is re-reported after the next epoch install re-arms the
+  // dedup.
+  silence_count_.erase(joiner);
+  departure_reported_.erase(joiner);
+  departure_accusers_.erase(joiner);
+  rebuild_repairs();
+  notify_membership(joiner, /*join=*/true);
+}
+
+void HermesNode::on_state_catchup(const sim::Message& msg) {
+  if (!join_admission_enabled()) return;
+  for (const auto& [origin, seq] : msg.as<StateCatchUpBody>().max_seen) {
+    if (origin >= ctx_.node_count()) continue;  // malformed
+    auto& max_seen = max_seen_seq_[origin];
+    max_seen = std::max(max_seen, seq);
+  }
+}
+
+void HermesNode::notify_membership(net::NodeId node, bool join) {
+  if (shared_->membership && shared_->membership->notify) {
+    shared_->membership->notify(node, join, shared_->epoch);
+  }
 }
 
 Bytes HermesNode::view_change_material(std::uint64_t epoch,
@@ -1235,6 +1429,9 @@ void HermesNode::on_message(const sim::Message& msg) {
     case kMsgDepartureReport: on_departure_report(msg); return;
     case kMsgViewChangeVote: on_view_change_vote(msg); return;
     case kMsgSeqDigest: on_seq_digest(msg); return;
+    case kMsgJoinRequest: on_join_request(msg); return;
+    case kMsgJoinWitness: on_join_witness(msg); return;
+    case kMsgStateCatchUp: on_state_catchup(msg); return;
     default: return;
   }
 }
@@ -1251,10 +1448,15 @@ std::unique_ptr<ProtocolNode> HermesProtocol::make_node(ExperimentContext& ctx,
     shared->config.builder.k = config_.k;
 
     Rng build_rng = ctx.rng.fork(0x0e11a5);
+    // The physical graph is fixed for the experiment's lifetime, so one
+    // shortest-path cache serves the initial build and every later epoch
+    // rebuild (scratch or warm).
+    costs_ = std::make_unique<overlay::LinkCostCache>(ctx.topology.graph);
     auto set =
         overlay::build_overlay_set(ctx.topology.graph, shared->config.builder,
-                                   build_rng);
+                                   build_rng, costs_.get());
     shared->overlays = std::move(set.overlays);
+    last_set_.final_ranks = std::move(set.final_ranks);
 
     if (config_.use_real_threshold_crypto) {
       Rng key_rng = ctx.rng.fork(0x45a);
@@ -1287,6 +1489,9 @@ std::unique_ptr<ProtocolNode> HermesProtocol::make_node(ExperimentContext& ctx,
       shared->certificates.push_back(std::move(*cert));
       ov = std::move(decoded);  // install exactly what the wire carried
     }
+    // Warm seed for the first pipelined rebuild: the decoded trees, which
+    // are what every node actually routes on.
+    last_set_.overlays = shared->overlays;
 
     if (config_.committee.empty()) {
       Rng pick_rng = ctx.rng.fork(0xc0111);
@@ -1321,14 +1526,79 @@ std::unique_ptr<ProtocolNode> HermesProtocol::make_node(ExperimentContext& ctx,
       };
       shared->view_change = std::move(control);
     }
+    if (config_.enable_self_healing && config_.enable_join_admission &&
+        config_.enable_epoch_pipeline) {
+      // Background epoch pipeline: membership changes reported by nodes
+      // are deduplicated against the absolute membership state inside a
+      // barrier-serialized control event (every honest node reports each
+      // admission/departure; only the first state change counts), then fed
+      // to the bounded delta queue. The pipeline's own callbacks run as
+      // global control events too, so the warm rebuild plus quiescent
+      // handoff stay deterministic on the sharded engine.
+      EpochPipeline::Params pparams;
+      pparams.queue_cap = config_.membership_queue_cap;
+      pparams.hysteresis = config_.reanneal_hysteresis;
+      pparams.anneal_ms = config_.pipeline_anneal_ms;
+      pparams.retry_backoff = config_.pipeline_retry_backoff;
+      pparams.retry_max_ms = config_.pipeline_retry_max_ms;
+      pparams.max_retries = config_.pipeline_retry_max_attempts;
+      ExperimentContext* ctx_ptr = &ctx;
+      pipeline_ = std::make_unique<EpochPipeline>(
+          pparams,
+          [ctx_ptr](double delay_ms, std::function<void()> fn) {
+            ctx_ptr->engine.schedule_global(delay_ms, std::move(fn));
+          },
+          [this, ctx_ptr](const std::vector<MembershipDelta>& deltas) {
+            install_pipelined(*ctx_ptr, deltas);
+          });
+      auto membership = std::make_shared<MembershipControl>();
+      membership->notify = [this, ctx_ptr](net::NodeId node, bool join,
+                                           std::uint64_t epoch) {
+        ctx_ptr->engine.schedule_global(0.0, [this, node, join, epoch] {
+          auto& present =
+              membership_state_.try_emplace(node, true).first->second;
+          if (!join) {
+            if (!present) return;  // departure already acted on
+            present = false;
+            pipeline_->on_membership_change({node, false});
+            return;
+          }
+          auto& acted = rejoin_epoch_.try_emplace(node, 0).first->second;
+          if (!present) {
+            // Presence flips always act: departure reports and admission
+            // reports race, and a join landing while the node is marked
+            // absent is the corrective half of that race. Recording the
+            // admission epoch stops later duplicate reports of the same
+            // admission from being mistaken for a fresh incarnation below.
+            present = true;
+            acted = std::max(acted, epoch + 1);
+            pipeline_->on_membership_change({node, true});
+            return;
+          }
+          // Join-while-present: either a duplicate report of an admission
+          // already acted on this generation, or — when this generation's
+          // admission was not yet seen — incarnation evidence: the signed
+          // join request proves the node restarted even when its crash left
+          // no silence trail (leaves have no successors to observe them).
+          // Convert the latter to an implicit leave+join. The per-(node,
+          // epoch) dedup matches the protocol's own admission granularity
+          // (witness material binds the epoch; the per-generation tallies
+          // admit each joiner at most once).
+          if (acted >= epoch + 1) return;  // admission already acted on
+          acted = epoch + 1;
+          pipeline_->on_membership_change({node, false});
+          pipeline_->on_membership_change({node, true});
+        });
+      };
+      shared->membership = std::move(membership);
+    }
     shared_ = std::move(shared);
   }
   return std::make_unique<HermesNode>(ctx, id, shared_);
 }
 
-void HermesProtocol::advance_epoch(ExperimentContext& ctx,
-                                   std::uint64_t epoch_seed) {
-  HERMES_REQUIRE(shared_ != nullptr && "populate() must run first");
+std::shared_ptr<HermesShared> HermesProtocol::clone_shared_for_next_epoch()
+    const {
   auto next = std::make_shared<HermesShared>();
   next->config = shared_->config;
   next->epoch = shared_->epoch + 1;
@@ -1336,12 +1606,13 @@ void HermesProtocol::advance_epoch(ExperimentContext& ctx,
   next->committee = shared_->committee;
   next->report_master_key = shared_->report_master_key;
   next->view_change = shared_->view_change;
+  next->membership = shared_->membership;
+  return next;
+}
 
-  // Deterministic per-epoch construction seed (Section VII-B: the committee
-  // publishes it so every node can verify the pseudo-random optimization).
-  Rng build_rng(epoch_seed ^ (next->epoch * 0x9e3779b97f4a7c15ULL));
-  auto set = overlay::build_overlay_set(ctx.topology.graph,
-                                        next->config.builder, build_rng);
+void HermesProtocol::install_generation(ExperimentContext& ctx,
+                                        std::shared_ptr<HermesShared> next,
+                                        overlay::OverlaySet&& set) {
   next->overlays = std::move(set.overlays);
   for (auto& ov : next->overlays) {
     auto cert = overlay::certify_overlay(ov, *next->scheme);
@@ -1352,6 +1623,9 @@ void HermesProtocol::advance_epoch(ExperimentContext& ctx,
     next->certificates.push_back(std::move(*cert));
     ov = std::move(decoded);
   }
+  // The decoded trees seed the next warm rebuild.
+  last_set_.overlays = next->overlays;
+  last_set_.final_ranks = std::move(set.final_ranks);
 
   shared_ = next;
   for (auto& node : ctx.nodes) {
@@ -1359,6 +1633,47 @@ void HermesProtocol::advance_epoch(ExperimentContext& ctx,
       hermes_node->install_shared(next);
     }
   }
+  if (install_observer_) install_observer_(next, ctx.engine.now());
+}
+
+void HermesProtocol::advance_epoch(ExperimentContext& ctx,
+                                   std::uint64_t epoch_seed) {
+  HERMES_REQUIRE(shared_ != nullptr && "populate() must run first");
+  auto next = clone_shared_for_next_epoch();
+
+  // Deterministic per-epoch construction seed (Section VII-B: the committee
+  // publishes it so every node can verify the pseudo-random optimization).
+  Rng build_rng(epoch_seed ^ (next->epoch * 0x9e3779b97f4a7c15ULL));
+  if (!costs_) {
+    costs_ = std::make_unique<overlay::LinkCostCache>(ctx.topology.graph);
+  }
+  auto set = overlay::build_overlay_set(ctx.topology.graph,
+                                        next->config.builder, build_rng,
+                                        costs_.get());
+  ++stw_advances_;
+  install_generation(ctx, std::move(next), std::move(set));
+}
+
+void HermesProtocol::install_pipelined(
+    ExperimentContext& ctx, const std::vector<MembershipDelta>& deltas) {
+  HERMES_REQUIRE(shared_ != nullptr);
+  auto next = clone_shared_for_next_epoch();
+
+  // Fold the queued deltas into the canonical churn set (membership state
+  // is absolute: the latest state of each node wins, and the warm rebuild
+  // re-places every churned node either way).
+  std::set<net::NodeId> churned_set;
+  for (const auto& d : deltas) churned_set.insert(d.node);
+  const std::vector<net::NodeId> churned(churned_set.begin(),
+                                         churned_set.end());
+
+  // The pipelined epoch's seed is a pure function of the epoch number, so
+  // any node can verify the warm rebuild just like a scratch one.
+  Rng build_rng(0x91e11e5eULL ^ (next->epoch * 0x9e3779b97f4a7c15ULL));
+  auto set = overlay::build_overlay_set_warm(ctx.topology.graph,
+                                             next->config.builder, last_set_,
+                                             churned, build_rng, costs_.get());
+  install_generation(ctx, std::move(next), std::move(set));
 }
 
 }  // namespace hermes::hermes_proto

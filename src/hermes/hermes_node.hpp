@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -18,6 +19,7 @@
 #include "crypto/sim_signer.hpp"
 #include "hermes/audit.hpp"
 #include "hermes/config.hpp"
+#include "hermes/epoch_pipeline.hpp"
 #include "hermes/health.hpp"
 #include "hermes/trs.hpp"
 #include "overlay/encoding.hpp"
@@ -92,9 +94,17 @@ struct AckUpBody final : sim::Body<AckUpBody> {
 // overlays locally. Deliberately separate from ViolationReportBody:
 // silence is churn evidence, not an accusation of protocol violation, so
 // it never feeds the audit/exclusion machinery.
+// Reports are generation-scoped: the signed material binds the epoch the
+// silence was observed in, receivers drop other-epoch reports, and the
+// acceptance dedup resets only on epoch install. Each node therefore
+// accepts (and re-gossips) each (suspect, reporter) material at most once
+// per generation — churn evidence can never chain-react with the join
+// admission machinery, whose witness materials are epoch-bound the same
+// way.
 struct DepartureReportBody final : sim::Body<DepartureReportBody> {
   net::NodeId suspect = 0;
   net::NodeId reporter = 0;
+  std::uint64_t epoch = 0;
   Bytes signature;
 };
 // Committee-internal view-change vote (self-healing): a member whose
@@ -112,6 +122,36 @@ struct ViewChangeVoteBody final : sim::Body<ViewChangeVoteBody> {
 // lets a node that missed *every* copy of a transaction still discover
 // that it exists.
 struct SeqDigestBody final : sim::Body<SeqDigestBody> {
+  std::vector<std::pair<net::NodeId, std::uint64_t>> max_seen;
+};
+// Signed join request (churn layer): a node that wants (back) into the
+// dissemination fabric announces itself to its physical neighbors. Peers
+// that can verify the signature witness the join; f+1 distinct signed
+// witnesses admit the joiner everywhere — the exact dual of the f+1
+// departure-report rule, and for the same reason: f+1 witnesses cannot
+// all be faulty, so an admitted joiner really did ask to join.
+struct JoinRequestBody final : sim::Body<JoinRequestBody> {
+  net::NodeId joiner = 0;
+  std::uint64_t epoch = 0;
+  Bytes signature;
+};
+// One signed admission witness, gossiped network-wide so every honest
+// node converges on the same admission decision.
+struct JoinWitnessBody final : sim::Body<JoinWitnessBody> {
+  net::NodeId joiner = 0;
+  net::NodeId witness = 0;
+  std::uint64_t epoch = 0;
+  Bytes signature;
+};
+// State catch-up for a joiner: the current epoch and the witness's
+// per-origin sequence horizon. Merging the horizon into the joiner's own
+// bookkeeping opens gaps for everything it missed, and the ordinary
+// gap-pull machinery recovers the payloads — so the joiner participates
+// without violating sequence-integrity. (Certified overlay generations
+// are installed globally by the simulator; in a deployment the certified
+// encodings would ride along here.)
+struct StateCatchUpBody final : sim::Body<StateCatchUpBody> {
+  std::uint64_t epoch = 0;
   std::vector<std::pair<net::NodeId, std::uint64_t>> max_seen;
 };
 // One Reed-Solomon shard of an erasure-coded batch (Section VIII-D).
@@ -137,6 +177,21 @@ struct ViewChangeControl {
   std::function<void(std::uint64_t from_epoch)> request;
 };
 
+// Bridge from per-node membership decisions to the background epoch
+// pipeline: HermesProtocol installs `notify` when the pipeline is enabled;
+// a node that admits a joiner (f+1 witnesses) or marks a peer departed
+// (f+1 reports) calls it, and the protocol dedups per-node state changes
+// inside a barrier-serialized control event before feeding the pipeline's
+// bounded delta queue.
+struct MembershipControl {
+  // `epoch` is the generation the reporter acted in: join admissions are
+  // per-epoch (witness material binds the epoch), and the protocol uses it
+  // to dedup the implicit leave+join a re-admission of a still-present
+  // node implies (the join request itself proves the node restarted, even
+  // when its crash produced no silence evidence — e.g. a leaf).
+  std::function<void(net::NodeId node, bool join, std::uint64_t epoch)> notify;
+};
+
 // Shared, immutable per-experiment state: the certified overlays (as every
 // node would decode them from the committee's signed encoding) and the
 // threshold scheme's public side.
@@ -154,6 +209,8 @@ struct HermesShared {
   std::vector<net::NodeId> committee;
   // Non-null only when config.enable_self_healing (see ViewChangeControl).
   std::shared_ptr<ViewChangeControl> view_change;
+  // Non-null only when config.enable_epoch_pipeline (see MembershipControl).
+  std::shared_ptr<MembershipControl> membership;
 
   bool is_committee_member(net::NodeId v) const;
   // 1-based threshold index; 0 if not a member.
@@ -180,6 +237,11 @@ class HermesNode final : public ProtocolNode {
   void on_message(const sim::Message& msg) override;
   // Starts the health tick when self-healing is enabled.
   void on_start() override;
+  // Join admission (churn layer): broadcast a signed JoinRequest to the
+  // physical neighborhood. Called by a node (re)entering the network —
+  // in the simulator, right after its crash flag clears. No-op unless
+  // enable_join_admission is set.
+  void begin_join();
 
   const AuditLog& audit() const { return audit_; }
   std::size_t trs_requests_sent() const { return trs_requests_; }
@@ -196,6 +258,12 @@ class HermesNode final : public ProtocolNode {
   // nullptr when no repair applies (empty removal set / healing off).
   const overlay::Overlay* repaired_overlay(std::size_t idx) const;
   std::size_t departure_reports_sent() const { return departure_reports_sent_; }
+  // Admitted joiners (f+1 witnesses) not yet superseded by a fresh epoch,
+  // ascending. Their routing-tree placements come from the incremental
+  // join pass of rebuild_repairs().
+  const std::set<net::NodeId>& rejoined_nodes() const { return rejoined_; }
+  // Churn applications the current local-repair state could not absorb.
+  std::size_t repair_failures() const { return monitor_.failed_repairs(); }
   // Offender excluded either by local observation or by f+1 distinct
   // signed accusations from the network.
   bool excluded(net::NodeId node) const;
@@ -226,6 +294,9 @@ class HermesNode final : public ProtocolNode {
   static constexpr std::uint32_t kMsgDepartureReport = 21;
   static constexpr std::uint32_t kMsgViewChangeVote = 22;
   static constexpr std::uint32_t kMsgSeqDigest = 23;
+  static constexpr std::uint32_t kMsgJoinRequest = 24;
+  static constexpr std::uint32_t kMsgJoinWitness = 25;
+  static constexpr std::uint32_t kMsgStateCatchUp = 26;
 
  private:
   // --- sender side
@@ -295,11 +366,28 @@ class HermesNode final : public ProtocolNode {
   void report_departure(net::NodeId suspect);
   void gossip_departure(const DepartureReportBody& report);
   void on_departure_report(const sim::Message& msg);
-  static Bytes departure_material(net::NodeId suspect, net::NodeId reporter);
+  static Bytes departure_material(net::NodeId suspect, net::NodeId reporter,
+                                  std::uint64_t epoch);
   void cast_view_change_vote();
   void on_view_change_vote(const sim::Message& msg);
   void maybe_trigger_view_change(std::uint64_t epoch);
   static Bytes view_change_material(std::uint64_t epoch, net::NodeId voter);
+
+  // --- join admission side
+  bool join_admission_enabled() const {
+    return healing_enabled() && shared_->config.enable_join_admission;
+  }
+  void on_join_request(const sim::Message& msg);
+  void on_join_witness(const sim::Message& msg);
+  void on_state_catchup(const sim::Message& msg);
+  void witness_join(net::NodeId joiner, std::uint64_t epoch);
+  void count_join_witness(net::NodeId joiner, net::NodeId witness);
+  void admit_join(net::NodeId joiner);
+  void gossip_join_witness(const JoinWitnessBody& witness);
+  void notify_membership(net::NodeId node, bool join);
+  static Bytes join_material(net::NodeId joiner, std::uint64_t epoch);
+  static Bytes join_witness_material(net::NodeId joiner, net::NodeId witness,
+                                     std::uint64_t epoch);
 
   // Vertex-disjoint physical routes from this node to the entry points of
   // overlay `idx` (computed lazily, cached).
@@ -409,6 +497,17 @@ class HermesNode final : public ProtocolNode {
   // Hysteresis latch: disarmed after voting, re-armed only once the
   // degradation score falls below view_change_clear.
   bool view_change_armed_ = true;
+  // --- join-admission state (empty/inert unless enable_join_admission).
+  // Admitted joiners, ascending: rebuild_repairs() detaches and re-attaches
+  // them (after the removal pass) in std::set order, so two honest nodes
+  // with equal (removed_, rejoined_) sets hold byte-identical trees no
+  // matter which order the admissions arrived in. Cleared when a fresh
+  // epoch generation is installed — the new trees supersede join state.
+  std::set<net::NodeId> rejoined_;
+  std::unordered_map<net::NodeId, std::unordered_set<net::NodeId>>
+      join_witnesses_;
+  std::unordered_set<std::string> seen_join_witnesses_;  // flood dedup
+  std::unordered_set<net::NodeId> join_witnessed_;       // by this node
 };
 
 // Builds the overlays (offline phase of Figure 1), certifies them with the
@@ -434,12 +533,64 @@ class HermesProtocol final : public Protocol {
   // advances; manual churn-driven calls are not counted here).
   std::uint64_t auto_advances() const { return auto_advances_; }
 
+  // --- epoch pipeline introspection (all zero when the pipeline is off).
+  // Warm-started background rebuilds installed without stopping traffic.
+  std::uint64_t pipelined_advances() const {
+    return pipeline_ ? pipeline_->pipelined_installs() : 0;
+  }
+  // Full stop-the-world scratch rebuilds (manual churn events plus
+  // health-triggered view changes).
+  std::uint64_t stop_the_world_advances() const { return stw_advances_; }
+  std::uint64_t pipeline_invalidations() const {
+    return pipeline_ ? pipeline_->invalidations() : 0;
+  }
+  std::uint64_t deltas_absorbed_incrementally() const {
+    return pipeline_ ? pipeline_->absorbed_incrementally() : 0;
+  }
+
+  // Observer called after every generation install (scratch and pipelined)
+  // with the new shared state and the sim time it took effect; the fuzzer
+  // uses it to timestamp epoch transitions for the transition-safety
+  // checker. Set before the run starts.
+  using InstallObserver =
+      std::function<void(std::shared_ptr<const HermesShared>, double now_ms)>;
+  void set_install_observer(InstallObserver observer) {
+    install_observer_ = std::move(observer);
+  }
+
  private:
+  void install_generation(ExperimentContext& ctx,
+                          std::shared_ptr<HermesShared> next,
+                          overlay::OverlaySet&& set);
+  void install_pipelined(ExperimentContext& ctx,
+                         const std::vector<MembershipDelta>& deltas);
+  std::shared_ptr<HermesShared> clone_shared_for_next_epoch() const;
+
   HermesConfig config_;
   std::shared_ptr<const HermesShared> shared_;
   // Anti-flapping state for health-triggered view changes.
   double last_auto_advance_ms_ = -1e300;
   std::uint64_t auto_advances_ = 0;
+  std::uint64_t stw_advances_ = 0;
+  // Physical shortest-path cache shared by every overlay build of the
+  // experiment: the graph never changes between epochs, so the rows are
+  // computed once and reused by scratch and warm rebuilds alike.
+  std::unique_ptr<overlay::LinkCostCache> costs_;
+  // Last built overlay set (decoded trees + accumulated ranks): the warm
+  // seed for the next pipelined rebuild.
+  overlay::OverlaySet last_set_;
+  std::unique_ptr<EpochPipeline> pipeline_;
+  // Last membership state this protocol acted on, per node (true =
+  // present). Every honest node reports each admission/departure; only the
+  // first report of a state change feeds the pipeline queue. Ordered map
+  // for reproducible bookkeeping (never iterated onto the wire).
+  std::map<net::NodeId, bool> membership_state_;
+  // Highest admission epoch already acted on per node, stored as epoch+1
+  // (0 = never admitted). Gates the implicit leave+join a
+  // re-admission-while-present implies: one conversion per admission,
+  // however many honest nodes report it.
+  std::map<net::NodeId, std::uint64_t> rejoin_epoch_;
+  InstallObserver install_observer_;
 };
 
 // Picks the committee for the experiment: 3f+1 members with at most f

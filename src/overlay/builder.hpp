@@ -32,8 +32,25 @@ struct OverlaySet {
 
 // Builds k robust trees with shared rank accounting, annealing each before
 // the next tree's ranks are computed (Algorithm 1 line 25: optimize, then
-// move on). Deterministic given the rng seed.
+// move on). Deterministic given the rng seed. Passing `costs` (built over
+// the same graph) reuses the caller's shortest-path cache across calls —
+// the physical graph does not change between epochs, so re-deriving the
+// pairwise rows on every rebuild is pure waste.
 OverlaySet build_overlay_set(const net::Graph& g, const BuilderParams& params,
-                             Rng& rng);
+                             Rng& rng, const LinkCostCache* costs = nullptr);
+
+// Warm-started rebuild: instead of growing each tree from scratch, seed
+// tree l with the previous epoch's tree l after surgically detaching and
+// re-attaching every churned node (departures demote from their old slots,
+// joiners get fresh placements), then anneal from that warm start. A tree
+// whose surgery fails (local repair or attachment impossible) falls back
+// to the scratch robust-tree build. `churned` must be sorted ascending —
+// the canonical application order that keeps results byte-identical across
+// replicas. Deterministic given the rng seed, independent of worker count.
+OverlaySet build_overlay_set_warm(const net::Graph& g,
+                                  const BuilderParams& params,
+                                  const OverlaySet& previous,
+                                  const std::vector<NodeId>& churned, Rng& rng,
+                                  const LinkCostCache* costs = nullptr);
 
 }  // namespace hermes::overlay

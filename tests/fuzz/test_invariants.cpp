@@ -93,7 +93,8 @@ TEST_P(MutationCatches, ByItsChecker) {
   opts.mutation = mutation;
   Scenario s = benign_hermes();
   if (mutation == Mutation::kRepairDivergence ||
-      mutation == Mutation::kLostRecovery) {
+      mutation == Mutation::kLostRecovery ||
+      mutation == Mutation::kTransitionCut) {
     // The self-healing checkers only bite when the loop is on, and
     // recovery-liveness additionally wants a recovery-sized drain.
     s.self_healing = true;
@@ -120,7 +121,9 @@ INSTANTIATE_TEST_SUITE_P(
         MutationCase{Mutation::kOverlayDeficit, "overlay-connectivity"},
         MutationCase{Mutation::kRepairDivergence, "repair-convergence"},
         MutationCase{Mutation::kLostRecovery, "recovery-liveness"},
-        MutationCase{Mutation::kPhantomEviction, "mempool-pressure"}),
+        MutationCase{Mutation::kPhantomEviction, "mempool-pressure"},
+        MutationCase{Mutation::kEpochSkew, "epoch-transition-safety"},
+        MutationCase{Mutation::kTransitionCut, "transition-connectivity"}),
     [](const ::testing::TestParamInfo<MutationCase>& info) {
       std::string name = mutation_name(info.param.mutation);
       for (char& c : name) {
@@ -135,7 +138,8 @@ TEST(Invariants, MutationNamesRoundTrip) {
         Mutation::kSequenceFabrication, Mutation::kWrongOverlay,
         Mutation::kFalseAccusation, Mutation::kOverlayDeficit,
         Mutation::kRepairDivergence, Mutation::kLostRecovery,
-        Mutation::kPhantomEviction}) {
+        Mutation::kPhantomEviction, Mutation::kEpochSkew,
+        Mutation::kTransitionCut}) {
     const auto back = mutation_from(mutation_name(m));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, m);

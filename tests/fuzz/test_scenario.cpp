@@ -153,12 +153,15 @@ TEST(Scenario, SampledScenariosSatisfySystemModel) {
 TEST(Scenario, LegacyModeIsAPrefixOfExtended) {
   bool saw_extended_faults = false;
   bool saw_load = false;
+  bool saw_storm = false;
   for (std::uint64_t seed = 1; seed <= 120; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const Scenario legacy = generate_scenario(seed, false);
     EXPECT_TRUE(legacy.link_flaps.empty());
     EXPECT_TRUE(legacy.stragglers.empty());
     EXPECT_FALSE(legacy.self_healing);
+    EXPECT_FALSE(legacy.join_admission);
+    EXPECT_FALSE(legacy.epoch_pipeline);
     EXPECT_FALSE(legacy.has_load());
     EXPECT_EQ(legacy.mempool_capacity, 0u);
 
@@ -166,9 +169,15 @@ TEST(Scenario, LegacyModeIsAPrefixOfExtended) {
     saw_extended_faults |= !ext.link_flaps.empty() ||
                            !ext.stragglers.empty() || ext.self_healing;
     saw_load |= ext.has_load();
+    saw_storm |= ext.epoch_pipeline;
     ext.link_flaps.clear();
     ext.stragglers.clear();
     ext.self_healing = false;
+    ext.join_admission = false;
+    ext.epoch_pipeline = false;
+    // Churn storms only append events after the legacy-drawn ones.
+    ASSERT_GE(ext.churn.size(), legacy.churn.size());
+    ext.churn.resize(legacy.churn.size());
     ext.load_rate_hz = 0.0;
     ext.load_duration_ms = 0.0;
     ext.load_start_ms = 0.0;
@@ -179,6 +188,7 @@ TEST(Scenario, LegacyModeIsAPrefixOfExtended) {
   }
   EXPECT_TRUE(saw_extended_faults) << "extended sampler never fired";
   EXPECT_TRUE(saw_load) << "load sampler never fired";
+  EXPECT_TRUE(saw_storm) << "churn-storm sampler never fired";
 }
 
 TEST(Scenario, ExtendedFieldsRoundTrip) {

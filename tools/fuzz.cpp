@@ -24,6 +24,13 @@
 //       self-healing smoke: crash f nodes mid-dissemination in an
 //       otherwise benign HERMES scenario with the healing loop on; the
 //       recovery-liveness and repair-convergence checkers must pass.
+//   fuzz --churn
+//       epoch-pipeline smoke: drive three consecutive leave/rejoin waves
+//       through the join-admission path with the background pipeline on;
+//       requires a clean invariant verdict (including the
+//       epoch-transition-safety and transition-connectivity checkers),
+//       at least three pipelined installs, zero stop-the-world advances,
+//       and byte-identical traces across worker counts {1,2,4}.
 
 #include <chrono>
 #include <cstdint>
@@ -55,6 +62,7 @@ int usage() {
                "       fuzz --hash-batch N [--seed-base S]\n"
                "       fuzz --paper-scale NODES\n"
                "       fuzz --recovery\n"
+               "       fuzz --churn\n"
                "options: --workers N   engine worker threads (0 = hardware\n"
                "                       concurrency; default 1). The trace\n"
                "                       hash is worker-count invariant.\n");
@@ -232,6 +240,104 @@ int recovery_smoke(std::size_t workers) {
   return 0;
 }
 
+// Deterministic epoch-pipeline smoke: the first benign HERMES scenario
+// with the fallback on, healing + join admission + pipeline enabled, and
+// three sequential leave/rejoin waves of f non-committee non-sender nodes.
+// Keepalive injections run through every crash window so silence strikes
+// accrue and the departures are actually detected (a silent network never
+// convicts anyone). Each wave must be absorbed by a pipelined background
+// rebuild — never a stop-the-world one — and the whole run must be
+// worker-count invariant.
+int churn_smoke() {
+  std::uint64_t seed = 1;
+  Scenario s = generate_scenario(seed, false);
+  while (!(s.hermes() && s.benign() && s.enable_fallback)) {
+    s = generate_scenario(++seed, false);
+  }
+  s.self_healing = true;
+  s.join_admission = true;
+  s.epoch_pipeline = true;
+  std::unordered_set<net::NodeId> exempt(s.committee.begin(),
+                                         s.committee.end());
+  for (const Injection& inj : s.injections) exempt.insert(inj.sender);
+  std::vector<net::NodeId> victims;
+  for (net::NodeId v = 0; v < s.nodes && victims.size() < s.f; ++v) {
+    if (exempt.count(v) == 0) victims.push_back(v);
+  }
+  if (victims.empty()) {
+    std::fprintf(stderr, "churn smoke: no eligible victims\n");
+    return 2;
+  }
+  const net::NodeId pulse_sender = s.injections.front().sender;
+  double wt = 0.0;
+  for (const Injection& inj : s.injections) wt = std::max(wt, inj.at_ms);
+  wt += 300.0;
+  constexpr int kWaves = 3;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    ChurnEvent crash;
+    crash.at_ms = wt;
+    crash.nodes = victims;
+    s.churn.push_back(crash);
+    // Keepalive pulses inside the crash window: overlay traffic the
+    // victims stay silent on, which is what earns them silence strikes.
+    for (double off : {150.0, 400.0, 650.0, 900.0, 1150.0}) {
+      Injection pulse;
+      pulse.at_ms = wt + off;
+      pulse.sender = pulse_sender;
+      s.injections.push_back(pulse);
+    }
+    ChurnEvent rejoin;
+    rejoin.at_ms = wt + 1800.0;
+    rejoin.recover = true;
+    rejoin.rejoin = true;
+    rejoin.nodes = victims;
+    s.churn.push_back(rejoin);
+    wt = rejoin.at_ms + 1200.0;
+  }
+  s.drain_ms = std::max(s.drain_ms, 14000.0);
+  std::printf("churn smoke: seed %llu, %d waves of %zu node(s)\n%s\n",
+              static_cast<unsigned long long>(seed), kWaves, victims.size(),
+              describe(s).c_str());
+
+  RunResult base;
+  for (const std::size_t workers : {1, 2, 4}) {
+    RunOptions opts;
+    opts.workers = workers;
+    const RunResult r = run_scenario(s, opts);
+    std::printf(
+        "workers=%zu trace %s (%zu sends, %llu pipelined, %llu stw, "
+        "%llu invalidations, %llu absorbed)\n",
+        workers, r.trace_hash.c_str(), r.sends,
+        static_cast<unsigned long long>(r.pipelined_installs),
+        static_cast<unsigned long long>(r.stop_the_world_advances),
+        static_cast<unsigned long long>(r.pipeline_invalidations),
+        static_cast<unsigned long long>(r.deltas_absorbed));
+    if (workers == 1) {
+      base = r;
+    } else if (r.trace_hash != base.trace_hash) {
+      std::printf("NONDETERMINISTIC: workers=%zu diverged from workers=1\n",
+                  workers);
+      return 1;
+    }
+  }
+  if (!base.ok()) {
+    print_failures(base);
+    return 1;
+  }
+  if (base.pipelined_installs < kWaves) {
+    std::printf("FAIL: expected >= %d pipelined installs, saw %llu\n", kWaves,
+                static_cast<unsigned long long>(base.pipelined_installs));
+    return 1;
+  }
+  if (base.stop_the_world_advances != 0) {
+    std::printf("FAIL: expected zero stop-the-world advances, saw %llu\n",
+                static_cast<unsigned long long>(base.stop_the_world_advances));
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +351,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> paper_scale_nodes;
   std::string replay_file;
   bool recovery = false;
+  bool churn = false;
   Mutation mutation = Mutation::kNone;
   std::size_t workers = 1;  // 0 = hardware concurrency (engine resolves)
 
@@ -296,6 +403,8 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--recovery") {
       recovery = true;
+    } else if (arg == "--churn") {
+      churn = true;
     } else if (arg == "--workers") {
       const auto v = parse_u64(value);
       if (!v) return usage();
@@ -320,6 +429,9 @@ int main(int argc, char** argv) {
   }
   if (recovery) {
     return recovery_smoke(workers);
+  }
+  if (churn) {
+    return churn_smoke();
   }
   if (paper_scale_nodes) {
     return paper_scale(*paper_scale_nodes, workers);

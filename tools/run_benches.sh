@@ -118,7 +118,7 @@ run_sim() {
   local out="$ROOT/BENCH_sim.json"
   local tmp
   tmp="$(mktemp)"
-  local filter='BM_Engine|BM_Network|BM_HermesDissemination|BM_GossipDissemination|BM_DegradedDissemination'
+  local filter='BM_Engine|BM_Network|BM_HermesDissemination|BM_GossipDissemination|BM_DegradedDissemination|BM_ChurnedDissemination'
   if [[ $QUICK -eq 1 ]]; then
     filter='BM_EngineScheduleDrain/1024$|BM_NetworkRandomSends'
   fi
@@ -139,6 +139,11 @@ run_sim() {
     # failing is what the smoke guards against.
     "$bin" --nodes 300 --workers 2 \
       --benchmark_filter='BM_HermesDissemination/300/workers:2'
+    # Churn smoke: the pipelined arm of the join/leave-storm dissemination
+    # bench. Guards the epoch pipeline end-to-end (incremental joins,
+    # warm-started re-anneal, background install) under crash + rejoin.
+    "$bin" --benchmark_filter='BM_ChurnedDissemination/1/' \
+      --benchmark_repetitions=1
   fi
 
   # Baseline: seed revision (std::function callbacks in a binary-heap
