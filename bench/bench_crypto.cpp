@@ -24,12 +24,12 @@
 #include <string>
 #include <vector>
 
-#include "src/crypto/bignum.hpp"
-#include "src/crypto/bignum_reference.hpp"
-#include "src/crypto/rsa.hpp"
-#include "src/crypto/sim_signer.hpp"
-#include "src/crypto/threshold_rsa.hpp"
-#include "src/support/rng.hpp"
+#include "crypto/bignum.hpp"
+#include "crypto/bignum_reference.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sim_signer.hpp"
+#include "crypto/threshold_rsa.hpp"
+#include "support/rng.hpp"
 
 namespace {
 

@@ -36,6 +36,7 @@
 #include "crypto/rsa.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hermes::crypto {
 
@@ -117,7 +118,7 @@ class ThresholdRsaContext {
   mutable std::mutex cache_mu_;
   mutable std::map<std::vector<std::size_t>,
                    std::shared_ptr<const std::map<std::size_t, BigInt>>>
-      lagrange_cache_;
+      lagrange_cache_ HERMES_GUARDED_BY(cache_mu_);
 };
 
 // Produces player `share.index`'s partial signature with its proof. The

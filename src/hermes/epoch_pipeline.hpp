@@ -17,7 +17,11 @@
 // is lost; the next delta starts a fresh cycle).
 //
 // The class consumes no randomness and no wall clock; every method runs
-// inside engine-global control events, so it needs no locking.
+// inside engine-global control events, so it needs no locking. That
+// contract is machine-checked: the delta queue is marked
+// HERMES_GUARDED_BY_QUIESCENCE, so hermeslint's quiescence-safety rule
+// rejects any call path from a lane-context message handler into a method
+// touching it that does not pass through Engine::defer / schedule_global.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hermes::hermes_proto {
 
@@ -75,7 +80,7 @@ class EpochPipeline {
   ScheduleFn schedule_;
   InstallFn install_;
 
-  std::deque<MembershipDelta> queue_;
+  std::deque<MembershipDelta> queue_ HERMES_GUARDED_BY_QUIESCENCE;
   bool annealing_ = false;
   std::size_t snapshot_size_ = 0;  // queue size when the anneal started
   std::size_t retries_ = 0;

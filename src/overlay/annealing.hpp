@@ -91,7 +91,7 @@ class LinkCostCache {
   const net::Graph& g_;
   mutable std::mutex mu_;
   mutable std::unordered_map<NodeId, std::unique_ptr<const std::vector<double>>>
-      cache_;
+      cache_ HERMES_GUARDED_BY(mu_);
 };
 
 // One candidate move as an apply/undo edit list. Ops are recorded in the

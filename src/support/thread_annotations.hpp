@@ -1,0 +1,37 @@
+// Concurrency annotations, consumed twice:
+//
+//   1. hermeslint's lock-discipline and quiescence-safety rules parse them
+//      textually (tools/hermeslint/index.cpp), so they work on every
+//      compiler including this repo's gcc builds;
+//   2. under clang with a capability-annotated standard library they expand
+//      to the Clang thread-safety attributes, so `-Wthread-safety`
+//      (CMake option HERMES_THREAD_SAFETY, preset clang-tsa) re-checks the
+//      same claims with a real flow-sensitive analysis.
+//
+// The attribute expansion is gated on libc++ with
+// _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS because libstdc++'s std::mutex
+// carries no capability attribute — annotating against it would only
+// produce -Wthread-safety-attributes noise.
+//
+//   HERMES_GUARDED_BY(m)   field may only be read/written while holding m
+//   HERMES_REQUIRES(m)     function may only be called while holding m
+//   HERMES_GUARDED_BY_QUIESCENCE
+//                          field may only be touched while every engine
+//                          lane is quiescent (control events, ShardScope,
+//                          Engine::defer callbacks). No compiler analogue —
+//                          checked only by hermeslint's quiescence rule.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(_LIBCPP_VERSION) && \
+    defined(_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS)
+#define HERMES_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HERMES_THREAD_ANNOTATION(x)
+#endif
+
+#define HERMES_GUARDED_BY(m) HERMES_THREAD_ANNOTATION(guarded_by(m))
+#define HERMES_REQUIRES(...) \
+  HERMES_THREAD_ANNOTATION(exclusive_locks_required(__VA_ARGS__))
+#define HERMES_GUARDED_BY_QUIESCENCE

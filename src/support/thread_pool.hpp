@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
+
 namespace hermes {
 
 class ThreadPool {
@@ -39,17 +41,18 @@ class ThreadPool {
  private:
   void worker_loop();
   // Grabs and runs indices of the active batch until it is drained.
-  // Returns the number of indices this thread completed.
-  void drain_batch(std::unique_lock<std::mutex>& lock);
+  // Returns the number of indices this thread completed. The caller's lock
+  // is released around fn() and reacquired before returning.
+  void drain_batch(std::unique_lock<std::mutex>& lock) HERMES_REQUIRES(mu_);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a batch is available
   std::condition_variable done_cv_;  // caller: batch fully completed
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t next_ = 0;       // next index to hand out
-  std::size_t total_ = 0;      // indices in the active batch
-  std::size_t completed_ = 0;  // indices finished
-  bool stop_ = false;
+  const std::function<void(std::size_t)>* fn_ HERMES_GUARDED_BY(mu_) = nullptr;
+  std::size_t next_ HERMES_GUARDED_BY(mu_) = 0;   // next index to hand out
+  std::size_t total_ HERMES_GUARDED_BY(mu_) = 0;  // indices in active batch
+  std::size_t completed_ HERMES_GUARDED_BY(mu_) = 0;  // indices finished
+  bool stop_ HERMES_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

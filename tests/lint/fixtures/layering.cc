@@ -1,0 +1,16 @@
+// Fixture for the layering rule. The verdict depends on the virtual path
+// this file is linted under (tests/lint/test_hermeslint.cpp uses
+// src/overlay/layering.cc); line numbers are pinned there.
+#include <vector>
+
+#include "overlay/builder.hpp"    // OK: same module
+#include "support/assert.hpp"     // OK: support is below overlay
+#include "net/graph.hpp"          // OK: net is below overlay
+#include "hermes/hermes_node.hpp"  // BAD: hermes is above overlay
+#include "src/overlay/overlay.hpp"  // BAD: non-canonical src/ prefix
+// hermeslint: allow(layering) transitional shim until the split lands
+#include "workload/driver.hpp"
+
+namespace fixture {
+inline int layering_fixture_symbol() { return 0; }
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture for the lock-discipline rule. Line numbers are pinned by
+// tests/lint/test_hermeslint.cpp — edit with care.
+#include <mutex>
+
+namespace fixture {
+
+struct Cache {
+  Cache() { table_ = 1; }  // OK: constructors are exempt
+
+  int get(int k) const {
+    std::lock_guard<std::mutex> lock(mu_);  // OK: holder names the mutex
+    return table_ + k;
+  }
+
+  int peek() const { return table_; }  // BAD: no lock, no REQUIRES
+
+  // OK: the caller must hold mu_ (declaration-site annotation).
+  int locked_size() const HERMES_REQUIRES(mu_) { return table_; }
+
+  int caller_bad() const { return locked_size(); }  // BAD: REQUIRES callee, no lock
+
+  int caller_ok() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return locked_size();
+  }
+
+  int explicit_lock() {
+    mu_.lock();  // OK: explicit .lock() counts as holding
+    const int v = table_;
+    mu_.unlock();
+    return v;
+  }
+
+  // hermeslint: allow(lock-discipline) single-threaded init path, benched
+  int suppressed_peek() const { return table_; }
+
+  mutable std::mutex mu_;
+  int table_ HERMES_GUARDED_BY(mu_) = 0;
+  int free_ = 0;  // unguarded: may be touched anywhere
+};
+
+inline int touch_free(Cache& c) { return c.free_; }  // OK: not guarded
+
+}  // namespace fixture

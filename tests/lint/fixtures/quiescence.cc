@@ -1,0 +1,75 @@
+// Fixture for the quiescence-safety rule. Line numbers are pinned by
+// tests/lint/test_hermeslint.cpp — edit with care.
+namespace sim {
+
+struct Net {
+  void require_quiescent();
+  // Guarded mutator: discovered via the require_quiescent() call, not by
+  // name.
+  void set_crashed(int node, bool v) {
+    require_quiescent();
+    crashed = node + static_cast<int>(v);
+  }
+  int crashed = 0;
+};
+
+struct Pipe {
+  // Guarded state: only quiescent contexts may touch the queue.
+  void push(int d) { queue_ = d; }
+  int queue_ HERMES_GUARDED_BY_QUIESCENCE = 0;
+};
+
+struct Msg {
+  template <class T>
+  T as() const;
+};
+
+struct BadNode {
+  // BAD: handler -> helper -> guarded mutator with no defer on the path.
+  void on_message(const Msg& msg) { handle(msg.as<int>()); }
+  void handle(int m) { net.set_crashed(m, true); }
+  Net net;
+};
+
+struct BadPipeNode {
+  // BAD: handler reaches quiescence-guarded state directly.
+  void on_message(int m) { pipe.push(m); }
+  Pipe pipe;
+};
+
+struct Engine {
+  template <class F>
+  void defer(F f);
+  struct ShardScope {
+    ShardScope(Engine& e, int shard);
+  };
+};
+
+struct GoodDeferNode {
+  // OK: the mutation is wrapped in Engine::defer — runs at the barrier.
+  void on_message(const Msg& msg) {
+    const int m = msg.as<int>();
+    engine.defer([this, m] { net.set_crashed(m, true); });
+  }
+  Net net;
+  Engine engine;
+};
+
+struct GoodScopedNode {
+  // OK: the reachable mutator runs under ShardScope (quiescent context).
+  void on_message(const Msg& msg) { relaunch(msg.as<int>()); }
+  void relaunch(int m) {
+    Engine::ShardScope scope(engine, m);
+    net.set_crashed(m, true);
+  }
+  Net net;
+  Engine engine;
+};
+
+struct SuppressedNode {
+  // hermeslint: allow(quiescence-safety) replayed from a recorded trace, never live
+  void on_message(const Msg& msg) { net.set_crashed(msg.as<int>(), true); }
+  Net net;
+};
+
+}  // namespace sim

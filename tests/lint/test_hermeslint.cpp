@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "index.hpp"
 #include "lint.hpp"
 
 namespace {
@@ -101,6 +102,148 @@ TEST(Hermeslint, IncludeHygieneChecksHeadersOnly) {
   EXPECT_TRUE(clean.findings.empty());
 }
 
+// Replaces the first occurrence of `from` in `text` (mutation-test helper;
+// asserts the needle exists so a fixture edit cannot silently no-op the
+// mutation).
+std::string mutate(std::string text, const std::string& from,
+                   const std::string& to) {
+  const std::size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "mutation needle missing: " << from;
+  if (pos != std::string::npos) text.replace(pos, from.size(), to);
+  return text;
+}
+
+TEST(Hermeslint, QuiescenceFindsHandlerToMutatorPaths) {
+  const LintResult r = lint_one("quiescence.cc", "src/sim/quiescence.cc");
+  EXPECT_EQ(lines_for_rule(r, "quiescence-safety"),
+            (std::vector<int>{29, 36}));
+  EXPECT_EQ(r.suppressed, 1u);  // SuppressedNode, reasoned allow
+  bool has_path = false;
+  for (const Finding& f : r.findings) {
+    if (f.message.find("BadNode::on_message -> BadNode::handle -> "
+                       "Net::set_crashed") != std::string::npos) {
+      has_path = true;
+    }
+  }
+  EXPECT_TRUE(has_path);  // the finding names the full call path
+}
+
+TEST(Hermeslint, QuiescenceMutationsFlipFindings) {
+  const std::string base = read_fixture("quiescence.cc");
+
+  // Severing the handler -> helper edge removes BadNode's finding (the
+  // guarded mutator is no longer reachable); BadPipeNode's remains.
+  {
+    const std::string cut =
+        mutate(base, "void on_message(const Msg& msg) { handle(msg.as<int>()); }",
+               "void on_message(const Msg& msg) { (void)msg.as<int>(); }");
+    const LintResult r =
+        hermeslint::run({{"src/sim/quiescence.cc", cut}}, {});
+    EXPECT_EQ(lines_for_rule(r, "quiescence-safety"), (std::vector<int>{36}));
+  }
+
+  // Unwrapping GoodDeferNode's Engine::defer makes a new finding appear at
+  // its handler.
+  {
+    const std::string unwrapped =
+        mutate(base, "engine.defer([this, m] { net.set_crashed(m, true); });",
+               "net.set_crashed(m, true);");
+    const LintResult r =
+        hermeslint::run({{"src/sim/quiescence.cc", unwrapped}}, {});
+    EXPECT_EQ(lines_for_rule(r, "quiescence-safety"),
+              (std::vector<int>{29, 36, 50}));
+  }
+}
+
+TEST(Hermeslint, LockDisciplineFlagsUnlockedAccessAndRequiresCallers) {
+  const LintResult r =
+      lint_one("lock_discipline.cc", "src/sim/lock_discipline.cc");
+  EXPECT_EQ(lines_for_rule(r, "lock-discipline"), (std::vector<int>{15, 20}));
+  EXPECT_EQ(r.suppressed, 1u);  // suppressed_peek, reasoned allow
+}
+
+TEST(Hermeslint, LockDisciplineMutationsFlipFindings) {
+  const std::string base = read_fixture("lock_discipline.cc");
+
+  // Adding the lock to peek() removes its finding; caller_bad's remains.
+  {
+    const std::string locked = mutate(
+        base, "int peek() const { return table_; }",
+        "int peek() const { std::lock_guard<std::mutex> l(mu_); return "
+        "table_; }");
+    const LintResult r =
+        hermeslint::run({{"src/sim/lock_discipline.cc", locked}}, {});
+    EXPECT_EQ(lines_for_rule(r, "lock-discipline"), (std::vector<int>{20}));
+  }
+
+  // Removing the HERMES_REQUIRES annotation turns locked_size() into an
+  // unguarded accessor: caller_bad's call-site finding disappears and
+  // locked_size itself is now an unlocked access.
+  {
+    const std::string unannotated =
+        mutate(base, "int locked_size() const HERMES_REQUIRES(mu_)",
+               "int locked_size() const");
+    const LintResult r =
+        hermeslint::run({{"src/sim/lock_discipline.cc", unannotated}}, {});
+    EXPECT_EQ(lines_for_rule(r, "lock-discipline"), (std::vector<int>{15, 18}));
+  }
+}
+
+TEST(Hermeslint, LayeringEnforcesModuleDagAndCanonicalPaths) {
+  const LintResult r = lint_one("layering.cc", "src/overlay/layering.cc");
+  EXPECT_EQ(lines_for_rule(r, "layering"), (std::vector<int>{9, 10}));
+  EXPECT_EQ(r.suppressed, 1u);  // own-line allow above the workload include
+  bool names_module = false;
+  for (const Finding& f : r.findings) {
+    if (f.message.find("module 'overlay' must not include "
+                       "'hermes/hermes_node.hpp'") != std::string::npos) {
+      names_module = true;
+    }
+  }
+  EXPECT_TRUE(names_module);
+}
+
+TEST(Hermeslint, LayeringIsUnscopedOutsideModules) {
+  // The same file under tests/ is unscoped: no layering findings, and the
+  // now-unmatched allow() is itself reported as unused.
+  const LintResult r = lint_one("layering.cc", "tests/lint_fixture_copy.cc");
+  EXPECT_TRUE(lines_for_rule(r, "layering").empty());
+  EXPECT_EQ(r.suppressed, 0u);
+  EXPECT_EQ(lines_for_rule(r, "suppression"), (std::vector<int>{11}));
+}
+
+TEST(Hermeslint, LayeringMutationDowngradingIncludeRemovesFinding) {
+  const std::string base = read_fixture("layering.cc");
+  const std::string downgraded = mutate(
+      base, "#include \"hermes/hermes_node.hpp\"", "#include \"crypto/rsa.hpp\"");
+  const LintResult r =
+      hermeslint::run({{"src/overlay/layering.cc", downgraded}}, {});
+  EXPECT_EQ(lines_for_rule(r, "layering"), (std::vector<int>{10}));
+}
+
+TEST(Hermeslint, SemanticFindingsRoundTripThroughBaseline) {
+  const std::vector<std::pair<std::string, std::string>> fixtures = {
+      {"quiescence.cc", "src/sim/quiescence.cc"},
+      {"lock_discipline.cc", "src/sim/lock_discipline.cc"},
+      {"layering.cc", "src/overlay/layering.cc"},
+  };
+  std::vector<SourceFile> files;
+  for (const auto& [fixture, path] : fixtures) {
+    files.push_back({path, read_fixture(fixture)});
+  }
+  const LintResult first = hermeslint::run(files, {});
+  ASSERT_EQ(first.findings.size(), 6u);
+
+  std::vector<std::string> baseline;
+  for (const Finding& f : first.findings) {
+    baseline.push_back(hermeslint::baseline_entry(f));
+  }
+  const LintResult second = hermeslint::run(files, baseline);
+  EXPECT_TRUE(second.findings.empty());
+  EXPECT_EQ(second.baselined, first.findings.size());
+  EXPECT_EQ(second.stale_baseline, 0u);
+}
+
 TEST(Hermeslint, BaselineSilencesGrandfatheredFindings) {
   const LintResult first = lint_one("wallclock.cc", "src/sim/wallclock.cc");
   ASSERT_FALSE(first.findings.empty());
@@ -128,6 +271,9 @@ TEST(Hermeslint, OutputIsDeterministicAndInputOrderIndependent) {
       {"raw_new.cc", "src/raw_new.cc"},
       {"header_bad.hpp", "src/header_bad.hpp"},
       {"header_clean.hpp", "src/header_clean.hpp"},
+      {"quiescence.cc", "src/sim/quiescence.cc"},
+      {"lock_discipline.cc", "src/sim/lock_discipline.cc"},
+      {"layering.cc", "src/overlay/layering.cc"},
   };
   std::vector<SourceFile> files;
   for (const auto& [fixture, path] : fixtures) {
@@ -147,6 +293,77 @@ TEST(Hermeslint, OutputIsDeterministicAndInputOrderIndependent) {
   EXPECT_FALSE(forward_text.empty());
 }
 
+TEST(HermeslintIndex, ExtractsDefinitionsCallsLocksAndAnnotations) {
+  const hermeslint::Index idx = hermeslint::build_index(
+      {{"src/sim/a.hpp",
+        "struct W {\n"
+        "  void run();\n"
+        "  void helper(int) const;\n"
+        "  std::mutex mu_;\n"
+        "  int jobs_ HERMES_GUARDED_BY(mu_) = 0;\n"
+        "};\n"},
+       {"src/sim/a.cpp",
+        "#include \"sim/a.hpp\"\n"
+        "void W::run() {\n"
+        "  std::lock_guard<std::mutex> lock(mu_);\n"
+        "  helper(jobs_);\n"
+        "  eng.defer([this] { helper(1); });\n"
+        "}\n"}});
+
+  ASSERT_EQ(idx.functions.size(), 1u);  // declarations are not definitions
+  const hermeslint::FunctionDef& run = idx.functions[0];
+  EXPECT_EQ(run.name, "run");
+  EXPECT_EQ(run.scope, "W");
+  EXPECT_EQ(run.file, "src/sim/a.cpp");
+  EXPECT_EQ(run.line, 2);
+  EXPECT_EQ(run.locked_mutexes.count("mu_"), 1u);
+  EXPECT_EQ(run.body_idents.count("jobs_"), 1u);
+
+  // Two helper call sites: the direct one and the deferred one.
+  int direct = 0, deferred = 0;
+  for (const hermeslint::CallSite& c : run.calls) {
+    if (c.name != "helper") continue;
+    (c.deferred ? deferred : direct)++;
+  }
+  EXPECT_EQ(direct, 1);
+  EXPECT_EQ(deferred, 1);
+
+  ASSERT_EQ(idx.guarded_fields.size(), 1u);
+  EXPECT_EQ(idx.guarded_fields[0].cls, "W");
+  EXPECT_EQ(idx.guarded_fields[0].field, "jobs_");
+  EXPECT_EQ(idx.guarded_fields[0].mutex, "mu_");
+
+  // The include graph records the directive with its line.
+  ASSERT_EQ(idx.files.size(), 2u);
+  EXPECT_EQ(idx.files[0].path, "src/sim/a.cpp");  // sorted path order
+  ASSERT_EQ(idx.files[0].includes.size(), 1u);
+  EXPECT_EQ(idx.files[0].includes[0].path, "sim/a.hpp");
+  EXPECT_EQ(idx.files[0].includes[0].line, 1);
+}
+
+TEST(HermeslintIndex, ResolvePrefersQualifierThenScope) {
+  const hermeslint::Index idx = hermeslint::build_index(
+      {{"src/x.cpp",
+        "struct A { void f() { g(); } void g() {} };\n"
+        "struct B { void g() {} };\n"
+        "void g() {}\n"}});
+  ASSERT_EQ(idx.functions.size(), 4u);
+
+  const hermeslint::FunctionDef* af = nullptr;
+  for (const auto& fn : idx.functions) {
+    if (fn.scope == "A" && fn.name == "f") af = &fn;
+  }
+  ASSERT_NE(af, nullptr);
+  ASSERT_EQ(af->calls.size(), 1u);
+  // A bare call from A::f resolves to A::g and the free g, never B::g.
+  std::vector<std::string> scopes;
+  for (std::size_t i : idx.resolve(*af, af->calls[0])) {
+    scopes.push_back(idx.functions[i].scope);
+  }
+  std::sort(scopes.begin(), scopes.end());
+  EXPECT_EQ(scopes, (std::vector<std::string>{"", "A"}));
+}
+
 TEST(Hermeslint, RuleCatalogueIsSortedAndComplete) {
   const auto& rules = hermeslint::rule_catalogue();
   std::vector<std::string> ids;
@@ -156,8 +373,9 @@ TEST(Hermeslint, RuleCatalogueIsSortedAndComplete) {
   }
   EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
   const std::vector<std::string> expected = {
-      "include-hygiene", "no-wallclock",   "raw-owning-new",
-      "suppression",     "tag-exhaustive", "unordered-iter"};
+      "include-hygiene", "layering",          "lock-discipline",
+      "no-wallclock",    "quiescence-safety", "raw-owning-new",
+      "suppression",     "tag-exhaustive",    "unordered-iter"};
   EXPECT_EQ(ids, expected);
 }
 

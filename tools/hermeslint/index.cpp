@@ -1,0 +1,582 @@
+#include "index.hpp"
+
+#include <algorithm>
+
+namespace hermeslint {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+// Identifiers that look like calls (`name (`) but never are.
+const std::set<std::string>& non_call_keywords() {
+  static const std::set<std::string> kw = {
+      "if",        "for",          "while",     "switch",   "catch",
+      "return",    "sizeof",       "alignof",   "alignas",  "decltype",
+      "noexcept",  "static_assert","throw",     "new",      "delete",
+      "co_await",  "co_return",    "co_yield",  "assert",   "defined",
+      "static_cast","dynamic_cast","const_cast","reinterpret_cast",
+      "__attribute__", "typeid",
+  };
+  return kw;
+}
+
+// Tokens allowed between a parameter list's `)` and the body `{` of a
+// function definition.
+const std::set<std::string>& trailer_tokens() {
+  static const std::set<std::string> tr = {
+      "const", "noexcept", "override", "final", "mutable", "volatile",
+      "&", "&&", "throw",
+  };
+  return tr;
+}
+
+const std::set<std::string>& lock_holder_types() {
+  static const std::set<std::string> names = {"lock_guard", "unique_lock",
+                                              "scoped_lock"};
+  return names;
+}
+
+const std::set<std::string>& deferral_names() {
+  static const std::set<std::string> names = {"defer", "schedule_global",
+                                              "schedule_global_at"};
+  return names;
+}
+
+class FileScanner {
+ public:
+  FileScanner(const std::string& path, const LexedFile& lx, Index* out,
+              std::map<std::pair<std::string, std::string>,
+                       std::set<std::string>>* decl_requires)
+      : path_(path), t_(lx.tokens), out_(out), decl_requires_(decl_requires) {}
+
+  void run() { scan_scope(0, t_.size(), ""); }
+
+ private:
+  bool is_ident(std::size_t i) const {
+    return i < t_.size() && t_[i].kind == Token::Kind::Identifier;
+  }
+  const std::string& text(std::size_t i) const { return t_[i].text; }
+
+  // `i` points at the opening token; returns the index ONE PAST the
+  // matching closer, or `end` on imbalance (unterminated constructs swallow
+  // the rest — the least-surprising behaviour for a linter).
+  std::size_t skip_balanced(std::size_t i, std::size_t end, const char* open,
+                            const char* close) const {
+    int depth = 0;
+    for (; i < end; ++i) {
+      if (text(i) == open) ++depth;
+      else if (text(i) == close && --depth == 0) return i + 1;
+    }
+    return end;
+  }
+
+  // `i` at `<`: skips a template argument list. Bails (returns npos) on
+  // statement punctuation, which means the `<` was a comparison.
+  std::size_t skip_angles(std::size_t i, std::size_t end) const {
+    int depth = 0;
+    for (; i < end; ++i) {
+      const std::string& s = text(i);
+      if (s == "<") ++depth;
+      else if (s == ">" && --depth == 0) return i + 1;
+      else if (s == ";" || s == "{" || s == "}") return npos;
+    }
+    return npos;
+  }
+
+  // Collects identifier tokens inside the balanced (...) starting at `i`.
+  void idents_in_parens(std::size_t i, std::size_t end,
+                        std::set<std::string>* dst) const {
+    const std::size_t close = skip_balanced(i, end, "(", ")");
+    for (std::size_t j = i + 1; j + 1 < close; ++j) {
+      if (is_ident(j)) dst->insert(text(j));
+    }
+  }
+
+  // --- declaration-scope scan (namespace / class bodies) ------------------
+
+  void scan_scope(std::size_t begin, std::size_t end, const std::string& cls) {
+    std::size_t i = begin;
+    while (i < end) {
+      const std::string& s = text(i);
+      if (s == "namespace") {
+        i = scan_namespace(i, end);
+      } else if (s == "class" || s == "struct" || s == "union") {
+        i = scan_class(i, end);
+      } else if (s == "enum") {
+        i = skip_statement(i, end);
+      } else if (s == "template") {
+        ++i;
+        if (i < end && text(i) == "<") {
+          const std::size_t j = skip_angles(i, end);
+          i = j == npos ? i + 1 : j;
+        }
+      } else if (s == "using" || s == "typedef" || s == "friend" ||
+                 s == "static_assert") {
+        i = skip_statement(i, end);
+      } else if (s == "extern" && i + 1 < end && text(i + 1) == "{") {
+        // `extern "C" {` — the literal is stripped; same scope inside.
+        const std::size_t close = skip_balanced(i + 1, end, "{", "}");
+        scan_scope(i + 2, close - 1, cls);
+        i = close;
+      } else if (s == "HERMES_GUARDED_BY" || s == "HERMES_GUARDED_BY_QUIESCENCE") {
+        i = scan_guarded_by(i, end, cls);
+      } else if (s == "HERMES_REQUIRES") {
+        // REQUIRES on a declaration whose trailer we are not inside (the
+        // definition path captures it in scan_trailer): attach by walking
+        // back to the declared name.
+        attach_decl_requires(i, end, cls);
+        ++i;
+        if (i < end && text(i) == "(") i = skip_balanced(i, end, "(", ")");
+      } else if (is_ident(i) || s == "~") {
+        const std::size_t next = try_function(i, end, cls);
+        i = next != npos ? next : i + 1;
+      } else if (s == "{") {
+        i = skip_balanced(i, end, "{", "}");  // stray brace: initializer etc.
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  std::size_t scan_namespace(std::size_t i, std::size_t end) {
+    ++i;  // past `namespace`
+    while (i < end && (is_ident(i) || text(i) == "::")) ++i;
+    if (i < end && text(i) == "=") return skip_statement(i, end);  // alias
+    if (i < end && text(i) == "{") {
+      const std::size_t close = skip_balanced(i, end, "{", "}");
+      scan_scope(i + 1, close - 1, "");
+      return close;
+    }
+    return i;
+  }
+
+  std::size_t scan_class(std::size_t i, std::size_t end) {
+    ++i;  // past class/struct/union
+    // The class name is the last identifier before `:` (base clause), `{`
+    // (body) or `;` (forward declaration) — this skips attribute macros and
+    // `final`. Template argument lists in base clauses live past the `:`,
+    // so the name region contains none.
+    std::string name;
+    std::size_t j = i;
+    for (; j < end; ++j) {
+      const std::string& s = text(j);
+      if (s == ";" ) return j + 1;            // forward declaration
+      if (s == ":" || s == "{") break;
+      if (s == "(") { j = skip_balanced(j, end, "(", ")") - 1; continue; }
+      if (s == "<") {  // templated name: `struct Foo<int>` specialization
+        const std::size_t a = skip_angles(j, end);
+        if (a == npos) return j + 1;
+        j = a - 1;
+        continue;
+      }
+      if (is_ident(j) && s != "final" && s != "alignas") name = s;
+    }
+    if (j >= end) return end;
+    if (text(j) == ":") {  // base clause: scan to the body `{`
+      for (++j; j < end; ++j) {
+        const std::string& s = text(j);
+        if (s == "{") break;
+        if (s == ";") return j + 1;
+        if (s == "<") {
+          const std::size_t a = skip_angles(j, end);
+          if (a == npos) return j + 1;
+          j = a - 1;
+        }
+      }
+      if (j >= end) return end;
+    }
+    const std::size_t close = skip_balanced(j, end, "{", "}");
+    scan_scope(j + 1, close - 1, name);
+    // Trailing declarator (`} instance;`) is skipped by the caller's loop.
+    return close;
+  }
+
+  // Skips to one past the next `;` at depth 0, balancing (), {} and [].
+  std::size_t skip_statement(std::size_t i, std::size_t end) const {
+    int depth = 0;
+    for (; i < end; ++i) {
+      const std::string& s = text(i);
+      if (s == "(" || s == "{" || s == "[") ++depth;
+      else if (s == ")" || s == "}" || s == "]") --depth;
+      else if (s == ";" && depth <= 0) return i + 1;
+    }
+    return end;
+  }
+
+  // `i` at HERMES_GUARDED_BY / HERMES_GUARDED_BY_QUIESCENCE: the annotated
+  // field is the identifier immediately before the macro.
+  std::size_t scan_guarded_by(std::size_t i, std::size_t end,
+                              const std::string& cls) {
+    GuardedField gf;
+    gf.cls = cls;
+    gf.file = path_;
+    gf.line = t_[i].line;
+    if (i > 0 && is_ident(i - 1)) gf.field = text(i - 1);
+    const bool quiescence = text(i) == "HERMES_GUARDED_BY_QUIESCENCE";
+    ++i;
+    if (i < end && text(i) == "(") {
+      const std::size_t close = skip_balanced(i, end, "(", ")");
+      if (!quiescence) {
+        // The guard expression: the last identifier inside (handles both
+        // `mu_` and `other.mu_` spellings).
+        for (std::size_t j = i + 1; j + 1 < close; ++j) {
+          if (is_ident(j)) gf.mutex = text(j);
+        }
+      }
+      i = close;
+    }
+    if (!gf.field.empty()) out_->guarded_fields.push_back(std::move(gf));
+    return i;
+  }
+
+  // HERMES_REQUIRES seen at declaration scope (outside a definition
+  // trailer): walk back over the parameter list to the declared name and
+  // record the requirement for later merging into the definition.
+  void attach_decl_requires(std::size_t i, std::size_t end,
+                            const std::string& cls) {
+    std::set<std::string> mutexes;
+    if (i + 1 < end && text(i + 1) == "(") {
+      idents_in_parens(i + 1, end, &mutexes);
+    }
+    if (mutexes.empty()) return;
+    // Walk left: [trailer tokens] `)` ...balanced... `(` name
+    std::size_t j = i;
+    while (j > 0 && trailer_tokens().count(text(j - 1)) != 0) --j;
+    if (j == 0 || text(j - 1) != ")") return;
+    int depth = 0;
+    std::size_t k = j - 1;
+    while (true) {
+      if (text(k) == ")") ++depth;
+      else if (text(k) == "(" && --depth == 0) break;
+      if (k == 0) return;
+      --k;
+    }
+    if (k == 0 || !is_ident(k - 1)) return;
+    const std::string name = text(k - 1);
+    (*decl_requires_)[{cls, name}].insert(mutexes.begin(), mutexes.end());
+  }
+
+  // --- function definitions ----------------------------------------------
+
+  // `i` at a candidate name token (identifier, or `~` before one). Returns
+  // one past the construct when a definition or declaration was consumed,
+  // npos when this is not a function-shaped declaration.
+  std::size_t try_function(std::size_t i, std::size_t end,
+                           const std::string& cls) {
+    std::string name;
+    std::size_t name_idx = i;
+    if (text(i) == "~") {
+      if (!is_ident(i + 1) || i + 2 >= end || text(i + 2) != "(") return npos;
+      name = "~" + text(i + 1);
+      name_idx = i + 1;
+    } else {
+      if (i + 1 >= end || text(i + 1) != "(") return npos;
+      name = text(i);
+    }
+    if (non_call_keywords().count(name) != 0) return npos;
+
+    // Out-of-line qualifier: `Engine::ShardScope::ShardScope(...)` — the
+    // innermost qualifier is the class scope.
+    std::string scope = cls;
+    {
+      std::size_t q = (text(i) == "~") ? i : name_idx;
+      if (q >= 1 && text(q - 1) == "::" && q >= 2 && is_ident(q - 2)) {
+        scope = text(q - 2);
+      }
+    }
+
+    const std::size_t params_open = name_idx + 1;
+    const std::size_t params_close = skip_balanced(params_open, end, "(", ")");
+    if (params_close >= end) return npos;
+
+    FunctionDef fn;
+    fn.name = name;
+    fn.scope = scope;
+    fn.file = path_;
+    fn.line = t_[name_idx].line;
+    fn.is_ctor_dtor =
+        name[0] == '~' || (!scope.empty() && name == scope);
+
+    // Trailer between `)` and `{` / `;`.
+    std::size_t k = params_close;
+    bool is_definition = false;
+    while (k < end) {
+      const std::string& s = text(k);
+      if (trailer_tokens().count(s) != 0) {
+        ++k;
+        if (s == "noexcept" && k < end && text(k) == "(") {
+          k = skip_balanced(k, end, "(", ")");
+        }
+        continue;
+      }
+      if (s == "[" && k + 1 < end && text(k + 1) == "[") {
+        k = skip_balanced(k, end, "[", "]");
+        continue;
+      }
+      if (s == "HERMES_REQUIRES") {
+        if (k + 1 < end && text(k + 1) == "(") {
+          idents_in_parens(k + 1, end, &fn.required_mutexes);
+          k = skip_balanced(k + 1, end, "(", ")");
+        } else {
+          ++k;
+        }
+        continue;
+      }
+      if (s == "->") {  // trailing return type
+        ++k;
+        while (k < end && (is_ident(k) || text(k) == "::" || text(k) == "*" ||
+                           text(k) == "&" || text(k) == "<")) {
+          if (text(k) == "<") {
+            const std::size_t a = skip_angles(k, end);
+            if (a == npos) return npos;
+            k = a;
+          } else {
+            ++k;
+          }
+        }
+        continue;
+      }
+      if (s == "=") {  // `= default` / `= delete` / `= 0` declaration
+        k = skip_statement(k, end);
+        record_declaration(fn);
+        return k;
+      }
+      if (s == ";") {  // declaration
+        record_declaration(fn);
+        return k + 1;
+      }
+      if (s == ":") {  // ctor-init list
+        if (!fn.is_ctor_dtor) return npos;
+        k = skip_ctor_init(k + 1, end);
+        if (k == npos) return npos;
+        continue;  // k now points at the body `{`
+      }
+      if (s == "{") {
+        is_definition = true;
+        break;
+      }
+      return npos;  // anything else: not a function
+    }
+    if (!is_definition || k >= end) return npos;
+
+    const std::size_t body_close = skip_balanced(k, end, "{", "}");
+    scan_body(k + 1, body_close - 1, &fn);
+    out_->functions.push_back(std::move(fn));
+    return body_close;
+  }
+
+  void record_declaration(const FunctionDef& fn) {
+    if (!fn.required_mutexes.empty()) {
+      (*decl_requires_)[{fn.scope, fn.name}].insert(
+          fn.required_mutexes.begin(), fn.required_mutexes.end());
+    }
+  }
+
+  // `i` just past the `:` of a ctor-init list. Returns the index of the
+  // body `{`, or npos. An opening brace directly after an identifier or
+  // `>` is a member's brace-initializer; any other `{` is the body.
+  std::size_t skip_ctor_init(std::size_t i, std::size_t end) const {
+    bool prev_initializable = false;  // last token could precede an init {...}
+    while (i < end) {
+      const std::string& s = text(i);
+      if (s == "(") {
+        i = skip_balanced(i, end, "(", ")");
+        prev_initializable = false;
+        continue;
+      }
+      if (s == "<") {
+        const std::size_t a = skip_angles(i, end);
+        if (a == npos) return npos;
+        i = a;
+        prev_initializable = true;  // `Base<T>{...}`
+        continue;
+      }
+      if (s == "{") {
+        if (prev_initializable) {
+          i = skip_balanced(i, end, "{", "}");
+          prev_initializable = false;
+          continue;
+        }
+        return i;  // the body
+      }
+      if (s == ";" || s == "}") return npos;  // malformed
+      prev_initializable = is_ident(i);
+      ++i;
+    }
+    return npos;
+  }
+
+  // --- body scan -----------------------------------------------------------
+
+  void scan_body(std::size_t begin, std::size_t end, FunctionDef* fn) {
+    if (begin >= end) return;
+    // Pass 1: mark argument ranges of quiescent deferral calls — callees in
+    // there run at a window barrier, so the quiescence rule skips them.
+    std::vector<bool> deferred(end - begin, false);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!is_ident(i) || deferral_names().count(text(i)) == 0) continue;
+      if (i + 1 >= end || text(i + 1) != "(") continue;
+      const std::size_t close = skip_balanced(i + 1, end, "(", ")");
+      for (std::size_t j = i + 2; j + 1 < close; ++j) {
+        deferred[j - begin] = true;
+      }
+    }
+
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!is_ident(i)) continue;
+      const std::string& s = text(i);
+      fn->body_idents.insert(s);
+
+      if (s == "ShardScope") fn->makes_shard_scope = true;
+
+      // Lock acquisition via RAII holder construction.
+      if (lock_holder_types().count(s) != 0) {
+        std::size_t j = i + 1;
+        if (j < end && text(j) == "<") {
+          const std::size_t a = skip_angles(j, end);
+          if (a != npos) j = a;
+        }
+        if (j < end && is_ident(j)) ++j;  // holder variable name
+        if (j < end && text(j) == "(") {
+          idents_in_parens(j, end, &fn->locked_mutexes);
+        } else if (j < end && text(j) == "{") {
+          const std::size_t close = skip_balanced(j, end, "{", "}");
+          for (std::size_t a = j + 1; a + 1 < close; ++a) {
+            if (is_ident(a)) fn->locked_mutexes.insert(text(a));
+          }
+        }
+        continue;
+      }
+
+      // Explicit `m.lock()` / `m.try_lock()`.
+      if ((s == "lock" || s == "try_lock") && i + 1 < end &&
+          text(i + 1) == "(" && i >= 2 &&
+          (text(i - 1) == "." || text(i - 1) == "->") && is_ident(i - 2)) {
+        fn->locked_mutexes.insert(text(i - 2));
+        continue;
+      }
+
+      // Body dispatch: `.as<X>(` / `->try_as<X>(`.
+      if ((s == "as" || s == "try_as") && i + 3 < end && text(i + 1) == "<" &&
+          is_ident(i + 2) && text(i + 3) == ">" && i > 0 &&
+          (text(i - 1) == "." || text(i - 1) == "->")) {
+        fn->has_dispatch = true;
+        continue;
+      }
+
+      // Call site.
+      if (i + 1 < end && text(i + 1) == "(") {
+        if (non_call_keywords().count(s) != 0) continue;
+        if (s == "require_quiescent") {
+          fn->calls_require_quiescent = true;
+          continue;
+        }
+        CallSite call;
+        call.name = s;
+        call.line = t_[i].line;
+        call.deferred = deferred[i - begin];
+        if (i > 0) {
+          const std::string& prev = text(i - 1);
+          call.member = prev == "." || prev == "->";
+          if (prev == "::" && i >= 2 && is_ident(i - 2)) {
+            call.qualifier = text(i - 2);
+          }
+        }
+        fn->calls.push_back(std::move(call));
+      }
+    }
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& t_;
+  Index* out_;
+  std::map<std::pair<std::string, std::string>, std::set<std::string>>*
+      decl_requires_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> Index::resolve(const FunctionDef& caller,
+                                        const CallSite& call) const {
+  const auto it = by_name.find(call.name);
+  if (it == by_name.end()) return {};
+  const std::vector<std::size_t>& all = it->second;
+
+  auto filter = [&](auto pred) {
+    std::vector<std::size_t> out;
+    for (std::size_t idx : all) {
+      if (pred(functions[idx])) out.push_back(idx);
+    }
+    return out;
+  };
+
+  if (!call.qualifier.empty()) {
+    // `X::name(...)`: prefer members of class X, then free functions (the
+    // qualifier may be a namespace), then anything.
+    auto v = filter([&](const FunctionDef& f) { return f.scope == call.qualifier; });
+    if (!v.empty()) return v;
+    v = filter([](const FunctionDef& f) { return f.scope.empty(); });
+    if (!v.empty()) return v;
+    return all;
+  }
+  if (call.member) {
+    // `obj.name(...)`: some class's member. No receiver-type resolution, so
+    // every member definition with this name is a candidate.
+    auto v = filter([](const FunctionDef& f) { return !f.scope.empty(); });
+    return v.empty() ? all : v;
+  }
+  // Bare call: the caller's own class or a free function; fall back to the
+  // full set (could be an inherited member).
+  auto v = filter([&](const FunctionDef& f) {
+    return f.scope.empty() || f.scope == caller.scope;
+  });
+  return v.empty() ? all : v;
+}
+
+Index build_index(const std::vector<std::string>& paths,
+                  const std::vector<const LexedFile*>& lexed) {
+  Index idx;
+  std::map<std::pair<std::string, std::string>, std::set<std::string>>
+      decl_requires;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    idx.files.push_back({paths[i], lexed[i]->includes});
+    FileScanner scanner(paths[i], *lexed[i], &idx, &decl_requires);
+    scanner.run();
+  }
+  // Merge HERMES_REQUIRES recorded on declarations into the definitions
+  // (clang wants the attribute on the in-class declaration; the out-of-line
+  // definition body is what the lock rule inspects).
+  for (FunctionDef& fn : idx.functions) {
+    const auto it = decl_requires.find({fn.scope, fn.name});
+    if (it != decl_requires.end()) {
+      fn.required_mutexes.insert(it->second.begin(), it->second.end());
+    }
+  }
+  for (std::size_t i = 0; i < idx.functions.size(); ++i) {
+    idx.by_name[idx.functions[i].name].push_back(i);
+  }
+  return idx;
+}
+
+Index build_index(const std::vector<SourceFile>& files) {
+  std::vector<const SourceFile*> ordered;
+  ordered.reserve(files.size());
+  for (const SourceFile& f : files) ordered.push_back(&f);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SourceFile* a, const SourceFile* b) {
+              return a->path < b->path;
+            });
+  std::vector<LexedFile> lexed;
+  lexed.reserve(ordered.size());
+  std::vector<std::string> paths;
+  std::vector<const LexedFile*> ptrs;
+  for (const SourceFile* f : ordered) {
+    lexed.push_back(lex(f->content));
+    paths.push_back(f->path);
+  }
+  for (const LexedFile& lx : lexed) ptrs.push_back(&lx);
+  return build_index(paths, ptrs);
+}
+
+}  // namespace hermeslint

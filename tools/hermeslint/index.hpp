@@ -1,0 +1,114 @@
+// hermeslint declaration/definition indexer.
+//
+// A lightweight, compile-free semantic layer on top of the stripping lexer
+// (no libclang, no compilation database): one pass over each translation
+// unit tracks namespace/class scopes by brace matching, recognizes function
+// definitions (free, member, out-of-line `Class::method`), and extracts per
+// function the facts the whole-program rules consume:
+//
+//   - call sites (callee name, optional `X::` qualifier, member-call flag,
+//     and whether the call occurs inside the argument list of a quiescent
+//     deferral — `Engine::defer`, `schedule_global`, `schedule_global_at` —
+//     which makes the callee run at a window barrier, not in a lane);
+//   - lock acquisitions (`std::lock_guard` / `unique_lock` / `scoped_lock`
+//     constructions and explicit `m.lock()` calls, recorded by mutex name);
+//   - concurrency annotations: `HERMES_GUARDED_BY(m)` on fields,
+//     `HERMES_REQUIRES(m)` on function declarations or definitions, and
+//     `HERMES_GUARDED_BY_QUIESCENCE` on fields whose guard is engine
+//     quiescence rather than a mutex;
+//   - quiescence markers: direct `require_quiescent()` calls and
+//     `Engine::ShardScope` construction (both assert the engine is at a
+//     quiescent point);
+//   - message-handler markers: `as<T>()` / `try_as<T>()` body dispatch.
+//
+// Cross-TU linking is name-based (see resolve_calls): a call resolves to
+// every indexed definition whose name matches, narrowed by the `X::`
+// qualifier when present, by member-ness, and by the caller's own class for
+// unqualified calls. This over-approximates the true call graph — exactly
+// what the safety rules want — and its soundness limits (no overload or
+// inheritance resolution, lambdas attributed to their enclosing function,
+// function pointers and std::function fields invisible) are documented in
+// DESIGN.md "Static analysis".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace hermeslint {
+
+struct CallSite {
+  std::string name;       // unqualified callee name
+  std::string qualifier;  // `X` for `X::name(...)` calls, else empty
+  int line = 0;
+  bool member = false;    // preceded by `.` or `->`
+  // Inside the argument list of Engine::defer / schedule_global /
+  // schedule_global_at: the callee executes at a window barrier with every
+  // lane quiescent, so the quiescence rule must not follow this edge.
+  bool deferred = false;
+};
+
+struct FunctionDef {
+  std::string name;   // unqualified (`~X` for destructors)
+  std::string scope;  // innermost class (`X` for `X::f`), empty for free fns
+  std::string file;
+  int line = 0;
+  bool is_ctor_dtor = false;
+  std::vector<CallSite> calls;
+  // Every identifier that appears in the body (field-access approximation
+  // for the lock rule; shadowing by a same-named local is not resolved).
+  std::set<std::string> body_idents;
+  // Mutex names acquired in the body via lock_guard/unique_lock/scoped_lock
+  // construction or an explicit .lock() call.
+  std::set<std::string> locked_mutexes;
+  // Mutexes from HERMES_REQUIRES on this definition or a matching
+  // declaration: the caller must hold them; the body may touch guarded
+  // state without locking.
+  std::set<std::string> required_mutexes;
+  bool calls_require_quiescent = false;  // body calls require_quiescent()
+  bool makes_shard_scope = false;        // body constructs Engine::ShardScope
+  bool has_dispatch = false;             // body contains as<T>/try_as<T>
+};
+
+// A field annotated HERMES_GUARDED_BY(mutex) or, with `mutex` empty,
+// HERMES_GUARDED_BY_QUIESCENCE.
+struct GuardedField {
+  std::string cls;    // owning class (annotation at class scope)
+  std::string field;
+  std::string mutex;  // empty: guarded by engine quiescence
+  std::string file;
+  int line = 0;
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<IncludeDirective> includes;
+};
+
+struct Index {
+  std::vector<FileIndex> files;        // in sorted path order
+  std::vector<FunctionDef> functions;  // in (file, line) order
+  std::vector<GuardedField> guarded_fields;
+
+  // name -> indices into `functions` (all definitions sharing the name).
+  std::map<std::string, std::vector<std::size_t>> by_name;
+
+  // Resolves one call site from `caller` to candidate definition indices,
+  // name-based and deliberately over-approximate (see file comment).
+  std::vector<std::size_t> resolve(const FunctionDef& caller,
+                                   const CallSite& call) const;
+};
+
+// Indexes the already-lexed files. `paths[i]` names `lexed[i]`.
+Index build_index(const std::vector<std::string>& paths,
+                  const std::vector<const LexedFile*>& lexed);
+
+// Convenience overload for tests: lexes internally.
+Index build_index(const std::vector<SourceFile>& files);
+
+}  // namespace hermeslint

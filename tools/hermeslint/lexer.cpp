@@ -120,9 +120,22 @@ LexedFile lex(std::string_view src) {
       while (i < n && is_ident_char(src[i])) ++i;
       std::string word(src.substr(start, i - start));
       // `#include <path>`: the path is a literal, not tokens (otherwise
-      // `#include <new>` would look like a `new` expression).
+      // `#include <new>` would look like a `new` expression). The target is
+      // recorded for the include-graph rules.
       if (word == "include" && !out.tokens.empty() &&
           out.tokens.back().text == "#") {
+        while (i < n && (src[i] == ' ' || src[i] == '\t')) ++i;
+        if (i < n && (src[i] == '<' || src[i] == '"')) {
+          IncludeDirective inc;
+          inc.line = line;
+          inc.angled = src[i] == '<';
+          const char closer = inc.angled ? '>' : '"';
+          ++i;
+          const std::size_t start = i;
+          while (i < n && src[i] != closer && src[i] != '\n') ++i;
+          inc.path = std::string(src.substr(start, i - start));
+          out.includes.push_back(std::move(inc));
+        }
         while (i < n && src[i] != '\n') ++i;
         out.tokens.push_back({std::move(word), line, Token::Kind::Identifier});
         continue;

@@ -31,9 +31,20 @@ struct Comment {
   bool own_line = false;  // nothing but whitespace precedes it on its line
 };
 
+// One `#include` directive. The target path is captured verbatim (it is
+// otherwise swallowed: `<new>` must not look like a `new` expression and
+// quoted paths are string literals), which is what the include-graph
+// layering rule consumes.
+struct IncludeDirective {
+  int line = 0;
+  std::string path;    // without the <> or "" delimiters
+  bool angled = false;  // true for #include <...>
+};
+
 struct LexedFile {
   std::vector<Token> tokens;
   std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
   bool has_pragma_once = false;
 };
 

@@ -1,3 +1,7 @@
+// hermeslint driver: lexes the tree once, runs the token rules
+// (rules_token.cpp) and the index-based semantic rules
+// (rules_semantic.cpp), then applies suppressions and the baseline. See
+// lint.hpp for the engine contract and index.hpp for the semantic layer.
 #include "lint.hpp"
 
 #include <algorithm>
@@ -5,438 +9,16 @@
 #include <set>
 #include <sstream>
 
+#include "index.hpp"
 #include "lexer.hpp"
+#include "rules_internal.hpp"
 
 namespace hermeslint {
 
+using detail::Collection;
+using detail::LexedSource;
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// Rule catalogue and scoping
-// ---------------------------------------------------------------------------
-
-const char* kNoWallclock = "no-wallclock";
-const char* kUnorderedIter = "unordered-iter";
-const char* kTagExhaustive = "tag-exhaustive";
-const char* kRawOwningNew = "raw-owning-new";
-const char* kIncludeHygiene = "include-hygiene";
-const char* kSuppression = "suppression";
-
-bool starts_with(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const char* suffix) {
-  const std::size_t m = std::char_traits<char>::length(suffix);
-  return s.size() >= m && s.compare(s.size() - m, m, suffix) == 0;
-}
-
-// Directories whose behaviour feeds the deterministic trace-hash
-// guarantee: one wall-clock read here breaks cross-run reproducibility.
-bool wallclock_restricted(const std::string& path) {
-  return starts_with(path, "src/sim/") || starts_with(path, "src/hermes/") ||
-         starts_with(path, "src/protocols/") ||
-         starts_with(path, "src/overlay/") || starts_with(path, "src/fuzz/") ||
-         starts_with(path, "src/workload/") || starts_with(path, "src/crypto/");
-}
-
-// Iteration-order discipline applies to all production code and the
-// determinism-sensitive tools (the fuzz CLI writes corpus files that are
-// diffed byte-for-byte). Benches and tests merely observe.
-bool unordered_scoped(const std::string& path) {
-  return starts_with(path, "src/") || starts_with(path, "tools/");
-}
-
-bool is_header(const std::string& path) {
-  return ends_with(path, ".hpp") || ends_with(path, ".h");
-}
-
-const std::set<std::string>& unordered_type_names() {
-  static const std::set<std::string> names = {
-      "unordered_map", "unordered_set", "unordered_multimap",
-      "unordered_multiset"};
-  return names;
-}
-
-// Identifiers that are wall-clock / ambient-entropy sources wherever they
-// appear (no call-form disambiguation needed).
-const std::set<std::string>& banned_idents() {
-  static const std::set<std::string> names = {
-      "system_clock",  "steady_clock", "high_resolution_clock",
-      "random_device", "gettimeofday", "clock_gettime",
-      "timespec_get",  "getenv",       "secure_getenv",
-      "localtime",     "gmtime",       "mktime",
-  };
-  return names;
-}
-
-// Identifiers that are only banned as free/std calls: `time(...)` and
-// `std::time(...)` are wall clock, `engine.time(...)` is not.
-const std::set<std::string>& banned_calls() {
-  static const std::set<std::string> names = {
-      "time", "clock", "rand", "srand", "random", "drand48", "lrand48",
-      "rand_r",
-  };
-  return names;
-}
-
-// ---------------------------------------------------------------------------
-// Cross-file collection state
-// ---------------------------------------------------------------------------
-
-struct LexedSource {
-  const SourceFile* file = nullptr;
-  LexedFile lx;
-};
-
-struct TagDef {
-  std::string file;
-  int line = 0;
-};
-
-struct Collection {
-  // Names (variables, members, type aliases) declared with an unordered
-  // container type. Token-level linting has no real scopes, so the
-  // approximation is: a name declared in a header is visible everywhere
-  // (class members are declared in .hpp and iterated in .cpp); a name
-  // declared in a .cpp is visible only inside that file. This keeps a
-  // test-local `unordered_set<...> committee` from flagging the
-  // production `std::vector<...> committee`.
-  std::map<std::string, std::set<std::string>> unordered_decls;  // name -> files
-  std::set<std::string> unordered_header_names;
-  // Subset whose template arguments themselves contain an unordered
-  // container (map-of-maps): iterators into these expose an unordered
-  // `->second`.
-  std::map<std::string, std::set<std::string>> nested_decls;
-  std::set<std::string> nested_header_names;
-
-  void add_unordered(const std::string& name, const std::string& file,
-                     bool nested) {
-    unordered_decls[name].insert(file);
-    if (is_header(file)) unordered_header_names.insert(name);
-    if (nested) {
-      nested_decls[name].insert(file);
-      if (is_header(file)) nested_header_names.insert(name);
-    }
-  }
-
-  bool is_unordered(const std::string& name, const std::string& file) const {
-    if (unordered_header_names.count(name) != 0) return true;
-    auto it = unordered_decls.find(name);
-    return it != unordered_decls.end() && it->second.count(file) != 0;
-  }
-
-  bool is_nested(const std::string& name, const std::string& file) const {
-    if (nested_header_names.count(name) != 0) return true;
-    auto it = nested_decls.find(name);
-    return it != nested_decls.end() && it->second.count(file) != 0;
-  }
-  // Message body tag registry: definitions (struct X : sim::Body<X>) and
-  // dispatch sites (msg.as<X>() / msg.try_as<X>()).
-  std::map<std::string, TagDef> tag_defs;  // first definition site wins
-  std::set<std::string> tag_handled;
-};
-
-// Skips a balanced <...> template argument list. `i` must point at the
-// opening '<'. Returns the index one past the matching '>', and reports
-// whether an unordered container name occurred inside.
-std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i,
-                               bool* saw_unordered) {
-  int depth = 0;
-  do {
-    const std::string& s = t[i].text;
-    if (s == "<") ++depth;
-    if (s == ">") --depth;
-    if (depth > 0 && t[i].kind == Token::Kind::Identifier &&
-        unordered_type_names().count(s) != 0) {
-      *saw_unordered = true;
-    }
-    ++i;
-  } while (i < t.size() && depth > 0);
-  return i;
-}
-
-void collect_file(const LexedSource& ls, Collection* col) {
-  const std::vector<Token>& t = ls.lx.tokens;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::Identifier) continue;
-    const std::string& s = t[i].text;
-
-    // Declarations: std::unordered_map<K, V> name{, name2} / using A = ...
-    if (unordered_type_names().count(s) != 0 && i + 1 < t.size() &&
-        t[i + 1].text == "<") {
-      // `using Alias = std::unordered_map<...>` — the alias itself becomes
-      // an unordered name, so `Alias m;` declarations are picked up below.
-      bool nested = false;
-      if (i >= 4 && t[i - 1].text == "::" && t[i - 2].text == "std" &&
-          t[i - 3].text == "=" &&
-          t[i - 4].kind == Token::Kind::Identifier) {
-        skip_template_args(t, i + 1, &nested);
-        col->add_unordered(t[i - 4].text, ls.file->path, nested);
-      }
-      std::size_t j = skip_template_args(t, i + 1, &nested);
-      // Declarator: skip cv/ref/ptr noise, then take identifier names
-      // (`type a, b;` declares both).
-      while (j < t.size()) {
-        while (j < t.size() &&
-               (t[j].text == "const" || t[j].text == "*" ||
-                t[j].text == "&" || t[j].text == "&&")) {
-          ++j;
-        }
-        if (j >= t.size() || t[j].kind != Token::Kind::Identifier) break;
-        col->add_unordered(t[j].text, ls.file->path, nested);
-        ++j;
-        // `name{...}` / `name(...)` / `name = ...` initialisers: accept the
-        // name, then stop unless a comma continues the declarator list.
-        if (j < t.size() && (t[j].text == "{" || t[j].text == "(")) break;
-        if (j < t.size() && t[j].text == "=") break;
-        if (j < t.size() && t[j].text == ",") {
-          ++j;
-          continue;
-        }
-        break;
-      }
-      continue;
-    }
-
-    // Body tag definitions: `... : sim::Body<TxBody>` (base-clause
-    // context: preceded by `:`, `::` or `,`).
-    if (s == "Body" && i + 3 < t.size() && t[i + 1].text == "<" &&
-        t[i + 2].kind == Token::Kind::Identifier && t[i + 3].text == ">" &&
-        i > 0 &&
-        (t[i - 1].text == "::" || t[i - 1].text == ":" ||
-         t[i - 1].text == ",")) {
-      col->tag_defs.emplace(t[i + 2].text,
-                            TagDef{ls.file->path, t[i].line});
-      continue;
-    }
-
-    // Dispatch sites: `.as<X>` / `->try_as<X>`.
-    if ((s == "as" || s == "try_as") && i + 3 < t.size() &&
-        t[i + 1].text == "<" &&
-        t[i + 2].kind == Token::Kind::Identifier && t[i + 3].text == ">" &&
-        i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) {
-      col->tag_handled.insert(t[i + 2].text);
-      continue;
-    }
-  }
-}
-
-// Second collection pass, run after all files contributed: declarations
-// whose type is an unordered *alias* (`DeliveryMap deliveries;`) and
-// reference bindings (`auto& m = pending_;`).
-void collect_aliases(const LexedSource& ls, Collection* col) {
-  const std::vector<Token>& t = ls.lx.tokens;
-  const std::string& path = ls.file->path;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::Identifier) continue;
-    if (!col->is_unordered(t[i].text, path)) continue;
-    // `Alias name ...` where Alias names an unordered type. Only treat it
-    // as a declaration when a declarator-looking token follows, to avoid
-    // swallowing expression juxtapositions (which C++ does not have, but
-    // macro bodies might).
-    if (t[i + 1].kind == Token::Kind::Identifier && i + 2 < t.size() &&
-        (t[i + 2].text == ";" || t[i + 2].text == "=" ||
-         t[i + 2].text == "{")) {
-      col->add_unordered(t[i + 1].text, path, col->is_nested(t[i].text, path));
-    }
-    // `auto& m = pending_;` — m aliases the container.
-    if (i >= 2 && t[i - 1].text == "=" &&
-        (i + 1 >= t.size() || t[i + 1].text == ";")) {
-      std::size_t j = i - 2;  // candidate bound name
-      if (t[j].kind == Token::Kind::Identifier && j >= 1) {
-        std::size_t k = j - 1;
-        while (k > 0 && (t[k].text == "&" || t[k].text == "const")) --k;
-        if (t[k].text == "auto") {
-          col->add_unordered(t[j].text, path, col->is_nested(t[i].text, path));
-        }
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Per-file checks
-// ---------------------------------------------------------------------------
-
-void check_wallclock(const LexedSource& ls, std::vector<Finding>* out) {
-  if (!wallclock_restricted(ls.file->path)) return;
-  const std::vector<Token>& t = ls.lx.tokens;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::Identifier) continue;
-    const std::string& s = t[i].text;
-    if (banned_idents().count(s) != 0) {
-      out->push_back({ls.file->path, t[i].line, kNoWallclock,
-                      "'" + s +
-                          "' is a wall-clock/ambient-entropy source; use "
-                          "sim::SimTime and seeded support RNGs"});
-      continue;
-    }
-    if (banned_calls().count(s) != 0 && i + 1 < t.size() &&
-        t[i + 1].text == "(") {
-      // Member calls (`engine.time(...)`) are fine; `::time` / `std::time`
-      // and unqualified calls are the libc functions.
-      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
-      if (i > 0 && t[i - 1].text == "::") {
-        if (i >= 2 && t[i - 2].kind == Token::Kind::Identifier &&
-            t[i - 2].text != "std") {
-          continue;  // SomeClass::time(...) — not libc
-        }
-      }
-      // `double time() const` is a declaration, not a call: an identifier
-      // directly before the name is a type (calls follow punctuation or a
-      // statement keyword).
-      if (i > 0 && t[i - 1].kind == Token::Kind::Identifier &&
-          t[i - 1].text != "return" && t[i - 1].text != "co_return" &&
-          t[i - 1].text != "co_await" && t[i - 1].text != "throw" &&
-          t[i - 1].text != "else" && t[i - 1].text != "do") {
-        continue;
-      }
-      out->push_back({ls.file->path, t[i].line, kNoWallclock,
-                      "call to '" + s +
-                          "()' is nondeterministic; use sim::SimTime and "
-                          "seeded support RNGs"});
-    }
-  }
-}
-
-void check_unordered_iter(const LexedSource& ls, const Collection& col,
-                          std::vector<Finding>* out) {
-  if (!unordered_scoped(ls.file->path)) return;
-  const std::vector<Token>& t = ls.lx.tokens;
-
-  // File-local iterator variables into map-of-maps:
-  // `auto it = outer_.find(k);` — `it->second` is an unordered container.
-  const std::string& path = ls.file->path;
-  std::set<std::string> nested_iters;
-  for (std::size_t i = 0; i + 4 < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::Identifier ||
-        !col.is_nested(t[i].text, path)) {
-      continue;
-    }
-    if (t[i + 1].text != "." ||
-        (t[i + 2].text != "find" && t[i + 2].text != "begin" &&
-         t[i + 2].text != "cbegin")) {
-      continue;
-    }
-    // Walk left: `auto [const] [&] name =` immediately before the call.
-    if (i >= 2 && t[i - 1].text == "=" &&
-        t[i - 2].kind == Token::Kind::Identifier) {
-      nested_iters.insert(t[i - 2].text);
-    }
-  }
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    // Range-for loops: `for ( ... : range-expr )`.
-    if (t[i].kind == Token::Kind::Identifier && t[i].text == "for" &&
-        i + 1 < t.size() && t[i + 1].text == "(") {
-      int depth = 0;
-      std::size_t close = i + 1;
-      std::size_t colon = 0;
-      for (std::size_t j = i + 1; j < t.size(); ++j) {
-        if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") {
-          ++depth;
-        } else if (t[j].text == ")" || t[j].text == "]" ||
-                   t[j].text == "}") {
-          --depth;
-          if (depth == 0) {
-            close = j;
-            break;
-          }
-        } else if (t[j].text == ":" && depth == 1) {
-          colon = j;  // last top-level ':' wins (init-statement form)
-        }
-      }
-      if (colon == 0) continue;  // classic for — handled via begin() below
-      // Only identifiers at the top level of the range expression are the
-      // iterated object; anything nested in (...) / [...] is an argument
-      // (`for (x : sorted_snapshot(m.deliveries))` iterates the sorted
-      // copy, not the container).
-      int expr_depth = 0;
-      for (std::size_t j = colon + 1; j < close; ++j) {
-        const std::string& tx = t[j].text;
-        if (tx == "(" || tx == "[" || tx == "{") {
-          ++expr_depth;
-          continue;
-        }
-        if (tx == ")" || tx == "]" || tx == "}") {
-          --expr_depth;
-          continue;
-        }
-        if (expr_depth != 0) continue;
-        if (t[j].kind != Token::Kind::Identifier) continue;
-        const std::string& name = t[j].text;
-        if (col.is_unordered(name, path)) {
-          out->push_back(
-              {ls.file->path, t[i].line, kUnorderedIter,
-               "range-for over unordered container '" + name +
-                   "'; iteration order is stdlib-specific and may leak "
-                   "into sends/scheduling/digests"});
-          break;
-        }
-        if (nested_iters.count(name) != 0 && j + 2 < close &&
-            t[j + 1].text == "->" && t[j + 2].text == "second") {
-          out->push_back(
-              {ls.file->path, t[i].line, kUnorderedIter,
-               "range-for over unordered mapped value '" + name +
-                   "->second'; iteration order is stdlib-specific"});
-          break;
-        }
-      }
-      continue;
-    }
-    // Iterator / range escapes: `name.begin()` (covers classic for loops,
-    // std::algorithms and container constructions from unordered ranges).
-    if (t[i].kind == Token::Kind::Identifier &&
-        col.is_unordered(t[i].text, path) && i + 3 < t.size() &&
-        t[i + 1].text == "." &&
-        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") &&
-        t[i + 3].text == "(") {
-      out->push_back({ls.file->path, t[i].line, kUnorderedIter,
-                      "iteration order of unordered container '" +
-                          t[i].text + "' escapes via " + t[i + 2].text +
-                          "()"});
-    }
-  }
-}
-
-void check_raw_new(const LexedSource& ls, std::vector<Finding>* out) {
-  const std::vector<Token>& t = ls.lx.tokens;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::Identifier) continue;
-    const std::string& s = t[i].text;
-    if (s == "new") {
-      if (i + 1 < t.size() && t[i + 1].text == "(") continue;  // placement
-      if (i > 0 && t[i - 1].text == "operator") continue;
-      out->push_back({ls.file->path, t[i].line, kRawOwningNew,
-                      "raw owning 'new'; use std::make_unique/make_shared "
-                      "or a pool"});
-    } else if (s == "delete") {
-      if (i > 0 && (t[i - 1].text == "=" || t[i - 1].text == "operator")) {
-        continue;  // deleted function / operator delete declaration
-      }
-      out->push_back({ls.file->path, t[i].line, kRawOwningNew,
-                      "raw 'delete'; ownership must live in a smart "
-                      "pointer or pool"});
-    }
-  }
-}
-
-void check_include_hygiene(const LexedSource& ls, std::vector<Finding>* out) {
-  if (!is_header(ls.file->path)) return;
-  if (!ls.lx.has_pragma_once) {
-    out->push_back({ls.file->path, 1, kIncludeHygiene,
-                    "header is missing '#pragma once'"});
-  }
-  const std::vector<Token>& t = ls.lx.tokens;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].text == "using" && t[i + 1].text == "namespace") {
-      out->push_back({ls.file->path, t[i].line, kIncludeHygiene,
-                      "'using namespace' in a header leaks into every "
-                      "includer; qualify names instead"});
-    }
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Suppressions
@@ -477,14 +59,14 @@ void parse_suppressions(const LexedSource& ls,
     const std::size_t key = c.text.find("hermeslint:");
     std::size_t p = c.text.find("allow(", key);
     if (p == std::string::npos) {
-      out->push_back({ls.file->path, c.line, kSuppression,
+      out->push_back({ls.file->path, c.line, detail::kSuppression,
                       "malformed hermeslint comment; expected "
                       "'hermeslint: allow(<rule>) <reason>'"});
       continue;
     }
     const std::size_t close = c.text.find(')', p);
     if (close == std::string::npos) {
-      out->push_back({ls.file->path, c.line, kSuppression,
+      out->push_back({ls.file->path, c.line, detail::kSuppression,
                       "unterminated allow(...) in hermeslint comment"});
       continue;
     }
@@ -498,8 +80,8 @@ void parse_suppressions(const LexedSource& ls,
     while (std::getline(ss, item, ',')) {
       item = trim(item);
       if (item.empty()) continue;
-      if (item == kSuppression || !known_rule(item)) {
-        out->push_back({ls.file->path, c.line, kSuppression,
+      if (item == detail::kSuppression || !known_rule(item)) {
+        out->push_back({ls.file->path, c.line, detail::kSuppression,
                         "unknown rule '" + item + "' in suppression"});
         continue;
       }
@@ -507,7 +89,7 @@ void parse_suppressions(const LexedSource& ls,
     }
     s.reason = trim(c.text.substr(close + 1));
     if (s.reason.empty()) {
-      out->push_back({ls.file->path, c.line, kSuppression,
+      out->push_back({ls.file->path, c.line, detail::kSuppression,
                       "suppression is missing a reason; write "
                       "'hermeslint: allow(<rule>) <why this is safe>'"});
       continue;  // a reason-less allow() suppresses nothing
@@ -526,21 +108,33 @@ void parse_suppressions(const LexedSource& ls,
 
 const std::vector<RuleInfo>& rule_catalogue() {
   static const std::vector<RuleInfo> rules = {
-      {kIncludeHygiene,
+      {detail::kIncludeHygiene,
        "headers need #pragma once and must not contain 'using namespace'"},
-      {kNoWallclock,
+      {detail::kLayering,
+       "includes must follow the module DAG support <- {net, crypto} <- sim "
+       "<- {mempool, overlay} <- protocols <- hermes <- workload <- fuzz "
+       "<- {tools, bench}; no src/-prefixed include paths"},
+      {detail::kLockDiscipline,
+       "HERMES_GUARDED_BY(m) fields may only be touched holding m "
+       "(lock_guard/unique_lock/scoped_lock or HERMES_REQUIRES(m)); "
+       "HERMES_REQUIRES callees need callers that hold the lock"},
+      {detail::kNoWallclock,
        "no wall-clock or ambient-entropy calls in sim-facing directories "
        "(src/sim, src/hermes, src/protocols, src/overlay, src/fuzz, "
        "src/workload, src/crypto)"},
-      {kRawOwningNew,
+      {detail::kQuiescenceSafety,
+       "message handlers must not transitively reach require_quiescent()-"
+       "guarded or HERMES_GUARDED_BY_QUIESCENCE state except through "
+       "Engine::defer / schedule_global / ShardScope"},
+      {detail::kRawOwningNew,
        "no raw owning new/delete (placement new and '= delete' are fine)"},
-      {kSuppression,
+      {detail::kSuppression,
        "meta-rule: malformed, unknown-rule, reason-less or unused "
        "suppressions (cannot itself be suppressed)"},
-      {kTagExhaustive,
+      {detail::kTagExhaustive,
        "every sim::Body<T> message type needs an as<T>/try_as<T> dispatch "
        "site somewhere in the scanned tree"},
-      {kUnorderedIter,
+      {detail::kUnorderedIter,
        "no iteration-order escapes from unordered containers in src/ and "
        "tools/ (range-for, begin(), map-of-maps iterators)"},
   };
@@ -586,22 +180,36 @@ LintResult run(const std::vector<SourceFile>& files,
   }
 
   Collection col;
-  for (const LexedSource& ls : lexed) collect_file(ls, &col);
-  for (const LexedSource& ls : lexed) collect_aliases(ls, &col);
+  for (const LexedSource& ls : lexed) detail::collect_file(ls, &col);
+  for (const LexedSource& ls : lexed) detail::collect_aliases(ls, &col);
+
+  // Semantic layer: one index over the already-lexed tree.
+  std::vector<std::string> paths;
+  std::vector<const LexedFile*> lx_ptrs;
+  paths.reserve(lexed.size());
+  lx_ptrs.reserve(lexed.size());
+  for (const LexedSource& ls : lexed) {
+    paths.push_back(ls.file->path);
+    lx_ptrs.push_back(&ls.lx);
+  }
+  const Index index = build_index(paths, lx_ptrs);
 
   std::vector<Finding> raw;
   std::vector<Suppression> sups;
   for (const LexedSource& ls : lexed) {
-    check_wallclock(ls, &raw);
-    check_unordered_iter(ls, col, &raw);
-    check_raw_new(ls, &raw);
-    check_include_hygiene(ls, &raw);
+    detail::check_wallclock(ls, &raw);
+    detail::check_unordered_iter(ls, col, &raw);
+    detail::check_raw_new(ls, &raw);
+    detail::check_include_hygiene(ls, &raw);
     parse_suppressions(ls, &sups, &raw);
   }
+  detail::check_quiescence(index, &raw);
+  detail::check_lock_discipline(index, &raw);
+  detail::check_layering(index, &raw);
   // tag-exhaustive is cross-file: report at the definition site.
   for (const auto& [name, def] : col.tag_defs) {
     if (col.tag_handled.count(name) != 0) continue;
-    raw.push_back({def.file, def.line, kTagExhaustive,
+    raw.push_back({def.file, def.line, detail::kTagExhaustive,
                    "message body '" + name +
                        "' has no as<" + name + ">/try_as<" + name +
                        "> dispatch site in the scanned tree"});
@@ -610,7 +218,7 @@ LintResult run(const std::vector<SourceFile>& files,
   LintResult result;
   for (Finding& f : raw) {
     bool suppressed = false;
-    if (f.rule != kSuppression) {
+    if (f.rule != detail::kSuppression) {
       for (Suppression& s : sups) {
         if (s.file != f.file) continue;
         const bool covers =
@@ -636,7 +244,7 @@ LintResult run(const std::vector<SourceFile>& files,
     for (std::size_t r = 0; r < s.rules.size(); ++r) {
       if (!s.used[r]) {
         result.findings.push_back(
-            {s.file, s.line, kSuppression,
+            {s.file, s.line, detail::kSuppression,
              "suppression for rule '" + s.rules[r] +
                  "' matched no finding; delete it"});
       }

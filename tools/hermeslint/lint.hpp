@@ -2,7 +2,8 @@
 //
 // Repo-specific determinism and protocol-safety checks for the HERMES
 // reproduction. The engine is deliberately compile-free: it works on the
-// token stream produced by lexer.hpp, so it runs on the source tree in
+// token stream produced by lexer.hpp plus the declaration/definition index
+// built on top of it (index.hpp), so it runs on the source tree in
 // milliseconds and needs no compilation database or libclang.
 //
 // Rules (stable IDs — used in suppressions and the baseline file):
@@ -24,6 +25,23 @@
 //                    a reason.
 //   include-hygiene  headers must have `#pragma once` and must not
 //                    contain `using namespace`.
+//   quiescence-safety  (semantic) message handlers — functions dispatching
+//                    a payload via as<T>/try_as<T>, and on_message
+//                    overrides — must not transitively reach a
+//                    require_quiescent()-guarded mutator or a
+//                    HERMES_GUARDED_BY_QUIESCENCE field over the
+//                    name-resolved call graph, except through
+//                    Engine::defer / schedule_global / ShardScope.
+//   lock-discipline  (semantic) HERMES_GUARDED_BY(m) fields may only be
+//                    accessed by member functions that take m via
+//                    lock_guard/unique_lock/scoped_lock/.lock() or are
+//                    annotated HERMES_REQUIRES(m); callers of a
+//                    HERMES_REQUIRES(m) function must hold m.
+//   layering         (semantic) includes must respect the module DAG
+//                    support <- {net, crypto} <- sim <- {mempool, overlay}
+//                    <- protocols <- hermes <- workload <- fuzz <-
+//                    {tools, bench}; src/-prefixed include paths are
+//                    rejected as non-canonical.
 //   suppression      meta-rule: malformed suppressions (missing reason,
 //                    unknown rule id) and suppressions that matched no
 //                    finding. Cannot itself be suppressed.

@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
 
   if (list_rules) {
     for (const hermeslint::RuleInfo& r : hermeslint::rule_catalogue()) {
-      std::printf("%-16s %s\n", r.id.c_str(), r.summary.c_str());
+      std::printf("%-18s %s\n", r.id.c_str(), r.summary.c_str());
     }
     return 0;
   }

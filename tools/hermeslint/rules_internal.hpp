@@ -1,0 +1,126 @@
+// Internal interfaces between the hermeslint driver (lint.cpp) and the
+// rule translation units (rules_token.cpp, rules_semantic.cpp).
+//
+// Not part of the public API: embedders use lint.hpp (run/render) and
+// index.hpp (the semantic layer); this header only exists so the rules can
+// live in separate TUs without re-lexing or duplicating the shared scoping
+// helpers.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace hermeslint {
+namespace detail {
+
+// Stable rule IDs (also listed in rule_catalogue()).
+inline constexpr const char* kNoWallclock = "no-wallclock";
+inline constexpr const char* kUnorderedIter = "unordered-iter";
+inline constexpr const char* kTagExhaustive = "tag-exhaustive";
+inline constexpr const char* kRawOwningNew = "raw-owning-new";
+inline constexpr const char* kIncludeHygiene = "include-hygiene";
+inline constexpr const char* kSuppression = "suppression";
+inline constexpr const char* kQuiescenceSafety = "quiescence-safety";
+inline constexpr const char* kLockDiscipline = "lock-discipline";
+inline constexpr const char* kLayering = "layering";
+
+inline bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+inline bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t m = std::char_traits<char>::length(suffix);
+  return s.size() >= m && s.compare(s.size() - m, m, suffix) == 0;
+}
+
+inline bool is_header(const std::string& path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h");
+}
+
+struct LexedSource {
+  const SourceFile* file = nullptr;
+  LexedFile lx;
+};
+
+struct TagDef {
+  std::string file;
+  int line = 0;
+};
+
+// Cross-file state gathered by the token rules before per-file checking.
+struct Collection {
+  // Names (variables, members, type aliases) declared with an unordered
+  // container type. Token-level linting has no real scopes, so the
+  // approximation is: a name declared in a header is visible everywhere
+  // (class members are declared in .hpp and iterated in .cpp); a name
+  // declared in a .cpp is visible only inside that file.
+  std::map<std::string, std::set<std::string>> unordered_decls;  // name -> files
+  std::set<std::string> unordered_header_names;
+  // Subset whose template arguments themselves contain an unordered
+  // container (map-of-maps): iterators into these expose an unordered
+  // `->second`.
+  std::map<std::string, std::set<std::string>> nested_decls;
+  std::set<std::string> nested_header_names;
+
+  void add_unordered(const std::string& name, const std::string& file,
+                     bool nested) {
+    unordered_decls[name].insert(file);
+    if (is_header(file)) unordered_header_names.insert(name);
+    if (nested) {
+      nested_decls[name].insert(file);
+      if (is_header(file)) nested_header_names.insert(name);
+    }
+  }
+
+  bool is_unordered(const std::string& name, const std::string& file) const {
+    if (unordered_header_names.count(name) != 0) return true;
+    auto it = unordered_decls.find(name);
+    return it != unordered_decls.end() && it->second.count(file) != 0;
+  }
+
+  bool is_nested(const std::string& name, const std::string& file) const {
+    if (nested_header_names.count(name) != 0) return true;
+    auto it = nested_decls.find(name);
+    return it != nested_decls.end() && it->second.count(file) != 0;
+  }
+
+  // Message body tag registry: definitions (struct X : sim::Body<X>) and
+  // dispatch sites (msg.as<X>() / msg.try_as<X>()).
+  std::map<std::string, TagDef> tag_defs;  // first definition site wins
+  std::set<std::string> tag_handled;
+};
+
+// --- token rules (rules_token.cpp) -----------------------------------------
+
+void collect_file(const LexedSource& ls, Collection* col);
+void collect_aliases(const LexedSource& ls, Collection* col);
+void check_wallclock(const LexedSource& ls, std::vector<Finding>* out);
+void check_unordered_iter(const LexedSource& ls, const Collection& col,
+                          std::vector<Finding>* out);
+void check_raw_new(const LexedSource& ls, std::vector<Finding>* out);
+void check_include_hygiene(const LexedSource& ls, std::vector<Finding>* out);
+
+// --- semantic rules (rules_semantic.cpp) -----------------------------------
+
+// quiescence-safety: message handlers must not transitively reach a
+// require_quiescent()-guarded mutator except through Engine::defer /
+// schedule_global / ShardScope.
+void check_quiescence(const Index& idx, std::vector<Finding>* out);
+
+// lock-discipline: HERMES_GUARDED_BY(m) fields accessed in member
+// functions that neither lock m nor carry HERMES_REQUIRES(m); plus calls
+// into HERMES_REQUIRES(m) functions from callers that do not hold m.
+void check_lock_discipline(const Index& idx, std::vector<Finding>* out);
+
+// layering: the module DAG over the include graph; also rejects
+// non-canonical `src/`-prefixed include paths.
+void check_layering(const Index& idx, std::vector<Finding>* out);
+
+}  // namespace detail
+}  // namespace hermeslint

@@ -1,0 +1,357 @@
+// Token-level rules: no-wallclock, unordered-iter, raw-owning-new,
+// include-hygiene, and the cross-file collection passes feeding them and
+// tag-exhaustive. These operate on the raw token stream; the semantic
+// rules over the indexer live in rules_semantic.cpp.
+#include "rules_internal.hpp"
+
+namespace hermeslint {
+namespace detail {
+
+namespace {
+
+// Directories whose behaviour feeds the deterministic trace-hash
+// guarantee: one wall-clock read here breaks cross-run reproducibility.
+bool wallclock_restricted(const std::string& path) {
+  return starts_with(path, "src/sim/") || starts_with(path, "src/hermes/") ||
+         starts_with(path, "src/protocols/") ||
+         starts_with(path, "src/overlay/") || starts_with(path, "src/fuzz/") ||
+         starts_with(path, "src/workload/") || starts_with(path, "src/crypto/");
+}
+
+// Iteration-order discipline applies to all production code and the
+// determinism-sensitive tools (the fuzz CLI writes corpus files that are
+// diffed byte-for-byte). Benches and tests merely observe.
+bool unordered_scoped(const std::string& path) {
+  return starts_with(path, "src/") || starts_with(path, "tools/");
+}
+
+const std::set<std::string>& unordered_type_names() {
+  static const std::set<std::string> names = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return names;
+}
+
+// Identifiers that are wall-clock / ambient-entropy sources wherever they
+// appear (no call-form disambiguation needed).
+const std::set<std::string>& banned_idents() {
+  static const std::set<std::string> names = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "random_device", "gettimeofday", "clock_gettime",
+      "timespec_get",  "getenv",       "secure_getenv",
+      "localtime",     "gmtime",       "mktime",
+  };
+  return names;
+}
+
+// Identifiers that are only banned as free/std calls: `time(...)` and
+// `std::time(...)` are wall clock, `engine.time(...)` is not.
+const std::set<std::string>& banned_calls() {
+  static const std::set<std::string> names = {
+      "time", "clock", "rand", "srand", "random", "drand48", "lrand48",
+      "rand_r",
+  };
+  return names;
+}
+
+// Skips a balanced <...> template argument list. `i` must point at the
+// opening '<'. Returns the index one past the matching '>', and reports
+// whether an unordered container name occurred inside.
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i,
+                               bool* saw_unordered) {
+  int depth = 0;
+  do {
+    const std::string& s = t[i].text;
+    if (s == "<") ++depth;
+    if (s == ">") --depth;
+    if (depth > 0 && t[i].kind == Token::Kind::Identifier &&
+        unordered_type_names().count(s) != 0) {
+      *saw_unordered = true;
+    }
+    ++i;
+  } while (i < t.size() && depth > 0);
+  return i;
+}
+
+}  // namespace
+
+void collect_file(const LexedSource& ls, Collection* col) {
+  const std::vector<Token>& t = ls.lx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::Identifier) continue;
+    const std::string& s = t[i].text;
+
+    // Declarations: std::unordered_map<K, V> name{, name2} / using A = ...
+    if (unordered_type_names().count(s) != 0 && i + 1 < t.size() &&
+        t[i + 1].text == "<") {
+      // `using Alias = std::unordered_map<...>` — the alias itself becomes
+      // an unordered name, so `Alias m;` declarations are picked up below.
+      bool nested = false;
+      if (i >= 4 && t[i - 1].text == "::" && t[i - 2].text == "std" &&
+          t[i - 3].text == "=" &&
+          t[i - 4].kind == Token::Kind::Identifier) {
+        skip_template_args(t, i + 1, &nested);
+        col->add_unordered(t[i - 4].text, ls.file->path, nested);
+      }
+      std::size_t j = skip_template_args(t, i + 1, &nested);
+      // Declarator: skip cv/ref/ptr noise, then take identifier names
+      // (`type a, b;` declares both).
+      while (j < t.size()) {
+        while (j < t.size() &&
+               (t[j].text == "const" || t[j].text == "*" ||
+                t[j].text == "&" || t[j].text == "&&")) {
+          ++j;
+        }
+        if (j >= t.size() || t[j].kind != Token::Kind::Identifier) break;
+        col->add_unordered(t[j].text, ls.file->path, nested);
+        ++j;
+        // `name{...}` / `name(...)` / `name = ...` initialisers: accept the
+        // name, then stop unless a comma continues the declarator list.
+        if (j < t.size() && (t[j].text == "{" || t[j].text == "(")) break;
+        if (j < t.size() && t[j].text == "=") break;
+        if (j < t.size() && t[j].text == ",") {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+
+    // Body tag definitions: `... : sim::Body<TxBody>` (base-clause
+    // context: preceded by `:`, `::` or `,`).
+    if (s == "Body" && i + 3 < t.size() && t[i + 1].text == "<" &&
+        t[i + 2].kind == Token::Kind::Identifier && t[i + 3].text == ">" &&
+        i > 0 &&
+        (t[i - 1].text == "::" || t[i - 1].text == ":" ||
+         t[i - 1].text == ",")) {
+      col->tag_defs.emplace(t[i + 2].text,
+                            TagDef{ls.file->path, t[i].line});
+      continue;
+    }
+
+    // Dispatch sites: `.as<X>` / `->try_as<X>`.
+    if ((s == "as" || s == "try_as") && i + 3 < t.size() &&
+        t[i + 1].text == "<" &&
+        t[i + 2].kind == Token::Kind::Identifier && t[i + 3].text == ">" &&
+        i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) {
+      col->tag_handled.insert(t[i + 2].text);
+      continue;
+    }
+  }
+}
+
+// Second collection pass, run after all files contributed: declarations
+// whose type is an unordered *alias* (`DeliveryMap deliveries;`) and
+// reference bindings (`auto& m = pending_;`).
+void collect_aliases(const LexedSource& ls, Collection* col) {
+  const std::vector<Token>& t = ls.lx.tokens;
+  const std::string& path = ls.file->path;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::Identifier) continue;
+    if (!col->is_unordered(t[i].text, path)) continue;
+    // `Alias name ...` where Alias names an unordered type. Only treat it
+    // as a declaration when a declarator-looking token follows, to avoid
+    // swallowing expression juxtapositions (which C++ does not have, but
+    // macro bodies might).
+    if (t[i + 1].kind == Token::Kind::Identifier && i + 2 < t.size() &&
+        (t[i + 2].text == ";" || t[i + 2].text == "=" ||
+         t[i + 2].text == "{")) {
+      col->add_unordered(t[i + 1].text, path, col->is_nested(t[i].text, path));
+    }
+    // `auto& m = pending_;` — m aliases the container.
+    if (i >= 2 && t[i - 1].text == "=" &&
+        (i + 1 >= t.size() || t[i + 1].text == ";")) {
+      std::size_t j = i - 2;  // candidate bound name
+      if (t[j].kind == Token::Kind::Identifier && j >= 1) {
+        std::size_t k = j - 1;
+        while (k > 0 && (t[k].text == "&" || t[k].text == "const")) --k;
+        if (t[k].text == "auto") {
+          col->add_unordered(t[j].text, path, col->is_nested(t[i].text, path));
+        }
+      }
+    }
+  }
+}
+
+void check_wallclock(const LexedSource& ls, std::vector<Finding>* out) {
+  if (!wallclock_restricted(ls.file->path)) return;
+  const std::vector<Token>& t = ls.lx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::Identifier) continue;
+    const std::string& s = t[i].text;
+    if (banned_idents().count(s) != 0) {
+      out->push_back({ls.file->path, t[i].line, kNoWallclock,
+                      "'" + s +
+                          "' is a wall-clock/ambient-entropy source; use "
+                          "sim::SimTime and seeded support RNGs"});
+      continue;
+    }
+    if (banned_calls().count(s) != 0 && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      // Member calls (`engine.time(...)`) are fine; `::time` / `std::time`
+      // and unqualified calls are the libc functions.
+      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+      if (i > 0 && t[i - 1].text == "::") {
+        if (i >= 2 && t[i - 2].kind == Token::Kind::Identifier &&
+            t[i - 2].text != "std") {
+          continue;  // SomeClass::time(...) — not libc
+        }
+      }
+      // `double time() const` is a declaration, not a call: an identifier
+      // directly before the name is a type (calls follow punctuation or a
+      // statement keyword).
+      if (i > 0 && t[i - 1].kind == Token::Kind::Identifier &&
+          t[i - 1].text != "return" && t[i - 1].text != "co_return" &&
+          t[i - 1].text != "co_await" && t[i - 1].text != "throw" &&
+          t[i - 1].text != "else" && t[i - 1].text != "do") {
+        continue;
+      }
+      out->push_back({ls.file->path, t[i].line, kNoWallclock,
+                      "call to '" + s +
+                          "()' is nondeterministic; use sim::SimTime and "
+                          "seeded support RNGs"});
+    }
+  }
+}
+
+void check_unordered_iter(const LexedSource& ls, const Collection& col,
+                          std::vector<Finding>* out) {
+  if (!unordered_scoped(ls.file->path)) return;
+  const std::vector<Token>& t = ls.lx.tokens;
+
+  // File-local iterator variables into map-of-maps:
+  // `auto it = outer_.find(k);` — `it->second` is an unordered container.
+  const std::string& path = ls.file->path;
+  std::set<std::string> nested_iters;
+  for (std::size_t i = 0; i + 4 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::Identifier ||
+        !col.is_nested(t[i].text, path)) {
+      continue;
+    }
+    if (t[i + 1].text != "." ||
+        (t[i + 2].text != "find" && t[i + 2].text != "begin" &&
+         t[i + 2].text != "cbegin")) {
+      continue;
+    }
+    // Walk left: `auto [const] [&] name =` immediately before the call.
+    if (i >= 2 && t[i - 1].text == "=" &&
+        t[i - 2].kind == Token::Kind::Identifier) {
+      nested_iters.insert(t[i - 2].text);
+    }
+  }
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for loops: `for ( ... : range-expr )`.
+    if (t[i].kind == Token::Kind::Identifier && t[i].text == "for" &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t close = i + 1;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") {
+          ++depth;
+        } else if (t[j].text == ")" || t[j].text == "]" ||
+                   t[j].text == "}") {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (t[j].text == ":" && depth == 1) {
+          colon = j;  // last top-level ':' wins (init-statement form)
+        }
+      }
+      if (colon == 0) continue;  // classic for — handled via begin() below
+      // Only identifiers at the top level of the range expression are the
+      // iterated object; anything nested in (...) / [...] is an argument
+      // (`for (x : sorted_snapshot(m.deliveries))` iterates the sorted
+      // copy, not the container).
+      int expr_depth = 0;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        const std::string& tx = t[j].text;
+        if (tx == "(" || tx == "[" || tx == "{") {
+          ++expr_depth;
+          continue;
+        }
+        if (tx == ")" || tx == "]" || tx == "}") {
+          --expr_depth;
+          continue;
+        }
+        if (expr_depth != 0) continue;
+        if (t[j].kind != Token::Kind::Identifier) continue;
+        const std::string& name = t[j].text;
+        if (col.is_unordered(name, path)) {
+          out->push_back(
+              {ls.file->path, t[i].line, kUnorderedIter,
+               "range-for over unordered container '" + name +
+                   "'; iteration order is stdlib-specific and may leak "
+                   "into sends/scheduling/digests"});
+          break;
+        }
+        if (nested_iters.count(name) != 0 && j + 2 < close &&
+            t[j + 1].text == "->" && t[j + 2].text == "second") {
+          out->push_back(
+              {ls.file->path, t[i].line, kUnorderedIter,
+               "range-for over unordered mapped value '" + name +
+                   "->second'; iteration order is stdlib-specific"});
+          break;
+        }
+      }
+      continue;
+    }
+    // Iterator / range escapes: `name.begin()` (covers classic for loops,
+    // std::algorithms and container constructions from unordered ranges).
+    if (t[i].kind == Token::Kind::Identifier &&
+        col.is_unordered(t[i].text, path) && i + 3 < t.size() &&
+        t[i + 1].text == "." &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") &&
+        t[i + 3].text == "(") {
+      out->push_back({ls.file->path, t[i].line, kUnorderedIter,
+                      "iteration order of unordered container '" +
+                          t[i].text + "' escapes via " + t[i + 2].text +
+                          "()"});
+    }
+  }
+}
+
+void check_raw_new(const LexedSource& ls, std::vector<Finding>* out) {
+  const std::vector<Token>& t = ls.lx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::Identifier) continue;
+    const std::string& s = t[i].text;
+    if (s == "new") {
+      if (i + 1 < t.size() && t[i + 1].text == "(") continue;  // placement
+      if (i > 0 && t[i - 1].text == "operator") continue;
+      out->push_back({ls.file->path, t[i].line, kRawOwningNew,
+                      "raw owning 'new'; use std::make_unique/make_shared "
+                      "or a pool"});
+    } else if (s == "delete") {
+      if (i > 0 && (t[i - 1].text == "=" || t[i - 1].text == "operator")) {
+        continue;  // deleted function / operator delete declaration
+      }
+      out->push_back({ls.file->path, t[i].line, kRawOwningNew,
+                      "raw 'delete'; ownership must live in a smart "
+                      "pointer or pool"});
+    }
+  }
+}
+
+void check_include_hygiene(const LexedSource& ls, std::vector<Finding>* out) {
+  if (!is_header(ls.file->path)) return;
+  if (!ls.lx.has_pragma_once) {
+    out->push_back({ls.file->path, 1, kIncludeHygiene,
+                    "header is missing '#pragma once'"});
+  }
+  const std::vector<Token>& t = ls.lx.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "using" && t[i + 1].text == "namespace") {
+      out->push_back({ls.file->path, t[i].line, kIncludeHygiene,
+                      "'using namespace' in a header leaks into every "
+                      "includer; qualify names instead"});
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace hermeslint
